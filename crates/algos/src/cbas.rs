@@ -1,0 +1,369 @@
+//! `CBAS` — Computational Budget Allocation for Start nodes (§3).
+//!
+//! Phase 1 selects the `m` nodes with the largest `η + Σ incident τ` as
+//! start nodes. Phase 2 runs `r` stages: each stage re-divides its share of
+//! the total budget `T` across start nodes by the OCBA ratio of Theorem 3
+//! (see [`crate::ocba`]), prunes zero-budget start nodes, and grows each
+//! allocated sample by *uniform* random candidate selection
+//! ([`crate::sampler`]). The best sampled solution over all stages is the
+//! answer; Theorem 5 lower-bounds its expected quality
+//! ([`crate::theory::expected_quality_ratio`]).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waso_core::{Group, WasoInstance};
+use waso_graph::{BitSet, NodeId};
+
+use crate::ocba::{allocate_stage, derive_stages, stage_budgets, StartStats};
+use crate::sampler::{default_num_start_nodes, select_start_nodes, Sampler};
+use crate::{SolveError, SolveResult, Solver, SolverStats};
+
+/// Configuration shared by CBAS and (via [`crate::CbasNdConfig`]) CBAS-ND.
+#[derive(Debug, Clone)]
+pub struct CbasConfig {
+    /// Total computational budget `T` — the number of final solutions to
+    /// sample (§3: "the tradeoff between the solution quality and execution
+    /// time can be easily controlled by assigning different T").
+    pub budget: u64,
+    /// Number of start nodes `m`; `None` → the paper's default `⌈n/k⌉`.
+    pub num_start_nodes: Option<usize>,
+    /// Stage count `r`; `None` → derived per Example 1
+    /// ([`crate::ocba::derive_stages`]).
+    pub stages: Option<u32>,
+    /// Closeness ratio α of Theorem 4 (paper default 0.99; Example 1 uses
+    /// 0.9). Only used when `stages` is `None`.
+    pub alpha: f64,
+    /// Correct-selection probability target `P_b` (pseudo-code `P(CS)`,
+    /// Example 1 uses 0.7). Only used when `stages` is `None`.
+    pub p_b: f64,
+    /// Pinned start nodes (user-study "-i" mode); overrides phase 1.
+    pub start_override: Option<Vec<NodeId>>,
+    /// Nodes that may not appear in any solution (declined invitees,
+    /// §4.4.1).
+    pub blocked: Option<BitSet>,
+}
+
+impl CbasConfig {
+    /// Budget `T` with the paper's defaults elsewhere.
+    pub fn with_budget(budget: u64) -> Self {
+        Self {
+            budget,
+            num_start_nodes: None,
+            stages: None,
+            alpha: 0.99,
+            p_b: 0.7,
+            start_override: None,
+            blocked: None,
+        }
+    }
+
+    /// A small-budget preset for examples and doctests (T = 200, r = 4).
+    pub fn fast() -> Self {
+        Self {
+            stages: Some(4),
+            ..Self::with_budget(200)
+        }
+    }
+
+    pub(crate) fn resolve_starts(&self, instance: &WasoInstance) -> Vec<NodeId> {
+        match &self.start_override {
+            Some(s) => s.clone(),
+            None => {
+                let g = instance.graph();
+                let m = self
+                    .num_start_nodes
+                    .unwrap_or_else(|| default_num_start_nodes(g.num_nodes(), instance.k()));
+                select_start_nodes(g, m, self.blocked.as_ref())
+            }
+        }
+    }
+
+    pub(crate) fn resolve_stages(&self, instance: &WasoInstance, m: usize) -> u32 {
+        self.stages.unwrap_or_else(|| {
+            derive_stages(
+                self.budget,
+                instance.k(),
+                instance.graph().num_nodes(),
+                m,
+                self.alpha,
+                self.p_b,
+            )
+        })
+    }
+}
+
+/// The CBAS solver.
+#[derive(Debug, Clone)]
+pub struct Cbas {
+    config: CbasConfig,
+}
+
+impl Cbas {
+    /// Creates the solver.
+    pub fn new(config: CbasConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CbasConfig {
+        &self.config
+    }
+}
+
+impl Solver for Cbas {
+    fn name(&self) -> &'static str {
+        "cbas"
+    }
+
+    fn solve_seeded(
+        &mut self,
+        instance: &WasoInstance,
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        let t0 = Instant::now();
+        let g = instance.graph();
+        let starts = self.config.resolve_starts(instance);
+        if starts.is_empty() {
+            return Err(SolveError::NoFeasibleGroup);
+        }
+        let m = starts.len();
+        let r = self.config.resolve_stages(instance, m);
+        let budgets = stage_budgets(self.config.budget, r);
+
+        let mut sampler = Sampler::new(g.num_nodes());
+        sampler.set_blocked(self.config.blocked.clone());
+        let mut stats = vec![StartStats::new(); m];
+        let mut best: Option<(f64, Vec<NodeId>)> = None;
+        let mut drawn = 0u64;
+        let mut pruned_count = 0u32;
+
+        for (stage, &stage_budget) in budgets.iter().enumerate() {
+            let alloc = if stage == 0 {
+                uniform_split(stage_budget, m, &stats)
+            } else {
+                let a = allocate_stage(&stats, stage_budget);
+                // §3.1: zero allocation at stage t prunes the node from t+1.
+                for (i, s) in stats.iter_mut().enumerate() {
+                    if a[i] == 0 && !s.pruned && s.sampled() {
+                        s.pruned = true;
+                        pruned_count += 1;
+                    }
+                }
+                a
+            };
+
+            for (i, &ni) in alloc.iter().enumerate() {
+                if ni == 0 {
+                    continue;
+                }
+                for q in 0..ni {
+                    let mut rng = StdRng::seed_from_u64(crate::sample_seed(
+                        seed,
+                        i as u64,
+                        stage as u64,
+                        q,
+                    ));
+                    drawn += 1;
+                    match sampler.sample_uniform(instance, starts[i], &mut rng) {
+                        Some(sample) => {
+                            stats[i].record(sample.willingness);
+                            if best
+                                .as_ref()
+                                .is_none_or(|(bw, _)| sample.willingness > *bw)
+                            {
+                                best = Some((sample.willingness, sample.nodes));
+                            }
+                        }
+                        None => {
+                            // Deterministic stall: the start's component is
+                            // smaller than k. All further samples fail too.
+                            if !stats[i].pruned {
+                                stats[i].pruned = true;
+                                pruned_count += 1;
+                            }
+                            break;
+                        }
+                    }
+                }
+                stats[i].spent += ni;
+            }
+        }
+
+        let (_, nodes) = best.ok_or(SolveError::NoFeasibleGroup)?;
+        let group = Group::new(instance, nodes).map_err(SolveError::Invalid)?;
+        Ok(SolveResult {
+            group,
+            stats: SolverStats {
+                samples_drawn: drawn,
+                stages: r,
+                start_nodes: m as u32,
+                pruned_start_nodes: pruned_count,
+                elapsed: t0.elapsed(),
+                backtracks: 0,
+            },
+        })
+    }
+}
+
+/// Stage-1 split: `T_1/m` each, remainder to the first nodes (pseudo-code
+/// line 9), skipping already-pruned entries.
+pub(crate) fn uniform_split(stage_budget: u64, m: usize, stats: &[StartStats]) -> Vec<u64> {
+    let live: Vec<usize> = (0..m).filter(|&i| !stats[i].pruned).collect();
+    let mut alloc = vec![0u64; m];
+    if live.is_empty() {
+        return alloc;
+    }
+    let base = stage_budget / live.len() as u64;
+    let extra = (stage_budget % live.len() as u64) as usize;
+    for (rank, &i) in live.iter().enumerate() {
+        alloc[i] = base + u64::from(rank < extra);
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waso_graph::{generate, GraphBuilder, ScoreModel};
+
+    fn figure1_instance() -> WasoInstance {
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_node(8.0);
+        let v2 = b.add_node(7.0);
+        let v3 = b.add_node(6.0);
+        let v4 = b.add_node(5.0);
+        b.add_edge_symmetric(v1, v2, 1.0).unwrap();
+        b.add_edge_symmetric(v2, v3, 2.0).unwrap();
+        b.add_edge_symmetric(v3, v4, 4.0).unwrap();
+        WasoInstance::new(b.build(), 3).unwrap()
+    }
+
+    #[test]
+    fn finds_the_figure1_optimum() {
+        let mut solver = Cbas::new(CbasConfig::fast());
+        let res = solver.solve_seeded(&figure1_instance(), 1).unwrap();
+        assert_eq!(res.group.willingness(), 30.0);
+        assert_eq!(res.group.nodes(), &[NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn budget_is_fully_spent_on_feasible_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let topo = generate::barabasi_albert(80, 4, &mut rng);
+        let g = ScoreModel::paper_default().realize(&topo, &mut rng);
+        let inst = WasoInstance::new(g, 6).unwrap();
+        let mut solver = Cbas::new(CbasConfig {
+            budget: 150,
+            stages: Some(3),
+            ..CbasConfig::with_budget(150)
+        });
+        let res = solver.solve_seeded(&inst, 2).unwrap();
+        assert_eq!(res.stats.samples_drawn, 150);
+        assert_eq!(res.stats.stages, 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let inst = figure1_instance();
+        let a = Cbas::new(CbasConfig::fast()).solve_seeded(&inst, 11).unwrap();
+        let b = Cbas::new(CbasConfig::fast()).solve_seeded(&inst, 11).unwrap();
+        assert_eq!(a.group, b.group);
+        assert_eq!(a.stats.samples_drawn, b.stats.samples_drawn);
+    }
+
+    #[test]
+    fn more_budget_never_hurts_on_average() {
+        // Weak sanity: with the same seed, T=200 ≥ quality of T=4 on a graph
+        // where the optimum needs luck.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let topo = generate::watts_strogatz(60, 3, 0.2, &mut rng);
+        let g = ScoreModel::paper_default().realize(&topo, &mut rng);
+        let inst = WasoInstance::new(g, 5).unwrap();
+
+        let small = Cbas::new(CbasConfig {
+            stages: Some(1),
+            ..CbasConfig::with_budget(4)
+        })
+        .solve_seeded(&inst, 3)
+        .unwrap();
+        let large = Cbas::new(CbasConfig {
+            stages: Some(4),
+            ..CbasConfig::with_budget(400)
+        })
+        .solve_seeded(&inst, 3)
+        .unwrap();
+        assert!(large.group.willingness() >= small.group.willingness());
+    }
+
+    #[test]
+    fn blocked_nodes_never_selected() {
+        let inst = figure1_instance();
+        let mut blocked = BitSet::new(4);
+        blocked.insert(3); // exclude v4 — the optimum must become 27
+        let mut solver = Cbas::new(CbasConfig {
+            blocked: Some(blocked),
+            ..CbasConfig::fast()
+        });
+        let res = solver.solve_seeded(&inst, 1).unwrap();
+        assert!(!res.group.contains(NodeId(3)));
+        assert_eq!(res.group.willingness(), 27.0);
+    }
+
+    #[test]
+    fn isolated_start_nodes_are_pruned_not_fatal() {
+        // High-interest isolated node attracts a start slot but cannot grow.
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(100.0);
+        let ids: Vec<NodeId> = (0..5).map(|i| b.add_node(i as f64 * 0.1)).collect();
+        for w in ids.windows(2) {
+            b.add_edge_symmetric(w[0], w[1], 1.0).unwrap();
+        }
+        let _ = hub;
+        let inst = WasoInstance::new(b.build(), 3).unwrap();
+        let mut solver = Cbas::new(CbasConfig {
+            num_start_nodes: Some(3),
+            stages: Some(2),
+            ..CbasConfig::with_budget(60)
+        });
+        let res = solver.solve_seeded(&inst, 0).unwrap();
+        assert!(!res.group.contains(NodeId(0)));
+        assert!(res.stats.pruned_start_nodes >= 1);
+    }
+
+    #[test]
+    fn infeasible_instance_reports_no_group() {
+        // Singleton components, k = 2.
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        b.add_node(1.0);
+        let inst = WasoInstance::new(b.build(), 2).unwrap();
+        let err = Cbas::new(CbasConfig::fast()).solve_seeded(&inst, 0).unwrap_err();
+        assert_eq!(err, SolveError::NoFeasibleGroup);
+    }
+
+    #[test]
+    fn uniform_split_skips_pruned() {
+        let mut stats = vec![StartStats::new(); 3];
+        stats[1].pruned = true;
+        assert_eq!(uniform_split(10, 3, &stats), vec![5, 0, 5]);
+        assert_eq!(uniform_split(5, 3, &{
+            let mut s = vec![StartStats::new(); 3];
+            s[2].pruned = true;
+            s
+        }), vec![3, 2, 0]);
+    }
+
+    #[test]
+    fn stage_override_and_derivation() {
+        let inst = figure1_instance();
+        let cfg = CbasConfig {
+            stages: Some(7),
+            ..CbasConfig::with_budget(70)
+        };
+        assert_eq!(cfg.resolve_stages(&inst, 2), 7);
+        let derived = CbasConfig::with_budget(70);
+        assert!(derived.resolve_stages(&inst, 2) >= 1);
+    }
+}

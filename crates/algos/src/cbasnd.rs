@@ -1,0 +1,584 @@
+//! `CBAS-ND` — CBAS with Neighbour Differentiation (§4).
+//!
+//! Extends the staged CBAS driver with per-start-node *node-selection
+//! probability vectors* updated by the cross-entropy method
+//! ([`crate::cross_entropy`]):
+//!
+//! 1. stage 1 samples with the uniform vector `p_{i,1,j} = (k-1)/(n-1)`;
+//! 2. after each stage, the top-ρ elite samples of each start node re-fit
+//!    its vector via Eq. (4) with smoothing `w` (γ monotone across stages);
+//! 3. budget moves between start nodes by the OCBA rule
+//!    ([`crate::ocba`]) or its Gaussian variant
+//!    ([`crate::gaussian`], `CBAS-ND-G` of Appendix A);
+//! 4. optional backtracking (§4.4.2): when a vector's squared distance to
+//!    its previous stage falls below `z_t`, the update is reverted so the
+//!    next stage re-samples from the older, more diverse distribution.
+//!
+//! Theorem 6 shows this converges to the optimum faster than CBAS for the
+//! same budget; the Figure 5/7/8 harnesses measure exactly that.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waso_core::{Group, WasoInstance};
+use waso_graph::NodeId;
+
+use crate::cbas::{uniform_split, CbasConfig};
+use crate::cross_entropy::ProbabilityVector;
+use crate::gaussian::{allocate_stage_gaussian, Allocation, GaussStats};
+use crate::ocba::{allocate_stage, stage_budgets, StartStats};
+use crate::sampler::{Sample, Sampler};
+use crate::{SolveError, SolveResult, Solver, SolverStats};
+use waso_stats::quantile::top_rho_count;
+
+/// Configuration of [`CbasNd`].
+#[derive(Debug, Clone)]
+pub struct CbasNdConfig {
+    /// The staged-CBAS parameters (budget, start nodes, stages, …).
+    pub base: CbasConfig,
+    /// Elite fraction ρ of the cross-entropy update (paper default 0.3).
+    pub rho: f64,
+    /// Smoothing weight `w` of the vector update (paper default 0.9).
+    pub smoothing: f64,
+    /// Backtracking threshold `z_t` (§4.4.2); `None` disables backtracking.
+    pub backtrack_threshold: Option<f64>,
+    /// Budget-allocation rule: uniform OCBA (paper default) or Gaussian
+    /// (`CBAS-ND-G`, Appendix A).
+    pub allocation: Allocation,
+}
+
+impl CbasNdConfig {
+    /// Budget `T` with the paper's §5.1 defaults: ρ = 0.3, w = 0.9,
+    /// uniform-OCBA allocation, no backtracking.
+    pub fn with_budget(budget: u64) -> Self {
+        Self {
+            base: CbasConfig::with_budget(budget),
+            rho: 0.3,
+            smoothing: 0.9,
+            backtrack_threshold: None,
+            allocation: Allocation::UniformOcba,
+        }
+    }
+
+    /// Small-budget preset for examples and doctests (T = 200, r = 4).
+    pub fn fast() -> Self {
+        Self {
+            base: CbasConfig::fast(),
+            ..Self::with_budget(200)
+        }
+    }
+
+    /// Switches to the Gaussian allocation of Appendix A (`CBAS-ND-G`).
+    pub fn gaussian(mut self) -> Self {
+        self.allocation = Allocation::Gaussian;
+        self
+    }
+
+    /// Enables §4.4.2 backtracking with threshold `z_t`.
+    pub fn with_backtracking(mut self, z_t: f64) -> Self {
+        self.backtrack_threshold = Some(z_t);
+        self
+    }
+}
+
+/// The CBAS-ND solver.
+#[derive(Debug, Clone)]
+pub struct CbasNd {
+    config: CbasNdConfig,
+}
+
+impl CbasNd {
+    /// Creates the solver.
+    pub fn new(config: CbasNdConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CbasNdConfig {
+        &self.config
+    }
+
+    /// Solves with *required attendees*: every sample grows from the given
+    /// partial solution, so all `required` nodes appear in the answer.
+    ///
+    /// This powers two paper features: the §4.4.1 online extension (the
+    /// confirmed attendees are required) and the §6 future-work item
+    /// "allow users to specify some attendees that must be included in a
+    /// certain group activity".
+    ///
+    /// `required` must be non-empty, contain no duplicates or blocked
+    /// nodes, and have at most `k` members. The required set itself need
+    /// not be connected — feasibility of the full group is validated on
+    /// the way out (`Err(SolveError::NoFeasibleGroup)` when no sample can
+    /// connect everything).
+    pub fn solve_with_required(
+        &mut self,
+        instance: &WasoInstance,
+        required: &[NodeId],
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        if required.len() > instance.k() {
+            return Err(SolveError::NoFeasibleGroup);
+        }
+        self.run(instance, StartMode::Partial(required), seed)
+    }
+
+    /// Backwards-compatible crate alias used by the online planner.
+    pub(crate) fn solve_with_seeds(
+        &mut self,
+        instance: &WasoInstance,
+        seeds: &[NodeId],
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        self.solve_with_required(instance, seeds, seed)
+    }
+
+    fn run(
+        &mut self,
+        instance: &WasoInstance,
+        mode: StartMode<'_>,
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        let t0 = Instant::now();
+        let cfg = &self.config;
+        assert!(
+            (0.0..=1.0).contains(&cfg.rho) && cfg.rho > 0.0,
+            "rho must be in (0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.smoothing),
+            "smoothing weight outside [0,1]"
+        );
+
+        let g = instance.graph();
+        let n = g.num_nodes();
+        let k = instance.k();
+
+        // In Partial mode there is a single "virtual start": the seed set.
+        let starts: Vec<NodeId> = match mode {
+            StartMode::Fresh => cfg.base.resolve_starts(instance),
+            StartMode::Partial(seeds) => {
+                if seeds.is_empty() {
+                    return Err(SolveError::NoFeasibleGroup);
+                }
+                vec![seeds[0]]
+            }
+        };
+        if starts.is_empty() {
+            return Err(SolveError::NoFeasibleGroup);
+        }
+        let m = starts.len();
+        let r = cfg.base.resolve_stages(instance, m);
+        let budgets = stage_budgets(cfg.base.budget, r);
+
+        let mut sampler = Sampler::new(n);
+        sampler.set_blocked(cfg.base.blocked.clone());
+
+        let mut stats = vec![StartStats::new(); m];
+        let mut gstats = vec![GaussStats::new(); m];
+        let mut vectors: Vec<ProbabilityVector> = starts
+            .iter()
+            .map(|&s| ProbabilityVector::uniform_for_start(n.max(2), k, s))
+            .collect();
+        let mut gammas = vec![f64::NEG_INFINITY; m];
+        let mut best: Option<(f64, Vec<NodeId>)> = None;
+        let mut drawn = 0u64;
+        let mut pruned_count = 0u32;
+        let mut backtracks = 0u32;
+        // Reused per-stage sample buffer.
+        let mut stage_samples: Vec<Sample> = Vec::new();
+
+        for (stage, &stage_budget) in budgets.iter().enumerate() {
+            let alloc = if stage == 0 {
+                uniform_split(stage_budget, m, &stats)
+            } else {
+                let a = match cfg.allocation {
+                    Allocation::UniformOcba => allocate_stage(&stats, stage_budget),
+                    Allocation::Gaussian => allocate_stage_gaussian(&gstats, stage_budget),
+                };
+                for i in 0..m {
+                    if a[i] == 0 && !stats[i].pruned && stats[i].sampled() {
+                        stats[i].pruned = true;
+                        gstats[i].pruned = true;
+                        pruned_count += 1;
+                    }
+                }
+                a
+            };
+
+            for (i, &ni) in alloc.iter().enumerate() {
+                if ni == 0 {
+                    continue;
+                }
+                stage_samples.clear();
+                for q in 0..ni {
+                    let mut rng = StdRng::seed_from_u64(crate::sample_seed(
+                        seed,
+                        i as u64,
+                        stage as u64,
+                        q,
+                    ));
+                    drawn += 1;
+                    let sample = match mode {
+                        StartMode::Fresh => {
+                            sampler.sample_weighted(instance, starts[i], &vectors[i], &mut rng)
+                        }
+                        StartMode::Partial(seeds) => sampler.sample_from_partial(
+                            instance,
+                            seeds,
+                            Some(&vectors[i]),
+                            &mut rng,
+                        ),
+                    };
+                    match sample {
+                        Some(s) => {
+                            // Multi-seed growth can finish without bridging
+                            // a disconnected required set — such samples are
+                            // infeasible and simply discarded (they still
+                            // consumed budget).
+                            if let StartMode::Partial(seeds) = mode {
+                                if seeds.len() > 1
+                                    && instance.requires_connectivity()
+                                    && !waso_graph::traversal::is_connected_subset(
+                                        g, &s.nodes,
+                                    )
+                                {
+                                    continue;
+                                }
+                            }
+                            stats[i].record(s.willingness);
+                            gstats[i].moments.push(s.willingness);
+                            if best.as_ref().is_none_or(|(bw, _)| s.willingness > *bw) {
+                                best = Some((s.willingness, s.nodes.clone()));
+                            }
+                            stage_samples.push(s);
+                        }
+                        None => {
+                            if !stats[i].pruned {
+                                stats[i].pruned = true;
+                                gstats[i].pruned = true;
+                                pruned_count += 1;
+                            }
+                            break;
+                        }
+                    }
+                }
+                stats[i].spent += ni;
+                gstats[i].spent += ni;
+
+                // Cross-entropy update (Algorithm 2 lines 35–46).
+                if !stage_samples.is_empty() {
+                    backtracks += update_vector(
+                        &mut vectors[i],
+                        &mut gammas[i],
+                        &mut stage_samples,
+                        cfg.rho,
+                        cfg.smoothing,
+                        cfg.backtrack_threshold,
+                    ) as u32;
+                }
+            }
+        }
+
+        let (_, mut nodes) = best.ok_or(SolveError::NoFeasibleGroup)?;
+        if let StartMode::Partial(seeds) = mode {
+            debug_assert!(seeds.iter().all(|s| nodes.contains(s)));
+        }
+        nodes.sort_unstable();
+        let group = Group::new(instance, nodes).map_err(SolveError::Invalid)?;
+        Ok(SolveResult {
+            group,
+            stats: SolverStats {
+                samples_drawn: drawn,
+                stages: r,
+                start_nodes: m as u32,
+                pruned_start_nodes: pruned_count,
+                backtracks,
+                elapsed: t0.elapsed(),
+            },
+        })
+    }
+}
+
+#[derive(Clone, Copy)]
+enum StartMode<'a> {
+    /// Phase-1 start-node selection (normal solving).
+    Fresh,
+    /// Grow every sample from a fixed partial solution (online replanning).
+    Partial(&'a [NodeId]),
+}
+
+/// One stage's cross-entropy update for one start node. Returns `true` when
+/// backtracking reverted the vector. Shared with the parallel driver.
+pub(crate) fn update_vector(
+    vector: &mut ProbabilityVector,
+    gamma: &mut f64,
+    stage_samples: &mut [Sample],
+    rho: f64,
+    smoothing: f64,
+    backtrack_threshold: Option<f64>,
+) -> bool {
+    // γ_{t+1} = max(γ_t, W_(⌈ρN⌉)) — pseudo-code lines 35–39.
+    stage_samples.sort_by(|a, b| {
+        b.willingness
+            .partial_cmp(&a.willingness)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let idx = top_rho_count(stage_samples.len(), rho);
+    let stage_gamma = stage_samples[idx - 1].willingness;
+    if stage_gamma > *gamma {
+        *gamma = stage_gamma;
+    }
+    // Elites: samples meeting the (monotone) threshold, Eq. (4).
+    let elites: Vec<&Sample> = stage_samples
+        .iter()
+        .filter(|s| s.willingness >= *gamma)
+        .collect();
+    if elites.is_empty() {
+        // Whole stage below the historic γ: nothing to learn from.
+        return false;
+    }
+    let previous = vector.clone();
+    vector.update_from_elites(&elites, smoothing);
+    if let Some(z_t) = backtrack_threshold {
+        // §4.4.2: converged updates are reverted so the next stage
+        // re-samples from the previous, more diverse distribution.
+        if vector.distance_sq(&previous) < z_t {
+            *vector = previous;
+            return true;
+        }
+    }
+    false
+}
+
+impl Solver for CbasNd {
+    fn name(&self) -> &'static str {
+        match self.config.allocation {
+            Allocation::UniformOcba => "cbas-nd",
+            Allocation::Gaussian => "cbas-nd-g",
+        }
+    }
+
+    fn solve_seeded(
+        &mut self,
+        instance: &WasoInstance,
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        self.run(instance, StartMode::Fresh, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use waso_graph::{generate, GraphBuilder, ScoreModel};
+
+    fn figure1_instance() -> WasoInstance {
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_node(8.0);
+        let v2 = b.add_node(7.0);
+        let v3 = b.add_node(6.0);
+        let v4 = b.add_node(5.0);
+        b.add_edge_symmetric(v1, v2, 1.0).unwrap();
+        b.add_edge_symmetric(v2, v3, 2.0).unwrap();
+        b.add_edge_symmetric(v3, v4, 4.0).unwrap();
+        WasoInstance::new(b.build(), 3).unwrap()
+    }
+
+    fn random_instance(n: usize, k: usize, seed: u64) -> WasoInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = generate::barabasi_albert(n, 3, &mut rng);
+        let g = ScoreModel::paper_default().realize(&topo, &mut rng);
+        WasoInstance::new(g, k).unwrap()
+    }
+
+    #[test]
+    fn finds_the_figure1_optimum() {
+        let mut solver = CbasNd::new(CbasNdConfig::fast());
+        let res = solver.solve_seeded(&figure1_instance(), 1).unwrap();
+        assert_eq!(res.group.willingness(), 30.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let inst = random_instance(50, 5, 1);
+        let a = CbasNd::new(CbasNdConfig::fast()).solve_seeded(&inst, 9).unwrap();
+        let b = CbasNd::new(CbasNdConfig::fast()).solve_seeded(&inst, 9).unwrap();
+        assert_eq!(a.group, b.group);
+        assert_eq!(a.stats.samples_drawn, b.stats.samples_drawn);
+    }
+
+    #[test]
+    fn budget_accounting_is_exact() {
+        let inst = random_instance(60, 6, 2);
+        let mut cfg = CbasNdConfig::with_budget(120);
+        cfg.base.stages = Some(4);
+        let res = CbasNd::new(cfg).solve_seeded(&inst, 3).unwrap();
+        assert_eq!(res.stats.samples_drawn, 120);
+        assert_eq!(res.stats.stages, 4);
+    }
+
+    #[test]
+    fn gaussian_variant_also_solves() {
+        let inst = random_instance(50, 5, 3);
+        let mut cfg = CbasNdConfig::with_budget(100).gaussian();
+        cfg.base.stages = Some(4);
+        let mut solver = CbasNd::new(cfg);
+        assert_eq!(solver.name(), "cbas-nd-g");
+        let res = solver.solve_seeded(&inst, 4).unwrap();
+        assert_eq!(res.group.len(), 5);
+        assert_eq!(res.stats.samples_drawn, 100);
+    }
+
+    #[test]
+    fn backtracking_reverts_converged_vectors() {
+        let inst = random_instance(40, 4, 5);
+        // Huge threshold: every update counts as converged → reverts.
+        let mut cfg = CbasNdConfig::with_budget(80).with_backtracking(1e9);
+        cfg.base.stages = Some(4);
+        let res = CbasNd::new(cfg).solve_seeded(&inst, 5).unwrap();
+        assert!(res.stats.backtracks > 0);
+
+        // Zero threshold: never converged → never reverts.
+        let mut cfg = CbasNdConfig::with_budget(80).with_backtracking(0.0);
+        cfg.base.stages = Some(4);
+        let res = CbasNd::new(cfg).solve_seeded(&inst, 5).unwrap();
+        assert_eq!(res.stats.backtracks, 0);
+    }
+
+    #[test]
+    fn matches_or_beats_cbas_on_average() {
+        // Theorem 6's claim, measured: same budget, averaged over seeds.
+        use crate::cbas::{Cbas, CbasConfig};
+        let inst = random_instance(120, 8, 7);
+        let budget = 150u64;
+        let mut nd_total = 0.0;
+        let mut cbas_total = 0.0;
+        for seed in 0..8 {
+            let mut nd_cfg = CbasNdConfig::with_budget(budget);
+            nd_cfg.base.stages = Some(5);
+            let nd = CbasNd::new(nd_cfg).solve_seeded(&inst, seed).unwrap();
+            let mut c_cfg = CbasConfig::with_budget(budget);
+            c_cfg.stages = Some(5);
+            let cb = Cbas::new(c_cfg).solve_seeded(&inst, seed).unwrap();
+            nd_total += nd.group.willingness();
+            cbas_total += cb.group.willingness();
+        }
+        assert!(
+            nd_total >= cbas_total * 0.98,
+            "CBAS-ND ({nd_total:.2}) should not lose to CBAS ({cbas_total:.2})"
+        );
+    }
+
+    #[test]
+    fn partial_seeding_keeps_confirmed_attendees() {
+        let inst = random_instance(50, 6, 8);
+        let seeds = [NodeId(0), NodeId(1)];
+        // Ensure the seeds are adjacent in this BA graph (node 1 is in the
+        // seed clique, node 0 too).
+        let mut cfg = CbasNdConfig::with_budget(60);
+        cfg.base.stages = Some(3);
+        let res = CbasNd::new(cfg)
+            .solve_with_seeds(&inst, &seeds, 2)
+            .unwrap();
+        assert!(res.group.contains(NodeId(0)));
+        assert!(res.group.contains(NodeId(1)));
+        assert_eq!(res.group.len(), 6);
+    }
+
+    #[test]
+    fn required_attendees_always_appear() {
+        let inst = random_instance(60, 6, 21);
+        let required = [NodeId(2), NodeId(3)];
+        let mut cfg = CbasNdConfig::with_budget(80);
+        cfg.base.stages = Some(3);
+        let res = CbasNd::new(cfg)
+            .solve_with_required(&inst, &required, 4)
+            .unwrap();
+        for &v in &required {
+            assert!(res.group.contains(v), "{v} missing from {}", res.group);
+        }
+        res.group.validate(&inst).expect("feasible group");
+    }
+
+    #[test]
+    fn too_many_required_is_infeasible() {
+        let inst = random_instance(30, 3, 22);
+        let required: Vec<NodeId> = (0..4u32).map(NodeId).collect();
+        let err = CbasNd::new(CbasNdConfig::fast())
+            .solve_with_required(&inst, &required, 0)
+            .unwrap_err();
+        assert_eq!(err, crate::SolveError::NoFeasibleGroup);
+    }
+
+    #[test]
+    fn disconnected_required_set_is_bridged_or_rejected() {
+        // Path 0-1-2-3-4: requiring {0, 4} with k = 5 forces the bridge
+        // through all intermediate nodes.
+        let mut b = waso_graph::GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..5).map(|i| b.add_node(i as f64)).collect();
+        for w in ids.windows(2) {
+            b.add_edge_symmetric(w[0], w[1], 1.0).unwrap();
+        }
+        let inst = WasoInstance::new(b.build(), 5).unwrap();
+        let mut cfg = CbasNdConfig::with_budget(40);
+        cfg.base.stages = Some(2);
+        let res = CbasNd::new(cfg.clone())
+            .solve_with_required(&inst, &[NodeId(0), NodeId(4)], 1)
+            .unwrap();
+        assert_eq!(res.group.len(), 5);
+        res.group.validate(&inst).expect("bridged group is connected");
+
+        // k = 3 cannot connect 0 and 4 on a path — infeasible.
+        let inst3 = WasoInstance::new(
+            {
+                let mut b = waso_graph::GraphBuilder::new();
+                let ids: Vec<NodeId> = (0..5).map(|i| b.add_node(i as f64)).collect();
+                for w in ids.windows(2) {
+                    b.add_edge_symmetric(w[0], w[1], 1.0).unwrap();
+                }
+                b.build()
+            },
+            3,
+        )
+        .unwrap();
+        let err = CbasNd::new(cfg)
+            .solve_with_required(&inst3, &[NodeId(0), NodeId(4)], 1)
+            .unwrap_err();
+        assert_eq!(err, crate::SolveError::NoFeasibleGroup);
+    }
+
+    #[test]
+    fn start_override_is_respected() {
+        let inst = figure1_instance();
+        let mut cfg = CbasNdConfig::fast();
+        cfg.base.start_override = Some(vec![NodeId(0)]);
+        let res = CbasNd::new(cfg).solve_seeded(&inst, 0).unwrap();
+        assert!(res.group.contains(NodeId(0)));
+        assert_eq!(res.stats.start_nodes, 1);
+    }
+
+    #[test]
+    fn gamma_monotonicity_filters_bad_stages() {
+        // Directly exercise update_vector: a second stage entirely below
+        // the first stage's γ must not update the vector.
+        let mut v = ProbabilityVector::uniform(10, 3);
+        let mut gamma = f64::NEG_INFINITY;
+        let mk = |nodes: &[u32], w: f64| Sample {
+            nodes: nodes.iter().map(|&x| NodeId(x)).collect(),
+            willingness: w,
+        };
+        let mut stage1 = vec![mk(&[0, 1, 2], 10.0), mk(&[0, 1, 3], 8.0)];
+        let reverted = update_vector(&mut v, &mut gamma, &mut stage1, 0.5, 0.5, None);
+        assert!(!reverted);
+        assert_eq!(gamma, 10.0);
+        let after_stage1 = v.clone();
+
+        let mut stage2 = vec![mk(&[4, 5, 6], 3.0), mk(&[4, 5, 7], 2.0)];
+        update_vector(&mut v, &mut gamma, &mut stage2, 0.5, 0.5, None);
+        assert_eq!(gamma, 10.0, "gamma must not regress");
+        assert_eq!(v, after_stage1, "sub-γ stages contribute no elites");
+    }
+}

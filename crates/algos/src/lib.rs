@@ -1,0 +1,162 @@
+//! # waso-algos
+//!
+//! The paper's solvers and their supporting machinery.
+//!
+//! | Module | Paper section | Contents |
+//! |---|---|---|
+//! | [`greedy`] | §1, §3 | `DGreedy`, the deterministic greedy baseline |
+//! | [`rgreedy`] | §4.1 | `RGreedy`, randomized greedy with willingness-proportional selection |
+//! | [`sampler`] | §3.1 | random growth of partial solutions (uniform / probability-vector weighted) |
+//! | [`ocba`] | §3.1–3.2 | computational-budget allocation across start nodes, stage derivation |
+//! | [`cbas`] | §3 | `Cbas` — budget-allocated random sampling |
+//! | [`cross_entropy`] | §4.2–4.3 | sparse node-selection probability vectors, elite updates, smoothing |
+//! | [`cbasnd`] | §4 | `CbasNd` — CBAS with neighbour differentiation (+ backtracking §4.4.2) |
+//! | [`gaussian`] | Appendix A | Gaussian budget allocation (`CBAS-ND-G`) |
+//! | [`online`] | §4.4.1 | replanning after declines, keeping confirmed attendees |
+//! | [`parallel`] | §5.3.1 | multi-threaded stage execution (the paper's OpenMP run, Fig 5(d)) |
+//! | [`theory`] | §3.2, §4.3 | the approximation-ratio and `P_b` formulas of Theorems 3–5 |
+//!
+//! All solvers implement [`Solver`]: deterministic given `(instance, seed)`,
+//! returning a validated [`waso_core::Group`] plus run statistics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cbas;
+pub mod cbasnd;
+pub mod cross_entropy;
+pub mod gaussian;
+pub mod greedy;
+pub mod ocba;
+pub mod online;
+pub mod parallel;
+pub mod rgreedy;
+pub mod sampler;
+pub mod theory;
+
+use std::time::Duration;
+
+use waso_core::{CoreError, Group, WasoInstance};
+
+pub use cbas::{Cbas, CbasConfig};
+pub use cbasnd::{CbasNd, CbasNdConfig};
+pub use cross_entropy::ProbabilityVector;
+pub use gaussian::Allocation;
+pub use greedy::DGreedy;
+pub use online::OnlinePlanner;
+pub use parallel::ParallelCbasNd;
+pub use rgreedy::{RGreedy, RGreedyConfig};
+
+/// Why a solver could not produce a group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// No start node could be grown to `k` nodes (e.g. every component of
+    /// the graph is smaller than `k`).
+    NoFeasibleGroup,
+    /// The produced group failed validation — indicates a solver bug and is
+    /// surfaced rather than masked.
+    Invalid(CoreError),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NoFeasibleGroup => {
+                write!(f, "no feasible group of the requested size exists or was found")
+            }
+            SolveError::Invalid(e) => write!(f, "solver produced an invalid group: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Run statistics reported by every solver.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverStats {
+    /// Final solutions sampled (`T` actually spent; greedy counts 1).
+    pub samples_drawn: u64,
+    /// Stages executed (1 for single-pass algorithms).
+    pub stages: u32,
+    /// Start nodes considered (`m`).
+    pub start_nodes: u32,
+    /// Start nodes pruned by zero budget allocations.
+    pub pruned_start_nodes: u32,
+    /// Probability-vector reverts performed (backtracking, §4.4.2).
+    pub backtracks: u32,
+    /// Wall-clock time of the solve call.
+    pub elapsed: Duration,
+}
+
+/// A solver's answer: the best group found plus statistics.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The best feasible group found.
+    pub group: Group,
+    /// Run statistics.
+    pub stats: SolverStats,
+}
+
+/// Common interface of all WASO solvers.
+///
+/// Implementations are deterministic functions of `(instance, seed)` —
+/// rerunning with the same arguments yields the same group. This also makes
+/// the parallel driver bit-identical to the serial one (per-start-node RNG
+/// streams; see [`parallel`]).
+pub trait Solver {
+    /// Short machine-friendly name (`"dgreedy"`, `"cbas-nd"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Solves `instance`, deriving all randomness from `seed`.
+    fn solve_seeded(
+        &mut self,
+        instance: &WasoInstance,
+        seed: u64,
+    ) -> Result<SolveResult, SolveError>;
+}
+
+/// SplitMix64 — derives independent RNG streams from `(seed, stream ids)`.
+/// Used so each (start node, stage) pair gets its own deterministic stream,
+/// making thread count irrelevant to results.
+#[inline]
+pub(crate) fn mix_seed(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed ^ a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Per-sample RNG stream id for the staged solvers: every
+/// `(start node, stage, sample)` triple draws from its own stream, so work
+/// can be split across threads at *sample* granularity and still merge into
+/// bit-identical results (OCBA concentrates most of a stage's budget on one
+/// start node, so per-node parallelism alone would serialize).
+#[inline]
+pub(crate) fn sample_seed(seed: u64, start_idx: u64, stage: u64, sample: u64) -> u64 {
+    mix_seed(mix_seed(seed, start_idx, stage), sample, 0x5EED_CAFE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_seed_separates_streams() {
+        let s = 42;
+        let a = mix_seed(s, 0, 0);
+        let b = mix_seed(s, 0, 1);
+        let c = mix_seed(s, 1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // Deterministic.
+        assert_eq!(a, mix_seed(42, 0, 0));
+    }
+
+    #[test]
+    fn solve_error_messages() {
+        assert!(SolveError::NoFeasibleGroup.to_string().contains("no feasible"));
+        let e = SolveError::Invalid(CoreError::Disconnected);
+        assert!(e.to_string().contains("connected"));
+    }
+}

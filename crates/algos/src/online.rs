@@ -1,0 +1,276 @@
+//! Online replanning after invitation responses (§4.4.1).
+//!
+//! Invitations go out; some people confirm, some decline. The paper's
+//! extension "regards those confirmed attendees as the initial solution in
+//! the second phase and removes the nodes that cannot attend from G" —
+//! start-node selection is *not* re-run, which is what makes the online
+//! step fast. [`OnlinePlanner`] wraps that loop: it keeps the current
+//! recommendation, records confirmations/declines, and replans with the
+//! confirmed set seeded and the declined set blocked.
+
+use waso_core::{Group, WasoInstance};
+use waso_graph::{BitSet, NodeId};
+
+use crate::cbasnd::{CbasNd, CbasNdConfig};
+use crate::{SolveError, SolveResult, Solver};
+
+/// Stateful planner for the invite → respond → replan loop.
+///
+/// ```
+/// use waso_algos::{CbasNdConfig, OnlinePlanner};
+/// use waso_core::WasoInstance;
+/// use waso_graph::{GraphBuilder, NodeId};
+///
+/// // A 5-person clique (declining anyone keeps the rest connected);
+/// // plan a group of 3.
+/// let mut b = GraphBuilder::new();
+/// let ids: Vec<NodeId> = (0..5).map(|i| b.add_node(1.0 + i as f64)).collect();
+/// for (i, &u) in ids.iter().enumerate() {
+///     for &v in &ids[i + 1..] {
+///         b.add_edge_symmetric(u, v, 0.5).unwrap();
+///     }
+/// }
+/// let instance = WasoInstance::new(b.build(), 3).unwrap();
+///
+/// let mut planner = OnlinePlanner::new(instance, CbasNdConfig::fast(), 7).unwrap();
+/// let first_pick = planner.current().nodes()[0];
+/// let replanned = planner.decline(&[first_pick]).unwrap();
+/// assert!(!replanned.contains(first_pick));
+/// assert_eq!(replanned.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct OnlinePlanner {
+    instance: WasoInstance,
+    config: CbasNdConfig,
+    seed: u64,
+    replans: u64,
+    confirmed: Vec<NodeId>,
+    declined: BitSet,
+    current: Group,
+}
+
+/// Errors from the online workflow.
+#[derive(Debug, PartialEq)]
+pub enum OnlineError {
+    /// Underlying solver failure (e.g. no feasible completion remains).
+    Solve(SolveError),
+    /// A response referenced a node outside the graph.
+    Unknown(u32),
+    /// A node both confirmed and declined, or declined after confirming.
+    Conflict(u32),
+    /// More confirmations than the group size `k`.
+    TooManyConfirmed,
+}
+
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlineError::Solve(e) => write!(f, "replanning failed: {e}"),
+            OnlineError::Unknown(v) => write!(f, "response from unknown node v{v}"),
+            OnlineError::Conflict(v) => write!(f, "conflicting responses from v{v}"),
+            OnlineError::TooManyConfirmed => write!(f, "more confirmations than group slots"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+impl From<SolveError> for OnlineError {
+    fn from(e: SolveError) -> Self {
+        OnlineError::Solve(e)
+    }
+}
+
+impl OnlinePlanner {
+    /// Plans the initial group.
+    pub fn new(
+        instance: WasoInstance,
+        config: CbasNdConfig,
+        seed: u64,
+    ) -> Result<Self, OnlineError> {
+        let n = instance.graph().num_nodes();
+        let mut solver = CbasNd::new(config.clone());
+        let initial = solver.solve_seeded(&instance, seed)?;
+        Ok(Self {
+            declined: BitSet::new(n),
+            confirmed: Vec::new(),
+            current: initial.group,
+            replans: 0,
+            instance,
+            config,
+            seed,
+        })
+    }
+
+    /// The current recommendation.
+    pub fn current(&self) -> &Group {
+        &self.current
+    }
+
+    /// Confirmed attendees so far.
+    pub fn confirmed(&self) -> &[NodeId] {
+        &self.confirmed
+    }
+
+    /// Number of replanning rounds performed.
+    pub fn replans(&self) -> u64 {
+        self.replans
+    }
+
+    /// Records confirmations. Confirming is cheap — no replan needed, the
+    /// attendee was already in the plan. Unknown nodes and
+    /// confirm-after-decline conflicts are rejected.
+    pub fn confirm(&mut self, nodes: &[NodeId]) -> Result<(), OnlineError> {
+        let n = self.instance.graph().num_nodes() as u32;
+        for &v in nodes {
+            if v.0 >= n {
+                return Err(OnlineError::Unknown(v.0));
+            }
+            if self.declined.contains(v.index()) {
+                return Err(OnlineError::Conflict(v.0));
+            }
+        }
+        for &v in nodes {
+            if !self.confirmed.contains(&v) {
+                self.confirmed.push(v);
+            }
+        }
+        if self.confirmed.len() > self.instance.k() {
+            return Err(OnlineError::TooManyConfirmed);
+        }
+        Ok(())
+    }
+
+    /// Records declines and replans around them: the confirmed set seeds
+    /// every sample, declined nodes are blocked, and phase 1 (start-node
+    /// selection) is skipped entirely per §4.4.1. Returns the new
+    /// recommendation.
+    pub fn decline(&mut self, nodes: &[NodeId]) -> Result<&Group, OnlineError> {
+        let n = self.instance.graph().num_nodes() as u32;
+        for &v in nodes {
+            if v.0 >= n {
+                return Err(OnlineError::Unknown(v.0));
+            }
+            if self.confirmed.contains(&v) {
+                return Err(OnlineError::Conflict(v.0));
+            }
+        }
+        for &v in nodes {
+            self.declined.insert(v.index());
+        }
+        self.replans += 1;
+
+        let mut config = self.config.clone();
+        config.base.blocked = Some(self.declined.clone());
+        let mut solver = CbasNd::new(config);
+        let seed = self.seed.wrapping_add(self.replans);
+
+        let result: Result<SolveResult, SolveError> = if self.confirmed.is_empty() {
+            // Nothing confirmed yet: an ordinary solve with blocking.
+            solver.solve_seeded(&self.instance, seed)
+        } else {
+            solver.solve_with_seeds(&self.instance, &self.confirmed.clone(), seed)
+        };
+        self.current = result?.group;
+        Ok(&self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waso_graph::{generate, ScoreModel};
+
+    fn instance(n: usize, k: usize, seed: u64) -> WasoInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = generate::barabasi_albert(n, 3, &mut rng);
+        let g = ScoreModel::paper_default().realize(&topo, &mut rng);
+        WasoInstance::new(g, k).unwrap()
+    }
+
+    fn fast_config() -> CbasNdConfig {
+        let mut c = CbasNdConfig::with_budget(80);
+        c.base.stages = Some(3);
+        c
+    }
+
+    #[test]
+    fn initial_plan_is_valid() {
+        let planner = OnlinePlanner::new(instance(40, 5, 1), fast_config(), 7).unwrap();
+        assert_eq!(planner.current().len(), 5);
+        assert_eq!(planner.replans(), 0);
+    }
+
+    #[test]
+    fn declines_remove_nodes_from_future_plans() {
+        let mut planner = OnlinePlanner::new(instance(40, 5, 2), fast_config(), 3).unwrap();
+        let victim = planner.current().nodes()[0];
+        let new_plan = planner.decline(&[victim]).unwrap();
+        assert!(!new_plan.contains(victim));
+        assert_eq!(new_plan.len(), 5);
+        assert_eq!(planner.replans(), 1);
+    }
+
+    #[test]
+    fn confirmed_attendees_survive_replans() {
+        let mut planner = OnlinePlanner::new(instance(40, 5, 4), fast_config(), 5).unwrap();
+        let members = planner.current().nodes().to_vec();
+        planner.confirm(&members[..2]).unwrap();
+        let outsider = planner.current().nodes()[4];
+        let new_plan = planner.decline(&[outsider]).unwrap();
+        assert!(new_plan.contains(members[0]));
+        assert!(new_plan.contains(members[1]));
+        assert!(!new_plan.contains(outsider));
+    }
+
+    #[test]
+    fn conflicting_responses_are_rejected() {
+        let mut planner = OnlinePlanner::new(instance(40, 5, 6), fast_config(), 1).unwrap();
+        let v = planner.current().nodes()[0];
+        planner.confirm(&[v]).unwrap();
+        assert_eq!(planner.decline(&[v]).unwrap_err(), OnlineError::Conflict(v.0));
+
+        let w = planner.current().nodes()[1];
+        planner.decline(&[w]).unwrap();
+        assert_eq!(planner.confirm(&[w]).unwrap_err(), OnlineError::Conflict(w.0));
+    }
+
+    #[test]
+    fn unknown_nodes_are_rejected() {
+        let mut planner = OnlinePlanner::new(instance(30, 4, 7), fast_config(), 2).unwrap();
+        assert_eq!(
+            planner.confirm(&[NodeId(999)]).unwrap_err(),
+            OnlineError::Unknown(999)
+        );
+        assert_eq!(
+            planner.decline(&[NodeId(999)]).unwrap_err(),
+            OnlineError::Unknown(999)
+        );
+    }
+
+    #[test]
+    fn over_confirmation_is_rejected() {
+        let mut planner = OnlinePlanner::new(instance(30, 3, 8), fast_config(), 3).unwrap();
+        let many: Vec<NodeId> = (0..4).map(NodeId).collect();
+        // Some of these may not be in the current plan — confirming outside
+        // the plan is allowed (the host can invite whoever they like), but
+        // exceeding k is not.
+        let res = planner.confirm(&many);
+        assert_eq!(res.unwrap_err(), OnlineError::TooManyConfirmed);
+    }
+
+    #[test]
+    fn successive_declines_accumulate() {
+        let mut planner = OnlinePlanner::new(instance(50, 5, 9), fast_config(), 4).unwrap();
+        let a = planner.current().nodes()[0];
+        planner.decline(&[a]).unwrap();
+        let b = planner.current().nodes()[0];
+        planner.decline(&[b]).unwrap();
+        let plan = planner.current();
+        assert!(!plan.contains(a));
+        assert!(!plan.contains(b));
+        assert_eq!(planner.replans(), 2);
+    }
+}

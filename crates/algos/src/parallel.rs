@@ -1,0 +1,321 @@
+//! Multi-threaded CBAS-ND (§5.3.1, Figure 5(d)).
+//!
+//! "Since CBAS and CBAS-ND natively support parallelization, we also
+//! implemented them with OpenMP." Samples are independent given the stage's
+//! probability vectors, so a stage's sampling fans out across threads at
+//! **sample granularity** — necessary because the OCBA allocation
+//! concentrates most of a stage's budget on the incumbent start node, which
+//! would serialize any per-start-node split. Every `(start node, stage,
+//! sample)` triple draws from its own deterministic RNG stream
+//! (`sample_seed`) and the merge processes results in sample
+//! order, so the outcome is **bit-identical for any thread count** —
+//! `threads = 1` reproduces the serial [`crate::CbasNd`] exactly (tested).
+//! The paper reports a 7.6× speedup on 8 cores; the Figure 5(d) harness
+//! sweeps the same thread counts on whatever cores this machine has.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waso_core::{Group, WasoInstance};
+use waso_graph::NodeId;
+
+use crate::cbas::uniform_split;
+use crate::cbasnd::{update_vector, CbasNdConfig};
+use crate::cross_entropy::ProbabilityVector;
+use crate::gaussian::{allocate_stage_gaussian, Allocation, GaussStats};
+use crate::ocba::{allocate_stage, stage_budgets, StartStats};
+use crate::sampler::{Sample, Sampler};
+use crate::{sample_seed, SolveError, SolveResult, Solver, SolverStats};
+
+/// Parallel CBAS-ND with a fixed worker count.
+#[derive(Debug, Clone)]
+pub struct ParallelCbasNd {
+    config: CbasNdConfig,
+    threads: usize,
+}
+
+impl ParallelCbasNd {
+    /// Creates the solver with `threads` workers (≥ 1).
+    pub fn new(config: CbasNdConfig, threads: usize) -> Self {
+        Self {
+            config,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// One unit of stage work: draw sample `q` of start node `start_index`.
+#[derive(Clone, Copy)]
+struct WorkItem {
+    start_index: usize,
+    start: NodeId,
+    q: u64,
+}
+
+impl Solver for ParallelCbasNd {
+    fn name(&self) -> &'static str {
+        "cbas-nd-par"
+    }
+
+    fn solve_seeded(
+        &mut self,
+        instance: &WasoInstance,
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        let t0 = Instant::now();
+        let cfg = &self.config;
+        let g = instance.graph();
+        let n = g.num_nodes();
+        let k = instance.k();
+
+        let starts = cfg.base.resolve_starts(instance);
+        if starts.is_empty() {
+            return Err(SolveError::NoFeasibleGroup);
+        }
+        let m = starts.len();
+        let r = cfg.base.resolve_stages(instance, m);
+        let budgets = stage_budgets(cfg.base.budget, r);
+
+        let mut stats = vec![StartStats::new(); m];
+        let mut gstats = vec![GaussStats::new(); m];
+        let mut vectors: Vec<ProbabilityVector> = starts
+            .iter()
+            .map(|&s| ProbabilityVector::uniform_for_start(n.max(2), k, s))
+            .collect();
+        let mut gammas = vec![f64::NEG_INFINITY; m];
+        let mut best: Option<(f64, Vec<NodeId>)> = None;
+        let mut drawn = 0u64;
+        let mut pruned_count = 0u32;
+        let mut backtracks = 0u32;
+
+        for (stage, &stage_budget) in budgets.iter().enumerate() {
+            let alloc = if stage == 0 {
+                uniform_split(stage_budget, m, &stats)
+            } else {
+                let a = match cfg.allocation {
+                    Allocation::UniformOcba => allocate_stage(&stats, stage_budget),
+                    Allocation::Gaussian => allocate_stage_gaussian(&gstats, stage_budget),
+                };
+                for i in 0..m {
+                    if a[i] == 0 && !stats[i].pruned && stats[i].sampled() {
+                        stats[i].pruned = true;
+                        gstats[i].pruned = true;
+                        pruned_count += 1;
+                    }
+                }
+                a
+            };
+
+            // Flatten the stage into independent sample-granularity items.
+            let mut items: Vec<WorkItem> = Vec::new();
+            for (i, &ni) in alloc.iter().enumerate() {
+                for q in 0..ni {
+                    items.push(WorkItem {
+                        start_index: i,
+                        start: starts[i],
+                        q,
+                    });
+                }
+            }
+            if items.is_empty() {
+                continue;
+            }
+
+            let workers = self.threads.min(items.len());
+            // results[j] = outcome of items[j].
+            let mut results: Vec<Option<Sample>> = vec![None; items.len()];
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                let vectors_ref = &vectors;
+                let blocked = &cfg.base.blocked;
+                let items_ref = &items;
+                for w in 0..workers {
+                    handles.push(scope.spawn(move || {
+                        let mut sampler = Sampler::new(n);
+                        sampler.set_blocked(blocked.clone());
+                        let mut out: Vec<(usize, Option<Sample>)> = Vec::new();
+                        let mut j = w;
+                        while j < items_ref.len() {
+                            let item = items_ref[j];
+                            let mut rng = StdRng::seed_from_u64(sample_seed(
+                                seed,
+                                item.start_index as u64,
+                                stage as u64,
+                                item.q,
+                            ));
+                            let sample = sampler.sample_weighted(
+                                instance,
+                                item.start,
+                                &vectors_ref[item.start_index],
+                                &mut rng,
+                            );
+                            out.push((j, sample));
+                            j += workers;
+                        }
+                        out
+                    }));
+                }
+                for h in handles {
+                    for (j, sample) in h.join().expect("sampling worker panicked") {
+                        results[j] = sample;
+                    }
+                }
+            });
+
+            // Merge in (start node, sample) order — identical to the serial
+            // solver, including its stop-at-first-stall accounting (a stall
+            // is a property of the start node's component, so sample 0
+            // stalls iff they all do).
+            let mut idx = 0usize;
+            for (i, &ni) in alloc.iter().enumerate() {
+                if ni == 0 {
+                    continue;
+                }
+                let node_range = idx..idx + ni as usize;
+                idx += ni as usize;
+
+                let mut stage_samples: Vec<Sample> = Vec::with_capacity(ni as usize);
+                for j in node_range {
+                    drawn += 1;
+                    match results[j].take() {
+                        Some(s) => {
+                            stats[i].record(s.willingness);
+                            gstats[i].moments.push(s.willingness);
+                            if best.as_ref().is_none_or(|(bw, _)| s.willingness > *bw) {
+                                best = Some((s.willingness, s.nodes.clone()));
+                            }
+                            stage_samples.push(s);
+                        }
+                        None => {
+                            if !stats[i].pruned {
+                                stats[i].pruned = true;
+                                gstats[i].pruned = true;
+                                pruned_count += 1;
+                            }
+                            break;
+                        }
+                    }
+                }
+                stats[i].spent += ni;
+                gstats[i].spent += ni;
+                if !stage_samples.is_empty() {
+                    backtracks += update_vector(
+                        &mut vectors[i],
+                        &mut gammas[i],
+                        &mut stage_samples,
+                        cfg.rho,
+                        cfg.smoothing,
+                        cfg.backtrack_threshold,
+                    ) as u32;
+                }
+            }
+        }
+
+        let (_, mut nodes) = best.ok_or(SolveError::NoFeasibleGroup)?;
+        nodes.sort_unstable();
+        let group = Group::new(instance, nodes).map_err(SolveError::Invalid)?;
+        Ok(SolveResult {
+            group,
+            stats: SolverStats {
+                samples_drawn: drawn,
+                stages: r,
+                start_nodes: m as u32,
+                pruned_start_nodes: pruned_count,
+                backtracks,
+                elapsed: t0.elapsed(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cbasnd::CbasNd;
+    use rand::rngs::StdRng;
+    use waso_graph::{generate, ScoreModel};
+
+    fn instance(n: usize, k: usize, seed: u64) -> WasoInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = generate::barabasi_albert(n, 4, &mut rng);
+        let g = ScoreModel::paper_default().realize(&topo, &mut rng);
+        WasoInstance::new(g, k).unwrap()
+    }
+
+    fn config(budget: u64) -> CbasNdConfig {
+        let mut c = CbasNdConfig::with_budget(budget);
+        c.base.stages = Some(4);
+        c
+    }
+
+    #[test]
+    fn parallel_equals_serial_bitwise() {
+        let inst = instance(80, 6, 1);
+        let serial = CbasNd::new(config(120)).solve_seeded(&inst, 42).unwrap();
+        for threads in [1, 2, 4] {
+            let par = ParallelCbasNd::new(config(120), threads)
+                .solve_seeded(&inst, 42)
+                .unwrap();
+            assert_eq!(
+                par.group, serial.group,
+                "thread count {threads} changed the result"
+            );
+            assert_eq!(par.stats.samples_drawn, serial.stats.samples_drawn);
+            assert_eq!(par.stats.pruned_start_nodes, serial.stats.pruned_start_nodes);
+            assert_eq!(par.stats.backtracks, serial.stats.backtracks);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_at_least_one() {
+        let solver = ParallelCbasNd::new(config(40), 0);
+        assert_eq!(solver.threads(), 1);
+    }
+
+    #[test]
+    fn parallel_gaussian_variant_runs() {
+        let inst = instance(50, 5, 2);
+        let res = ParallelCbasNd::new(config(80).gaussian(), 3)
+            .solve_seeded(&inst, 3)
+            .unwrap();
+        assert_eq!(res.group.len(), 5);
+        assert_eq!(res.stats.samples_drawn, 80);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let inst = instance(30, 4, 3);
+        let mut cfg = config(30);
+        cfg.base.num_start_nodes = Some(2);
+        let res = ParallelCbasNd::new(cfg, 16).solve_seeded(&inst, 4).unwrap();
+        assert_eq!(res.group.len(), 4);
+        assert_eq!(res.stats.start_nodes, 2);
+    }
+
+    #[test]
+    fn stalled_starts_match_serial_accounting() {
+        // A graph with an isolated high-score node: serial and parallel
+        // must agree on drawn counts and pruning.
+        let mut b = waso_graph::GraphBuilder::new();
+        let hub = b.add_node(100.0);
+        let ids: Vec<NodeId> = (0..6).map(|i| b.add_node(i as f64 * 0.1)).collect();
+        for w in ids.windows(2) {
+            b.add_edge_symmetric(w[0], w[1], 1.0).unwrap();
+        }
+        let _ = hub;
+        let inst = WasoInstance::new(b.build(), 3).unwrap();
+        let mut cfg = config(40);
+        cfg.base.num_start_nodes = Some(3);
+        let serial = CbasNd::new(cfg.clone()).solve_seeded(&inst, 5).unwrap();
+        let par = ParallelCbasNd::new(cfg, 4).solve_seeded(&inst, 5).unwrap();
+        assert_eq!(par.group, serial.group);
+        assert_eq!(par.stats.samples_drawn, serial.stats.samples_drawn);
+        assert_eq!(par.stats.pruned_start_nodes, serial.stats.pruned_start_nodes);
+    }
+}

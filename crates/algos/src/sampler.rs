@@ -1,0 +1,413 @@
+//! Random growth of partial solutions — the inner loop of CBAS and CBAS-ND.
+//!
+//! A *sample* is one final solution grown from a start node: `VS = {start}`,
+//! then `k-1` rounds of drawing a node from the candidate set `VA`
+//! (Algorithm 1 lines 17–28, Algorithm 2 lines 17–31). CBAS draws uniformly;
+//! CBAS-ND draws with probability proportional to the node-selection vector
+//! `p_{i,t}` (restricted and renormalized over `VA`).
+//!
+//! The sampler owns a reusable [`GrowthWorkspace`] and a weight buffer, so
+//! drawing thousands of samples costs no allocation beyond the returned node
+//! lists.
+
+use rand::{Rng, RngExt};
+use waso_core::{GrowthWorkspace, WasoInstance};
+use waso_graph::{BitSet, NodeId, SocialGraph};
+
+use crate::cross_entropy::ProbabilityVector;
+
+/// One sampled final solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The selected nodes, in growth order (index 0 is the start node).
+    pub nodes: Vec<NodeId>,
+    /// `W(nodes)`.
+    pub willingness: f64,
+}
+
+/// Reusable sample generator.
+#[derive(Debug)]
+pub struct Sampler {
+    ws: GrowthWorkspace,
+    weights: Vec<f64>,
+}
+
+impl Sampler {
+    /// Creates a sampler for graphs with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            ws: GrowthWorkspace::new(n),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Sets the blocked node set (declined invitees, §4.4.1).
+    pub fn set_blocked(&mut self, blocked: Option<BitSet>) {
+        self.ws.set_blocked(blocked);
+    }
+
+    /// Draws one sample by uniform candidate selection (CBAS). Returns
+    /// `None` when growth stalls before reaching `k` (start node's component
+    /// too small).
+    pub fn sample_uniform<R: Rng + ?Sized>(
+        &mut self,
+        instance: &WasoInstance,
+        start: NodeId,
+        rng: &mut R,
+    ) -> Option<Sample> {
+        self.grow(instance, &[start], None, rng)
+    }
+
+    /// Draws one sample with candidate probabilities from `probs` (CBAS-ND).
+    pub fn sample_weighted<R: Rng + ?Sized>(
+        &mut self,
+        instance: &WasoInstance,
+        start: NodeId,
+        probs: &ProbabilityVector,
+        rng: &mut R,
+    ) -> Option<Sample> {
+        self.grow(instance, &[start], Some(probs), rng)
+    }
+
+    /// Draws one sample growing from an existing partial solution (online
+    /// replanning seeds with the confirmed attendees).
+    pub fn sample_from_partial<R: Rng + ?Sized>(
+        &mut self,
+        instance: &WasoInstance,
+        seeds: &[NodeId],
+        probs: Option<&ProbabilityVector>,
+        rng: &mut R,
+    ) -> Option<Sample> {
+        self.grow(instance, seeds, probs, rng)
+    }
+
+    fn grow<R: Rng + ?Sized>(
+        &mut self,
+        instance: &WasoInstance,
+        seeds: &[NodeId],
+        probs: Option<&ProbabilityVector>,
+        rng: &mut R,
+    ) -> Option<Sample> {
+        let g = instance.graph();
+        let k = instance.k();
+        debug_assert!(seeds.len() <= k, "more seeds than the group size");
+
+        self.ws.reset();
+        if instance.requires_connectivity() {
+            if seeds.len() == 1 {
+                self.ws.seed(g, seeds[0]);
+            } else {
+                self.ws.seed_set(g, seeds);
+            }
+        } else {
+            // Unconstrained growth: candidate set is every node. Multi-seed
+            // free growth seeds the first and adds the rest as candidates.
+            self.ws.seed_free(g, seeds[0]);
+            for &s in &seeds[1..] {
+                self.ws.add(g, s);
+            }
+        }
+
+        while self.ws.len() < k {
+            let frontier_len = self.ws.frontier().len();
+            if frontier_len == 0 {
+                return None; // stalled: component exhausted
+            }
+            let pick = match probs {
+                None => {
+                    // Uniform selection over VA (CBAS, Algorithm 1 line 22).
+                    self.ws.frontier().item(rng.random_range(0..frontier_len))
+                }
+                Some(p) => {
+                    // Weighted selection over VA (CBAS-ND, Algorithm 2
+                    // line 24): cumulative inverse-transform over the
+                    // frontier's current probabilities.
+                    self.weights.clear();
+                    let mut total = 0.0;
+                    for idx in 0..frontier_len {
+                        let v = self.ws.frontier().item(idx);
+                        let w = p.get(v).max(ProbabilityVector::MIN_PROB);
+                        total += w;
+                        self.weights.push(total);
+                    }
+                    let t = rng.random::<f64>() * total;
+                    let idx = self
+                        .weights
+                        .partition_point(|&cum| cum <= t)
+                        .min(frontier_len - 1);
+                    self.ws.frontier().item(idx)
+                }
+            };
+            self.ws.add(g, pick);
+        }
+
+        Some(Sample {
+            nodes: self.ws.selected().to_vec(),
+            willingness: self.ws.willingness(),
+        })
+    }
+
+    /// The underlying workspace (for gain previews by greedy-style callers).
+    pub fn workspace(&mut self) -> &mut GrowthWorkspace {
+        &mut self.ws
+    }
+}
+
+/// Selects the `m` start nodes of CBAS phase 1: the nodes with the largest
+/// `η + Σ incident τ` ([`SocialGraph::start_node_score`]), skipping blocked
+/// nodes. Ties break toward smaller ids (determinism). `O(n log m)`.
+pub fn select_start_nodes(
+    g: &SocialGraph,
+    m: usize,
+    blocked: Option<&BitSet>,
+) -> Vec<NodeId> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    /// Min-heap entry: the *worst* kept candidate sits on top.
+    struct Entry {
+        score: f64,
+        node: u32,
+    }
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reverse: BinaryHeap is a max-heap, we want the minimum score on
+            // top. Higher node id = worse on ties, so it pops first.
+            other
+                .score
+                .partial_cmp(&self.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.node.cmp(&self.node).reverse())
+        }
+    }
+
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(m + 1);
+    for v in g.node_ids() {
+        if blocked.is_some_and(|b| b.contains(v.index())) {
+            continue;
+        }
+        let score = g.start_node_score(v);
+        heap.push(Entry { score, node: v.0 });
+        if heap.len() > m {
+            heap.pop();
+        }
+    }
+    let mut picked: Vec<(f64, u32)> = heap.into_iter().map(|e| (e.score, e.node)).collect();
+    // Highest score first; ties by smaller id.
+    picked.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    picked.into_iter().map(|(_, v)| NodeId(v)).collect()
+}
+
+/// The paper's default number of start nodes, `m = ⌈n/k⌉` (§5.1: "The
+/// default m is set to be n/k since n/k different k-person groups can be
+/// partitioned from a network with n").
+pub fn default_num_start_nodes(n: usize, k: usize) -> usize {
+    n.div_ceil(k).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waso_core::{willingness, Group, WasoInstance};
+    use waso_graph::{generate, GraphBuilder};
+
+    fn line_instance(k: usize) -> WasoInstance {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..6).map(|i| b.add_node(i as f64)).collect();
+        for w in ids.windows(2) {
+            b.add_edge_symmetric(w[0], w[1], 0.5).unwrap();
+        }
+        WasoInstance::new(b.build(), k).unwrap()
+    }
+
+    #[test]
+    fn uniform_samples_are_feasible() {
+        let inst = line_instance(3);
+        let mut s = Sampler::new(6);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let sample = s.sample_uniform(&inst, NodeId(2), &mut rng).unwrap();
+            assert_eq!(sample.nodes.len(), 3);
+            assert_eq!(sample.nodes[0], NodeId(2));
+            // Validates connectivity + willingness.
+            let group = Group::new(&inst, sample.nodes.clone()).unwrap();
+            assert!((group.willingness() - sample.willingness).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stalled_growth_returns_none() {
+        // Two components of size 2; k = 3 unreachable.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..4).map(|_| b.add_node(1.0)).collect();
+        b.add_edge_symmetric(ids[0], ids[1], 1.0).unwrap();
+        b.add_edge_symmetric(ids[2], ids[3], 1.0).unwrap();
+        let inst = WasoInstance::new(b.build(), 3).unwrap();
+        let mut s = Sampler::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(s.sample_uniform(&inst, NodeId(0), &mut rng).is_none());
+    }
+
+    #[test]
+    fn unconstrained_growth_reaches_any_node() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..4 {
+            b.add_node(1.0);
+        }
+        // No edges at all: only WASO-dis instances are solvable.
+        let inst = WasoInstance::without_connectivity(b.build(), 3).unwrap();
+        let mut s = Sampler::new(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sample = s.sample_uniform(&inst, NodeId(1), &mut rng).unwrap();
+        assert_eq!(sample.nodes.len(), 3);
+        assert_eq!(sample.willingness, 3.0);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_zeroed_probabilities() {
+        // Star centre 0 with leaves 1..5; k=2. Suppress all leaves except 3.
+        let g = generate::star_topology(6).into_unit_graph();
+        let inst = WasoInstance::new(g, 2).unwrap();
+        let mut probs = ProbabilityVector::uniform(6, 2);
+        for leaf in [1u32, 2, 4, 5] {
+            probs.set(NodeId(leaf), 0.0);
+        }
+        probs.set(NodeId(3), 1.0);
+        let mut s = Sampler::new(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = 0;
+        for _ in 0..100 {
+            let sample = s.sample_weighted(&inst, NodeId(0), &probs, &mut rng).unwrap();
+            if sample.nodes.contains(&NodeId(3)) {
+                hits += 1;
+            }
+        }
+        // MIN_PROB keeps zeroed nodes possible but vanishingly unlikely.
+        assert!(hits >= 99, "expected nearly all samples to pick v3, got {hits}");
+    }
+
+    #[test]
+    fn partial_seeding_keeps_confirmed_members() {
+        let inst = line_instance(4);
+        let mut s = Sampler::new(6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let seeds = [NodeId(2), NodeId(3)];
+        for _ in 0..20 {
+            let sample = s.sample_from_partial(&inst, &seeds, None, &mut rng).unwrap();
+            assert_eq!(sample.nodes.len(), 4);
+            assert!(sample.nodes.contains(&NodeId(2)));
+            assert!(sample.nodes.contains(&NodeId(3)));
+        }
+    }
+
+    #[test]
+    fn blocked_nodes_are_never_sampled() {
+        let inst = line_instance(3);
+        let mut s = Sampler::new(6);
+        let mut blocked = BitSet::new(6);
+        blocked.insert(4);
+        s.set_blocked(Some(blocked));
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            if let Some(sample) = s.sample_uniform(&inst, NodeId(3), &mut rng) {
+                assert!(!sample.nodes.contains(&NodeId(4)));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_willingness_matches_full_evaluation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generate::barabasi_albert(60, 3, &mut rng).into_unit_graph();
+        let inst = WasoInstance::new(g, 8).unwrap();
+        let mut s = Sampler::new(60);
+        for seed in 0..20u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let sample = s.sample_uniform(&inst, NodeId(0), &mut r).unwrap();
+            let full = willingness(inst.graph(), &sample.nodes);
+            assert!(
+                (full - sample.willingness).abs() < 1e-9,
+                "incremental {} vs full {full}",
+                sample.willingness
+            );
+        }
+    }
+
+    #[test]
+    fn start_node_selection_matches_example_one() {
+        // Example 1 (Figure 3): v3 and v10 have the largest score sums.
+        // We reproduce the scoring rule on a small synthetic: scores are
+        // η + Σ incident τ (each edge once).
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..4).map(|i| b.add_node([0.1, 0.9, 0.5, 0.2][i])).collect();
+        b.add_edge_symmetric(ids[0], ids[1], 1.0).unwrap(); // v1: 0.9+1+0.2 = 2.1
+        b.add_edge_symmetric(ids[1], ids[2], 0.2).unwrap(); // v2: 0.5+0.2+0.3 = 1.0
+        b.add_edge_symmetric(ids[2], ids[3], 0.3).unwrap(); // v3: 0.2+0.3 = 0.5
+        let g = b.build(); // v0: 0.1+1.0 = 1.1
+        let picked = select_start_nodes(&g, 2, None);
+        assert_eq!(picked, vec![NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn start_node_selection_ties_break_to_lower_id() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..5 {
+            b.add_node(1.0);
+        }
+        let g = b.build();
+        assert_eq!(
+            select_start_nodes(&g, 3, None),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn start_node_selection_skips_blocked() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(i as f64);
+        }
+        let g = b.build();
+        let mut blocked = BitSet::new(4);
+        blocked.insert(3);
+        assert_eq!(
+            select_start_nodes(&g, 2, Some(&blocked)),
+            vec![NodeId(2), NodeId(1)]
+        );
+    }
+
+    #[test]
+    fn start_node_selection_handles_m_larger_than_n() {
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        b.add_node(2.0);
+        let g = b.build();
+        let picked = select_start_nodes(&g, 10, None);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0], NodeId(1));
+    }
+
+    #[test]
+    fn default_m_is_n_over_k() {
+        assert_eq!(default_num_start_nodes(100, 10), 10);
+        assert_eq!(default_num_start_nodes(101, 10), 11);
+        assert_eq!(default_num_start_nodes(5, 10), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! The paper's analytical guarantees (Theorems 3–5), as executable
+//! formulas.
+//!
+//! These power two things: the stage/budget heuristics of the solvers, and
+//! the `theory` sanity tests that pin the reproduction to the paper's
+//! claimed bounds (e.g. the approximation ratio approaches 1 as the
+//! incumbent's budget grows).
+
+/// Theorem 3: upper bound `½ ((d_i - c_b)/(d_b - c_b))^{N_b}` on the
+/// probability that challenger `i`'s best sample beats the incumbent's.
+/// Returns 0 when `d_i ≤ c_b` (the challenger cannot win at all).
+pub fn challenger_win_bound(d_i: f64, c_b: f64, d_b: f64, n_b: u64) -> f64 {
+    assert!(d_b > c_b, "incumbent must have positive spread");
+    let num = d_i - c_b;
+    if num <= 0.0 {
+        return 0.0;
+    }
+    let ratio = (num / (d_b - c_b)).min(1.0);
+    0.5 * ratio.powf(n_b as f64)
+}
+
+/// Theorem 4: lower bound on the probability `P_b` that the empirically
+/// best start node is truly the best one:
+/// `P_b ≥ 1 - ½(m-1) α^{T/(rm)}`.
+pub fn correct_selection_bound(m: usize, t: u64, r: u32, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha outside [0,1]");
+    if m <= 1 {
+        return 1.0;
+    }
+    let exponent = t as f64 / (r.max(1) as f64 * m as f64);
+    1.0 - 0.5 * (m as f64 - 1.0) * alpha.powf(exponent)
+}
+
+/// Theorem 5: the expected-quality ratio
+/// `E[Q]/Q* ≥ N_b (1/(N_b+1))^{(N_b+1)/N_b}` (scores normalized to
+/// `[c_b, d_b] = [0, 1]`).
+pub fn expected_quality_ratio(n_b: f64) -> f64 {
+    assert!(n_b >= 1.0, "needs at least one sample at the incumbent");
+    n_b * (1.0 / (n_b + 1.0)).powf((n_b + 1.0) / n_b)
+}
+
+/// Theorem 5's closed form for the incumbent budget after `r` stages:
+/// `N_b = (4 + m(r-1)) / (4rm) · T`.
+pub fn incumbent_budget_after_stages(m: usize, r: u32, t: u64) -> f64 {
+    assert!(m >= 1 && r >= 1);
+    (4.0 + m as f64 * (r as f64 - 1.0)) / (4.0 * r as f64 * m as f64) * t as f64
+}
+
+/// The top-ρ percentile maximizing the Theorem-5 bound:
+/// `ρ* = 1 - (N_b + 1)^{-1/N_b}`.
+pub fn optimal_rho(n_b: f64) -> f64 {
+    assert!(n_b >= 1.0);
+    1.0 - (n_b + 1.0).powf(-1.0 / n_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn win_bound_basics() {
+        // Equal spread: bound is exactly 1/2 for d_i = d_b.
+        assert!((challenger_win_bound(10.0, 0.0, 10.0, 1) - 0.5).abs() < 1e-12);
+        // Dominated challenger.
+        assert_eq!(challenger_win_bound(-1.0, 0.0, 10.0, 5), 0.0);
+        // Shrinks geometrically in N_b.
+        let b1 = challenger_win_bound(5.0, 0.0, 10.0, 1);
+        let b2 = challenger_win_bound(5.0, 0.0, 10.0, 2);
+        assert!((b1 - 0.25).abs() < 1e-12);
+        assert!((b2 - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correct_selection_improves_with_budget() {
+        let small = correct_selection_bound(10, 100, 5, 0.99);
+        let large = correct_selection_bound(10, 10_000, 5, 0.99);
+        assert!(large > small);
+        assert_eq!(correct_selection_bound(1, 10, 1, 0.9), 1.0);
+        // Theorem 4's bound may be vacuous (negative) for tiny budgets —
+        // it is a lower bound, not a probability estimate.
+        assert!(correct_selection_bound(1000, 10, 5, 0.999) < 0.0);
+    }
+
+    #[test]
+    fn quality_ratio_reference_values() {
+        // N_b = 1: 1 · (1/2)² = 0.25.
+        assert!((expected_quality_ratio(1.0) - 0.25).abs() < 1e-12);
+        // N_b = 9: 9 · (1/10)^{10/9} ≈ 0.698.
+        let v = expected_quality_ratio(9.0);
+        assert!((v - 9.0 * 0.1f64.powf(10.0 / 9.0)).abs() < 1e-12);
+        assert!(v > 0.6 && v < 0.75, "got {v}");
+    }
+
+    #[test]
+    fn quality_ratio_approaches_one() {
+        let big = expected_quality_ratio(10_000.0);
+        assert!(big > 0.99, "got {big}");
+    }
+
+    #[test]
+    fn incumbent_budget_formula() {
+        // r = 1: N_b = 4/(4m)·T = T/m (everything uniform, one stage).
+        assert!((incumbent_budget_after_stages(10, 1, 100) - 10.0).abs() < 1e-12);
+        // Large r: approaches T/4 + ... dominated by T/(4r) + T/4? For
+        // m=4, r=2, T=80: (4 + 4)/(32)·80 = 20.
+        assert!((incumbent_budget_after_stages(4, 2, 80) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_rho_matches_maximizer() {
+        // Verify ρ* maximizes (1-ρ)(1-(1-ρ)^Nb) by a grid scan.
+        for n_b in [1.0, 5.0, 25.0] {
+            let rho_star = optimal_rho(n_b);
+            let f = |rho: f64| (1.0 - rho) * (1.0 - (1.0 - rho).powf(n_b));
+            let best_grid = (1..1000)
+                .map(|i| f(i as f64 / 1000.0))
+                .fold(f64::MIN, f64::max);
+            assert!(
+                f(rho_star) >= best_grid - 1e-6,
+                "N_b={n_b}: f(ρ*)={} < grid best {best_grid}",
+                f(rho_star)
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quality_ratio_is_monotone(a in 1.0..500.0f64, b in 1.0..500.0f64) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(expected_quality_ratio(lo) <= expected_quality_ratio(hi) + 1e-12);
+        }
+
+        #[test]
+        fn quality_ratio_is_a_ratio(n in 1.0..1e6f64) {
+            let v = expected_quality_ratio(n);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn win_bound_decreases_in_budget(
+            d_i in 0.1..0.9f64,
+            n1 in 1u64..50,
+            n2 in 51u64..200,
+        ) {
+            // Normalized incumbent [0,1].
+            let b1 = challenger_win_bound(d_i, 0.0, 1.0, n1);
+            let b2 = challenger_win_bound(d_i, 0.0, 1.0, n2);
+            prop_assert!(b2 <= b1);
+        }
+    }
+}

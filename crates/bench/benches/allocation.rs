@@ -1,0 +1,102 @@
+//! Budget-allocation and cross-entropy-update micro-benchmarks: the
+//! per-stage bookkeeping of CBAS/CBAS-ND (Theorem 3's uniform rule vs
+//! Appendix A's quadrature-based Gaussian rule, and the Eq.-(4) sparse
+//! vector update).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use waso_algos::cross_entropy::ProbabilityVector;
+use waso_algos::gaussian::{allocate_stage_gaussian, GaussStats};
+use waso_algos::ocba::{allocate_stage, StartStats};
+use waso_algos::sampler::Sample;
+use waso_graph::NodeId;
+use waso_stats::Welford;
+
+fn make_uniform_stats(m: usize) -> Vec<StartStats> {
+    (0..m)
+        .map(|i| StartStats {
+            worst: 5.0 + (i % 7) as f64,
+            best: 20.0 + (i % 13) as f64,
+            spent: 40,
+            pruned: false,
+        })
+        .collect()
+}
+
+fn make_gauss_stats(m: usize) -> Vec<GaussStats> {
+    (0..m)
+        .map(|i| {
+            let mut w = Welford::new();
+            let mu = 20.0 + (i % 13) as f64;
+            for d in [-2.0, -1.0, 0.0, 1.0, 2.0] {
+                w.push(mu + d);
+            }
+            GaussStats {
+                moments: w,
+                spent: 40,
+                pruned: false,
+            }
+        })
+        .collect()
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budget_allocation");
+    for m in [10usize, 100, 500] {
+        let uni = make_uniform_stats(m);
+        group.bench_with_input(BenchmarkId::new("uniform_ocba", m), &uni, |b, stats| {
+            b.iter(|| black_box(allocate_stage(black_box(stats), 1000)));
+        });
+        let gauss = make_gauss_stats(m);
+        group.bench_with_input(BenchmarkId::new("gaussian", m), &gauss, |b, stats| {
+            b.iter(|| black_box(allocate_stage_gaussian(black_box(stats), 1000)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ce_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_entropy_update");
+    for (elites, k) in [(10usize, 20usize), (50, 50)] {
+        let samples: Vec<Sample> = (0..elites)
+            .map(|i| Sample {
+                nodes: (0..k as u32).map(|j| NodeId(j * 7 + i as u32)).collect(),
+                willingness: 10.0 + i as f64,
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("update", format!("{elites}x{k}")),
+            &samples,
+            |b, samples| {
+                b.iter(|| {
+                    let mut p = ProbabilityVector::uniform(10_000, k);
+                    let refs: Vec<&Sample> = samples.iter().collect();
+                    p.update_from_elites(&refs, 0.9);
+                    black_box(p)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    // Backtracking's z distance over sparse vectors (§4.4.2).
+    let mk = |shift: u32| {
+        let mut p = ProbabilityVector::uniform(100_000, 20);
+        let s = Sample {
+            nodes: (0..20u32).map(|j| NodeId(j + shift)).collect(),
+            willingness: 1.0,
+        };
+        p.update_from_elites(&[&s], 0.9);
+        p
+    };
+    let a = mk(0);
+    let b2 = mk(5);
+    c.bench_function("cross_entropy_update/distance_sq_sparse", |b| {
+        b.iter(|| black_box(a.distance_sq(black_box(&b2))));
+    });
+}
+
+criterion_group!(benches, bench_allocation, bench_ce_update, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Sample-growth benchmarks: the cost of one CBAS (uniform) vs one CBAS-ND
+//! (probability-weighted) sample — the paper's claim that neighbour
+//! differentiation costs only a modest overhead over uniform selection
+//! (§4.3 complexity discussion, Figure 5(e)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use waso_algos::cross_entropy::ProbabilityVector;
+use waso_algos::sampler::{select_start_nodes, Sampler};
+use waso_core::WasoInstance;
+use waso_datasets::synthetic;
+
+fn bench_growth(c: &mut Criterion) {
+    let g = synthetic::facebook_like_n(2000, 7);
+    let n = g.num_nodes();
+    let mut group = c.benchmark_group("sample_growth");
+
+    for k in [10usize, 30, 60] {
+        let inst = WasoInstance::new(g.clone(), k).unwrap();
+        let start = select_start_nodes(inst.graph(), 1, None)[0];
+
+        group.bench_with_input(BenchmarkId::new("uniform", k), &inst, |b, inst| {
+            let mut sampler = Sampler::new(n);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(sampler.sample_uniform(inst, start, &mut rng)));
+        });
+
+        let probs = ProbabilityVector::uniform_for_start(n, k, start);
+        group.bench_with_input(BenchmarkId::new("weighted", k), &inst, |b, inst| {
+            let mut sampler = Sampler::new(n);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(sampler.sample_weighted(inst, start, &probs, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_unconstrained_growth(c: &mut Criterion) {
+    // WASO-dis growth offers the whole node set as candidates — measure the
+    // price of that frontier (Figure 9(c)'s cost driver).
+    let g = synthetic::facebook_like_n(2000, 7);
+    let inst = WasoInstance::without_connectivity(g.clone(), 20).unwrap();
+    let start = select_start_nodes(&g, 1, None)[0];
+    c.bench_function("sample_growth/unconstrained_k20", |b| {
+        let mut sampler = Sampler::new(g.num_nodes());
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(sampler.sample_uniform(&inst, start, &mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_growth, bench_unconstrained_growth);
+criterion_main!(benches);

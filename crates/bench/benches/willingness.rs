@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the objective function — the innermost loop of
+//! every solver (full evaluation vs incremental marginal gain; the pair
+//! weights cached in the CSR are what makes the incremental form one
+//! adjacency scan).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+use waso_core::{marginal_gain, willingness};
+use waso_datasets::synthetic;
+use waso_graph::{BitSet, NodeId};
+
+fn bench_willingness(c: &mut Criterion) {
+    let g = synthetic::facebook_like_n(2000, 7);
+    let mut group = c.benchmark_group("willingness");
+
+    for k in [10usize, 50, 100] {
+        // A connected-ish node set: a hub and its lowest-id neighbours.
+        let hub = g
+            .node_ids()
+            .max_by_key(|&v| g.degree(v))
+            .expect("non-empty");
+        let mut nodes = vec![hub];
+        nodes.extend(g.neighbors(hub).iter().take(k - 1).map(|&j| NodeId(j)));
+
+        group.bench_with_input(BenchmarkId::new("full_eval", k), &nodes, |b, nodes| {
+            b.iter(|| black_box(willingness(&g, black_box(nodes))));
+        });
+
+        let mut members = BitSet::new(g.num_nodes());
+        for &v in &nodes[..nodes.len() - 1] {
+            members.insert(v.index());
+        }
+        let candidate = *nodes.last().expect("k >= 1");
+        group.bench_with_input(
+            BenchmarkId::new("marginal_gain", k),
+            &candidate,
+            |b, &cand| {
+                b.iter(|| black_box(marginal_gain(&g, &members, black_box(cand))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_group_validation(c: &mut Criterion) {
+    let g = synthetic::facebook_like_n(2000, 7);
+    let hub = g.node_ids().max_by_key(|&v| g.degree(v)).unwrap();
+    let mut nodes = vec![hub];
+    nodes.extend(g.neighbors(hub).iter().take(19).map(|&j| NodeId(j)));
+    let inst = waso_core::WasoInstance::new(g, 20).unwrap();
+
+    c.bench_function("group_validation_k20", |b| {
+        b.iter_batched(
+            || nodes.clone(),
+            |nodes| black_box(waso_core::Group::new(&inst, nodes).unwrap()),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_willingness, bench_group_validation);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Figure 7 — the DBLP evaluation (§5.3.2).
+//!
+//! Same sweeps as Figure 5 on the sparse co-authorship-like network (mean
+//! degree ≈ 7.3 vs Facebook's 26): (a,b) quality/time vs k, (c,d) vs the
+//! number of start nodes m, (e,f) vs the budget T. The paper's qualitative
+//! findings to reproduce: CBAS-ND beats DGreedy by ~92% and RGreedy by
+//! ~32% in quality; RGreedy is relatively faster here than on Facebook
+//! because frontiers grow slowly on sparse graphs; quality saturates at a
+//! larger m than on Facebook.
+
+use waso_datasets::synthetic;
+
+use super::fig5::{budget_sweep, m_sweep, sweep_k};
+use crate::report::TableSet;
+use crate::runner::ExperimentContext;
+
+/// Figures 7(a)+(b): quality and time vs group size on DBLP-like.
+pub fn quality_time_vs_k(ctx: &ExperimentContext) -> TableSet {
+    let g = synthetic::dblp_like(ctx.scale, ctx.seed);
+    // Paper order: 7(a) quality, 7(b) time — sweep_k returns (time, quality),
+    // so name the ids accordingly.
+    let mut set = sweep_k(&g, &ctx.k_sweep_sparse(), ctx, "fig7b", "fig7a", "DBLP-like");
+    set.tables.swap(0, 1);
+    set
+}
+
+/// Figures 7(c)+(d): quality and time vs the number of start nodes m.
+pub fn start_nodes_sweep(ctx: &ExperimentContext) -> TableSet {
+    let g = synthetic::dblp_like(ctx.scale, ctx.seed);
+    let mut set = m_sweep(&g, 10, ctx, "fig7d", "fig7c", "DBLP-like");
+    set.tables.swap(0, 1);
+    set
+}
+
+/// Figures 7(e)+(f): quality and time vs the budget T.
+pub fn vs_budget(ctx: &ExperimentContext) -> TableSet {
+    let g = synthetic::dblp_like(ctx.scale, ctx.seed);
+    let mut set = budget_sweep(&g, 10, ctx, "fig7f", "fig7e", "DBLP-like");
+    set.tables.swap(0, 1);
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Cell;
+    use waso_datasets::Scale;
+
+    #[test]
+    fn dblp_sweep_has_quality_first() {
+        let ctx = ExperimentContext::new(Scale::Smoke);
+        let set = quality_time_vs_k(&ctx);
+        assert_eq!(set.tables[0].id, "fig7a");
+        assert!(set.tables[0].title.contains("quality"));
+        assert_eq!(set.tables[1].id, "fig7b");
+    }
+
+    #[test]
+    fn cbasnd_leads_cbas_on_sparse_graphs() {
+        // Mechanism check at CI budget: neighbour differentiation clearly
+        // beats uniform sampling on the sparse graph too (the §5.3.2
+        // DGreedy/RGreedy orderings are a Small-scale matter, recorded in
+        // EXPERIMENTS.md).
+        let ctx = ExperimentContext::new(Scale::Smoke);
+        let set = quality_time_vs_k(&ctx);
+        let quality = &set.tables[0];
+        let (mut cb, mut nd) = (0.0, 0.0);
+        for row in &quality.rows {
+            if let (Cell::Num(c), Cell::Num(n)) = (&row[2], &row[4]) {
+                cb += c;
+                nd += n;
+            }
+        }
+        // On very sparse graphs at CI budgets the CE update learns from a
+        // handful of elites per stage, so allow noise here; the Small-scale
+        // run shows the separation.
+        assert!(nd >= cb * 0.8, "CBAS-ND {nd:.2} vs CBAS {cb:.2}");
+    }
+}

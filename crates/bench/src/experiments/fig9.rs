@@ -1,0 +1,266 @@
+//! Figure 9 — optimality gaps against the IP (a, b) and the WASO-dis
+//! separate-groups variant (c, d) (§5.3.4).
+//!
+//! (a, b): on small DBLP extracts (n ∈ {25, 100, 500}, k = 10) the paper
+//! solves the Appendix-B IP with CPLEX and shows CBAS-ND within a whisker
+//! of the optimum at ~10⁻²× the time. Our IP stand-in is the
+//! branch-and-bound ([`waso_exact::BranchBound`], primed with CBAS-ND's
+//! incumbent); runs that hit the expansion cap are flagged `capped` and
+//! report the best bound found — the same caveat the paper's 10⁵-second
+//! CPLEX runs carry.
+//!
+//! (c, d): the separate-groups scenario drops the connectivity constraint
+//! (§2.2). We solve WASO-dis natively (footnote 3's "simple modification");
+//! Theorem 2's virtual-node reduction is validated separately in the
+//! integration tests.
+
+use waso_algos::{Cbas, CbasNd, DGreedy, RGreedy, RGreedyConfig, Solver};
+use waso_core::WasoInstance;
+use waso_datasets::synthetic;
+use waso_exact::BranchBound;
+use waso_graph::{subgraph, NodeId};
+
+use super::fig5::{cbas_config, cbasnd_config};
+use crate::report::{Cell, Table, TableSet};
+use crate::runner::{measure, measure_avg, ExperimentContext};
+
+/// Figures 9(a)+(b): quality and time vs n, IP (exact) vs everyone.
+pub fn ip_comparison(ctx: &ExperimentContext) -> TableSet {
+    let sizes: &[usize] = match ctx.scale {
+        waso_datasets::Scale::Smoke => &[25, 60],
+        _ => &[25, 100, 500],
+    };
+    let k = 10;
+    let cols = ["n", "IP", "DGreedy", "RGreedy", "CBAS", "CBAS-ND", "IP note"];
+    let mut quality = Table::new(
+        "fig9a",
+        "Figure 9(a): solution quality vs n, exact IP vs heuristics (k=10)",
+        &cols,
+    );
+    let mut time = Table::new(
+        "fig9b",
+        "Figure 9(b): execution time vs n, seconds (k=10)",
+        &cols,
+    );
+
+    // Host graph to extract "small real datasets" from (§5.3.4).
+    let host = synthetic::dblp_like(ctx.scale, ctx.seed ^ 0x99);
+    let budget = ctx.budget();
+
+    for &n in sizes {
+        // Ego extract of the requested size around a well-connected centre.
+        let center = NodeId((ctx.seed as u32 ^ 0x5A5A) % host.num_nodes() as u32);
+        let extract = subgraph::ego_network(&host, center, 6, n);
+        let g = extract.graph;
+        if g.num_nodes() < k {
+            continue;
+        }
+        let inst = WasoInstance::new(g, k).expect("extract supports k");
+        let m = Some(ctx.harness_m(inst.graph().num_nodes()));
+
+        let dg = measure(&mut DGreedy::new(), &inst, ctx.seed);
+        let cb = measure_avg(
+            &mut Cbas::new(cbas_config(budget, m)),
+            &inst,
+            ctx.seed,
+            ctx.repeats,
+        );
+        let nd = measure_avg(
+            &mut CbasNd::new(cbasnd_config(budget, m)),
+            &inst,
+            ctx.seed,
+            ctx.repeats,
+        );
+        let rg = measure_avg(
+            &mut RGreedy::new({
+                let mut cfg = RGreedyConfig::with_budget(budget);
+                cfg.num_start_nodes = m;
+                cfg
+            }),
+            &inst,
+            ctx.seed,
+            ctx.repeats,
+        );
+
+        // Exact: primed with CBAS-ND's solution (legitimate — only prunes).
+        let incumbent = CbasNd::new(cbasnd_config(budget, m))
+            .solve_seeded(&inst, ctx.seed)
+            .ok();
+        let t0 = std::time::Instant::now();
+        let exact = BranchBound::with_cap(ctx.exact_cap())
+            .solve(&inst, incumbent.as_ref().map(|r| &r.group));
+        let exact_secs = t0.elapsed().as_secs_f64();
+
+        let (ip_q, ip_note) = match &exact {
+            Some(res) => (
+                Cell::from(res.group.willingness()),
+                if res.optimal {
+                    Cell::from("optimal")
+                } else {
+                    Cell::from("capped")
+                },
+            ),
+            None => (Cell::Missing, Cell::from("infeasible")),
+        };
+        let q = |m: &crate::runner::Measurement| {
+            m.quality.map(Cell::from).unwrap_or(Cell::Missing)
+        };
+        quality.push_row(vec![
+            Cell::from(inst.graph().num_nodes()),
+            ip_q,
+            q(&dg),
+            q(&rg),
+            q(&cb),
+            q(&nd),
+            ip_note.clone(),
+        ]);
+        time.push_row(vec![
+            Cell::from(inst.graph().num_nodes()),
+            Cell::from(exact_secs),
+            Cell::from(dg.seconds),
+            Cell::from(rg.seconds),
+            Cell::from(cb.seconds),
+            Cell::from(nd.seconds),
+            ip_note,
+        ]);
+    }
+
+    let mut set = TableSet::new();
+    set.push(quality);
+    set.push(time);
+    set
+}
+
+/// Figures 9(c)+(d): WASO-dis (no connectivity constraint) time and
+/// quality vs k on Facebook-like.
+pub fn waso_dis(ctx: &ExperimentContext) -> TableSet {
+    let g = synthetic::facebook_like(ctx.scale, ctx.seed);
+    let cols = ["k", "DGreedy", "CBAS", "RGreedy", "CBAS-ND"];
+    let mut time = Table::new(
+        "fig9c",
+        "Figure 9(c): WASO-dis execution time vs k, seconds",
+        &cols,
+    );
+    let mut quality = Table::new(
+        "fig9d",
+        "Figure 9(d): WASO-dis solution quality vs k",
+        &cols,
+    );
+    let budget = ctx.budget();
+
+    let m = Some(ctx.harness_m(g.num_nodes()));
+    for &k in &ctx.k_sweep_facebook() {
+        let inst = WasoInstance::without_connectivity(g.clone(), k).expect("k <= n");
+        let dg = measure(&mut DGreedy::new(), &inst, ctx.seed);
+        let cb = measure_avg(
+            &mut Cbas::new(cbas_config(budget, m)),
+            &inst,
+            ctx.seed,
+            ctx.repeats,
+        );
+        let nd = measure_avg(
+            &mut CbasNd::new(cbasnd_config(budget, m)),
+            &inst,
+            ctx.seed,
+            ctx.repeats,
+        );
+        // RGreedy prices every node in V at every step here (the paper:
+        // "computationally intractable", 24-hour timeouts past k = 20) —
+        // run it only at the smallest k.
+        let rg = (k <= 20).then(|| {
+            measure(
+                &mut RGreedy::new(RGreedyConfig::with_budget(budget.min(60))),
+                &inst,
+                ctx.seed,
+            )
+        });
+        let q = |m: &crate::runner::Measurement| {
+            m.quality.map(Cell::from).unwrap_or(Cell::Missing)
+        };
+        time.push_row(vec![
+            Cell::from(k),
+            Cell::from(dg.seconds),
+            Cell::from(cb.seconds),
+            rg.as_ref().map(|m| Cell::from(m.seconds)).unwrap_or(Cell::Missing),
+            Cell::from(nd.seconds),
+        ]);
+        quality.push_row(vec![
+            Cell::from(k),
+            q(&dg),
+            q(&cb),
+            rg.as_ref().map(q).unwrap_or(Cell::Missing),
+            q(&nd),
+        ]);
+    }
+
+    let mut set = TableSet::new();
+    set.push(time);
+    set.push(quality);
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waso_datasets::Scale;
+
+    #[test]
+    fn exact_dominates_heuristics() {
+        let ctx = ExperimentContext::new(Scale::Smoke);
+        let set = ip_comparison(&ctx);
+        let quality = &set.tables[0];
+        assert!(!quality.rows.is_empty());
+        for row in &quality.rows {
+            let note = match &row[6] {
+                Cell::Text(s) => s.clone(),
+                _ => String::new(),
+            };
+            if note != "optimal" {
+                continue; // capped runs carry no dominance guarantee
+            }
+            let ip = match &row[1] {
+                Cell::Num(x) => *x,
+                _ => continue,
+            };
+            #[allow(clippy::needless_range_loop)] // col is the semantic axis
+            for col in 2..=5 {
+                if let Cell::Num(h) = &row[col] {
+                    assert!(
+                        ip >= h - 1e-6,
+                        "IP {ip} must dominate column {col} = {h}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn waso_dis_tables_cover_the_sweep() {
+        let ctx = ExperimentContext::new(Scale::Smoke);
+        let set = waso_dis(&ctx);
+        assert_eq!(set.tables[0].id, "fig9c");
+        assert_eq!(set.tables[1].id, "fig9d");
+        assert_eq!(set.tables[1].rows.len(), ctx.k_sweep_facebook().len());
+    }
+
+    #[test]
+    fn waso_dis_solutions_are_valid_and_comparable() {
+        // Dropping the connectivity constraint enlarges the *optimum*, but
+        // the unconstrained search space (candidates = all of V) is much
+        // harder to sample, so found quality may lag at CI budgets — the
+        // paper itself reports weaker solver separation here (§5.3.4). We
+        // assert validity plus a sane quality scale.
+        let ctx = ExperimentContext::new(Scale::Smoke);
+        let g = synthetic::facebook_like(ctx.scale, ctx.seed);
+        let k = 10;
+        let free = WasoInstance::without_connectivity(g.clone(), k).unwrap();
+        let mut solver = CbasNd::new(cbasnd_config(ctx.budget(), Some(10)));
+        let res = solver.solve_seeded(&free, 1).unwrap();
+        assert_eq!(res.group.len(), k);
+        assert!(res.group.willingness() > 0.0);
+        // DGreedy's unconstrained pick is a lower bound any decent budget
+        // should approach within an order of magnitude.
+        let dg = DGreedy::new().solve_seeded(&free, 1).unwrap();
+        assert!(res.group.willingness() > dg.group.willingness() * 0.1);
+    }
+}

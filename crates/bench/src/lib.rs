@@ -1,0 +1,31 @@
+//! # waso-bench
+//!
+//! The experiment harness: one module per figure of the paper's §5
+//! evaluation, each regenerating the same series the paper plots
+//! (see DESIGN.md §6 for the complete experiment index and EXPERIMENTS.md
+//! for paper-vs-measured results).
+//!
+//! * [`report`] — result tables with markdown and CSV rendering;
+//! * [`runner`] — shared measurement machinery (timed solver runs, sweep
+//!   helpers, scale-dependent parameters);
+//! * [`experiments`] — `fig4` … `fig9`, the per-figure drivers;
+//! * `benches/` (Criterion) — micro-benchmarks of the hot paths and
+//!   ablations of the design choices.
+//!
+//! The `waso-experiments` binary exposes all of this on the command line:
+//!
+//! ```text
+//! waso-experiments --figure 5ab --scale small --out results/
+//! waso-experiments --figure all --scale smoke
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::{Table, TableSet};
+pub use runner::ExperimentContext;
+pub use waso_datasets::Scale;

@@ -1,0 +1,282 @@
+//! Result tables: the harness's output format.
+//!
+//! Every figure driver returns [`Table`]s whose rows are the series the
+//! paper plots (x value + one column per algorithm). Tables render as
+//! GitHub markdown (for EXPERIMENTS.md) and CSV (for replotting).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A cell value: text, number, or absent ("the paper could not run this
+/// configuration either").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Free text.
+    Text(String),
+    /// A number rendered with sensible precision.
+    Num(f64),
+    /// Missing / not applicable.
+    Missing,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(x) => format_num(*x),
+            Cell::Missing => "—".to_string(),
+        }
+    }
+
+    fn render_csv(&self) -> String {
+        match self {
+            Cell::Text(s) => {
+                if s.contains(',') || s.contains('"') {
+                    format!("\"{}\"", s.replace('"', "\"\""))
+                } else {
+                    s.clone()
+                }
+            }
+            Cell::Num(x) => format_num(*x),
+            Cell::Missing => String::new(),
+        }
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(x: f64) -> Self {
+        Cell::Num(x)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(x: usize) -> Self {
+        Cell::Num(x as f64)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(x: u64) -> Self {
+        Cell::Num(x as f64)
+    }
+}
+
+/// Compact numeric formatting: integers plain, large values with few
+/// decimals, small values with more.
+fn format_num(x: f64) -> String {
+    if !x.is_finite() {
+        return x.to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e12 {
+        return format!("{}", x as i64);
+    }
+    let ax = x.abs();
+    if ax >= 100.0 {
+        format!("{x:.1}")
+    } else if ax >= 1.0 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.5}")
+    }
+}
+
+/// One result table (≈ one figure panel).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Stable identifier, e.g. `fig5b`.
+    pub id: String,
+    /// Human title, e.g. `Figure 5(b): solution quality vs k (Facebook)`.
+    pub title: String,
+    /// Column headers; the first column is the x-axis.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the arity does not match the header.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "table {}: row arity {} != {} columns",
+            self.id,
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders as a GitHub markdown table with a title line.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Cell::render).collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Cell::render_csv).collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// A batch of tables produced by one figure driver.
+#[derive(Debug, Clone, Default)]
+pub struct TableSet {
+    /// The tables, in presentation order.
+    pub tables: Vec<Table>,
+}
+
+impl TableSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table.
+    pub fn push(&mut self, t: Table) {
+        self.tables.push(t);
+    }
+
+    /// Concatenated markdown of every table.
+    pub fn to_markdown(&self) -> String {
+        self.tables
+            .iter()
+            .map(Table::to_markdown)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Writes every table's CSV into `dir`.
+    pub fn write_csvs(&self, dir: &Path) -> io::Result<()> {
+        for t in &self.tables {
+            t.write_csv(dir)?;
+        }
+        Ok(())
+    }
+
+    /// Merges another set into this one.
+    pub fn extend(&mut self, other: TableSet) {
+        self.tables.extend(other.tables);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("fig0", "demo", &["k", "DGreedy", "CBAS-ND"]);
+        t.push_row(vec![Cell::from(20usize), Cell::from(415.2), Cell::Missing]);
+        t.push_row(vec![
+            Cell::from(40usize),
+            Cell::from(700.0),
+            Cell::from("1.25e3"),
+        ]);
+        t
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample_table().to_markdown();
+        assert!(md.contains("### fig0 — demo"));
+        assert!(md.contains("| k | DGreedy | CBAS-ND |"));
+        assert!(md.contains("| 20 | 415.2 | — |"));
+        assert!(md.contains("| 40 | 700 | 1.25e3 |"));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample_table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "k,DGreedy,CBAS-ND");
+        assert_eq!(lines[1], "20,415.2,");
+        assert_eq!(lines[2], "40,700,1.25e3");
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("x", "t", &["a"]);
+        t.push_row(vec![Cell::from("hello, world")]);
+        assert!(t.to_csv().contains("\"hello, world\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", "t", &["a", "b"]);
+        t.push_row(vec![Cell::from(1.0)]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(20.0), "20");
+        assert_eq!(format_num(415.24), "415.2");
+        assert_eq!(format_num(4.35719), "4.357");
+        assert_eq!(format_num(0.01234), "0.01234");
+    }
+
+    #[test]
+    fn csv_files_written() {
+        let dir = std::env::temp_dir().join("waso-bench-test-report");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut set = TableSet::new();
+        set.push(sample_table());
+        set.write_csvs(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("fig0.csv")).unwrap();
+        assert!(content.starts_with("k,DGreedy"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for problem construction and solution validation.
+
+use std::fmt;
+
+/// Errors raised when constructing instances or validating groups.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// `k` must satisfy `1 <= k <= n`.
+    InvalidGroupSize {
+        /// Requested group size.
+        k: usize,
+        /// Number of nodes available.
+        n: usize,
+    },
+    /// A group referenced a node outside the graph.
+    UnknownNode(u32),
+    /// A group contained the same node twice.
+    DuplicateMember(u32),
+    /// A group had the wrong number of members.
+    WrongSize {
+        /// Members provided.
+        got: usize,
+        /// Members required (`k`).
+        want: usize,
+    },
+    /// The induced subgraph of the group is not connected although the
+    /// instance requires it (§2.1).
+    Disconnected,
+    /// A per-node parameter array (λ weights) had the wrong length.
+    BadParameterLength {
+        /// Entries provided.
+        got: usize,
+        /// Entries required (`n`).
+        want: usize,
+    },
+    /// A λ weight was outside `[0, 1]`.
+    LambdaOutOfRange {
+        /// Offending node.
+        node: u32,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidGroupSize { k, n } => {
+                write!(f, "group size k={k} invalid for a graph with {n} nodes")
+            }
+            CoreError::UnknownNode(v) => write!(f, "group references unknown node v{v}"),
+            CoreError::DuplicateMember(v) => write!(f, "node v{v} appears twice in the group"),
+            CoreError::WrongSize { got, want } => {
+                write!(f, "group has {got} members, instance requires {want}")
+            }
+            CoreError::Disconnected => {
+                write!(f, "group does not induce a connected subgraph")
+            }
+            CoreError::BadParameterLength { got, want } => {
+                write!(f, "parameter array has {got} entries, graph has {want} nodes")
+            }
+            CoreError::LambdaOutOfRange { node, value } => {
+                write!(f, "lambda weight {value} of node v{node} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::InvalidGroupSize { k: 9, n: 4 }.to_string(),
+            "group size k=9 invalid for a graph with 4 nodes"
+        );
+        assert_eq!(
+            CoreError::Disconnected.to_string(),
+            "group does not induce a connected subgraph"
+        );
+        assert!(CoreError::LambdaOutOfRange { node: 3, value: 1.5 }
+            .to_string()
+            .contains("v3"));
+    }
+}

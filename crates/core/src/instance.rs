@@ -1,0 +1,202 @@
+//! Problem instances: graph + group size + constraint mode + λ weights.
+
+use waso_graph::{GraphBuilder, SocialGraph};
+
+use crate::error::CoreError;
+
+/// A validated WASO instance.
+///
+/// Holds the scored graph, the requested group size `k`, and whether the
+/// connected-subgraph constraint of §2.1 applies (`false` models WASO-dis,
+/// §2.2 "Separate Groups"). Per-node λ weights (footnote 7) are folded into
+/// *effective scores* at construction via [`WasoInstance::with_lambda`], so
+/// solvers only ever evaluate Eq. (1).
+#[derive(Debug, Clone)]
+pub struct WasoInstance {
+    graph: SocialGraph,
+    k: usize,
+    connectivity: bool,
+}
+
+impl WasoInstance {
+    /// Creates a standard (connectivity-constrained) instance.
+    pub fn new(graph: SocialGraph, k: usize) -> Result<Self, CoreError> {
+        Self::build(graph, k, true)
+    }
+
+    /// Creates a WASO-dis instance (no connectivity constraint).
+    pub fn without_connectivity(graph: SocialGraph, k: usize) -> Result<Self, CoreError> {
+        Self::build(graph, k, false)
+    }
+
+    fn build(graph: SocialGraph, k: usize, connectivity: bool) -> Result<Self, CoreError> {
+        let n = graph.num_nodes();
+        if k == 0 || k > n {
+            return Err(CoreError::InvalidGroupSize { k, n });
+        }
+        Ok(Self {
+            graph,
+            k,
+            connectivity,
+        })
+    }
+
+    /// Creates an instance whose objective uses per-node weights λ_i
+    /// (footnote 7):
+    ///
+    /// ```text
+    /// W(F) = Σ_i ( λ_i η_i + (1-λ_i) Σ_j τ_{i,j} )
+    /// ```
+    ///
+    /// The weights are folded into the stored scores (`η̃ = λη`,
+    /// `τ̃_{i,·} = (1-λ_i) τ_{i,·}`), so the returned instance is a plain
+    /// Eq.-(1) instance over the transformed graph.
+    pub fn with_lambda(
+        graph: SocialGraph,
+        k: usize,
+        lambda: &[f64],
+    ) -> Result<Self, CoreError> {
+        let transformed = apply_lambda(&graph, lambda)?;
+        Self::build(transformed, k, true)
+    }
+
+    /// The scored graph (with λ already applied, if any).
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// Requested group size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether solutions must induce a connected subgraph.
+    pub fn requires_connectivity(&self) -> bool {
+        self.connectivity
+    }
+
+    /// Same graph, different `k` — the paper's §1 use case of solving for a
+    /// whole range of group sizes and letting the organizer pick.
+    pub fn with_k(&self, k: usize) -> Result<Self, CoreError> {
+        Self::build(self.graph.clone(), k, self.connectivity)
+    }
+
+    /// Consumes the instance, returning the graph.
+    pub fn into_graph(self) -> SocialGraph {
+        self.graph
+    }
+}
+
+/// Rebuilds a graph with λ weights folded into the scores:
+/// `η̃_i = λ_i η_i`, `τ̃_{i,j} = (1-λ_i) τ_{i,j}` (note: the weight of the
+/// *owner* `i` scales its outgoing tightness, per footnote 7).
+pub fn apply_lambda(g: &SocialGraph, lambda: &[f64]) -> Result<SocialGraph, CoreError> {
+    if lambda.len() != g.num_nodes() {
+        return Err(CoreError::BadParameterLength {
+            got: lambda.len(),
+            want: g.num_nodes(),
+        });
+    }
+    for (i, &l) in lambda.iter().enumerate() {
+        if !(0.0..=1.0).contains(&l) {
+            return Err(CoreError::LambdaOutOfRange {
+                node: i as u32,
+                value: l,
+            });
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
+    for v in g.node_ids() {
+        b.add_node(lambda[v.index()] * g.interest(v));
+    }
+    for (u, v, tau_uv, tau_vu) in g.undirected_edges() {
+        b.add_edge(
+            u,
+            v,
+            (1.0 - lambda[u.index()]) * tau_uv,
+            (1.0 - lambda[v.index()]) * tau_vu,
+        )
+        .expect("edges come from a valid graph");
+    }
+    Ok(b.build())
+}
+
+/// Convenience: a uniform λ for every node.
+pub fn uniform_lambda(n: usize, lambda: f64) -> Vec<f64> {
+    vec![lambda; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::willingness::willingness;
+    use waso_graph::{GraphBuilder, NodeId};
+
+    fn two_nodes() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(10.0);
+        let v = b.add_node(20.0);
+        b.add_edge(u, v, 2.0, 4.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn validates_group_size() {
+        let g = two_nodes();
+        assert!(WasoInstance::new(g.clone(), 0).is_err());
+        assert!(WasoInstance::new(g.clone(), 3).is_err());
+        let inst = WasoInstance::new(g, 2).unwrap();
+        assert_eq!(inst.k(), 2);
+        assert!(inst.requires_connectivity());
+    }
+
+    #[test]
+    fn without_connectivity_flag() {
+        let inst = WasoInstance::without_connectivity(two_nodes(), 1).unwrap();
+        assert!(!inst.requires_connectivity());
+    }
+
+    #[test]
+    fn lambda_weights_scale_scores() {
+        // λ_0 = 1 (interest only), λ_1 = 0 (tightness only).
+        let inst = WasoInstance::with_lambda(two_nodes(), 2, &[1.0, 0.0]).unwrap();
+        let g = inst.graph();
+        assert_eq!(g.interest(NodeId(0)), 10.0);
+        assert_eq!(g.interest(NodeId(1)), 0.0);
+        assert_eq!(g.tightness(NodeId(0), NodeId(1)), Some(0.0));
+        assert_eq!(g.tightness(NodeId(1), NodeId(0)), Some(4.0));
+        // W({0,1}) = 1·10 + 0·20 + 0·2 + 1·4 = 14.
+        assert_eq!(willingness(g, &[NodeId(0), NodeId(1)]), 14.0);
+    }
+
+    #[test]
+    fn lambda_half_is_half_of_everything() {
+        let g = two_nodes();
+        let w_raw = willingness(&g, &[NodeId(0), NodeId(1)]);
+        let inst = WasoInstance::with_lambda(g, 2, &uniform_lambda(2, 0.5)).unwrap();
+        let w_half = willingness(inst.graph(), &[NodeId(0), NodeId(1)]);
+        assert!((w_half - 0.5 * w_raw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_validation() {
+        let g = two_nodes();
+        assert_eq!(
+            WasoInstance::with_lambda(g.clone(), 1, &[0.5]).unwrap_err(),
+            CoreError::BadParameterLength { got: 1, want: 2 }
+        );
+        assert!(matches!(
+            WasoInstance::with_lambda(g, 1, &[0.5, 1.5]).unwrap_err(),
+            CoreError::LambdaOutOfRange { node: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn with_k_rescopes_the_same_graph() {
+        let inst = WasoInstance::new(two_nodes(), 1).unwrap();
+        let wider = inst.with_k(2).unwrap();
+        assert_eq!(wider.k(), 2);
+        assert_eq!(wider.graph(), inst.graph());
+        assert!(inst.with_k(5).is_err());
+    }
+}

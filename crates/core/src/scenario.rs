@@ -1,0 +1,504 @@
+//! The §2.2 scenario parameterizations.
+//!
+//! Every scenario in the paper is a graph/parameter transformation followed
+//! by plain WASO solving:
+//!
+//! * **Couple** — two people who must attend together are merged into one
+//!   node (`η` summed, incident tightness summed), and `k` shrinks by one;
+//! * **Foe** — a pair's tightness is set to a large negative value so no
+//!   high-willingness group contains both;
+//! * **Invitation** — candidates are the inviter's neighbours; their λ is 1
+//!   (only their interest counts) while the inviter keeps λ = 0 (only the
+//!   inviter's closeness to the guests counts);
+//! * **Exhibition** — λ_i = 1 for everyone (pure interest);
+//! * **House-warming** — λ_i = 0 for everyone (pure tightness);
+//! * **Separate groups** — the Theorem-2 virtual-node reduction from
+//!   WASO-dis to WASO: a virtual node `v` with
+//!   `η_v = ε + Σ_i (η_i + Σ_j τ_{i,j})` and `τ_{v,·} = 0` edges to every
+//!   node; solve for `k+1` and strip `v`.
+
+use waso_graph::{subgraph, GraphBuilder, NodeId, SocialGraph};
+
+use crate::error::CoreError;
+use crate::instance::{apply_lambda, uniform_lambda, WasoInstance};
+
+/// Result of merging a couple: the transformed graph and the id mapping.
+#[derive(Debug, Clone)]
+pub struct CoupleMerge {
+    /// The merged graph (one node fewer than the input).
+    pub graph: SocialGraph,
+    /// `to_old[new_id]` = the original ids this node represents (length 1,
+    /// or 2 for the merged node).
+    pub to_old: Vec<Vec<NodeId>>,
+    /// Id of the merged node in the new graph.
+    pub merged: NodeId,
+}
+
+/// Merges `a` and `b` into one node (§2.2 "Couple"): for each neighbour
+/// `x`, `τ_{merged,x} = τ_{a,x} + τ_{b,x}` (terms missing when the edge is
+/// absent), symmetrically for incoming. Remember to reduce `k` by one when
+/// solving the merged instance.
+///
+/// Fidelity note: the paper sets `η_merged = η_a + η_b`, which silently
+/// drops the couple's mutual tightness `τ_{a,b} + τ_{b,a}` from every group
+/// containing them. We add that constant to the merged interest so Eq. (1)
+/// willingness is *exactly* preserved between the merged and original
+/// graphs (`expand_couple` round-trips verify this).
+pub fn merge_couple(g: &SocialGraph, a: NodeId, b: NodeId) -> Result<CoupleMerge, CoreError> {
+    let n = g.num_nodes() as u32;
+    if a.0 >= n {
+        return Err(CoreError::UnknownNode(a.0));
+    }
+    if b.0 >= n {
+        return Err(CoreError::UnknownNode(b.0));
+    }
+    if a == b {
+        return Err(CoreError::DuplicateMember(a.0));
+    }
+
+    // New ids: all nodes except b keep relative order; a becomes the merge.
+    let mut new_id = vec![0u32; g.num_nodes()];
+    let mut to_old: Vec<Vec<NodeId>> = Vec::with_capacity(g.num_nodes() - 1);
+    for v in g.node_ids() {
+        if v == b {
+            continue;
+        }
+        new_id[v.index()] = to_old.len() as u32;
+        if v == a {
+            to_old.push(vec![a, b]);
+        } else {
+            to_old.push(vec![v]);
+        }
+    }
+    new_id[b.index()] = new_id[a.index()];
+    let merged = NodeId(new_id[a.index()]);
+
+    let mut builder = GraphBuilder::with_capacity(to_old.len(), g.num_edges());
+    let internal_tightness = g.pair_weight(a, b).unwrap_or(0.0);
+    for olds in &to_old {
+        let mut eta: f64 = olds.iter().map(|&v| g.interest(v)).sum();
+        if olds.len() == 2 {
+            // Preserve the couple's mutual tightness (see the doc note).
+            eta += internal_tightness;
+        }
+        builder.add_node(eta);
+    }
+
+    // Accumulate directed tightness between new ids (summing parallel edges
+    // created by the merge), then emit each unordered pair once.
+    let mut acc: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
+    for (u, v, tau_uv, tau_vu) in g.undirected_edges() {
+        let (nu, nv) = (new_id[u.index()], new_id[v.index()]);
+        if nu == nv {
+            continue; // the a–b edge itself disappears
+        }
+        *acc.entry((nu, nv)).or_insert(0.0) += tau_uv;
+        *acc.entry((nv, nu)).or_insert(0.0) += tau_vu;
+    }
+    let mut pairs: Vec<(u32, u32)> = acc
+        .keys()
+        .filter(|&&(x, y)| x < y)
+        .copied()
+        .collect();
+    pairs.sort_unstable();
+    for (x, y) in pairs {
+        let fwd = acc[&(x, y)];
+        let back = acc[&(y, x)];
+        builder
+            .add_edge(NodeId(x), NodeId(y), fwd, back)
+            .expect("merged ids are valid");
+    }
+
+    Ok(CoupleMerge {
+        graph: builder.build(),
+        to_old,
+        merged,
+    })
+}
+
+/// Expands a group over a merged graph back to original ids.
+pub fn expand_couple(merge: &CoupleMerge, group: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(group.len() + 1);
+    for &v in group {
+        out.extend_from_slice(&merge.to_old[v.index()]);
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Marks `a` and `b` as foes (§2.2): their mutual tightness becomes
+/// `-penalty` (the edge is created if absent). With
+/// `penalty > Σ(η) + Σ(τ)` no positive-willingness group keeps both.
+pub fn mark_foes(
+    g: &SocialGraph,
+    a: NodeId,
+    b: NodeId,
+    penalty: f64,
+) -> Result<SocialGraph, CoreError> {
+    let n = g.num_nodes() as u32;
+    if a.0 >= n {
+        return Err(CoreError::UnknownNode(a.0));
+    }
+    if b.0 >= n {
+        return Err(CoreError::UnknownNode(b.0));
+    }
+    if a == b {
+        return Err(CoreError::DuplicateMember(a.0));
+    }
+    let mut builder = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges() + 1);
+    for v in g.node_ids() {
+        builder.add_node(g.interest(v));
+    }
+    let mut seen_pair = false;
+    for (u, v, tau_uv, tau_vu) in g.undirected_edges() {
+        if (u == a && v == b) || (u == b && v == a) {
+            seen_pair = true;
+            builder
+                .add_edge(u, v, -penalty, -penalty)
+                .expect("existing edge endpoints are valid");
+        } else {
+            builder.add_edge(u, v, tau_uv, tau_vu).expect("valid edge");
+        }
+    }
+    if !seen_pair {
+        builder
+            .add_edge(a, b, -penalty, -penalty)
+            .expect("validated endpoints");
+    }
+    Ok(builder.build())
+}
+
+/// A sensible default foe penalty: strictly larger than any achievable
+/// willingness on `g` (positive part of all scores plus 1).
+pub fn default_foe_penalty(g: &SocialGraph) -> f64 {
+    let pos_interest: f64 = g.interests().iter().map(|&x| x.max(0.0)).sum();
+    let pos_tau: f64 = g
+        .undirected_edges()
+        .map(|(_, _, a, b)| a.max(0.0) + b.max(0.0))
+        .sum();
+    pos_interest + pos_tau + 1.0
+}
+
+/// The invitation scenario (§2.2): restrict to the inviter's closed
+/// neighbourhood; guests get λ = 1 (pure interest), the inviter λ = 0
+/// (pure closeness to the guests). Node 0 of the returned instance is the
+/// inviter. `k` counts the inviter.
+pub fn invitation(
+    g: &SocialGraph,
+    inviter: NodeId,
+    k: usize,
+) -> Result<(WasoInstance, subgraph::Induced), CoreError> {
+    if inviter.0 >= g.num_nodes() as u32 {
+        return Err(CoreError::UnknownNode(inviter.0));
+    }
+    let ego = subgraph::ego_network(g, inviter, 1, usize::MAX);
+    let mut lambda = uniform_lambda(ego.graph.num_nodes(), 1.0);
+    lambda[0] = 0.0; // the inviter (ego centre is node 0)
+    let weighted = apply_lambda(&ego.graph, &lambda)?;
+    let instance = WasoInstance::new(weighted, k)?;
+    Ok((instance, ego))
+}
+
+/// Exhibition outreach (§2.2): λ_i = 1 for all — only interest matters.
+pub fn exhibition(g: &SocialGraph, k: usize) -> Result<WasoInstance, CoreError> {
+    let weighted = apply_lambda(g, &uniform_lambda(g.num_nodes(), 1.0))?;
+    WasoInstance::new(weighted, k)
+}
+
+/// House-warming party (§2.2): λ_i = 0 for all — only tightness matters.
+pub fn house_warming(g: &SocialGraph, k: usize) -> Result<WasoInstance, CoreError> {
+    let weighted = apply_lambda(g, &uniform_lambda(g.num_nodes(), 0.0))?;
+    WasoInstance::new(weighted, k)
+}
+
+/// The Theorem-2 reduction of WASO-dis to WASO via a virtual node.
+#[derive(Debug, Clone)]
+pub struct VirtualNodeReduction {
+    /// The augmented instance (asks for `k + 1` nodes).
+    pub instance: WasoInstance,
+    /// Id of the virtual node in the augmented graph (= original `n`).
+    pub virtual_node: NodeId,
+}
+
+impl VirtualNodeReduction {
+    /// Removes the virtual node from an augmented-graph group, returning the
+    /// original-graph ids.
+    pub fn strip(&self, group: &[NodeId]) -> Vec<NodeId> {
+        group
+            .iter()
+            .copied()
+            .filter(|&v| v != self.virtual_node)
+            .collect()
+    }
+}
+
+/// Builds the separate-groups reduction (§2.2, Theorem 2): virtual node `v`
+/// with `η_v = ε + Σ_i (η_i + Σ_j τ_{i,j})`, zero-tightness edges to every
+/// node, and group size `k + 1`.
+///
+/// ```
+/// use waso_core::scenario;
+/// use waso_graph::GraphBuilder;
+///
+/// // Two isolated people: no connected pair exists, but the camping trip
+/// // (WASO-dis) may take both.
+/// let mut b = GraphBuilder::new();
+/// b.add_node(0.9);
+/// b.add_node(0.8);
+/// let reduction = scenario::separate_groups(&b.build(), 2, 1.0).unwrap();
+/// assert_eq!(reduction.instance.k(), 3); // k + 1 with the virtual node
+/// assert_eq!(reduction.instance.graph().num_nodes(), 3);
+/// // The virtual node's interest dominates everything else combined.
+/// let eta_v = reduction.instance.graph().interest(reduction.virtual_node);
+/// assert_eq!(eta_v, 1.0 + 0.9 + 0.8);
+/// ```
+pub fn separate_groups(
+    g: &SocialGraph,
+    k: usize,
+    epsilon: f64,
+) -> Result<VirtualNodeReduction, CoreError> {
+    assert!(epsilon > 0.0, "Theorem 2 requires a positive epsilon");
+    let n = g.num_nodes();
+    if k == 0 || k > n {
+        return Err(CoreError::InvalidGroupSize { k, n });
+    }
+    let eta_v = epsilon + g.total_willingness_upper();
+
+    let mut builder = GraphBuilder::with_capacity(n + 1, g.num_edges() + n);
+    for v in g.node_ids() {
+        builder.add_node(g.interest(v));
+    }
+    let virtual_node = builder.add_node(eta_v);
+    for (u, v, tau_uv, tau_vu) in g.undirected_edges() {
+        builder.add_edge(u, v, tau_uv, tau_vu).expect("valid edge");
+    }
+    for v in g.node_ids() {
+        builder
+            .add_edge(virtual_node, v, 0.0, 0.0)
+            .expect("virtual edges are valid");
+    }
+    let instance = WasoInstance::new(builder.build(), k + 1)?;
+    Ok(VirtualNodeReduction {
+        instance,
+        virtual_node,
+    })
+}
+
+/// Restricts the candidate pool to people satisfying `keep` — the paper's
+/// §6 future-work items: filtering by calendar availability ("integrating
+/// the proposed system with Google Calendar to filter unavailable users")
+/// and by profile attributes ("location and gender … can be specified as
+/// input parameters to further filter out unsuitable candidate attendees").
+///
+/// Returns the induced subgraph over the kept nodes plus the id mapping
+/// back to the full network (`Induced::parent_id`). Scores are preserved;
+/// edges to removed people disappear.
+pub fn filter_candidates<P: FnMut(NodeId) -> bool>(
+    g: &SocialGraph,
+    mut keep: P,
+) -> subgraph::Induced {
+    let kept: Vec<NodeId> = g.node_ids().filter(|&v| keep(v)).collect();
+    subgraph::induced_subgraph(g, &kept)
+}
+
+/// Availability filter: `available[i]` says whether person `i` can attend
+/// (the calendar-integration use case of §6). Convenience wrapper over
+/// [`filter_candidates`].
+///
+/// # Panics
+/// Panics if `available` has the wrong length.
+pub fn filter_available(g: &SocialGraph, available: &[bool]) -> subgraph::Induced {
+    assert_eq!(
+        available.len(),
+        g.num_nodes(),
+        "availability array must cover every node"
+    );
+    filter_candidates(g, |v| available[v.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::willingness::willingness;
+
+    /// Path 0-1-2-3 with distinct interests and asymmetric tightness.
+    fn path4() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..4).map(|i| b.add_node((i + 1) as f64)).collect();
+        b.add_edge(ids[0], ids[1], 1.0, 2.0).unwrap();
+        b.add_edge(ids[1], ids[2], 3.0, 4.0).unwrap();
+        b.add_edge(ids[2], ids[3], 5.0, 6.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn couple_merge_sums_scores() {
+        let g = path4();
+        let m = merge_couple(&g, NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(m.graph.num_nodes(), 3);
+        // Merged node: η = 2 + 3 plus the internal edge τ 3 + 4 = 12.
+        assert_eq!(m.graph.interest(m.merged), 12.0);
+        // Old edge 0→1 (τ=1) becomes 0→merged; old 1→0 (τ=2) becomes merged→0.
+        assert_eq!(m.graph.tightness(NodeId(0), m.merged), Some(1.0));
+        assert_eq!(m.graph.tightness(m.merged, NodeId(0)), Some(2.0));
+        // The internal 1–2 edge disappears.
+        assert_eq!(m.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn couple_merge_sums_parallel_edges() {
+        // Triangle: both a and b adjacent to x — the merged node's edge to x
+        // accumulates both tightness contributions.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_node(1.0);
+        let x = b.add_node(1.0);
+        b.add_edge(a, x, 1.0, 10.0).unwrap();
+        b.add_edge(c, x, 2.0, 20.0).unwrap();
+        b.add_edge(a, c, 5.0, 5.0).unwrap();
+        let g = b.build();
+        let m = merge_couple(&g, a, c).unwrap();
+        assert_eq!(m.graph.num_nodes(), 2);
+        assert_eq!(m.graph.tightness(m.merged, NodeId(1)), Some(3.0));
+        assert_eq!(m.graph.tightness(NodeId(1), m.merged), Some(30.0));
+    }
+
+    #[test]
+    fn couple_expand_restores_both_people() {
+        let g = path4();
+        let m = merge_couple(&g, NodeId(1), NodeId(2)).unwrap();
+        let expanded = expand_couple(&m, &[m.merged, NodeId(0)]);
+        assert_eq!(expanded, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn couple_merge_validates_inputs() {
+        let g = path4();
+        assert!(merge_couple(&g, NodeId(0), NodeId(0)).is_err());
+        assert!(merge_couple(&g, NodeId(0), NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn foes_get_negative_tightness() {
+        let g = path4();
+        let penalty = default_foe_penalty(&g);
+        // Existing edge: overwritten.
+        let g2 = mark_foes(&g, NodeId(0), NodeId(1), penalty).unwrap();
+        assert_eq!(g2.tightness(NodeId(0), NodeId(1)), Some(-penalty));
+        // Non-adjacent pair: edge created.
+        let g3 = mark_foes(&g, NodeId(0), NodeId(3), penalty).unwrap();
+        assert_eq!(g3.num_edges(), g.num_edges() + 1);
+        assert_eq!(g3.tightness(NodeId(3), NodeId(0)), Some(-penalty));
+        // Any group with both foes has negative willingness.
+        let w = willingness(&g3, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(w < 0.0, "foe pair must poison the group, got {w}");
+    }
+
+    #[test]
+    fn default_penalty_dominates_positive_scores() {
+        let g = path4();
+        let p = default_foe_penalty(&g);
+        // Positive mass: interests 10 + taus (1+2+3+4+5+6)=21 → 32.
+        assert_eq!(p, 32.0);
+    }
+
+    #[test]
+    fn invitation_restricts_to_neighbourhood() {
+        let g = path4();
+        let (inst, ego) = invitation(&g, NodeId(1), 2).unwrap();
+        // Closed neighbourhood of v1 = {1, 0, 2}.
+        assert_eq!(inst.graph().num_nodes(), 3);
+        assert_eq!(ego.parent_id(NodeId(0)), NodeId(1));
+        // Inviter keeps tightness (λ=0): outgoing τ intact, interest zeroed.
+        assert_eq!(inst.graph().interest(NodeId(0)), 0.0);
+        // Guests keep interest (λ=1) and lose outgoing tightness.
+        let guest_ids = [NodeId(1), NodeId(2)];
+        for v in guest_ids {
+            assert!(inst.graph().interest(v) > 0.0);
+            for (_, tau, _) in inst.graph().neighbor_entries(v) {
+                assert_eq!(tau, 0.0, "guest outgoing tightness must be zeroed");
+            }
+        }
+    }
+
+    #[test]
+    fn exhibition_keeps_only_interest() {
+        let g = path4();
+        let inst = exhibition(&g, 2).unwrap();
+        assert_eq!(willingness(inst.graph(), &[NodeId(0), NodeId(1)]), 3.0);
+    }
+
+    #[test]
+    fn house_warming_keeps_only_tightness() {
+        let g = path4();
+        let inst = house_warming(&g, 2).unwrap();
+        assert_eq!(willingness(inst.graph(), &[NodeId(0), NodeId(1)]), 3.0_f64.min(3.0));
+        // η zeroed, τ intact: W = 1 + 2 = 3.
+        assert_eq!(willingness(inst.graph(), &[NodeId(1), NodeId(2)]), 7.0);
+        assert_eq!(inst.graph().interest(NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn filter_candidates_keeps_scores_and_structure() {
+        let g = path4();
+        // Keep even-indexed people only: {0, 2} — the 1-2 and 2-3 edges
+        // disappear, as does node 1's bridge.
+        let filtered = filter_candidates(&g, |v| v.0 % 2 == 0);
+        assert_eq!(filtered.graph.num_nodes(), 2);
+        assert_eq!(filtered.graph.num_edges(), 0);
+        assert_eq!(filtered.parent_id(NodeId(0)), NodeId(0));
+        assert_eq!(filtered.parent_id(NodeId(1)), NodeId(2));
+        assert_eq!(filtered.graph.interest(NodeId(1)), 3.0);
+    }
+
+    #[test]
+    fn filter_available_drops_busy_people() {
+        let g = path4();
+        let filtered = filter_available(&g, &[true, true, true, false]);
+        assert_eq!(filtered.graph.num_nodes(), 3);
+        // The 2-3 edge went with node 3; 0-1-2 chain survives with scores.
+        assert_eq!(filtered.graph.num_edges(), 2);
+        assert_eq!(
+            filtered.graph.tightness(NodeId(1), NodeId(2)),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "availability array")]
+    fn filter_available_validates_length() {
+        let g = path4();
+        let _ = filter_available(&g, &[true, false]);
+    }
+
+    #[test]
+    fn virtual_node_dominates_and_strips() {
+        let g = path4();
+        let red = separate_groups(&g, 2, 1.0).unwrap();
+        let aug = red.instance.graph();
+        assert_eq!(aug.num_nodes(), 5);
+        assert_eq!(red.instance.k(), 3);
+        // η_v = ε + Σ(η + τ) = 1 + 10 + 21 = 32.
+        assert_eq!(aug.interest(red.virtual_node), 32.0);
+        // Virtual node adjacent to everyone with zero tightness.
+        for v in g.node_ids() {
+            assert_eq!(aug.tightness(red.virtual_node, v), Some(0.0));
+        }
+        let stripped = red.strip(&[NodeId(0), red.virtual_node, NodeId(3)]);
+        assert_eq!(stripped, vec![NodeId(0), NodeId(3)]);
+    }
+
+    #[test]
+    fn virtual_node_makes_disconnected_sets_feasible() {
+        let g = path4();
+        let red = separate_groups(&g, 2, 1.0).unwrap();
+        // {0, 3} is disconnected in g, but {0, 3, v} is connected via v.
+        let group = crate::Group::new(
+            &red.instance,
+            vec![NodeId(0), NodeId(3), red.virtual_node],
+        );
+        assert!(group.is_ok());
+        // Willingness = η_0 + η_3 + η_v (zero-tightness edges): 1+4+32.
+        assert_eq!(group.unwrap().willingness(), 37.0);
+    }
+}

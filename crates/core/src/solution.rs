@@ -1,0 +1,184 @@
+//! Validated solutions (`F` in the paper's notation).
+
+use waso_graph::{traversal, NodeId};
+
+use crate::error::CoreError;
+use crate::instance::WasoInstance;
+use crate::willingness::willingness;
+
+/// A feasible WASO solution: exactly `k` distinct nodes, connected if the
+/// instance requires it, with its willingness cached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    nodes: Vec<NodeId>,
+    willingness: f64,
+}
+
+impl Group {
+    /// Validates `nodes` against `instance` and computes the willingness.
+    pub fn new(instance: &WasoInstance, mut nodes: Vec<NodeId>) -> Result<Self, CoreError> {
+        let g = instance.graph();
+        let n = g.num_nodes() as u32;
+        for &v in &nodes {
+            if v.0 >= n {
+                return Err(CoreError::UnknownNode(v.0));
+            }
+        }
+        nodes.sort_unstable();
+        if let Some(w) = nodes.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CoreError::DuplicateMember(w[0].0));
+        }
+        if nodes.len() != instance.k() {
+            return Err(CoreError::WrongSize {
+                got: nodes.len(),
+                want: instance.k(),
+            });
+        }
+        if instance.requires_connectivity() && !traversal::is_connected_subset(g, &nodes) {
+            return Err(CoreError::Disconnected);
+        }
+        let willingness = willingness(g, &nodes);
+        Ok(Self { nodes, willingness })
+    }
+
+    /// Constructs a group that is known-valid (e.g. produced by a solver
+    /// that maintains feasibility), re-deriving only the willingness.
+    ///
+    /// # Panics
+    /// Debug builds re-run full validation and panic on violations.
+    pub fn new_unchecked(instance: &WasoInstance, mut nodes: Vec<NodeId>) -> Self {
+        nodes.sort_unstable();
+        debug_assert!(
+            Group::new(instance, nodes.clone()).is_ok(),
+            "new_unchecked received an infeasible group"
+        );
+        let willingness = willingness(instance.graph(), &nodes);
+        Self { nodes, willingness }
+    }
+
+    /// The members, sorted by node id.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of members (= `k` of the originating instance).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Groups are never empty (instances require `k >= 1`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The cached willingness `W(F)`.
+    pub fn willingness(&self) -> f64 {
+        self.willingness
+    }
+
+    /// Membership test (binary search over the sorted members).
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+
+    /// Re-validates against an instance (useful after graph edits).
+    pub fn validate(&self, instance: &WasoInstance) -> Result<(), CoreError> {
+        Group::new(instance, self.nodes.clone()).map(|_| ())
+    }
+}
+
+impl std::fmt::Display for Group {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}} (willingness {:.4})", self.willingness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waso_graph::GraphBuilder;
+
+    fn path4_instance(k: usize, connected: bool) -> WasoInstance {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..4).map(|i| b.add_node(i as f64)).collect();
+        for w in ids.windows(2) {
+            b.add_edge_symmetric(w[0], w[1], 1.0).unwrap();
+        }
+        let g = b.build();
+        if connected {
+            WasoInstance::new(g, k).unwrap()
+        } else {
+            WasoInstance::without_connectivity(g, k).unwrap()
+        }
+    }
+
+    #[test]
+    fn accepts_valid_connected_group() {
+        let inst = path4_instance(3, true);
+        let g = Group::new(&inst, vec![NodeId(2), NodeId(0), NodeId(1)]).unwrap();
+        assert_eq!(g.nodes(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        // η 0+1+2 plus two symmetric unit edges = 3 + 4.
+        assert_eq!(g.willingness(), 7.0);
+        assert!(g.contains(NodeId(1)));
+        assert!(!g.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        let inst = path4_instance(2, true);
+        assert_eq!(
+            Group::new(&inst, vec![NodeId(0), NodeId(9)]).unwrap_err(),
+            CoreError::UnknownNode(9)
+        );
+        assert_eq!(
+            Group::new(&inst, vec![NodeId(0), NodeId(0)]).unwrap_err(),
+            CoreError::DuplicateMember(0)
+        );
+        assert_eq!(
+            Group::new(&inst, vec![NodeId(0)]).unwrap_err(),
+            CoreError::WrongSize { got: 1, want: 2 }
+        );
+        assert_eq!(
+            Group::new(&inst, vec![NodeId(0), NodeId(2)]).unwrap_err(),
+            CoreError::Disconnected
+        );
+    }
+
+    #[test]
+    fn disconnected_allowed_without_constraint() {
+        let inst = path4_instance(2, false);
+        let g = Group::new(&inst, vec![NodeId(0), NodeId(3)]).unwrap();
+        assert_eq!(g.willingness(), 3.0); // no internal edge
+    }
+
+    #[test]
+    fn unchecked_matches_checked() {
+        let inst = path4_instance(2, true);
+        let a = Group::new(&inst, vec![NodeId(1), NodeId(2)]).unwrap();
+        let b = Group::new_unchecked(&inst, vec![NodeId(2), NodeId(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let inst = path4_instance(2, true);
+        let g = Group::new(&inst, vec![NodeId(1), NodeId(0)]).unwrap();
+        assert_eq!(g.to_string(), "{v0, v1} (willingness 3.0000)");
+    }
+
+    #[test]
+    fn validate_roundtrip() {
+        let inst = path4_instance(2, true);
+        let g = Group::new(&inst, vec![NodeId(0), NodeId(1)]).unwrap();
+        assert!(g.validate(&inst).is_ok());
+        let smaller = path4_instance(3, true);
+        assert!(g.validate(&smaller).is_err());
+    }
+}

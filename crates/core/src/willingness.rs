@@ -1,0 +1,202 @@
+//! The WASO objective function (Eq. 1):
+//!
+//! ```text
+//! W(F) = Σ_{v_i ∈ F} ( η_i + Σ_{v_j ∈ F : e_{i,j} ∈ E} τ_{i,j} )
+//! ```
+//!
+//! Both directed scores `τ_{i,j}` and `τ_{j,i}` are counted (§2.1 — "the
+//! willingness in Eq. (1) considers both"). The incremental form used by
+//! every solver exploits the pair weights cached in the CSR: adding `u` to
+//! `S` contributes `η_u + Σ_{j ∈ N(u) ∩ S} (τ_{u,j} + τ_{j,u})`.
+
+use waso_graph::{BitSet, NodeId, SocialGraph};
+
+/// Full willingness of a node set (Eq. 1). `O(Σ_{v ∈ F} deg(v))`.
+///
+/// Duplicate nodes in `nodes` are an error caught in debug builds only; use
+/// [`crate::Group`] for validated solutions.
+///
+/// ```
+/// use waso_core::willingness;
+/// use waso_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let u = b.add_node(1.0);
+/// let v = b.add_node(2.0);
+/// b.add_edge(u, v, 0.25, 0.5).unwrap(); // asymmetric tightness
+/// let g = b.build();
+/// // Both directions count: 1 + 2 + 0.25 + 0.5.
+/// assert_eq!(willingness(&g, &[u, v]), 3.75);
+/// ```
+pub fn willingness(g: &SocialGraph, nodes: &[NodeId]) -> f64 {
+    let mut members = BitSet::new(g.num_nodes());
+    for &v in nodes {
+        let fresh = members.insert(v.index());
+        debug_assert!(fresh, "duplicate node {v} in willingness()");
+    }
+    willingness_of_members(g, &members, nodes)
+}
+
+/// Full willingness when the caller already owns a membership bit set (the
+/// solvers keep one hot). `nodes` must list exactly the members of
+/// `members`.
+pub fn willingness_of_members(g: &SocialGraph, members: &BitSet, nodes: &[NodeId]) -> f64 {
+    let mut total = 0.0;
+    for &u in nodes {
+        total += g.interest(u);
+        for (j, tau_uj, _) in g.neighbor_entries(u) {
+            if members.contains(j.index()) {
+                total += tau_uj;
+            }
+        }
+    }
+    total
+}
+
+/// Marginal gain of adding `u` to the member set:
+/// `Δ(u) = η_u + Σ_{j ∈ N(u) ∩ members} (τ_{u,j} + τ_{j,u})`.
+///
+/// `u` must not already be a member (debug-asserted).
+#[inline]
+pub fn marginal_gain(g: &SocialGraph, members: &BitSet, u: NodeId) -> f64 {
+    debug_assert!(
+        !members.contains(u.index()),
+        "marginal gain of an existing member {u}"
+    );
+    let mut gain = g.interest(u);
+    for (j, _, pair) in g.neighbor_entries(u) {
+        if members.contains(j.index()) {
+            gain += pair;
+        }
+    }
+    gain
+}
+
+/// Marginal *loss* of removing member `u`:
+/// `η_u + Σ_{j ∈ N(u) ∩ members \ {u}} (τ_{u,j} + τ_{j,u})`.
+///
+/// Satisfies `willingness(S) - removal_loss(S, u) = willingness(S \ {u})`;
+/// used by the online replanner when attendees decline.
+#[inline]
+pub fn removal_loss(g: &SocialGraph, members: &BitSet, u: NodeId) -> f64 {
+    debug_assert!(members.contains(u.index()), "removing non-member {u}");
+    let mut loss = g.interest(u);
+    for (j, _, pair) in g.neighbor_entries(u) {
+        if j != u && members.contains(j.index()) {
+            loss += pair;
+        }
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waso_graph::GraphBuilder;
+
+    /// The Figure-1 counterexample graph, reconstructed from the narrative
+    /// (§1): path v1 -1- v2 -2- v3 -4- v4 with η = (8, 7, 6, 5). Greedy
+    /// reaches {v1,v2,v3} = 27; the optimum is {v2,v3,v4} = 30.
+    pub(crate) fn figure1_graph() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_node(8.0);
+        let v2 = b.add_node(7.0);
+        let v3 = b.add_node(6.0);
+        let v4 = b.add_node(5.0);
+        b.add_edge_symmetric(v1, v2, 1.0).unwrap();
+        b.add_edge_symmetric(v2, v3, 2.0).unwrap();
+        b.add_edge_symmetric(v3, v4, 4.0).unwrap();
+        b.build()
+    }
+
+    fn ids(raw: &[u32]) -> Vec<NodeId> {
+        raw.iter().map(|&v| NodeId(v)).collect()
+    }
+
+    #[test]
+    fn figure1_willingness_values() {
+        let g = figure1_graph();
+        // Greedy's set {v1, v2, v3}: 8+7+6 + 2·1 + 2·2 = 27.
+        assert_eq!(willingness(&g, &ids(&[0, 1, 2])), 27.0);
+        // Optimal set {v2, v3, v4}: 7+6+5 + 2·2 + 2·4 = 30.
+        assert_eq!(willingness(&g, &ids(&[1, 2, 3])), 30.0);
+        // Singletons are just interest.
+        assert_eq!(willingness(&g, &ids(&[0])), 8.0);
+        assert_eq!(willingness(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_tightness_counts_both_directions() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(1.0);
+        let v = b.add_node(2.0);
+        b.add_edge(u, v, 0.25, 0.5).unwrap();
+        let g = b.build();
+        assert_eq!(willingness(&g, &[u, v]), 1.0 + 2.0 + 0.25 + 0.5);
+    }
+
+    #[test]
+    fn non_adjacent_members_contribute_no_tightness() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(1.0);
+        let _m = b.add_node(10.0);
+        let w = b.add_node(3.0);
+        b.add_edge_symmetric(u, NodeId(1), 5.0).unwrap();
+        b.add_edge_symmetric(NodeId(1), w, 5.0).unwrap();
+        let g = b.build();
+        assert_eq!(willingness(&g, &[u, w]), 4.0);
+    }
+
+    #[test]
+    fn marginal_gain_matches_full_difference() {
+        let g = figure1_graph();
+        let mut members = BitSet::new(4);
+        members.insert(1); // {v2}
+        members.insert(2); // {v2, v3}
+        let before = willingness(&g, &ids(&[1, 2]));
+        let gain = marginal_gain(&g, &members, NodeId(3));
+        let after = willingness(&g, &ids(&[1, 2, 3]));
+        assert_eq!(before + gain, after);
+        // The narrative's numbers: Δ(v4 | {v2,v3}) = 5 + 2·4 = 13.
+        assert_eq!(gain, 13.0);
+    }
+
+    #[test]
+    fn removal_loss_inverts_marginal_gain() {
+        let g = figure1_graph();
+        let mut members = BitSet::new(4);
+        for v in [0usize, 1, 2] {
+            members.insert(v);
+        }
+        let full = willingness(&g, &ids(&[0, 1, 2]));
+        let loss = removal_loss(&g, &members, NodeId(0));
+        assert_eq!(full - loss, willingness(&g, &ids(&[1, 2])));
+        // v1 contributes η=8 plus the symmetric edge to v2: 8 + 2 = 10.
+        assert_eq!(loss, 10.0);
+    }
+
+    #[test]
+    fn negative_scores_are_respected() {
+        // Foe modelling (§2.2) assigns large negative tightness.
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(5.0);
+        let v = b.add_node(5.0);
+        b.add_edge_symmetric(u, v, -100.0).unwrap();
+        let g = b.build();
+        assert_eq!(willingness(&g, &[u, v]), 10.0 - 200.0);
+    }
+
+    #[test]
+    fn members_variant_agrees_with_slice_variant() {
+        let g = figure1_graph();
+        let nodes = ids(&[0, 2, 3]);
+        let mut members = BitSet::new(4);
+        for v in &nodes {
+            members.insert(v.index());
+        }
+        assert_eq!(
+            willingness(&g, &nodes),
+            willingness_of_members(&g, &members, &nodes)
+        );
+    }
+}

@@ -1,0 +1,492 @@
+//! Branch-and-bound exact WASO solving.
+//!
+//! Explores the same once-per-subgraph tree as [`crate::enumerate`] (ESU
+//! ordering: a root plus larger-id extensions) but prunes with an
+//! admissible bound: any node `v` joining the solution later adds at most
+//!
+//! ```text
+//! gain_opt(v) = η̃_v + Σ_{u ∈ N(v)} max(τ̃_{v,u} + τ̃_{u,v}, 0)
+//! ```
+//!
+//! so `UB(S) = W(S) + Σ top (k-|S|) gain_opt over eligible nodes` bounds
+//! every completion. Eligible = id > root and not in `S` (connected mode)
+//! or id > last chosen (unconstrained mode — combinations enumerate in
+//! ascending order). An optional expansion cap turns the solver into an
+//! anytime method for the paper's largest IP settings, reporting
+//! `optimal = false` when it triggers.
+
+use waso_core::{Group, WasoInstance};
+use waso_graph::{BitSet, NodeId, SocialGraph};
+
+/// Result of an exact (or capped) solve.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// The best group found.
+    pub group: Group,
+    /// `true` when the search space was exhausted (proven optimum).
+    pub optimal: bool,
+    /// Search-tree nodes expanded.
+    pub nodes_explored: u64,
+}
+
+/// Branch-and-bound solver.
+///
+/// ```
+/// use waso_core::WasoInstance;
+/// use waso_exact::BranchBound;
+/// use waso_graph::GraphBuilder;
+///
+/// // The Figure-1 graph: greedy gets trapped at 27, the optimum is 30.
+/// let mut b = GraphBuilder::new();
+/// let v1 = b.add_node(8.0);
+/// let v2 = b.add_node(7.0);
+/// let v3 = b.add_node(6.0);
+/// let v4 = b.add_node(5.0);
+/// b.add_edge_symmetric(v1, v2, 1.0).unwrap();
+/// b.add_edge_symmetric(v2, v3, 2.0).unwrap();
+/// b.add_edge_symmetric(v3, v4, 4.0).unwrap();
+/// let instance = WasoInstance::new(b.build(), 3).unwrap();
+///
+/// let result = BranchBound::new().solve(&instance, None).unwrap();
+/// assert!(result.optimal);
+/// assert_eq!(result.group.willingness(), 30.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BranchBound {
+    /// Stop after this many tree expansions (`None` = run to completion).
+    pub max_nodes: Option<u64>,
+}
+
+/// Shared search state.
+struct Search<'a> {
+    g: &'a SocialGraph,
+    k: usize,
+    /// `gain_opt` per node.
+    gains: Vec<f64>,
+    /// Node ids sorted by `gain_opt` descending (bound computation).
+    by_gain: Vec<u32>,
+    members: BitSet,
+    best_w: f64,
+    best_nodes: Vec<NodeId>,
+    explored: u64,
+    cap: u64,
+    capped: bool,
+}
+
+/// Floating-point slack: candidates must beat the incumbent by more than
+/// this to be worth exploring. Guards against re-deriving the same optimum
+/// through accumulated rounding noise, at a formally documented tolerance.
+const EPS: f64 = 1e-9;
+
+impl BranchBound {
+    /// Solver without an expansion cap.
+    pub fn new() -> Self {
+        Self { max_nodes: None }
+    }
+
+    /// Solver that gives up optimality proofs after `cap` expansions.
+    pub fn with_cap(cap: u64) -> Self {
+        Self {
+            max_nodes: Some(cap),
+        }
+    }
+
+    /// Solves to optimality (or the cap). `incumbent` primes the lower
+    /// bound — passing a good heuristic solution (e.g. CBAS-ND's) lets the
+    /// search prune from the start; correctness does not depend on it.
+    /// Returns `None` when no feasible group exists.
+    pub fn solve(&self, instance: &WasoInstance, incumbent: Option<&Group>) -> Option<ExactResult> {
+        let g = instance.graph();
+        let n = g.num_nodes();
+        let k = instance.k();
+
+        let gains: Vec<f64> = g
+            .node_ids()
+            .map(|v| {
+                let pos: f64 = g
+                    .neighbor_entries(v)
+                    .map(|(_, _, pw)| pw.max(0.0))
+                    .sum();
+                g.interest(v) + pos
+            })
+            .collect();
+        let mut by_gain: Vec<u32> = (0..n as u32).collect();
+        by_gain.sort_by(|&a, &b| {
+            gains[b as usize]
+                .partial_cmp(&gains[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(&b))
+        });
+
+        let mut search = Search {
+            g,
+            k,
+            gains,
+            by_gain,
+            members: BitSet::new(n),
+            best_w: f64::NEG_INFINITY,
+            best_nodes: Vec::new(),
+            explored: 0,
+            cap: self.max_nodes.unwrap_or(u64::MAX),
+            capped: false,
+        };
+        if let Some(inc) = incumbent {
+            search.best_w = inc.willingness();
+            search.best_nodes = inc.nodes().to_vec();
+        }
+
+        if instance.requires_connectivity() {
+            search.run_connected();
+        } else {
+            search.run_unconstrained();
+        }
+
+        if search.best_nodes.is_empty() {
+            return None;
+        }
+        let group = Group::new_unchecked(instance, search.best_nodes.clone());
+        Some(ExactResult {
+            group,
+            optimal: !search.capped,
+            nodes_explored: search.explored,
+        })
+    }
+}
+
+impl Search<'_> {
+    /// Upper bound on any completion: current willingness plus the largest
+    /// `rem` optimistic gains among nodes with `id >= min_id` outside `S`.
+    fn bound(&self, current_w: f64, rem: usize, min_id: u32) -> f64 {
+        let mut ub = current_w;
+        let mut taken = 0;
+        for &v in &self.by_gain {
+            if taken == rem {
+                break;
+            }
+            if v < min_id || self.members.contains(v as usize) {
+                continue;
+            }
+            let gain = self.gains[v as usize];
+            if gain <= 0.0 {
+                // Sorted descending: only non-positive gains remain. They
+                // can only lower the bound's usefulness; still count them to
+                // stay an upper bound on *mandatory* size-k completion.
+                ub += gain * (rem - taken) as f64;
+                taken = rem;
+                break;
+            }
+            ub += gain;
+            taken += 1;
+        }
+        if taken < rem {
+            // Not enough eligible nodes: completion impossible from here.
+            return f64::NEG_INFINITY;
+        }
+        ub
+    }
+
+    fn consider(&mut self, sub: &[NodeId], w: f64) {
+        if w > self.best_w {
+            self.best_w = w;
+            self.best_nodes = sub.to_vec();
+        }
+    }
+
+    fn run_connected(&mut self) {
+        let n = self.g.num_nodes();
+        let mut sub: Vec<NodeId> = Vec::with_capacity(self.k);
+        let mut nbhd = BitSet::new(n);
+
+        for root in 0..n as u32 {
+            if self.capped {
+                return;
+            }
+            let root_id = NodeId(root);
+            sub.push(root_id);
+            self.members.insert(root as usize);
+            nbhd.insert(root as usize);
+            let mut touched = vec![root];
+            let mut ext: Vec<u32> = Vec::new();
+            for &u in self.g.neighbors(root_id) {
+                if nbhd.insert(u as usize) {
+                    touched.push(u);
+                }
+                if u > root {
+                    ext.push(u);
+                }
+            }
+            let w0 = self.g.interest(root_id);
+            if self.k == 1 {
+                let snapshot = sub.clone();
+                self.consider(&snapshot, w0);
+            } else {
+                self.extend_connected(root, &mut sub, ext, &mut nbhd, w0);
+            }
+            for &u in &touched {
+                nbhd.remove(u as usize);
+            }
+            self.members.remove(root as usize);
+            sub.pop();
+        }
+    }
+
+    fn extend_connected(
+        &mut self,
+        root: u32,
+        sub: &mut Vec<NodeId>,
+        mut ext: Vec<u32>,
+        nbhd: &mut BitSet,
+        w: f64,
+    ) {
+        self.explored += 1;
+        if self.explored >= self.cap {
+            self.capped = true;
+            return;
+        }
+        let rem = self.k - sub.len();
+        if self.bound(w, rem, root + 1) <= self.best_w + EPS {
+            return;
+        }
+        // Branch on high-gain candidates first: better incumbents earlier,
+        // more pruning later.
+        ext.sort_by(|&a, &b| {
+            self.gains[a as usize]
+                .partial_cmp(&self.gains[b as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.cmp(&a))
+        });
+        while let Some(cand) = ext.pop() {
+            if self.capped {
+                return;
+            }
+            let cand_id = NodeId(cand);
+            // Incremental willingness via pair weights.
+            let dw = waso_core::marginal_gain(self.g, &self.members, cand_id);
+            sub.push(cand_id);
+            self.members.insert(cand as usize);
+
+            if sub.len() == self.k {
+                let snapshot = sub.clone();
+                self.consider(&snapshot, w + dw);
+            } else {
+                let mut touched: Vec<u32> = Vec::new();
+                let mut next_ext = ext.clone();
+                for &u in self.g.neighbors(cand_id) {
+                    if nbhd.insert(u as usize) {
+                        touched.push(u);
+                        if u > root {
+                            next_ext.push(u);
+                        }
+                    }
+                }
+                self.extend_connected(root, sub, next_ext, nbhd, w + dw);
+                for &u in &touched {
+                    nbhd.remove(u as usize);
+                }
+            }
+            self.members.remove(cand as usize);
+            sub.pop();
+        }
+    }
+
+    fn run_unconstrained(&mut self) {
+        let mut sub: Vec<NodeId> = Vec::with_capacity(self.k);
+        self.extend_unconstrained(&mut sub, 0, 0.0);
+    }
+
+    fn extend_unconstrained(&mut self, sub: &mut Vec<NodeId>, next_id: u32, w: f64) {
+        self.explored += 1;
+        if self.explored >= self.cap {
+            self.capped = true;
+            return;
+        }
+        if sub.len() == self.k {
+            let snapshot = sub.clone();
+            self.consider(&snapshot, w);
+            return;
+        }
+        let rem = self.k - sub.len();
+        // Eligible: ids ≥ next_id (ascending combinations).
+        if self.bound(w, rem, next_id) <= self.best_w + EPS {
+            return;
+        }
+        let n = self.g.num_nodes() as u32;
+        // Must leave room for the remaining picks.
+        let last_start = n - rem as u32;
+        for v in next_id..=last_start {
+            if self.capped {
+                return;
+            }
+            let v_id = NodeId(v);
+            let dw = waso_core::marginal_gain(self.g, &self.members, v_id);
+            sub.push(v_id);
+            self.members.insert(v as usize);
+            self.extend_unconstrained(sub, v + 1, w + dw);
+            self.members.remove(v as usize);
+            sub.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::exhaustive_optimum;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waso_graph::{generate, GraphBuilder, InterestModel, ScoreModel, TightnessModel};
+
+    fn figure1_instance() -> WasoInstance {
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_node(8.0);
+        let v2 = b.add_node(7.0);
+        let v3 = b.add_node(6.0);
+        let v4 = b.add_node(5.0);
+        b.add_edge_symmetric(v1, v2, 1.0).unwrap();
+        b.add_edge_symmetric(v2, v3, 2.0).unwrap();
+        b.add_edge_symmetric(v3, v4, 4.0).unwrap();
+        WasoInstance::new(b.build(), 3).unwrap()
+    }
+
+    #[test]
+    fn solves_figure1_optimally() {
+        let res = BranchBound::new().solve(&figure1_instance(), None).unwrap();
+        assert!(res.optimal);
+        assert_eq!(res.group.willingness(), 30.0);
+        assert_eq!(
+            res.group.nodes(),
+            &[NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn incumbent_only_prunes_never_changes_answer() {
+        let inst = figure1_instance();
+        let greedy27 = Group::new(&inst, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let with = BranchBound::new().solve(&inst, Some(&greedy27)).unwrap();
+        let without = BranchBound::new().solve(&inst, None).unwrap();
+        assert_eq!(with.group.willingness(), without.group.willingness());
+        assert!(with.nodes_explored <= without.nodes_explored);
+    }
+
+    #[test]
+    fn cap_reports_non_optimal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo = generate::erdos_renyi_gnm(20, 60, &mut rng);
+        let g = ScoreModel::paper_default().realize(&topo, &mut rng);
+        let inst = WasoInstance::new(g, 6).unwrap();
+        let res = BranchBound::with_cap(10).solve(&inst, None);
+        if let Some(res) = res {
+            assert!(!res.optimal);
+        }
+        // With no cap, the answer is optimal.
+        let full = BranchBound::new().solve(&inst, None).unwrap();
+        assert!(full.optimal);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_random_connected_instances() {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = generate::erdos_renyi_gnm(12, 20, &mut rng);
+            let g = ScoreModel::paper_default().realize(&topo, &mut rng);
+            let inst = WasoInstance::new(g, 4).unwrap();
+            let bb = BranchBound::new().solve(&inst, None);
+            let brute = exhaustive_optimum(&inst);
+            match (bb, brute) {
+                (Some(a), Some(b)) => {
+                    assert!(
+                        (a.group.willingness() - b.willingness()).abs() < 1e-9,
+                        "seed {seed}: bb {} vs brute {}",
+                        a.group.willingness(),
+                        b.willingness()
+                    );
+                }
+                (None, None) => {}
+                other => panic!("seed {seed}: feasibility mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_on_unconstrained_instances() {
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let topo = generate::erdos_renyi_gnm(11, 14, &mut rng);
+            let g = ScoreModel::paper_default().realize(&topo, &mut rng);
+            let inst = WasoInstance::without_connectivity(g, 4).unwrap();
+            let bb = BranchBound::new().solve(&inst, None).unwrap();
+            let brute = exhaustive_optimum(&inst).unwrap();
+            assert!(
+                (bb.group.willingness() - brute.willingness()).abs() < 1e-9,
+                "seed {seed}"
+            );
+            assert!(bb.optimal);
+        }
+    }
+
+    #[test]
+    fn negative_scores_are_handled() {
+        // Foe edge inside an otherwise attractive triangle.
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(5.0);
+        let y = b.add_node(5.0);
+        let z = b.add_node(5.0);
+        let w = b.add_node(0.5);
+        b.add_edge_symmetric(x, y, -50.0).unwrap();
+        b.add_edge_symmetric(y, z, 1.0).unwrap();
+        b.add_edge_symmetric(x, z, 1.0).unwrap();
+        b.add_edge_symmetric(z, w, 0.1).unwrap();
+        let inst = WasoInstance::new(b.build(), 2).unwrap();
+        let res = BranchBound::new().solve(&inst, None).unwrap();
+        // Best pair avoids the foe edge: {x,z} or {y,z} = 5+5+2 = 12.
+        assert!((res.group.willingness() - 12.0).abs() < 1e-12);
+        assert!(!(res.group.contains(x) && res.group.contains(y)));
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        b.add_node(1.0);
+        let inst = WasoInstance::new(b.build(), 2).unwrap();
+        assert!(BranchBound::new().solve(&inst, None).is_none());
+    }
+
+    #[test]
+    fn k_equals_one_picks_max_interest() {
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        b.add_node(9.0);
+        b.add_node(4.0);
+        let inst = WasoInstance::new(b.build(), 1).unwrap();
+        let res = BranchBound::new().solve(&inst, None).unwrap();
+        assert_eq!(res.group.nodes(), &[NodeId(1)]);
+        assert_eq!(res.group.willingness(), 9.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn agrees_with_brute_force(seed in 0u64..500, k in 2usize..5) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = generate::erdos_renyi_gnm(9, 12, &mut rng);
+            let model = ScoreModel {
+                interest: InterestModel::Uniform { lo: -1.0, hi: 2.0 },
+                tightness: TightnessModel::Uniform { lo: -0.5, hi: 1.0 },
+            };
+            let g = model.realize(&topo, &mut rng);
+            let inst = WasoInstance::new(g, k).unwrap();
+            let bb = BranchBound::new().solve(&inst, None);
+            let brute = exhaustive_optimum(&inst);
+            match (bb, brute) {
+                (Some(a), Some(b)) => prop_assert!(
+                    (a.group.willingness() - b.willingness()).abs() < 1e-9
+                ),
+                (None, None) => {}
+                other => prop_assert!(false, "feasibility mismatch: {:?}", other),
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Exhaustive enumeration of connected induced `k`-subgraphs (ESU).
+//!
+//! Wernicke's ESU algorithm enumerates every connected induced subgraph of
+//! size `k` exactly once: from each root `v` it only extends with nodes of
+//! larger id drawn from the *exclusive* neighbourhood of the current
+//! subgraph. Exponential, of course — WASO is NP-hard (Theorem 1) — but on
+//! user-study-sized graphs (§5.2: n ≤ 30) it is instant, and it is the
+//! oracle that the branch-and-bound and every randomized solver are tested
+//! against.
+
+use waso_core::{willingness, Group, WasoInstance};
+use waso_graph::{BitSet, NodeId, SocialGraph};
+
+/// Calls `visit` once for every connected induced subgraph of exactly `k`
+/// nodes. The slice handed to `visit` lists the member ids in discovery
+/// order (the root first).
+pub fn enumerate_connected_k_subgraphs<F: FnMut(&[NodeId])>(
+    g: &SocialGraph,
+    k: usize,
+    mut visit: F,
+) {
+    if k == 0 || k > g.num_nodes() {
+        return;
+    }
+    let n = g.num_nodes();
+    let mut sub: Vec<NodeId> = Vec::with_capacity(k);
+    // nbhd = sub ∪ N(sub): used to compute exclusive neighbourhoods.
+    let mut nbhd = BitSet::new(n);
+
+    for root in 0..n as u32 {
+        let root_id = NodeId(root);
+        sub.push(root_id);
+        nbhd.insert(root as usize);
+        let mut touched: Vec<u32> = vec![root];
+        let mut ext: Vec<u32> = Vec::new();
+        for &u in g.neighbors(root_id) {
+            if nbhd.insert(u as usize) {
+                touched.push(u);
+            }
+            if u > root {
+                ext.push(u);
+            }
+        }
+        extend(g, k, root, &mut sub, ext, &mut nbhd, &mut visit);
+        for &u in &touched {
+            nbhd.remove(u as usize);
+        }
+        sub.pop();
+    }
+}
+
+fn extend<F: FnMut(&[NodeId])>(
+    g: &SocialGraph,
+    k: usize,
+    root: u32,
+    sub: &mut Vec<NodeId>,
+    mut ext: Vec<u32>,
+    nbhd: &mut BitSet,
+    visit: &mut F,
+) {
+    if sub.len() == k {
+        visit(sub);
+        return;
+    }
+    // Take candidates one at a time; each candidate w spawns a branch whose
+    // extension set adds w's exclusive neighbours (> root). Removing w from
+    // `ext` before branching guarantees each subset appears exactly once.
+    while let Some(w) = ext.pop() {
+        sub.push(NodeId(w));
+        // Newly reachable exclusive neighbours of w.
+        let mut touched: Vec<u32> = Vec::new();
+        let mut next_ext = ext.clone();
+        for &u in g.neighbors(NodeId(w)) {
+            if nbhd.insert(u as usize) {
+                touched.push(u);
+                if u > root {
+                    next_ext.push(u);
+                }
+            }
+        }
+        extend(g, k, root, sub, next_ext, nbhd, visit);
+        for &u in &touched {
+            nbhd.remove(u as usize);
+        }
+        sub.pop();
+    }
+}
+
+/// Counts the connected induced `k`-subgraphs (diagnostics / tests).
+pub fn count_connected_k_subgraphs(g: &SocialGraph, k: usize) -> u64 {
+    let mut count = 0u64;
+    enumerate_connected_k_subgraphs(g, k, |_| count += 1);
+    count
+}
+
+/// Brute-force optimum over feasible groups satisfying `predicate` — e.g.
+/// "contains the initiator" for the user study's `-i` problems (§5.2).
+/// `None` when no group passes.
+pub fn exhaustive_optimum_where<P: FnMut(&[NodeId]) -> bool>(
+    instance: &WasoInstance,
+    mut predicate: P,
+) -> Option<Group> {
+    let g = instance.graph();
+    let k = instance.k();
+    let mut best: Option<(f64, Vec<NodeId>)> = None;
+    if instance.requires_connectivity() {
+        enumerate_connected_k_subgraphs(g, k, |nodes| {
+            if !predicate(nodes) {
+                return;
+            }
+            let w = willingness(g, nodes);
+            if best.as_ref().is_none_or(|(bw, _)| w > *bw) {
+                best = Some((w, nodes.to_vec()));
+            }
+        });
+        best.map(|(_, nodes)| Group::new_unchecked(instance, nodes))
+    } else {
+        // Delegate to the unconstrained enumerator with filtering.
+        let unfiltered = exhaustive_optimum(instance)?;
+        if predicate(unfiltered.nodes()) {
+            return Some(unfiltered);
+        }
+        // Rare path: re-enumerate keeping the best passing combination.
+        let n = g.num_nodes();
+        let mut combo: Vec<usize> = (0..k).collect();
+        loop {
+            let nodes: Vec<NodeId> = combo.iter().map(|&i| NodeId(i as u32)).collect();
+            if predicate(&nodes) {
+                let w = willingness(g, &nodes);
+                if best.as_ref().is_none_or(|(bw, _)| w > *bw) {
+                    best = Some((w, nodes));
+                }
+            }
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return best.map(|(_, nodes)| Group::new_unchecked(instance, nodes));
+                }
+                i -= 1;
+                if combo[i] != i + n - k {
+                    break;
+                }
+            }
+            combo[i] += 1;
+            for j in i + 1..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+        }
+    }
+}
+
+/// Brute-force optimum by full enumeration. `None` when no feasible group
+/// exists. The ground-truth oracle for small instances.
+pub fn exhaustive_optimum(instance: &WasoInstance) -> Option<Group> {
+    let g = instance.graph();
+    let k = instance.k();
+    let mut best: Option<(f64, Vec<NodeId>)> = None;
+
+    if instance.requires_connectivity() {
+        enumerate_connected_k_subgraphs(g, k, |nodes| {
+            let w = willingness(g, nodes);
+            if best.as_ref().is_none_or(|(bw, _)| w > *bw) {
+                best = Some((w, nodes.to_vec()));
+            }
+        });
+    } else {
+        // Unconstrained: all k-combinations in lexicographic order.
+        let n = g.num_nodes();
+        if k > n {
+            return None;
+        }
+        let mut combo: Vec<usize> = (0..k).collect();
+        loop {
+            let nodes: Vec<NodeId> = combo.iter().map(|&i| NodeId(i as u32)).collect();
+            let w = willingness(g, &nodes);
+            if best.as_ref().is_none_or(|(bw, _)| w > *bw) {
+                best = Some((w, nodes));
+            }
+            // Next combination.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return best.map(|(_, nodes)| Group::new_unchecked(instance, nodes));
+                }
+                i -= 1;
+                if combo[i] != i + n - k {
+                    break;
+                }
+            }
+            combo[i] += 1;
+            for j in i + 1..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+        }
+    }
+    best.map(|(_, nodes)| Group::new_unchecked(instance, nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use waso_graph::{generate, GraphBuilder};
+
+    fn unit(topo: waso_graph::GraphTopology) -> SocialGraph {
+        topo.into_unit_graph()
+    }
+
+    #[test]
+    fn path_counts_are_exact() {
+        // A path of n nodes has exactly n-k+1 connected k-subgraphs.
+        let g = unit(generate::path_topology(7));
+        for k in 1..=7 {
+            assert_eq!(
+                count_connected_k_subgraphs(&g, k),
+                (7 - k + 1) as u64,
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_graph_counts_are_binomial() {
+        // In K_5 every subset is connected: C(5, k).
+        let g = unit(generate::complete_topology(5));
+        let binom = [0, 5, 10, 10, 5, 1];
+        #[allow(clippy::needless_range_loop)] // k is the group size under test
+        for k in 1..=5 {
+            assert_eq!(count_connected_k_subgraphs(&g, k), binom[k] as u64);
+        }
+    }
+
+    #[test]
+    fn star_pairs_all_contain_the_centre_for_k3() {
+        // In a star, any connected subgraph of size ≥ 2 contains the centre:
+        // count of size-3 = C(n-1, 2).
+        let g = unit(generate::star_topology(6));
+        assert_eq!(count_connected_k_subgraphs(&g, 3), 10);
+        let mut all_contain_center = true;
+        enumerate_connected_k_subgraphs(&g, 3, |nodes| {
+            if !nodes.contains(&NodeId(0)) {
+                all_contain_center = false;
+            }
+        });
+        assert!(all_contain_center);
+    }
+
+    #[test]
+    fn no_duplicates_emitted() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let g = unit(generate::erdos_renyi_gnm(12, 22, &mut rng));
+        let mut seen: BTreeSet<Vec<u32>> = BTreeSet::new();
+        enumerate_connected_k_subgraphs(&g, 4, |nodes| {
+            let mut key: Vec<u32> = nodes.iter().map(|v| v.0).collect();
+            key.sort_unstable();
+            assert!(seen.insert(key), "duplicate subgraph emitted");
+        });
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn matches_naive_enumeration_on_random_graphs() {
+        use waso_graph::traversal::is_connected_subset;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        for trial in 0..5 {
+            let g = unit(generate::erdos_renyi_gnm(10, 14 + trial, &mut rng));
+            let k = 4;
+            // Naive: all C(10,4) subsets, keep the connected ones.
+            let mut naive = 0u64;
+            for a in 0..10u32 {
+                for b in a + 1..10 {
+                    for c in b + 1..10 {
+                        for d in c + 1..10 {
+                            let nodes = [NodeId(a), NodeId(b), NodeId(c), NodeId(d)];
+                            if is_connected_subset(&g, &nodes) {
+                                naive += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(count_connected_k_subgraphs(&g, k), naive, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn degenerate_k() {
+        let g = unit(generate::path_topology(4));
+        assert_eq!(count_connected_k_subgraphs(&g, 0), 0);
+        assert_eq!(count_connected_k_subgraphs(&g, 5), 0);
+        assert_eq!(count_connected_k_subgraphs(&g, 1), 4);
+    }
+
+    #[test]
+    fn exhaustive_optimum_on_figure1() {
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_node(8.0);
+        let v2 = b.add_node(7.0);
+        let v3 = b.add_node(6.0);
+        let v4 = b.add_node(5.0);
+        b.add_edge_symmetric(v1, v2, 1.0).unwrap();
+        b.add_edge_symmetric(v2, v3, 2.0).unwrap();
+        b.add_edge_symmetric(v3, v4, 4.0).unwrap();
+        let inst = WasoInstance::new(b.build(), 3).unwrap();
+        let best = exhaustive_optimum(&inst).unwrap();
+        assert_eq!(best.willingness(), 30.0);
+        assert_eq!(best.nodes(), &[NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn exhaustive_optimum_unconstrained_picks_best_subset() {
+        // Disconnected graph: WASO-dis may take nodes from anywhere.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(5.0);
+        let c = b.add_node(4.0);
+        let d = b.add_node(3.0);
+        let e = b.add_node(2.9);
+        b.add_edge_symmetric(d, e, 10.0).unwrap();
+        let _ = (a, c);
+        let inst = WasoInstance::without_connectivity(b.build(), 2).unwrap();
+        let best = exhaustive_optimum(&inst).unwrap();
+        // {d, e}: 3 + 2.9 + 20 = 25.9 beats {a, c} = 9.
+        assert_eq!(best.nodes(), &[NodeId(2), NodeId(3)]);
+        assert!((best.willingness() - 25.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filtered_optimum_respects_the_predicate() {
+        // Figure 1: unrestricted optimum is {v2,v3,v4}=30; forcing v1 in
+        // (the "-i" user-study mode) the best is {v1,v2,v3}=27.
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_node(8.0);
+        let v2 = b.add_node(7.0);
+        let v3 = b.add_node(6.0);
+        let v4 = b.add_node(5.0);
+        b.add_edge_symmetric(v1, v2, 1.0).unwrap();
+        b.add_edge_symmetric(v2, v3, 2.0).unwrap();
+        b.add_edge_symmetric(v3, v4, 4.0).unwrap();
+        let inst = WasoInstance::new(b.build(), 3).unwrap();
+        let pinned = exhaustive_optimum_where(&inst, |nodes| nodes.contains(&v1)).unwrap();
+        assert_eq!(pinned.willingness(), 27.0);
+        assert!(pinned.contains(v1));
+        let free = exhaustive_optimum_where(&inst, |_| true).unwrap();
+        assert_eq!(free.willingness(), 30.0);
+        let none = exhaustive_optimum_where(&inst, |_| false);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn exhaustive_optimum_infeasible_is_none() {
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        b.add_node(1.0);
+        let inst = WasoInstance::new(b.build(), 2).unwrap();
+        assert!(exhaustive_optimum(&inst).is_none());
+    }
+}

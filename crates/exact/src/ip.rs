@@ -1,0 +1,373 @@
+//! The Appendix-B integer program.
+//!
+//! The paper's ground truth solves WASO as an IP with IBM CPLEX. We build
+//! that exact model — objective `max Σ η_i x_i + Σ τ_{i,j} y_{i,j}`, the
+//! basic constraints (11)–(12), and the path-based connectivity machinery
+//! (13)–(19) with root variables `r_i`, path variables `p_{i,j,m,n}` and
+//! depth variables `d_{i,j,m}` — so the formulation itself is inspectable,
+//! testable and exportable in LP format. CPLEX is not redistributable;
+//! [`IpModel::solve`] optimizes the same objective over the same feasible
+//! set via [`crate::BranchBound`] (DESIGN.md §3 documents this
+//! substitution; optimality is preserved, only the solving technology
+//! differs).
+//!
+//! The connectivity block grows as `O(n² |E|)` variables — the reason the
+//! paper could only run CPLEX on small extracts (Figure 9: n ≤ 500). Model
+//! *construction* is therefore guarded by a size limit.
+
+use std::fmt::Write as _;
+
+use waso_core::WasoInstance;
+use waso_graph::traversal;
+
+use crate::branch_bound::{BranchBound, ExactResult};
+
+/// Hard cap on `n` for materializing the connectivity constraints — above
+/// this the `p_{i,j,m,n}` block is too large to be useful.
+pub const MAX_MODEL_NODES: usize = 60;
+
+/// Variable and constraint counts of the Appendix-B formulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpSize {
+    /// Node-selection binaries `x_i`.
+    pub x_vars: usize,
+    /// Edge-activation binaries `y_{i,j}` (one per undirected edge; both
+    /// directed tightness scores share the activation).
+    pub y_vars: usize,
+    /// Root binaries `r_i`.
+    pub r_vars: usize,
+    /// Path binaries `p_{i,j,m,n}`: root i, destination j, directed slot
+    /// (m,n).
+    pub p_vars: usize,
+    /// Depth variables `d_{i,j,m}` (continuous in `[0, n]`).
+    pub d_vars: usize,
+    /// Total constraint count across (11)–(19).
+    pub constraints: usize,
+}
+
+impl IpSize {
+    /// Total variable count.
+    pub fn total_vars(&self) -> usize {
+        self.x_vars + self.y_vars + self.r_vars + self.p_vars + self.d_vars
+    }
+}
+
+/// The constructed Appendix-B model for one instance.
+#[derive(Debug, Clone)]
+pub struct IpModel<'a> {
+    instance: &'a WasoInstance,
+    size: IpSize,
+}
+
+impl<'a> IpModel<'a> {
+    /// Builds the model (sizes the variable/constraint blocks).
+    ///
+    /// # Panics
+    /// Panics when the instance requires connectivity and has more than
+    /// [`MAX_MODEL_NODES`] nodes — the path formulation is quadratic-cubic
+    /// and only intended for the paper's small IP experiments.
+    pub fn build(instance: &'a WasoInstance) -> Self {
+        let g = instance.graph();
+        let n = g.num_nodes();
+        let e = g.num_edges();
+        let connected = instance.requires_connectivity();
+        if connected {
+            assert!(
+                n <= MAX_MODEL_NODES,
+                "connectivity IP for n={n} exceeds MAX_MODEL_NODES={MAX_MODEL_NODES}"
+            );
+        }
+
+        // Basic block: (11) one cardinality constraint, (12) one per
+        // undirected edge.
+        let mut constraints = 1 + e;
+        let (r_vars, p_vars, d_vars) = if connected {
+            // (13) Σr = 1; (14) r_i ≤ x_i per node;
+            // (15),(16) per ordered (i, j), i≠j; (17) per (i, j, m) triples
+            // with m ∉ {i, j}; (18) per (i, j) × directed slot; (19) same.
+            let ordered_pairs = n * (n - 1);
+            constraints += 1 + n; // (13), (14)
+            constraints += 2 * ordered_pairs; // (15), (16)
+            constraints += ordered_pairs * (n - 2); // (17)
+            constraints += 2 * ordered_pairs * (2 * e); // (18), (19)
+            (
+                n,
+                ordered_pairs * 2 * e, // p_{i,j,m,n} per directed slot
+                ordered_pairs * n,     // d_{i,j,m}
+            )
+        } else {
+            (0, 0, 0)
+        };
+
+        Self {
+            instance,
+            size: IpSize {
+                x_vars: n,
+                y_vars: e,
+                r_vars,
+                p_vars,
+                d_vars,
+                constraints,
+            },
+        }
+    }
+
+    /// The model's size summary.
+    pub fn size(&self) -> IpSize {
+        self.size
+    }
+
+    /// The objective value of a selection vector under the IP objective
+    /// `Σ η_i x_i + Σ (τ_{i,j} + τ_{j,i}) y_{i,j}` with `y` forced to its
+    /// optimal value `x_i ∧ x_j` (τ ≥ 0; with negative τ the IP solver
+    /// would set y = 0, the paper's formulation implicitly assumes
+    /// non-negative tightness — we keep y = x_i ∧ x_j to stay faithful to
+    /// Eq. (1), and document the difference here).
+    pub fn objective(&self, x: &[bool]) -> f64 {
+        let g = self.instance.graph();
+        assert_eq!(x.len(), g.num_nodes(), "selection vector length mismatch");
+        let mut total = 0.0;
+        for v in g.node_ids() {
+            if x[v.index()] {
+                total += g.interest(v);
+            }
+        }
+        for (u, v, tau_uv, tau_vu) in g.undirected_edges() {
+            if x[u.index()] && x[v.index()] {
+                total += tau_uv + tau_vu;
+            }
+        }
+        total
+    }
+
+    /// Checks the basic constraints (11)–(12) plus connectivity (the net
+    /// effect of (13)–(19)) for a candidate selection.
+    pub fn is_feasible(&self, x: &[bool]) -> bool {
+        let g = self.instance.graph();
+        if x.len() != g.num_nodes() {
+            return false;
+        }
+        let selected: Vec<waso_graph::NodeId> = g
+            .node_ids()
+            .filter(|v| x[v.index()])
+            .collect();
+        if selected.len() != self.instance.k() {
+            return false; // constraint (11)
+        }
+        if self.instance.requires_connectivity() {
+            // Constraints (13)–(19) admit exactly the connected selections.
+            traversal::is_connected_subset(g, &selected)
+        } else {
+            true
+        }
+    }
+
+    /// Optimizes the model. Delegates to [`BranchBound`] — same objective,
+    /// same feasible set, proven optimal unless `cap` triggers.
+    pub fn solve(&self, cap: Option<u64>) -> Option<ExactResult> {
+        let bb = match cap {
+            Some(c) => BranchBound::with_cap(c),
+            None => BranchBound::new(),
+        };
+        bb.solve(self.instance, None)
+    }
+
+    /// Serializes the basic block (objective + constraints (11)–(12) +
+    /// binaries) in CPLEX LP format. The connectivity block is summarized
+    /// as a comment — materializing `p_{i,j,m,n}` rows in text form is
+    /// gigabytes even at n = 60, and no downstream consumer of ours parses
+    /// them.
+    pub fn to_lp_string(&self) -> String {
+        let g = self.instance.graph();
+        let mut out = String::new();
+        out.push_str("\\ WASO integer program (Appendix B)\n");
+        let _ = writeln!(
+            out,
+            "\\ n={} |E|={} k={} connected={}",
+            g.num_nodes(),
+            g.num_edges(),
+            self.instance.k(),
+            self.instance.requires_connectivity()
+        );
+        let _ = writeln!(
+            out,
+            "\\ full model: {} vars ({} path, {} depth), {} constraints",
+            self.size.total_vars(),
+            self.size.p_vars,
+            self.size.d_vars,
+            self.size.constraints
+        );
+
+        out.push_str("Maximize\n obj:");
+        let mut first = true;
+        for v in g.node_ids() {
+            let eta = g.interest(v);
+            if eta != 0.0 {
+                let _ = write!(out, " {eta:+} x{}", v.0);
+                first = false;
+            }
+        }
+        for (u, v, tau_uv, tau_vu) in g.undirected_edges() {
+            let w = tau_uv + tau_vu;
+            if w != 0.0 {
+                let _ = write!(out, " {:+} y{}_{}", w, u.0, v.0);
+                first = false;
+            }
+        }
+        if first {
+            out.push_str(" 0 x0");
+        }
+        out.push('\n');
+
+        out.push_str("Subject To\n");
+        // (11): Σ x_i = k
+        out.push_str(" c11:");
+        for v in g.node_ids() {
+            let _ = write!(out, " + x{}", v.0);
+        }
+        let _ = writeln!(out, " = {}", self.instance.k());
+        // (12): x_i + x_j - 2 y_ij >= 0
+        for (idx, (u, v, _, _)) in g.undirected_edges().enumerate() {
+            let _ = writeln!(out, " c12_{idx}: x{} + x{} - 2 y{}_{} >= 0", u.0, v.0, u.0, v.0);
+        }
+        if self.instance.requires_connectivity() {
+            out.push_str("\\ constraints (13)-(19): path-based connectivity (summarized)\n");
+        }
+
+        out.push_str("Binaries\n");
+        for v in g.node_ids() {
+            let _ = write!(out, " x{}", v.0);
+        }
+        out.push('\n');
+        for (u, v, _, _) in g.undirected_edges() {
+            let _ = write!(out, " y{}_{}", u.0, v.0);
+        }
+        out.push_str("\nEnd\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::exhaustive_optimum;
+    use waso_graph::{GraphBuilder, NodeId};
+
+    fn figure1_instance() -> WasoInstance {
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_node(8.0);
+        let v2 = b.add_node(7.0);
+        let v3 = b.add_node(6.0);
+        let v4 = b.add_node(5.0);
+        b.add_edge_symmetric(v1, v2, 1.0).unwrap();
+        b.add_edge_symmetric(v2, v3, 2.0).unwrap();
+        b.add_edge_symmetric(v3, v4, 4.0).unwrap();
+        WasoInstance::new(b.build(), 3).unwrap()
+    }
+
+    #[test]
+    fn sizes_match_hand_count() {
+        let inst = figure1_instance();
+        let model = IpModel::build(&inst);
+        let s = model.size();
+        // n=4, |E|=3: x=4, y=3, r=4; ordered pairs = 12, directed slots = 6.
+        assert_eq!(s.x_vars, 4);
+        assert_eq!(s.y_vars, 3);
+        assert_eq!(s.r_vars, 4);
+        assert_eq!(s.p_vars, 12 * 6);
+        assert_eq!(s.d_vars, 12 * 4);
+        // constraints: (11)=1, (12)=3, (13)=1, (14)=4, (15)+(16)=24,
+        // (17)=12·2=24, (18)+(19)=2·12·6=144 → 201.
+        assert_eq!(s.constraints, 201);
+        assert_eq!(s.total_vars(), 4 + 3 + 4 + 72 + 48);
+    }
+
+    #[test]
+    fn unconstrained_model_has_no_path_block() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(1.0);
+        let v = b.add_node(2.0);
+        b.add_edge_symmetric(u, v, 0.5).unwrap();
+        let inst = WasoInstance::without_connectivity(b.build(), 1).unwrap();
+        let s = IpModel::build(&inst).size();
+        assert_eq!(s.r_vars + s.p_vars + s.d_vars, 0);
+        assert_eq!(s.constraints, 2); // (11) + one (12)
+    }
+
+    #[test]
+    fn objective_matches_willingness() {
+        let inst = figure1_instance();
+        let model = IpModel::build(&inst);
+        // {v2, v3, v4} = indices 1..3.
+        let x = [false, true, true, true];
+        assert_eq!(model.objective(&x), 30.0);
+        let greedy = [true, true, true, false];
+        assert_eq!(model.objective(&greedy), 27.0);
+    }
+
+    #[test]
+    fn feasibility_checks_cardinality_and_connectivity() {
+        let inst = figure1_instance();
+        let model = IpModel::build(&inst);
+        assert!(model.is_feasible(&[false, true, true, true]));
+        assert!(!model.is_feasible(&[true, true, false, false])); // size 2 ≠ 3
+        assert!(!model.is_feasible(&[true, true, false, true])); // disconnected
+        assert!(!model.is_feasible(&[true, true])); // wrong length
+    }
+
+    #[test]
+    fn solve_delegates_to_exact_optimum() {
+        let inst = figure1_instance();
+        let model = IpModel::build(&inst);
+        let res = model.solve(None).unwrap();
+        assert!(res.optimal);
+        assert_eq!(res.group.willingness(), 30.0);
+        let brute = exhaustive_optimum(&inst).unwrap();
+        assert_eq!(res.group.willingness(), brute.willingness());
+    }
+
+    #[test]
+    fn lp_export_contains_the_model() {
+        let inst = figure1_instance();
+        let lp = IpModel::build(&inst).to_lp_string();
+        assert!(lp.contains("Maximize"));
+        assert!(lp.contains("c11:"));
+        assert!(lp.contains("= 3"), "cardinality k=3:\n{lp}");
+        // Symmetric edge v2–v3 with τ=2 contributes 2+2=4 on y1_2.
+        assert!(lp.contains("+4 y1_2"), "{lp}");
+        assert!(lp.contains("Binaries"));
+        assert!(lp.ends_with("End\n"));
+        // Every constraint (12) row present.
+        assert!(lp.contains("c12_0:") && lp.contains("c12_2:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_MODEL_NODES")]
+    fn oversized_connected_model_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_node(0.0);
+        let mut prev = first;
+        for _ in 1..100 {
+            let v = b.add_node(0.0);
+            b.add_edge_symmetric(prev, v, 1.0).unwrap();
+            prev = v;
+        }
+        let inst = WasoInstance::new(b.build(), 3).unwrap();
+        let _ = IpModel::build(&inst);
+    }
+
+    #[test]
+    fn feasible_objective_never_exceeds_solver_optimum() {
+        let inst = figure1_instance();
+        let model = IpModel::build(&inst);
+        let opt = model.solve(None).unwrap().group.willingness();
+        // All feasible x vectors (n=4, k=3): 4 candidates.
+        for mask in 0u32..16 {
+            let x: Vec<bool> = (0..4).map(|i| mask & (1 << i) != 0).collect();
+            if model.is_feasible(&x) {
+                assert!(model.objective(&x) <= opt + 1e-12);
+            }
+        }
+        let _ = NodeId(0);
+    }
+}

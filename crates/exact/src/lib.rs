@@ -1,0 +1,30 @@
+//! # waso-exact
+//!
+//! Exact WASO solving — the reproduction's substitute for the paper's
+//! "IP solved by IBM CPLEX" ground truth (§5, Appendix B).
+//!
+//! * [`enumerate`] — Wernicke's ESU enumeration of all connected induced
+//!   `k`-subgraphs, each exactly once: the brute-force oracle used to
+//!   verify everything else on small graphs;
+//! * [`branch_bound`] — a branch-and-bound maximizer over the same search
+//!   tree with an admissible optimistic-gain bound, handling both the
+//!   connected (WASO) and unconstrained (WASO-dis) problems, with an
+//!   optional node-expansion cap for the largest settings;
+//! * [`ip`] — the Appendix-B integer program, constructed variable-by-
+//!   variable and exportable in LP format. We do not ship a general MILP
+//!   solver; [`ip::IpModel::solve`] delegates to the branch-and-bound,
+//!   which optimizes the identical objective over the identical feasible
+//!   set (see DESIGN.md §3 for the substitution argument).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod branch_bound;
+pub mod enumerate;
+pub mod ip;
+
+pub use branch_bound::{BranchBound, ExactResult};
+pub use enumerate::{
+    enumerate_connected_k_subgraphs, exhaustive_optimum, exhaustive_optimum_where,
+};
+pub use ip::IpModel;

@@ -1,0 +1,198 @@
+//! A fixed-capacity bit set over node indices.
+//!
+//! Every solver keeps an "is this node already in the partial solution"
+//! membership test in its innermost loop (willingness deltas scan adjacency
+//! lists and filter by membership). A flat `Vec<u64>` bit set gives that
+//! test in one load and one mask with no hashing, and `clear_fast` lets a
+//! growth workspace be reused across thousands of samples without
+//! reallocating (see the perf-book notes on reusing collections).
+
+/// A fixed-capacity set of `usize` indices in `[0, capacity)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set that can hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Capacity (exclusive upper bound on storable indices).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *word & mask != 0;
+        *word |= mask;
+        !was
+    }
+
+    /// Removes `i`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *word & mask != 0;
+        *word &= !mask;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements (O(capacity/64), no allocation).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Removes exactly the listed elements — O(|elements|). When a workspace
+    /// tracked which indices it set, clearing only those beats `clear` for
+    /// small solutions inside huge graphs.
+    pub fn clear_fast(&mut self, elements: &[u32]) {
+        for &e in elements {
+            self.remove(e as usize);
+        }
+    }
+
+    /// Iterates set indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indices into a set sized to the largest element + 1.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports already-present");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63));
+        assert!(!s.contains(62));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn clear_variants_agree() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        let elems = [3u32, 77, 64, 199];
+        for &e in &elems {
+            a.insert(e as usize);
+            b.insert(e as usize);
+        }
+        a.clear();
+        b.clear_fast(&elems);
+        assert_eq!(a, b);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut s = BitSet::new(100);
+        for i in [99, 0, 64, 63, 5] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 99]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_itself() {
+        let s: BitSet = [10usize, 2, 7].into_iter().collect();
+        assert_eq!(s.capacity(), 11);
+        assert_eq!(s.len(), 3);
+        let empty: BitSet = std::iter::empty::<usize>().collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_usable() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_btreeset(ops in proptest::collection::vec((0usize..256, any::<bool>()), 0..200)) {
+            let mut bs = BitSet::new(256);
+            let mut reference = BTreeSet::new();
+            for (i, is_insert) in ops {
+                if is_insert {
+                    prop_assert_eq!(bs.insert(i), reference.insert(i));
+                } else {
+                    prop_assert_eq!(bs.remove(i), reference.remove(&i));
+                }
+            }
+            prop_assert_eq!(bs.len(), reference.len());
+            let got: Vec<usize> = bs.iter().collect();
+            let want: Vec<usize> = reference.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Validated construction of [`SocialGraph`]s.
+//!
+//! The builder accepts nodes with interest scores and undirected friendships
+//! with one tightness score per direction (`τ_{u,v}`, `τ_{v,u}`), then
+//! compiles them into CSR form. All structural errors (self-loops, unknown
+//! endpoints, duplicate edges) surface as [`GraphError`]s rather than
+//! corrupt storage.
+
+use crate::csr::{NodeId, SocialGraph};
+use std::fmt;
+
+/// Structural errors detected while building a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a node id that was never added.
+    UnknownNode(u32),
+    /// An edge connects a node to itself; WASO graphs are simple.
+    SelfLoop(u32),
+    /// The same unordered pair was added twice.
+    DuplicateEdge(u32, u32),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(v) => write!(f, "edge references unknown node v{v}"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on node v{v}"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "duplicate edge between v{u} and v{v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental builder for a [`SocialGraph`].
+///
+/// ```
+/// use waso_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let u = b.add_node(0.8);
+/// let v = b.add_node(0.3);
+/// b.add_edge_symmetric(u, v, 0.6).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.num_nodes(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    interest: Vec<f64>,
+    /// `(u, v, τ_{u,v}, τ_{v,u})` with `u != v`, unordered pair stored once.
+    edges: Vec<(u32, u32, f64, f64)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            interest: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node with interest score `η` and returns its id.
+    pub fn add_node(&mut self, interest: f64) -> NodeId {
+        let id = NodeId(self.interest.len() as u32);
+        self.interest.push(interest);
+        id
+    }
+
+    /// Adds `count` nodes all carrying `interest`; returns the first id.
+    pub fn add_nodes(&mut self, count: usize, interest: f64) -> NodeId {
+        let first = NodeId(self.interest.len() as u32);
+        self.interest.extend(std::iter::repeat_n(interest, count));
+        first
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.interest.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Overwrites the interest score of an existing node.
+    pub fn set_interest(&mut self, v: NodeId, interest: f64) -> Result<(), GraphError> {
+        let slot = self
+            .interest
+            .get_mut(v.index())
+            .ok_or(GraphError::UnknownNode(v.0))?;
+        *slot = interest;
+        Ok(())
+    }
+
+    /// Adds an undirected friendship with asymmetric tightness
+    /// (`τ_{u,v}` and `τ_{v,u}`). Duplicates are detected at [`build`] time.
+    ///
+    /// [`build`]: GraphBuilder::build
+    pub fn add_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        tau_uv: f64,
+        tau_vu: f64,
+    ) -> Result<(), GraphError> {
+        let n = self.interest.len() as u32;
+        if u.0 >= n {
+            return Err(GraphError::UnknownNode(u.0));
+        }
+        if v.0 >= n {
+            return Err(GraphError::UnknownNode(v.0));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u.0));
+        }
+        self.edges.push((u.0, v.0, tau_uv, tau_vu));
+        Ok(())
+    }
+
+    /// Adds an undirected friendship with symmetric tightness `τ`.
+    pub fn add_edge_symmetric(&mut self, u: NodeId, v: NodeId, tau: f64) -> Result<(), GraphError> {
+        self.add_edge(u, v, tau, tau)
+    }
+
+    /// Compiles into CSR form, or reports the first duplicate edge.
+    pub fn try_build(self) -> Result<SocialGraph, GraphError> {
+        let n = self.interest.len();
+        let mut degree = vec![0u32; n];
+        for &(u, v, _, _) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let slots = offsets[n] as usize;
+
+        // Scatter both directions, then sort each row by neighbour id.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0u32; slots];
+        let mut tightness = vec![0f64; slots];
+        for &(u, v, tau_uv, tau_vu) in &self.edges {
+            let su = cursor[u as usize] as usize;
+            cursor[u as usize] += 1;
+            neighbors[su] = v;
+            tightness[su] = tau_uv;
+
+            let sv = cursor[v as usize] as usize;
+            cursor[v as usize] += 1;
+            neighbors[sv] = u;
+            tightness[sv] = tau_vu;
+        }
+
+        for i in 0..n {
+            let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+            // Sort (neighbor, tightness) pairs of the row together.
+            let mut row: Vec<(u32, f64)> = neighbors[lo..hi]
+                .iter()
+                .copied()
+                .zip(tightness[lo..hi].iter().copied())
+                .collect();
+            row.sort_by_key(|&(j, _)| j);
+            for (w, (j, t)) in row.into_iter().enumerate() {
+                if w > 0 && neighbors[lo + w - 1] == j {
+                    return Err(GraphError::DuplicateEdge(i as u32, j));
+                }
+                neighbors[lo + w] = j;
+                tightness[lo + w] = t;
+            }
+        }
+
+        // pair_weight[slot i→j] = τ_{i,j} + τ_{j,i}; rows are sorted so the
+        // reverse slot is found by binary search once, at build time.
+        let mut pair_weight = vec![0f64; slots];
+        for i in 0..n {
+            let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+            for s in lo..hi {
+                let j = neighbors[s] as usize;
+                let (jlo, jhi) = (offsets[j] as usize, offsets[j + 1] as usize);
+                let back = jlo + neighbors[jlo..jhi]
+                    .binary_search(&(i as u32))
+                    .expect("reverse slot must exist: builder inserts both directions");
+                pair_weight[s] = tightness[s] + tightness[back];
+            }
+        }
+
+        Ok(SocialGraph::from_parts(
+            offsets,
+            neighbors,
+            tightness,
+            pair_weight,
+            self.interest,
+        ))
+    }
+
+    /// Compiles into CSR form.
+    ///
+    /// # Panics
+    /// Panics on duplicate edges; use [`GraphBuilder::try_build`] to handle
+    /// that case gracefully.
+    pub fn build(self) -> SocialGraph {
+        self.try_build().expect("graph construction failed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_nodes_and_self_loops() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_node(0.0);
+        assert_eq!(
+            b.add_edge(v0, NodeId(5), 1.0, 1.0),
+            Err(GraphError::UnknownNode(5))
+        );
+        assert_eq!(
+            b.add_edge(v0, v0, 1.0, 1.0),
+            Err(GraphError::SelfLoop(0))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edges_in_either_order() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_node(0.0);
+        let v1 = b.add_node(0.0);
+        b.add_edge_symmetric(v0, v1, 1.0).unwrap();
+        b.add_edge_symmetric(v1, v0, 2.0).unwrap();
+        match b.try_build() {
+            Err(GraphError::DuplicateEdge(_, _)) => {}
+            other => panic!("expected duplicate edge error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adjacency_rows_are_sorted() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..5).map(|i| b.add_node(i as f64)).collect();
+        // Insert in scrambled order.
+        b.add_edge_symmetric(ids[2], ids[4], 0.1).unwrap();
+        b.add_edge_symmetric(ids[2], ids[0], 0.2).unwrap();
+        b.add_edge_symmetric(ids[2], ids[3], 0.3).unwrap();
+        b.add_edge_symmetric(ids[2], ids[1], 0.4).unwrap();
+        let g = b.build();
+        assert_eq!(g.neighbors(ids[2]), &[0, 1, 2 + 1, 4]);
+        // Weights must travel with their neighbour through the sort.
+        assert_eq!(g.tightness(ids[2], ids[0]), Some(0.2));
+        assert_eq!(g.tightness(ids[2], ids[4]), Some(0.1));
+    }
+
+    #[test]
+    fn set_interest_overwrites() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node(1.0);
+        b.set_interest(v, 9.0).unwrap();
+        assert!(b.set_interest(NodeId(3), 1.0).is_err());
+        let g = b.build();
+        assert_eq!(g.interest(v), 9.0);
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_nodes(4, 0.5);
+        assert_eq!(first, NodeId(0));
+        assert_eq!(b.num_nodes(), 4);
+        let g = b.build();
+        assert!(g.interests().iter().all(|&x| x == 0.5));
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert_eq!(
+            GraphError::DuplicateEdge(1, 2).to_string(),
+            "duplicate edge between v1 and v2"
+        );
+        assert_eq!(
+            GraphError::UnknownNode(9).to_string(),
+            "edge references unknown node v9"
+        );
+        assert_eq!(GraphError::SelfLoop(3).to_string(), "self-loop on node v3");
+    }
+}

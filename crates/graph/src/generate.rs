@@ -1,0 +1,580 @@
+//! Topology generators.
+//!
+//! The paper evaluates on three crawled networks (Facebook New Orleans,
+//! DBLP, Flickr) that are not redistributable here; `waso-datasets`
+//! re-creates their statistical shape from these generators (see DESIGN.md
+//! §3 for the substitution argument). A [`GraphTopology`] is pure structure;
+//! interest and tightness scores are attached afterwards by
+//! [`crate::scores`].
+
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{NodeId, SocialGraph};
+
+/// An unscored, undirected simple graph: `n` nodes and a deduplicated edge
+/// list with `u < v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphTopology {
+    /// Number of nodes.
+    pub n: usize,
+    /// Undirected edges, each stored once with `u < v`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl GraphTopology {
+    /// Creates a topology from a raw edge list, normalizing order and
+    /// dropping duplicates and self-loops.
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut set = HashSet::new();
+        let mut out = Vec::new();
+        for (a, b) in edges {
+            if a == b {
+                continue;
+            }
+            let (u, v) = if a < b { (a, b) } else { (b, a) };
+            debug_assert!((v as usize) < n, "edge endpoint {v} out of range {n}");
+            if set.insert(((u as u64) << 32) | v as u64) {
+                out.push((u, v));
+            }
+        }
+        Self { n, edges: out }
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Average degree `2|E|/n` (0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Per-node degrees.
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Sorted adjacency lists (for common-neighbour computations).
+    pub fn adjacency(&self) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for row in &mut adj {
+            row.sort_unstable();
+        }
+        adj
+    }
+
+    /// Materializes a [`SocialGraph`] with zero interests and unit symmetric
+    /// tightness — handy for purely structural tests.
+    pub fn into_unit_graph(self) -> SocialGraph {
+        let mut b = GraphBuilder::with_capacity(self.n, self.edges.len());
+        b.add_nodes(self.n, 0.0);
+        for (u, v) in self.edges {
+            b.add_edge_symmetric(NodeId(u), NodeId(v), 1.0)
+                .expect("topology edges are validated");
+        }
+        b.build()
+    }
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges drawn uniformly.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n(n-1)/2`.
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> GraphTopology {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "G(n={n}) has at most {max_edges} edges, asked for {m}");
+    let mut set = HashSet::with_capacity(m);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let (u, v) = if u < v { (u, v) } else { (v, u) };
+        if set.insert(((u as u64) << 32) | v as u64) {
+            edges.push((u, v));
+        }
+    }
+    GraphTopology { n, edges }
+}
+
+/// Erdős–Rényi `G(n, p)` via geometric skipping (O(n + m) expected).
+pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> GraphTopology {
+    assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+    let mut edges = Vec::new();
+    if p <= 0.0 || n < 2 {
+        return GraphTopology { n, edges };
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        return GraphTopology { n, edges };
+    }
+    // Walk the upper-triangular pair index with geometric jumps.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    while (v as usize) < n {
+        let r: f64 = rng.random();
+        w += 1 + ((1.0 - r).ln() / log_q).floor() as i64;
+        while w >= v && (v as usize) < n {
+            w -= v;
+            v += 1;
+        }
+        if (v as usize) < n {
+            edges.push((w as u32, v as u32));
+        }
+    }
+    GraphTopology { n, edges }
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `m_attach + 1` nodes, then every new node attaches to `m_attach` distinct
+/// existing nodes with probability proportional to their degree.
+///
+/// Produces the heavy-tailed degree distributions of real social networks
+/// (the Facebook-like and Flickr-like datasets build on this).
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) -> GraphTopology {
+    assert!(m_attach >= 1, "attachment degree must be at least 1");
+    assert!(
+        n > m_attach,
+        "need more than m_attach={m_attach} nodes, got {n}"
+    );
+    let mut edges = Vec::with_capacity(n * m_attach);
+    // Repeated-endpoint list: node x appears deg(x) times; sampling uniform
+    // from it is sampling proportional to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+
+    // Seed clique on nodes 0..=m_attach.
+    for u in 0..=(m_attach as u32) {
+        for v in (u + 1)..=(m_attach as u32) {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut chosen = HashSet::with_capacity(m_attach);
+    let mut chosen_sorted = Vec::with_capacity(m_attach);
+    for new in (m_attach + 1)..n {
+        chosen.clear();
+        while chosen.len() < m_attach {
+            let pick = endpoints[rng.random_range(0..endpoints.len())];
+            chosen.insert(pick);
+        }
+        // HashSet iteration order is instance-randomized; sort so the edge
+        // list (and everything downstream of it) is a pure function of the
+        // RNG seed.
+        chosen_sorted.clear();
+        chosen_sorted.extend(chosen.iter().copied());
+        chosen_sorted.sort_unstable();
+        for &t in &chosen_sorted {
+            edges.push((t.min(new as u32), t.max(new as u32)));
+            endpoints.push(t);
+            endpoints.push(new as u32);
+        }
+    }
+    GraphTopology { n, edges }
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbours per
+/// side rewired with probability `beta`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> GraphTopology {
+    assert!(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n (n={n}, k={k})");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut set = HashSet::new();
+    let key = |u: u32, v: u32| {
+        let (u, v) = if u < v { (u, v) } else { (v, u) };
+        ((u as u64) << 32) | v as u64
+    };
+    // Ring lattice.
+    for u in 0..n as u32 {
+        for d in 1..=k as u32 {
+            let v = (u + d) % n as u32;
+            set.insert(key(u, v));
+        }
+    }
+    // Rewire each lattice edge's far endpoint with probability beta.
+    // Sorted: HashSet order would otherwise leak into the RNG stream.
+    let mut lattice: Vec<u64> = set.iter().copied().collect();
+    lattice.sort_unstable();
+    for e in lattice {
+        if rng.random::<f64>() >= beta {
+            continue;
+        }
+        let u = (e >> 32) as u32;
+        set.remove(&e);
+        let mut tries = 0;
+        loop {
+            let w = rng.random_range(0..n as u32);
+            if w != u && !set.contains(&key(u, w)) {
+                set.insert(key(u, w));
+                break;
+            }
+            tries += 1;
+            if tries > 64 {
+                set.insert(e); // dense corner case: keep the original edge
+                break;
+            }
+        }
+    }
+    let mut final_edges: Vec<u64> = set.into_iter().collect();
+    final_edges.sort_unstable();
+    GraphTopology::new(
+        n,
+        final_edges.into_iter().map(|e| ((e >> 32) as u32, e as u32)),
+    )
+}
+
+/// Planted community structure: `communities` equal-size groups, expected
+/// in-community degree `deg_in` and cross-community degree `deg_out` per
+/// node. Models the co-authorship clusters of the DBLP-like dataset.
+pub fn planted_communities<R: Rng + ?Sized>(
+    n: usize,
+    communities: usize,
+    deg_in: f64,
+    deg_out: f64,
+    rng: &mut R,
+) -> GraphTopology {
+    assert!(communities >= 1 && communities <= n.max(1));
+    let size = n.div_ceil(communities);
+    let mut set = HashSet::new();
+    let mut edges = Vec::new();
+    let push = |set: &mut HashSet<u64>, edges: &mut Vec<(u32, u32)>, a: u32, b: u32| {
+        if a == b {
+            return;
+        }
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        if set.insert(((u as u64) << 32) | v as u64) {
+            edges.push((u, v));
+        }
+    };
+
+    let m_in = (n as f64 * deg_in / 2.0).round() as usize;
+    let m_out = (n as f64 * deg_out / 2.0).round() as usize;
+
+    for _ in 0..m_in {
+        let u = rng.random_range(0..n as u32);
+        let c = u as usize / size;
+        let lo = (c * size) as u32;
+        let hi = (((c + 1) * size).min(n)) as u32;
+        if hi - lo < 2 {
+            continue;
+        }
+        let v = rng.random_range(lo..hi);
+        push(&mut set, &mut edges, u, v);
+    }
+    for _ in 0..m_out {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u as usize / size != v as usize / size {
+            push(&mut set, &mut edges, u, v);
+        }
+    }
+    GraphTopology { n, edges }
+}
+
+/// Community-structured preferential attachment: the friendship-network
+/// model behind the Facebook-like and Flickr-like datasets.
+///
+/// Real online social networks combine heavy-tailed degrees with strong
+/// community structure *of varying density* — and that variance is what
+/// separates greedy from sampling-based WASO solvers: a greedy walk commits
+/// to whatever community it first enters, while multi-start sampling
+/// compares communities. Plain BA has one global dense core and misses this
+/// entirely.
+///
+/// Nodes are split into consecutive blocks of `community_size`; each block
+/// grows as a Barabási–Albert graph whose attachment degree is drawn
+/// uniformly from `attach_lo..=attach_hi` (communities of different
+/// density), then every node sprouts on average `cross_per_node` uniform
+/// inter-community edges (the weak ties).
+pub fn community_ba<R: Rng + ?Sized>(
+    n: usize,
+    community_size: usize,
+    attach_lo: usize,
+    attach_hi: usize,
+    cross_per_node: f64,
+    rng: &mut R,
+) -> GraphTopology {
+    assert!(community_size >= 3, "communities need at least 3 nodes");
+    assert!(1 <= attach_lo && attach_lo <= attach_hi);
+    assert!(cross_per_node >= 0.0);
+
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let size = community_size.min(n - start);
+        let offset = start as u32;
+        if size >= 3 {
+            let attach = rng
+                .random_range(attach_lo..=attach_hi)
+                .min((size - 1) / 2)
+                .max(1);
+            let sub = barabasi_albert(size, attach, rng);
+            edges.extend(sub.edges.iter().map(|&(u, v)| (u + offset, v + offset)));
+        } else if size == 2 {
+            edges.push((offset, offset + 1));
+        }
+        start += size;
+    }
+
+    // Weak ties across communities.
+    let mut set: HashSet<u64> = edges
+        .iter()
+        .map(|&(u, v)| ((u as u64) << 32) | v as u64)
+        .collect();
+    let cross_edges = (n as f64 * cross_per_node / 2.0).round() as usize;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < cross_edges && attempts < cross_edges * 20 {
+        attempts += 1;
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        if a == b || a as usize / community_size == b as usize / community_size {
+            continue;
+        }
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        if set.insert(((u as u64) << 32) | v as u64) {
+            edges.push((u, v));
+            added += 1;
+        }
+    }
+    GraphTopology { n, edges }
+}
+
+/// Deterministic path `0 - 1 - … - (n-1)`.
+pub fn path_topology(n: usize) -> GraphTopology {
+    GraphTopology {
+        n,
+        edges: (1..n as u32).map(|v| (v - 1, v)).collect(),
+    }
+}
+
+/// Deterministic star with centre 0.
+pub fn star_topology(n: usize) -> GraphTopology {
+    GraphTopology {
+        n,
+        edges: (1..n as u32).map(|v| (0, v)).collect(),
+    }
+}
+
+/// Deterministic complete graph `K_n`.
+pub fn complete_topology(n: usize) -> GraphTopology {
+    let mut edges = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    GraphTopology { n, edges }
+}
+
+/// Deterministic `w × h` grid, node `(x, y)` at index `y*w + x`.
+pub fn grid_topology(w: usize, h: usize) -> GraphTopology {
+    let mut edges = Vec::new();
+    let at = |x: usize, y: usize| (y * w + x) as u32;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((at(x, y), at(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((at(x, y), at(x, y + 1)));
+            }
+        }
+    }
+    GraphTopology { n: w * h, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn topology_new_normalizes() {
+        let t = GraphTopology::new(4, [(2, 1), (1, 2), (3, 3), (0, 1)]);
+        assert_eq!(t.edges, vec![(1, 2), (0, 1)]);
+        assert_eq!(t.num_edges(), 2);
+    }
+
+    #[test]
+    fn gnm_produces_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = erdos_renyi_gnm(50, 120, &mut rng);
+        assert_eq!(t.n, 50);
+        assert_eq!(t.num_edges(), 120);
+        // All edges distinct and in range.
+        let set: HashSet<_> = t.edges.iter().collect();
+        assert_eq!(set.len(), 120);
+        assert!(t.edges.iter().all(|&(u, v)| u < v && (v as usize) < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn gnm_rejects_impossible_edge_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = erdos_renyi_gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn gnp_degree_concentrates() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (n, p) = (2000, 0.01);
+        let t = erdos_renyi_gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = t.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "expected ~{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(erdos_renyi_gnp(100, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, &mut rng).num_edges(), 45);
+        assert_eq!(erdos_renyi_gnp(1, 0.5, &mut rng).num_edges(), 0);
+    }
+
+    #[test]
+    fn barabasi_albert_counts_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (n, m) = (300, 5);
+        let t = barabasi_albert(n, m, &mut rng);
+        // Clique seed edges + m per additional node.
+        let want = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(t.num_edges(), want);
+        assert!(traversal::is_connected(&t.into_unit_graph()));
+    }
+
+    #[test]
+    fn barabasi_albert_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let t = barabasi_albert(2000, 3, &mut rng);
+        let deg = t.degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        let mean = t.avg_degree();
+        // Hubs should dwarf the mean — a heavy-tail smoke test that would
+        // fail for ER graphs of the same density (max/mean ≈ 3).
+        assert!(max / mean > 8.0, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_count_roughly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = watts_strogatz(200, 4, 0.1, &mut rng);
+        // Ring lattice has n*k edges; rewiring preserves count except for
+        // rare dense-corner fallbacks.
+        assert!((t.num_edges() as i64 - 800).abs() <= 8);
+        assert!(t.edges.iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn planted_communities_bias_inside() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = planted_communities(400, 4, 8.0, 1.0, &mut rng);
+        let size = 100;
+        let inside = t
+            .edges
+            .iter()
+            .filter(|&&(u, v)| u as usize / size == v as usize / size)
+            .count();
+        let outside = t.num_edges() - inside;
+        assert!(inside > 4 * outside, "inside {inside}, outside {outside}");
+    }
+
+    #[test]
+    fn community_ba_structure() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let t = community_ba(600, 100, 5, 12, 2.0, &mut rng);
+        assert_eq!(t.n, 600);
+        // Mostly intra-community edges.
+        let intra = t
+            .edges
+            .iter()
+            .filter(|&&(u, v)| u as usize / 100 == v as usize / 100)
+            .count();
+        let inter = t.num_edges() - intra;
+        assert!(intra > 3 * inter, "intra {intra}, inter {inter}");
+        // Roughly cross_per_node/2 · n cross edges.
+        assert!((inter as f64 - 600.0).abs() < 120.0, "inter {inter}");
+        // Connectedness: weak ties glue the communities together whp.
+        assert!(traversal::is_connected(&t.into_unit_graph()));
+    }
+
+    #[test]
+    fn community_ba_densities_vary() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let t = community_ba(1000, 100, 3, 13, 1.0, &mut rng);
+        // Per-community internal degree should differ across communities.
+        let mut internal = vec![0usize; 10];
+        for &(u, v) in &t.edges {
+            let (cu, cv) = (u as usize / 100, v as usize / 100);
+            if cu == cv {
+                internal[cu] += 1;
+            }
+        }
+        let min = *internal.iter().min().unwrap();
+        let max = *internal.iter().max().unwrap();
+        assert!(max > min + min / 2, "density spread: {internal:?}");
+    }
+
+    #[test]
+    fn community_ba_is_deterministic() {
+        let a = community_ba(400, 80, 4, 10, 1.5, &mut StdRng::seed_from_u64(9));
+        let b = community_ba(400, 80, 4, 10, 1.5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_fixtures() {
+        assert_eq!(path_topology(4).edges, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(star_topology(4).edges, vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(complete_topology(4).num_edges(), 6);
+        let grid = grid_topology(3, 2);
+        assert_eq!(grid.n, 6);
+        assert_eq!(grid.num_edges(), 7);
+        assert!(traversal::is_connected(&grid.into_unit_graph()));
+    }
+
+    #[test]
+    fn degrees_and_adjacency_agree() {
+        let t = grid_topology(4, 4);
+        let deg = t.degrees();
+        let adj = t.adjacency();
+        for v in 0..t.n {
+            assert_eq!(deg[v] as usize, adj[v].len());
+            assert!(adj[v].windows(2).all(|w| w[0] < w[1]), "sorted rows");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # waso-graph
+//!
+//! Social-graph substrate for the WASO reproduction.
+//!
+//! The paper's input is a social network `G = (V, E)` with an interest score
+//! `η_i` per person and a (possibly asymmetric) social tightness score
+//! `τ_{i,j}` per directed friendship. This crate owns that representation
+//! end-to-end:
+//!
+//! * [`SocialGraph`] — immutable CSR storage with per-slot directed
+//!   tightness and precomputed *pair weights* `τ_{i,j} + τ_{j,i}` (the hot
+//!   quantity for willingness deltas);
+//! * [`GraphBuilder`] — validated construction from nodes + undirected
+//!   edges with two directed scores;
+//! * [`generate`] — topology generators (Erdős–Rényi, Barabási–Albert,
+//!   Watts–Strogatz, planted communities, deterministic fixtures);
+//! * [`scores`] — the paper's §5.1 score models: power-law interests
+//!   (β = 2.5, Clauset et al. \[5\]) and common-neighbour tightness
+//!   (Chaoji et al. \[3\]);
+//! * [`traversal`], [`subgraph`], [`metrics`], [`io`] — BFS/components,
+//!   induced subgraphs and ego networks, degree/clustering statistics, and
+//!   a plain-text interchange format;
+//! * [`bitset::BitSet`] — the membership set used by every solver's hot
+//!   loop.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitset;
+pub mod builder;
+pub mod csr;
+pub mod generate;
+pub mod io;
+pub mod metrics;
+pub mod scores;
+pub mod subgraph;
+pub mod traversal;
+
+pub use bitset::BitSet;
+pub use builder::{GraphBuilder, GraphError};
+pub use csr::{NodeId, SocialGraph};
+pub use generate::GraphTopology;
+pub use scores::{InterestModel, ScoreModel, TightnessModel};

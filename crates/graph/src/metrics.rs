@@ -1,0 +1,173 @@
+//! Structural statistics of social graphs.
+//!
+//! The dataset substitutions (DESIGN.md §3) claim the synthetic networks
+//! match the crawled ones in size, mean degree and heavy-tailedness; this
+//! module provides the measurements that back those claims (degree summary,
+//! degree histogram, density, clustering coefficient).
+
+use crate::csr::{NodeId, SocialGraph};
+
+/// Degree distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree `2|E|/n`.
+    pub mean: f64,
+    /// Population standard deviation of degrees.
+    pub std_dev: f64,
+}
+
+/// Computes the degree summary; `None` for an empty graph.
+pub fn degree_stats(g: &SocialGraph) -> Option<DegreeStats> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for v in g.node_ids() {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d as f64;
+        sum_sq += (d * d) as f64;
+    }
+    let mean = sum / n as f64;
+    let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+    Some(DegreeStats {
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+    })
+}
+
+/// Edge density `2|E| / (n(n-1))`; 0 for graphs with fewer than two nodes.
+pub fn density(g: &SocialGraph) -> f64 {
+    let n = g.num_nodes();
+    if n < 2 {
+        return 0.0;
+    }
+    2.0 * g.num_edges() as f64 / (n as f64 * (n as f64 - 1.0))
+}
+
+/// Local clustering coefficient of `v`: closed wedges / possible wedges.
+/// 0 for degree < 2.
+pub fn local_clustering(g: &SocialGraph, v: NodeId) -> f64 {
+    let neigh = g.neighbors(v);
+    let d = neigh.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (a, &u) in neigh.iter().enumerate() {
+        for &w in &neigh[a + 1..] {
+            if g.has_edge(NodeId(u), NodeId(w)) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Average clustering coefficient over all nodes (0 for an empty graph).
+/// Exact; for very large graphs prefer [`sampled_clustering`].
+pub fn average_clustering(g: &SocialGraph) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    g.node_ids().map(|v| local_clustering(g, v)).sum::<f64>() / n as f64
+}
+
+/// Clustering coefficient averaged over an id-stride sample of about
+/// `sample` nodes — deterministic, cheap on million-node graphs.
+pub fn sampled_clustering(g: &SocialGraph, sample: usize) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 || sample == 0 {
+        return 0.0;
+    }
+    let stride = (n / sample.min(n)).max(1);
+    let picked: Vec<NodeId> = (0..n).step_by(stride).map(|i| NodeId(i as u32)).collect();
+    picked.iter().map(|&v| local_clustering(g, v)).sum::<f64>() / picked.len() as f64
+}
+
+/// Histogram of degrees as `(degree, node count)` pairs, ascending, only
+/// non-empty buckets.
+pub fn degree_histogram(g: &SocialGraph) -> Vec<(usize, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for v in g.node_ids() {
+        *counts.entry(g.degree(v)).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn degree_stats_of_star() {
+        let g = generate::star_topology(5).into_unit_graph();
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_empty_graph() {
+        let g = crate::GraphBuilder::new().build();
+        assert!(degree_stats(&g).is_none());
+        assert_eq!(density(&g), 0.0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        let g = generate::complete_topology(7).into_unit_graph();
+        assert!((density(&g) - 1.0).abs() < 1e-12);
+        let p = generate::path_topology(7).into_unit_graph();
+        assert!((density(&p) - 6.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        let complete = generate::complete_topology(6).into_unit_graph();
+        assert!((average_clustering(&complete) - 1.0).abs() < 1e-12);
+        let star = generate::star_topology(6).into_unit_graph();
+        assert_eq!(average_clustering(&star), 0.0);
+        let path = generate::path_topology(3).into_unit_graph();
+        assert_eq!(local_clustering(&path, crate::NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_with_tail() {
+        // Triangle 0-1-2 with a tail 2-3: nodes 0,1 have c=1, node 2 has
+        // c = 1/3, node 3 has c = 0 → average 7/12.
+        let topo = generate::GraphTopology::new(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let g = topo.into_unit_graph();
+        assert!((average_clustering(&g) - 7.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_clustering_matches_exact_on_small_graphs() {
+        let topo = generate::GraphTopology::new(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let g = topo.into_unit_graph();
+        let exact = average_clustering(&g);
+        let sampled = sampled_clustering(&g, 100); // sample ≥ n → all nodes
+        assert!((exact - sampled).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_histogram_buckets() {
+        let g = generate::star_topology(5).into_unit_graph();
+        assert_eq!(degree_histogram(&g), vec![(1, 4), (4, 1)]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Induced subgraphs and ego networks.
+//!
+//! Two uses in the reproduction: the *invitation* scenario (§2.2) restricts
+//! the candidate set to the inviter's neighbourhood, and the user-study
+//! instances (§5.2) are small ego networks "extracted from their social
+//! networks in Facebook". Both need score-preserving induced subgraphs with
+//! a mapping back to the original ids.
+
+use crate::bitset::BitSet;
+use crate::builder::GraphBuilder;
+use crate::csr::{NodeId, SocialGraph};
+
+/// An induced subgraph plus the mapping from its dense ids back to the
+/// parent graph's ids.
+#[derive(Debug, Clone)]
+pub struct Induced {
+    /// The extracted graph; node `i` corresponds to `to_parent[i]`.
+    pub graph: SocialGraph,
+    /// `to_parent[new_id] = old_id`.
+    pub to_parent: Vec<NodeId>,
+}
+
+impl Induced {
+    /// Maps a subgraph node id back to the parent graph.
+    pub fn parent_id(&self, v: NodeId) -> NodeId {
+        self.to_parent[v.index()]
+    }
+
+    /// Maps a set of subgraph ids back to parent ids.
+    pub fn parent_ids(&self, vs: &[NodeId]) -> Vec<NodeId> {
+        vs.iter().map(|&v| self.parent_id(v)).collect()
+    }
+}
+
+/// Extracts the subgraph induced by `nodes` (order defines the new ids;
+/// duplicates are ignored after their first occurrence).
+pub fn induced_subgraph(g: &SocialGraph, nodes: &[NodeId]) -> Induced {
+    let mut to_parent = Vec::with_capacity(nodes.len());
+    let mut new_id = vec![u32::MAX; g.num_nodes()];
+    for &v in nodes {
+        if new_id[v.index()] == u32::MAX {
+            new_id[v.index()] = to_parent.len() as u32;
+            to_parent.push(v);
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(to_parent.len(), 0);
+    for &v in &to_parent {
+        b.add_node(g.interest(v));
+    }
+    for &u in &to_parent {
+        for (v, tau_uv, _) in g.neighbor_entries(u) {
+            // Each undirected pair once: keep the direction where the parent
+            // id of u is smaller.
+            if u.0 < v.0 && new_id[v.index()] != u32::MAX {
+                let tau_vu = g.tightness(v, u).expect("reverse slot exists");
+                b.add_edge(
+                    NodeId(new_id[u.index()]),
+                    NodeId(new_id[v.index()]),
+                    tau_uv,
+                    tau_vu,
+                )
+                .expect("validated ids");
+            }
+        }
+    }
+    Induced {
+        graph: b.build(),
+        to_parent,
+    }
+}
+
+/// Extracts the ego network of `center`: every node within `radius` hops,
+/// capped at `max_nodes` (BFS order decides which boundary nodes survive the
+/// cap; the centre is always node 0 of the result).
+pub fn ego_network(g: &SocialGraph, center: NodeId, radius: usize, max_nodes: usize) -> Induced {
+    assert!(max_nodes >= 1, "ego network needs room for the centre");
+    let mut seen = BitSet::new(g.num_nodes());
+    let mut frontier = vec![center];
+    let mut selected = vec![center];
+    seen.insert(center.index());
+
+    let mut depth = 0;
+    while depth < radius && selected.len() < max_nodes && !frontier.is_empty() {
+        let mut next = Vec::new();
+        'outer: for &u in &frontier {
+            for &j in g.neighbors(u) {
+                if seen.insert(j as usize) {
+                    selected.push(NodeId(j));
+                    next.push(NodeId(j));
+                    if selected.len() >= max_nodes {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+    induced_subgraph(g, &selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generate;
+    use crate::traversal;
+
+    fn asymmetric_path() -> SocialGraph {
+        // 0 -(1,2)- 1 -(3,4)- 2 -(5,6)- 3, interests 10/20/30/40.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..4).map(|i| b.add_node(10.0 * (i + 1) as f64)).collect();
+        b.add_edge(ids[0], ids[1], 1.0, 2.0).unwrap();
+        b.add_edge(ids[1], ids[2], 3.0, 4.0).unwrap();
+        b.add_edge(ids[2], ids[3], 5.0, 6.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn induced_preserves_scores_and_direction() {
+        let g = asymmetric_path();
+        let sub = induced_subgraph(&g, &[NodeId(2), NodeId(1), NodeId(3)]);
+        assert_eq!(sub.graph.num_nodes(), 3);
+        assert_eq!(sub.graph.num_edges(), 2);
+        assert_eq!(sub.parent_id(NodeId(0)), NodeId(2));
+        // Edge 1→2 carried τ=3 in the parent; node 1 is new id 1, node 2 is 0.
+        assert_eq!(sub.graph.tightness(NodeId(1), NodeId(0)), Some(3.0));
+        assert_eq!(sub.graph.tightness(NodeId(0), NodeId(1)), Some(4.0));
+        assert_eq!(sub.graph.interest(NodeId(2)), 40.0);
+    }
+
+    #[test]
+    fn induced_drops_outside_edges() {
+        let g = asymmetric_path();
+        let sub = induced_subgraph(&g, &[NodeId(0), NodeId(2)]);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn induced_ignores_duplicates() {
+        let g = asymmetric_path();
+        let sub = induced_subgraph(&g, &[NodeId(1), NodeId(1), NodeId(2)]);
+        assert_eq!(sub.graph.num_nodes(), 2);
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn ego_radius_one_is_closed_neighborhood() {
+        let g = generate::star_topology(6).into_unit_graph();
+        let ego = ego_network(&g, NodeId(0), 1, usize::MAX);
+        assert_eq!(ego.graph.num_nodes(), 6);
+        let leaf_ego = ego_network(&g, NodeId(3), 1, usize::MAX);
+        assert_eq!(leaf_ego.graph.num_nodes(), 2);
+        assert_eq!(leaf_ego.parent_id(NodeId(0)), NodeId(3));
+    }
+
+    #[test]
+    fn ego_cap_limits_size_and_stays_connected() {
+        let g = generate::grid_topology(10, 10).into_unit_graph();
+        let ego = ego_network(&g, NodeId(55), 3, 12);
+        assert_eq!(ego.graph.num_nodes(), 12);
+        assert!(traversal::is_connected(&ego.graph));
+    }
+
+    #[test]
+    fn ego_radius_zero_is_single_node() {
+        let g = generate::complete_topology(5).into_unit_graph();
+        let ego = ego_network(&g, NodeId(2), 0, 100);
+        assert_eq!(ego.graph.num_nodes(), 1);
+        assert_eq!(ego.parent_id(NodeId(0)), NodeId(2));
+    }
+
+    #[test]
+    fn parent_ids_roundtrip() {
+        let g = asymmetric_path();
+        let sub = induced_subgraph(&g, &[NodeId(3), NodeId(0)]);
+        let back = sub.parent_ids(&[NodeId(0), NodeId(1)]);
+        assert_eq!(back, vec![NodeId(3), NodeId(0)]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Breadth-first traversal, connected components, and the subset
+//! connectivity test behind WASO's feasibility constraint.
+//!
+//! A WASO solution `F` must induce a connected subgraph "for each attendee
+//! to become acquainted with another attendee according to a social path"
+//! (§2.1). [`is_connected_subset`] is the validator used by every solver's
+//! result check and by the exact solver's enumeration.
+
+use crate::bitset::BitSet;
+use crate::csr::{NodeId, SocialGraph};
+
+/// Breadth-first order of the component containing `start`.
+pub fn bfs_order(g: &SocialGraph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = BitSet::new(g.num_nodes());
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    seen.insert(start.index());
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &j in g.neighbors(u) {
+            if seen.insert(j as usize) {
+                queue.push_back(NodeId(j));
+            }
+        }
+    }
+    order
+}
+
+/// Labels every node with a component id in `[0, #components)`; ids are
+/// assigned in order of lowest contained node.
+pub fn connected_components(g: &SocialGraph) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for v in 0..n {
+        if comp[v] != u32::MAX {
+            continue;
+        }
+        comp[v] = next;
+        stack.push(v as u32);
+        while let Some(u) = stack.pop() {
+            for &j in g.neighbors(NodeId(u)) {
+                if comp[j as usize] == u32::MAX {
+                    comp[j as usize] = next;
+                    stack.push(j);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of connected components.
+pub fn num_components(g: &SocialGraph) -> usize {
+    connected_components(g)
+        .iter()
+        .max()
+        .map_or(0, |&m| m as usize + 1)
+}
+
+/// Node ids of the largest connected component (ties broken by smallest
+/// component id).
+pub fn largest_component(g: &SocialGraph) -> Vec<NodeId> {
+    let comp = connected_components(g);
+    let count = comp.iter().max().map_or(0, |&m| m as usize + 1);
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let Some(best) = (0..count).max_by_key(|&c| (sizes[c], std::cmp::Reverse(c))) else {
+        return Vec::new();
+    };
+    comp.iter()
+        .enumerate()
+        .filter(|&(_, &c)| c as usize == best)
+        .map(|(v, _)| NodeId(v as u32))
+        .collect()
+}
+
+/// `true` when the *whole graph* is connected (vacuously true when empty).
+pub fn is_connected(g: &SocialGraph) -> bool {
+    num_components(g) <= 1
+}
+
+/// `true` when the subgraph induced by `nodes` is connected.
+///
+/// BFS restricted to the subset; runs in `O(Σ_{v ∈ nodes} deg(v))` with two
+/// bit sets and no allocation proportional to the graph beyond them.
+/// The empty set and singletons are connected by convention.
+pub fn is_connected_subset(g: &SocialGraph, nodes: &[NodeId]) -> bool {
+    match nodes.len() {
+        0 | 1 => return true,
+        _ => {}
+    }
+    let mut member = BitSet::new(g.num_nodes());
+    for &v in nodes {
+        if !member.insert(v.index()) {
+            // Duplicate node: treat the multiset as invalid.
+            return false;
+        }
+    }
+    let mut seen = BitSet::new(g.num_nodes());
+    let mut stack = vec![nodes[0]];
+    seen.insert(nodes[0].index());
+    let mut reached = 1usize;
+    while let Some(u) = stack.pop() {
+        for &j in g.neighbors(u) {
+            let j = j as usize;
+            if member.contains(j) && seen.insert(j) {
+                reached += 1;
+                stack.push(NodeId(j as u32));
+            }
+        }
+    }
+    reached == nodes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generate;
+
+    /// Two triangles joined by nothing: {0,1,2} and {3,4,5}.
+    fn two_triangles() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..6).map(|_| b.add_node(0.0)).collect();
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge_symmetric(ids[u], ids[v], 1.0).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_visits_component_once() {
+        let g = two_triangles();
+        let order = bfs_order(&g, NodeId(0));
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], NodeId(0));
+        let mut ids: Vec<u32> = order.iter().map(|v| v.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn components_are_labelled() {
+        let g = two_triangles();
+        let comp = connected_components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_eq!(num_components(&g), 2);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn largest_component_prefers_size_then_lowest_id() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..5).map(|_| b.add_node(0.0)).collect();
+        b.add_edge_symmetric(ids[0], ids[1], 1.0).unwrap(); // size-2 comp
+        b.add_edge_symmetric(ids[2], ids[3], 1.0).unwrap(); // size-3 comp
+        b.add_edge_symmetric(ids[3], ids[4], 1.0).unwrap();
+        let g = b.build();
+        let big: Vec<u32> = largest_component(&g).iter().map(|v| v.0).collect();
+        assert_eq!(big, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn subset_connectivity() {
+        let g = two_triangles();
+        assert!(is_connected_subset(&g, &[]));
+        assert!(is_connected_subset(&g, &[NodeId(4)]));
+        assert!(is_connected_subset(&g, &[NodeId(0), NodeId(1), NodeId(2)]));
+        assert!(!is_connected_subset(&g, &[NodeId(0), NodeId(3)]));
+        // Connected in G but not within the subset: 0 and 2 are adjacent,
+        // adding 4 (other triangle) breaks it.
+        assert!(!is_connected_subset(&g, &[NodeId(0), NodeId(2), NodeId(4)]));
+    }
+
+    #[test]
+    fn subset_with_duplicates_is_rejected() {
+        let g = two_triangles();
+        assert!(!is_connected_subset(&g, &[NodeId(0), NodeId(0)]));
+    }
+
+    #[test]
+    fn path_graph_is_connected() {
+        let g = generate::path_topology(10).into_unit_graph();
+        assert!(is_connected(&g));
+        assert_eq!(num_components(&g), 1);
+        // Dropping the middle node disconnects the rest.
+        let subset: Vec<NodeId> = (0..10).filter(|&i| i != 5).map(NodeId).collect();
+        assert!(!is_connected_subset(&g, &subset));
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(num_components(&g), 0);
+        assert!(is_connected(&g));
+        assert!(largest_component(&g).is_empty());
+    }
+}

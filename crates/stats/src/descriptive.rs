@@ -1,0 +1,249 @@
+//! Streaming descriptive statistics (Welford's online algorithm) and
+//! one-shot summaries.
+//!
+//! The experiment harness summarizes thousands of sampled willingness values
+//! per start node; a single-pass, numerically stable accumulator keeps that
+//! cheap and allocation-free (the per-sample hot path of CBAS only touches
+//! this accumulator).
+
+/// Single-pass mean/variance accumulator (Welford, 1962).
+///
+/// Numerically stable for long streams; used to fit the Gaussian budget
+/// allocator of CBAS-ND-G (Appendix A) from per-start-node samples.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; 0 for an empty stream.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by n); 0 for fewer than 2 observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by n-1); 0 for fewer than 2 observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `+inf` for an empty stream.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` for an empty stream.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Freezes the stream into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Immutable summary of a sample: count, mean, standard deviation, range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice in one pass.
+    pub fn of(xs: &[f64]) -> Summary {
+        let mut w = Welford::new();
+        for &x in xs {
+            w.push(x);
+        }
+        w.summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_is_safe() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert!(w.min().is_infinite());
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut w = Welford::new();
+        w.push(4.5);
+        assert_eq!(w.mean(), 4.5);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), 4.5);
+        assert_eq!(w.max(), 4.5);
+    }
+
+    #[test]
+    fn matches_two_pass_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::of(&xs);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn sample_variance_uses_n_minus_one() {
+        let mut w = Welford::new();
+        for x in [1.0, 2.0, 3.0] {
+            w.push(x);
+        }
+        assert!((w.sample_variance() - 1.0).abs() < 1e-12);
+        assert!((w.variance() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs = [1.0, 2.5, -3.0, 8.0, 0.25];
+        let ys = [4.0, -1.5, 2.0];
+        let mut a = Welford::new();
+        for &x in &xs {
+            a.push(x);
+        }
+        let mut b = Welford::new();
+        for &y in &ys {
+            b.push(y);
+        }
+        a.merge(&b);
+
+        let mut c = Welford::new();
+        for &x in xs.iter().chain(ys.iter()) {
+            c.push(x);
+        }
+        assert_eq!(a.count(), c.count());
+        assert!((a.mean() - c.mean()).abs() < 1e-12);
+        assert!((a.variance() - c.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a.summary();
+        a.merge(&Welford::new());
+        assert_eq!(a.summary(), before);
+
+        let mut empty = Welford::new();
+        let mut b = Welford::new();
+        b.push(1.0);
+        b.push(2.0);
+        empty.merge(&b);
+        assert_eq!(empty.summary(), before);
+    }
+
+    #[test]
+    fn large_offset_is_stable() {
+        // Classic catastrophic-cancellation probe: huge mean, small variance.
+        let mut w = Welford::new();
+        for x in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
+            w.push(x);
+        }
+        assert!((w.mean() - (1e9 + 10.0)).abs() < 1e-3);
+        assert!((w.sample_variance() - 30.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,188 @@
+//! Fixed-width histograms.
+//!
+//! Figure 6(a) of the paper plots the distribution of willingness values of
+//! uniformly grown random samples on the Facebook dataset and observes a
+//! Gaussian shape (mean 124.71, variance 13.83 in their run). The harness
+//! re-creates that plot with [`Histogram`] and fits the normal via
+//! [`crate::normal::NormalFit`].
+
+/// A histogram over `[lo, hi)` with equally wide bins.
+///
+/// Out-of-range observations are clamped into the first/last bin so that
+/// `total()` always equals the number of `add` calls (the paper's histogram
+/// is plotted over a fixed axis with everything visible).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(hi > lo, "empty histogram range [{lo}, {hi})");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Builds a histogram spanning the data range of `xs` (padded by half a
+    /// bin on each side so the max lands inside the last bin).
+    pub fn of(xs: &[f64], bins: usize) -> Self {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        if hi <= lo {
+            hi = lo + 1.0;
+        }
+        let pad = (hi - lo) / (2.0 * bins as f64);
+        let mut h = Self::new(lo - pad, hi + pad, bins);
+        for &x in xs {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        let nb = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = if !t.is_finite() || t < 0.0 {
+            0
+        } else {
+            ((t * nb as f64) as usize).min(nb - 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Raw count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + i as f64 * self.bin_width()
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_mid(&self, i: usize) -> f64 {
+        self.bin_lo(i) + 0.5 * self.bin_width()
+    }
+
+    /// Fraction of observations in bin `i` (0 if empty histogram).
+    pub fn fraction(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / total as f64
+        }
+    }
+
+    /// `(bin midpoint, fraction)` series — exactly what the Figure 6(a)
+    /// bar chart plots.
+    pub fn fractions(&self) -> Vec<(f64, f64)> {
+        (0..self.bins())
+            .map(|i| (self.bin_mid(i), self.fraction(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.999] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edge_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(7.0);
+        h.add(1.0); // hi itself is out of the half-open range
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn of_covers_all_data() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 * 0.37 - 5.0).collect();
+        let h = Histogram::of(&xs, 10);
+        assert_eq!(h.total(), 100);
+        // min and max must not be clamped: they fall inside the padded range
+        assert!(h.bin_lo(0) < -5.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let xs = [1.0, 2.0, 2.5, 3.0, 10.0];
+        let h = Histogram::of(&xs, 7);
+        let s: f64 = h.fractions().iter().map(|&(_, f)| f).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_data_is_handled() {
+        let xs = [3.0; 10];
+        let h = Histogram::of(&xs, 4);
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn bin_midpoints_are_centered() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        assert_eq!(h.bin_mid(0), 0.5);
+        assert_eq!(h.bin_mid(3), 3.5);
+        assert_eq!(h.bin_width(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Numerical quadrature: composite Simpson and fixed-order Gauss–Legendre.
+//!
+//! Appendix A notes that the Gaussian variant of the CBAS budget allocation
+//! "is necessary to be computed numerically because the Φ(x) function
+//! contains erf(x) … no closed-form representation after being integrated".
+//! `waso-algos::gaussian` evaluates
+//! `p(J*_b ≤ J*_i) = 1 - ∫ N_b Φ_b^{N_b-1} φ_b Φ_i^{N_i} dx`
+//! with these routines.
+
+/// Composite Simpson's rule on `[a, b]` with `n` subintervals
+/// (`n` is rounded up to the next even number; `n >= 2`).
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(a.is_finite() && b.is_finite(), "bounds must be finite");
+    if a == b {
+        return 0.0;
+    }
+    let n = n.max(2).next_multiple_of(2);
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let x = a + i as f64 * h;
+        sum += if i % 2 == 1 { 4.0 * f(x) } else { 2.0 * f(x) };
+    }
+    sum * h / 3.0
+}
+
+/// 20-point Gauss–Legendre nodes (positive half) and weights on `[-1, 1]`.
+///
+/// Exact for polynomials up to degree 39; the OCBA integrands are smooth
+/// products of Gaussians, for which 20 points per panel is plenty.
+const GL20_X: [f64; 10] = [
+    0.076_526_521_133_497_34,
+    0.227_785_851_141_645_07,
+    0.373_706_088_715_419_55,
+    0.510_867_001_950_827_1,
+    0.636_053_680_726_515,
+    0.746_331_906_460_150_8,
+    0.839_116_971_822_218_8,
+    0.912_234_428_251_326,
+    0.963_971_927_277_913_8,
+    0.993_128_599_185_094_9,
+];
+const GL20_W: [f64; 10] = [
+    0.152_753_387_130_725_84,
+    0.149_172_986_472_603_74,
+    0.142_096_109_318_382_04,
+    0.131_688_638_449_176_64,
+    0.118_194_531_961_518_41,
+    0.101_930_119_817_240_44,
+    0.083_276_741_576_704_75,
+    0.062_672_048_334_109_07,
+    0.040_601_429_800_386_94,
+    0.017_614_007_139_152_118,
+];
+
+/// 20-point Gauss–Legendre quadrature on a single panel `[a, b]`.
+pub fn gauss_legendre_20<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64) -> f64 {
+    let mid = 0.5 * (a + b);
+    let half = 0.5 * (b - a);
+    let mut sum = 0.0;
+    for i in 0..10 {
+        let dx = half * GL20_X[i];
+        sum += GL20_W[i] * (f(mid - dx) + f(mid + dx));
+    }
+    sum * half
+}
+
+/// Composite 20-point Gauss–Legendre over `panels` equal panels of `[a, b]`.
+pub fn gauss_legendre<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, panels: usize) -> f64 {
+    assert!(a.is_finite() && b.is_finite(), "bounds must be finite");
+    let panels = panels.max(1);
+    let width = (b - a) / panels as f64;
+    let mut total = 0.0;
+    for p in 0..panels {
+        let lo = a + p as f64 * width;
+        total += gauss_legendre_20(&f, lo, lo + width);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::{normal_pdf, std_normal_pdf};
+    use proptest::prelude::*;
+
+    #[test]
+    fn simpson_integrates_polynomials_exactly() {
+        // Simpson is exact for cubics.
+        let got = simpson(|x| x * x * x - 2.0 * x + 1.0, -1.0, 3.0, 2);
+        let want = |x: f64| x.powi(4) / 4.0 - x * x + x;
+        assert!((got - (want(3.0) - want(-1.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_rounds_odd_n_up() {
+        let with_odd = simpson(|x| x * x, 0.0, 1.0, 3);
+        assert!((with_odd - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_empty_interval_is_zero() {
+        assert_eq!(simpson(|x| x.exp(), 2.0, 2.0, 10), 0.0);
+    }
+
+    #[test]
+    fn gauss_legendre_integrates_high_degree_exactly() {
+        // Degree 21 polynomial: still exact for 20-point GL (degree ≤ 39).
+        let got = gauss_legendre(|x| x.powi(21), 0.0, 1.0, 1);
+        assert!((got - 1.0 / 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_density_integrates_to_one() {
+        let s = gauss_legendre(std_normal_pdf, -8.0, 8.0, 8);
+        assert!((s - 1.0).abs() < 1e-10, "got {s}");
+        let s2 = simpson(std_normal_pdf, -8.0, 8.0, 400);
+        assert!((s2 - 1.0).abs() < 1e-9, "got {s2}");
+    }
+
+    #[test]
+    fn shifted_normal_density_integrates_to_one() {
+        let (mu, sigma) = (124.71, 3.72);
+        let s = gauss_legendre(|x| normal_pdf(x, mu, sigma), mu - 8.0 * sigma, mu + 8.0 * sigma, 8);
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn max_order_statistic_density_integrates_to_one() {
+        // The Appendix-A integrand family: N Φ(x)^{N-1} φ(x) is the density
+        // of the max of N standard normals.
+        use crate::normal::std_normal_cdf;
+        for n in [1.0, 5.0, 25.0] {
+            let s = gauss_legendre(
+                |x| n * std_normal_cdf(x).powf(n - 1.0) * std_normal_pdf(x),
+                -9.0,
+                9.0,
+                12,
+            );
+            assert!((s - 1.0).abs() < 1e-6, "N={n}: got {s}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn methods_agree_on_smooth_functions(a in -2.0..0.0f64, b in 0.1..2.0f64) {
+            let f = |x: f64| (x * 1.3).sin() + 0.5 * x * x;
+            let s = simpson(f, a, b, 200);
+            let g = gauss_legendre(f, a, b, 4);
+            prop_assert!((s - g).abs() < 1e-8);
+        }
+    }
+}

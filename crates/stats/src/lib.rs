@@ -1,0 +1,34 @@
+//! # waso-stats
+//!
+//! Numerics substrate for the WASO reproduction.
+//!
+//! The paper leans on several pieces of applied statistics that a production
+//! implementation has to own outright:
+//!
+//! * the OCBA budget-allocation rules of CBAS need order statistics of
+//!   uniform and normal random variables ([`normal`], [`integrate`]);
+//! * the cross-entropy method of CBAS-ND needs top-ρ sample quantiles
+//!   ([`quantile`]);
+//! * the score models of §5.1 need power-law sampling with exponent β = 2.5
+//!   ([`powerlaw`]) and normalization helpers;
+//! * Figure 6(a) fits a Gaussian to a willingness histogram
+//!   ([`histogram`], [`normal::NormalFit`]).
+//!
+//! Everything here is dependency-free numerical code (only `rand` for
+//! sampling) with property-based tests on the analytic identities.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod descriptive;
+pub mod histogram;
+pub mod integrate;
+pub mod normal;
+pub mod powerlaw;
+pub mod quantile;
+
+pub use descriptive::{Summary, Welford};
+pub use histogram::Histogram;
+pub use normal::{normal_cdf, normal_pdf, NormalFit};
+pub use powerlaw::PowerLaw;
+pub use quantile::{percentile, top_rho_count, top_rho_threshold};

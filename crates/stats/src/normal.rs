@@ -1,0 +1,291 @@
+//! The normal distribution: `erf`, pdf/cdf, inverse cdf, and maximum
+//! likelihood fitting.
+//!
+//! Appendix A of the paper re-derives the CBAS budget-allocation rule when
+//! per-start-node willingness samples follow a Gaussian rather than a
+//! uniform distribution; evaluating `p(J*_b ≤ J*_i)` then needs `Φ` and
+//! numerical quadrature (see [`crate::integrate`]). Figure 6(a) additionally
+//! fits a Gaussian to a willingness histogram. The paper cites Bryc \[2\] for
+//! tail approximations; we implement the classic Abramowitz–Stegun 7.1.26
+//! rational approximation for `erf` (|ε| < 1.5e-7, ample for budget ratios)
+//! and Acklam's algorithm for the inverse cdf.
+
+use crate::descriptive::Welford;
+
+/// Error function via Abramowitz & Stegun 7.1.26 (|error| < 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    // erf is odd; compute on |x| and restore the sign.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    let t = 1.0 / (1.0 + P * x);
+    let poly = ((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t;
+    let y = 1.0 - poly * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal probability density `φ(z)`.
+pub fn std_normal_pdf(z: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * z * z).exp()
+}
+
+/// Standard normal cumulative distribution `Φ(z)`.
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Normal pdf with location `mu` and scale `sigma`.
+///
+/// A degenerate `sigma <= 0` returns an impulse approximation: `+inf` at the
+/// mean, 0 elsewhere (callers guard against this; the sampler never produces
+/// zero spread unless every sample is identical).
+pub fn normal_pdf(x: f64, mu: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return if x == mu { f64::INFINITY } else { 0.0 };
+    }
+    std_normal_pdf((x - mu) / sigma) / sigma
+}
+
+/// Normal cdf with location `mu` and scale `sigma`.
+pub fn normal_cdf(x: f64, mu: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return if x < mu { 0.0 } else { 1.0 };
+    }
+    std_normal_cdf((x - mu) / sigma)
+}
+
+/// Inverse standard normal cdf (Acklam's rational approximation,
+/// relative error < 1.15e-9).
+///
+/// # Panics
+/// Panics if `p` is outside `(0, 1)`.
+pub fn std_normal_inv_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile of p={p} outside (0,1)");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Draws one standard-normal sample via Box–Muller (the user-study
+/// simulator's perception noise; `rand` itself ships no distributions).
+pub fn sample_standard<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+    use rand::RngExt;
+    // u1 ∈ (0, 1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws one `N(mu, sigma²)` sample.
+pub fn sample<R: rand::Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * sample_standard(rng)
+}
+
+/// Maximum-likelihood Gaussian fit `(μ, σ)` of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalFit {
+    /// Fitted mean.
+    pub mean: f64,
+    /// Fitted (population) standard deviation.
+    pub std_dev: f64,
+}
+
+impl NormalFit {
+    /// Fits a Gaussian to `xs` by maximum likelihood (sample mean, population
+    /// standard deviation). Returns `None` for fewer than two observations.
+    pub fn fit(xs: &[f64]) -> Option<NormalFit> {
+        if xs.len() < 2 {
+            return None;
+        }
+        let mut w = Welford::new();
+        for &x in xs {
+            w.push(x);
+        }
+        Some(NormalFit {
+            mean: w.mean(),
+            std_dev: w.std_dev(),
+        })
+    }
+
+    /// Pdf of the fitted Gaussian at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        normal_pdf(x, self.mean, self.std_dev)
+    }
+
+    /// Cdf of the fitted Gaussian at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        normal_cdf(x, self.mean, self.std_dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204999),
+            (1.0, 0.8427008),
+            (2.0, 0.9953223),
+            (3.0, 0.9999779),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-6, "erf({x})");
+            assert!((erf(-x) + want).abs() < 2e-6, "erf(-{x})");
+        }
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        // The A&S 7.1.26 approximation carries ~1.5e-7 absolute error.
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((std_normal_cdf(1.0) - 0.8413447).abs() < 1e-6);
+        assert!((std_normal_cdf(-1.96) - 0.0249979).abs() < 1e-6);
+        assert!((std_normal_cdf(2.5758) - 0.995).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        assert!((std_normal_pdf(0.0) - 0.3989423).abs() < 1e-7);
+        assert!((std_normal_pdf(1.3) - std_normal_pdf(-1.3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaled_normal_matches_standardization() {
+        let (mu, sigma) = (124.71, 13.83_f64.sqrt()); // Figure 6(a) fit
+        let x = 130.0;
+        let z = (x - mu) / sigma;
+        assert!((normal_cdf(x, mu, sigma) - std_normal_cdf(z)).abs() < 1e-14);
+        assert!((normal_pdf(x, mu, sigma) - std_normal_pdf(z) / sigma).abs() < 1e-14);
+    }
+
+    #[test]
+    fn degenerate_sigma_is_a_step() {
+        assert_eq!(normal_cdf(0.9, 1.0, 0.0), 0.0);
+        assert_eq!(normal_cdf(1.0, 1.0, 0.0), 1.0);
+        assert_eq!(normal_pdf(0.9, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn inverse_cdf_reference_values() {
+        assert!(std_normal_inv_cdf(0.5).abs() < 1e-9);
+        assert!((std_normal_inv_cdf(0.975) - 1.959964).abs() < 1e-5);
+        assert!((std_normal_inv_cdf(0.025) + 1.959964).abs() < 1e-5);
+        assert!((std_normal_inv_cdf(0.995) - 2.575829).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fit_recovers_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let f = NormalFit::fit(&xs).unwrap();
+        assert!((f.mean - 5.0).abs() < 1e-12);
+        assert!((f.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_requires_two_points() {
+        assert!(NormalFit::fit(&[]).is_none());
+        assert!(NormalFit::fit(&[1.0]).is_none());
+        assert!(NormalFit::fit(&[1.0, 2.0]).is_some());
+    }
+
+    #[test]
+    fn box_muller_moments_are_right() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let xs: Vec<f64> = (0..100_000).map(|_| sample(&mut rng, 3.0, 2.0)).collect();
+        let fit = NormalFit::fit(&xs).unwrap();
+        assert!((fit.mean - 3.0).abs() < 0.03, "mean {}", fit.mean);
+        assert!((fit.std_dev - 2.0).abs() < 0.03, "std {}", fit.std_dev);
+    }
+
+    #[test]
+    fn box_muller_tail_fractions() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 100_000;
+        let beyond_2sigma = (0..n)
+            .filter(|_| sample_standard(&mut rng).abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        // True mass beyond ±2σ ≈ 4.55%.
+        assert!((beyond_2sigma - 0.0455).abs() < 0.005, "got {beyond_2sigma}");
+    }
+
+    proptest! {
+        #[test]
+        fn erf_is_odd_and_bounded(x in -10.0..10.0f64) {
+            prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+            prop_assert!(erf(x).abs() <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn cdf_is_monotone(a in -6.0..6.0f64, b in -6.0..6.0f64) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(std_normal_cdf(lo) <= std_normal_cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn inv_cdf_inverts_cdf(p in 0.001..0.999f64) {
+            let z = std_normal_inv_cdf(p);
+            prop_assert!((std_normal_cdf(z) - p).abs() < 1e-5);
+        }
+    }
+}

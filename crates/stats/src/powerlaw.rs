@@ -1,0 +1,188 @@
+//! Power-law sampling and fitting.
+//!
+//! §5.1 of the paper assigns interest scores following a power law with
+//! exponent β = 2.5, citing Clauset, Shalizi & Newman \[5\] for both the
+//! empirical finding and the fitting method. [`PowerLaw`] provides
+//! inverse-transform sampling of the continuous Pareto density
+//! `p(x) ∝ x^{-β}` for `x ≥ x_min`, and [`PowerLaw::fit_mle`] implements the
+//! Clauset et al. continuous MLE `β̂ = 1 + n / Σ ln(x_i / x_min)` used to
+//! verify the generators.
+
+use rand::{Rng, RngExt};
+
+/// A continuous power-law (Pareto) distribution `p(x) ∝ x^{-beta}`,
+/// `x ∈ [x_min, ∞)`, `beta > 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    /// Exponent β (> 1 so the density normalizes).
+    pub beta: f64,
+    /// Lower cut-off (> 0).
+    pub x_min: f64,
+}
+
+impl PowerLaw {
+    /// The paper's interest-score distribution: β = 2.5, x_min = 1.
+    pub const INTEREST_SCORES: PowerLaw = PowerLaw {
+        beta: 2.5,
+        x_min: 1.0,
+    };
+
+    /// Creates a power law.
+    ///
+    /// # Panics
+    /// Panics if `beta <= 1` (non-normalizable) or `x_min <= 0`.
+    pub fn new(beta: f64, x_min: f64) -> Self {
+        assert!(beta > 1.0, "power law needs beta > 1, got {beta}");
+        assert!(x_min > 0.0, "power law needs x_min > 0, got {x_min}");
+        Self { beta, x_min }
+    }
+
+    /// Draws one sample by inverse-transform:
+    /// `x = x_min (1-u)^{-1/(β-1)}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u ∈ [0, 1); 1-u ∈ (0, 1] avoids the infinite tail at u = 1.
+        let u: f64 = rng.random();
+        self.x_min * (1.0 - u).powf(-1.0 / (self.beta - 1.0))
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Theoretical mean `x_min (β-1)/(β-2)`; `None` when β ≤ 2 (infinite).
+    pub fn mean(&self) -> Option<f64> {
+        if self.beta > 2.0 {
+            Some(self.x_min * (self.beta - 1.0) / (self.beta - 2.0))
+        } else {
+            None
+        }
+    }
+
+    /// Cdf `1 - (x/x_min)^{-(β-1)}` for `x ≥ x_min`, 0 below.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_min {
+            0.0
+        } else {
+            1.0 - (x / self.x_min).powf(-(self.beta - 1.0))
+        }
+    }
+
+    /// Continuous maximum-likelihood exponent estimate (Clauset et al. 2009,
+    /// Eq. 3.1): `β̂ = 1 + n / Σ ln(x_i / x_min)`.
+    ///
+    /// Observations below `x_min` are discarded (they are outside the model's
+    /// support). Returns `None` if fewer than two observations remain or the
+    /// log-sum degenerates.
+    pub fn fit_mle(xs: &[f64], x_min: f64) -> Option<f64> {
+        assert!(x_min > 0.0);
+        let mut n = 0u64;
+        let mut log_sum = 0.0;
+        for &x in xs {
+            if x >= x_min {
+                n += 1;
+                log_sum += (x / x_min).ln();
+            }
+        }
+        if n < 2 || log_sum <= 0.0 {
+            return None;
+        }
+        Some(1.0 + n as f64 / log_sum)
+    }
+}
+
+/// Rescales `xs` into `[0, 1]` in place by dividing by the maximum
+/// (all-zero input is left untouched).
+///
+/// §5.1: "social tightness scores and interest scores are normalized".
+pub fn normalize_max(xs: &mut [f64]) {
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max > 0.0 && max.is_finite() {
+        for x in xs.iter_mut() {
+            *x /= max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_the_cutoff() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pl = PowerLaw::new(2.5, 3.0);
+        for _ in 0..1000 {
+            assert!(pl.sample(&mut rng) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_close_to_theory() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pl = PowerLaw::INTEREST_SCORES; // β=2.5 → mean = 3
+        let xs = pl.sample_n(&mut rng, 200_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        // Heavy tail: generous tolerance, tight enough to catch an exponent
+        // bug (β=1.5 would diverge; β=3.5 would give mean ≈ 1.67).
+        assert!((mean - 3.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn mle_recovers_beta() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pl = PowerLaw::new(2.5, 1.0);
+        let xs = pl.sample_n(&mut rng, 100_000);
+        let beta = PowerLaw::fit_mle(&xs, 1.0).unwrap();
+        assert!((beta - 2.5).abs() < 0.05, "beta {beta}");
+    }
+
+    #[test]
+    fn mle_ignores_below_cutoff() {
+        let xs = [0.1, 0.5, 2.0, 3.0, 4.0];
+        let with = PowerLaw::fit_mle(&xs, 1.0).unwrap();
+        let without = PowerLaw::fit_mle(&[2.0, 3.0, 4.0], 1.0).unwrap();
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn mle_degenerate_inputs() {
+        assert!(PowerLaw::fit_mle(&[], 1.0).is_none());
+        assert!(PowerLaw::fit_mle(&[2.0], 1.0).is_none());
+        // all observations == x_min → log-sum is 0
+        assert!(PowerLaw::fit_mle(&[1.0, 1.0, 1.0], 1.0).is_none());
+    }
+
+    #[test]
+    fn cdf_median_matches_sampling() {
+        let pl = PowerLaw::new(2.5, 1.0);
+        // Median: 1 - m^{-1.5} = 0.5 → m = 2^{2/3}
+        let median = 2f64.powf(2.0 / 3.0);
+        assert!((pl.cdf(median) - 0.5).abs() < 1e-12);
+        assert_eq!(pl.cdf(0.5), 0.0);
+    }
+
+    #[test]
+    fn mean_undefined_for_fat_tails() {
+        assert!(PowerLaw::new(1.8, 1.0).mean().is_none());
+        assert!((PowerLaw::new(3.0, 2.0).mean().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_max_scales_to_unit() {
+        let mut xs = vec![2.0, 8.0, 4.0];
+        normalize_max(&mut xs);
+        assert_eq!(xs, vec![0.25, 1.0, 0.5]);
+        let mut zeros = vec![0.0, 0.0];
+        normalize_max(&mut zeros);
+        assert_eq!(zeros, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta > 1")]
+    fn rejects_non_normalizable_exponent() {
+        let _ = PowerLaw::new(1.0, 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Quantiles and the top-ρ machinery of the cross-entropy method.
+//!
+//! CBAS-ND (Definition 5) sorts the willingness of a stage's samples in
+//! descending order `W(1) ≥ … ≥ W(N)` and keeps the *top-ρ quantile*
+//! `γ = W(⌈ρN⌉)` as the elite threshold. [`top_rho_count`] /
+//! [`top_rho_threshold`] implement exactly that ⌈ρN⌉ convention so the
+//! algorithm code reads like the paper.
+
+/// Number of elite samples `⌈ρ·n⌉`, clamped to `[1, n]` for non-empty input
+/// (0 when `n == 0`).
+///
+/// # Panics
+/// Panics if `rho` is not in `(0, 1]`.
+pub fn top_rho_count(n: usize, rho: f64) -> usize {
+    assert!(rho > 0.0 && rho <= 1.0, "rho must be in (0,1], got {rho}");
+    if n == 0 {
+        return 0;
+    }
+    ((rho * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// The elite threshold `γ = W(⌈ρn⌉)` of a sample of performances
+/// (Definition 5). Returns `None` for empty input.
+///
+/// `values` need not be sorted; the function selects the ⌈ρn⌉-th largest.
+pub fn top_rho_threshold(values: &[f64], rho: f64) -> Option<f64> {
+    let count = top_rho_count(values.len(), rho);
+    if count == 0 {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    // Descending; NaN (never produced by willingness evaluation) sorts last.
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    Some(sorted[count - 1])
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`) of unsorted data.
+/// Returns `None` for empty input.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn count_matches_paper_example() {
+        // Example 2: N=5 samples, ρ=1/2 → γ = W(⌈2.5⌉) = W(3).
+        assert_eq!(top_rho_count(5, 0.5), 3);
+        // §5.1 default ρ=0.3 with 10 samples → 3 elites.
+        assert_eq!(top_rho_count(10, 0.3), 3);
+    }
+
+    #[test]
+    fn count_edge_cases() {
+        assert_eq!(top_rho_count(0, 0.3), 0);
+        assert_eq!(top_rho_count(1, 0.01), 1); // always at least one elite
+        assert_eq!(top_rho_count(4, 1.0), 4);
+    }
+
+    #[test]
+    fn threshold_matches_example_two() {
+        // Example 2: W = ⟨9.2, 8.9, 8.9, 7.9, 5.9⟩, ρ=1/2 → γ = W(3) = 8.9.
+        let w = [9.2, 8.9, 8.9, 7.9, 5.9];
+        assert_eq!(top_rho_threshold(&w, 0.5), Some(8.9));
+    }
+
+    #[test]
+    fn threshold_handles_unsorted_input() {
+        let w = [5.9, 9.2, 7.9, 8.9, 8.9];
+        assert_eq!(top_rho_threshold(&w, 0.5), Some(8.9));
+    }
+
+    #[test]
+    fn threshold_empty_is_none() {
+        assert_eq!(top_rho_threshold(&[], 0.3), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn threshold_is_a_sample_value(
+            xs in proptest::collection::vec(-100.0..100.0f64, 1..50),
+            rho in 0.05..1.0f64,
+        ) {
+            let gamma = top_rho_threshold(&xs, rho).unwrap();
+            prop_assert!(xs.contains(&gamma));
+            // At least ⌈ρn⌉ samples are ≥ γ.
+            let count = top_rho_count(xs.len(), rho);
+            let at_least = xs.iter().filter(|&&x| x >= gamma).count();
+            prop_assert!(at_least >= count);
+        }
+
+        #[test]
+        fn percentile_within_range(
+            xs in proptest::collection::vec(-1e3..1e3f64, 1..50),
+            p in 0.0..100.0f64,
+        ) {
+            let v = percentile(&xs, p).unwrap();
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

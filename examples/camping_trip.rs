@@ -1,0 +1,84 @@
+//! The §2.2 "Separate Groups" scenario (WASO-dis): a government camping
+//! trip where attendees need not know each other — the connectivity
+//! constraint is dropped. Demonstrates both of the paper's routes:
+//!
+//! 1. the Theorem-2 virtual-node reduction (solve WASO with k+1 on an
+//!    augmented graph, then strip the virtual node), and
+//! 2. the native unconstrained mode (footnote 3's "simple modification").
+//!
+//! On a graph this small the exact solver verifies both give the same
+//! optimum.
+//!
+//! ```text
+//! cargo run --release --example camping_trip
+//! ```
+
+use waso::core::scenario;
+use waso::prelude::*;
+use waso_exact::BranchBound;
+
+fn main() {
+    // Two separate friend groups, no edges between them: a connected
+    // k = 4 group cannot mix them, but the camping trip may.
+    let mut b = GraphBuilder::new();
+    let interests = [0.9, 0.8, 0.1, 0.2, 0.85, 0.7, 0.15, 0.1];
+    let people: Vec<NodeId> = interests.iter().map(|&x| b.add_node(x)).collect();
+    // Group A: 0-1-2-3 path; Group B: 4-5-6-7 path.
+    for w in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)] {
+        b.add_edge_symmetric(people[w.0], people[w.1], 0.5).unwrap();
+    }
+    let graph = b.build();
+    let k = 4;
+
+    // Route 1: Theorem-2 virtual node.
+    let reduction = scenario::separate_groups(&graph, k, 1.0).expect("valid scenario");
+    println!(
+        "Virtual-node reduction: augmented graph has {} nodes, asks for k+1 = {}.",
+        reduction.instance.graph().num_nodes(),
+        reduction.instance.k()
+    );
+    let exact_aug = BranchBound::new()
+        .solve(&reduction.instance, None)
+        .expect("feasible");
+    let via_reduction = reduction.strip(exact_aug.group.nodes());
+    let w_reduction = waso::core::willingness(&graph, &via_reduction);
+    println!(
+        "  optimal campers via reduction: {:?}, willingness {:.2}",
+        via_reduction, w_reduction
+    );
+
+    // Route 2: native unconstrained instance.
+    let native = WasoInstance::without_connectivity(graph.clone(), k).unwrap();
+    let exact_native = BranchBound::new().solve(&native, None).expect("feasible");
+    println!(
+        "  optimal campers natively:      {:?}, willingness {:.2}",
+        exact_native.group.nodes(),
+        exact_native.group.willingness()
+    );
+
+    // Theorem 2: both routes agree.
+    assert!((w_reduction - exact_native.group.willingness()).abs() < 1e-9);
+
+    // The best four campers mix both friend groups — which a connected
+    // WASO group cannot.
+    let connected = WasoInstance::new(graph.clone(), k).unwrap();
+    let exact_connected = BranchBound::new().solve(&connected, None).expect("feasible");
+    println!(
+        "\nBest *connected* group: {:?}, willingness {:.2}",
+        exact_connected.group.nodes(),
+        exact_connected.group.willingness()
+    );
+    assert!(exact_native.group.willingness() >= exact_connected.group.willingness());
+    println!(
+        "Dropping connectivity gains {:+.2} willingness.",
+        exact_native.group.willingness() - exact_connected.group.willingness()
+    );
+
+    // CBAS-ND handles the unconstrained mode directly, too.
+    let mut solver = CbasNd::new(CbasNdConfig::fast());
+    let nd = solver.solve_seeded(&native, 3).unwrap();
+    println!(
+        "CBAS-ND (native WASO-dis) finds willingness {:.2}.",
+        nd.group.willingness()
+    );
+}

@@ -1,0 +1,62 @@
+//! The §2.2 "Invitation" scenario: a piano player plans a small home
+//! concert and invites people from their own friend circle. Candidates are
+//! the inviter's neighbours; guests are weighted by interest only (λ = 1),
+//! while the inviter's closeness to each guest still counts (λ = 0 for the
+//! inviter).
+//!
+//! ```text
+//! cargo run --release --example concert_invitation
+//! ```
+
+use waso::core::scenario;
+use waso::prelude::*;
+use waso_datasets::synthetic;
+
+fn main() {
+    // A synthetic Facebook-like friendship network stands in for the
+    // pianist's real social graph.
+    let graph = synthetic::facebook_like_n(600, 2024);
+
+    // The pianist: pick a reasonably social person.
+    let pianist = graph
+        .node_ids()
+        .max_by_key(|&v| graph.degree(v))
+        .expect("non-empty graph");
+    println!(
+        "Pianist {pianist} has {} friends; hosting a concert for 6 guests.\n",
+        graph.degree(pianist)
+    );
+
+    // Scenario transformation: restrict to the pianist's neighbourhood and
+    // fold in the invitation λ weights. The pianist is node 0 afterwards.
+    let k = 7; // pianist + 6 guests
+    let (instance, ego) = scenario::invitation(&graph, pianist, k).expect("valid scenario");
+    println!(
+        "Candidate pool: {} people (the pianist's closed neighbourhood).",
+        instance.graph().num_nodes()
+    );
+
+    // The pianist must attend — pin them as the start node.
+    let mut config = CbasNdConfig::fast();
+    config.base.start_override = Some(vec![NodeId(0)]);
+    let mut solver = CbasNd::new(config);
+    let result = solver.solve_seeded(&instance, 7).unwrap();
+
+    println!("\nRecommended concert party (ids in the full network):");
+    for &v in result.group.nodes() {
+        let original = ego.parent_id(v);
+        let role = if v == NodeId(0) { "host " } else { "guest" };
+        println!(
+            "  {role} {original}  (interest {:.2}, closeness to host {:.2})",
+            graph.interest(original),
+            graph
+                .tightness(pianist, original)
+                .unwrap_or(0.0)
+        );
+    }
+    println!(
+        "\nParty willingness under invitation weighting: {:.3}",
+        result.group.willingness()
+    );
+    assert!(result.group.contains(NodeId(0)), "the host attends");
+}

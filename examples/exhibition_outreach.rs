@@ -1,0 +1,59 @@
+//! The §2.2 "Exhibition" scenario: a museum mails invitations for a Van
+//! Gogh show. Only topic interest matters (λ_i = 1 for everyone), and the
+//! audience does not need to be mutually acquainted — but the museum still
+//! wants a socially connected cluster so word of mouth spreads, so we run
+//! both the connectivity-constrained and unconstrained variants and
+//! compare.
+//!
+//! ```text
+//! cargo run --release --example exhibition_outreach
+//! ```
+
+use waso::core::scenario;
+use waso::prelude::*;
+use waso_datasets::synthetic;
+
+fn main() {
+    let graph = synthetic::facebook_like_n(1500, 5);
+    let k = 12;
+
+    // λ = 1 for everyone: pure-interest objective.
+    let connected = scenario::exhibition(&graph, k).expect("valid scenario");
+
+    let mut solver = CbasNd::new(CbasNdConfig::fast());
+    let social_cluster = solver.solve_seeded(&connected, 5).unwrap();
+
+    // Unconstrained variant: just the k most interested people anywhere.
+    let free = WasoInstance::without_connectivity(connected.graph().clone(), k).unwrap();
+    let top_individuals = DGreedy::new().solve_seeded(&free, 0).unwrap();
+
+    println!("Exhibition outreach for k = {k} invitations (interest-only scores)\n");
+    println!(
+        "Connected cluster (word-of-mouth friendly): willingness {:.3}",
+        social_cluster.group.willingness()
+    );
+    println!(
+        "Top individuals anywhere (upper bound):     willingness {:.3}",
+        top_individuals.group.willingness()
+    );
+
+    // With λ = 1 the unconstrained optimum is exactly the k largest
+    // interests — the connected cluster pays a "connectivity price".
+    let mut interests: Vec<f64> = connected.graph().interests().to_vec();
+    interests.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let ideal: f64 = interests[..k].iter().sum();
+    assert!((top_individuals.group.willingness() - ideal).abs() < 1e-9);
+
+    let price = ideal - social_cluster.group.willingness();
+    println!("\nConnectivity price: {price:.3} ({:.1}% of the ideal)", 100.0 * price / ideal);
+
+    // House-warming contrast: with λ = 0 only tightness counts, and the
+    // recommendation flips from interest hubs to a close-knit clique.
+    let cozy = scenario::house_warming(&graph, 6).expect("valid scenario");
+    let mut solver = CbasNd::new(CbasNdConfig::fast());
+    let party = solver.solve_seeded(&cozy, 6).unwrap();
+    println!(
+        "\nHouse-warming contrast (λ = 0, tightness only, k = 6): willingness {:.3}",
+        party.group.willingness()
+    );
+}

@@ -1,0 +1,52 @@
+//! The §4.4.1 online extension: invitations go out, some people decline,
+//! and the plan is repaired around the confirmed attendees without
+//! re-running start-node selection.
+//!
+//! ```text
+//! cargo run --release --example online_replanning
+//! ```
+
+use waso::prelude::*;
+use waso_datasets::synthetic;
+
+fn main() {
+    let graph = synthetic::facebook_like_n(800, 77);
+    let k = 8;
+    let instance = WasoInstance::new(graph, k).expect("valid instance");
+
+    let mut config = CbasNdConfig::with_budget(400);
+    config.base.stages = Some(5);
+    config.base.num_start_nodes = Some(10);
+
+    let mut planner = OnlinePlanner::new(instance, config, 11).expect("initial plan");
+    println!("Initial recommendation: {}", planner.current());
+
+    // Round 1: the first two invitees confirm, the third declines.
+    let plan = planner.current().nodes().to_vec();
+    planner.confirm(&plan[..2]).expect("confirmations recorded");
+    let declined = plan[2];
+    println!("\n{declined} declined — replanning around the 2 confirmed attendees…");
+    let new_plan = planner.decline(&[declined]).expect("replanned");
+    println!("New recommendation:     {new_plan}");
+    assert!(!new_plan.contains(declined));
+    assert!(new_plan.contains(plan[0]) && new_plan.contains(plan[1]));
+
+    // Round 2: another decline; confirmed attendees must persist again.
+    let second_out = planner
+        .current()
+        .nodes()
+        .iter()
+        .copied()
+        .find(|v| !planner.confirmed().contains(v))
+        .expect("someone is still unconfirmed");
+    println!("\n{second_out} declined too — replanning…");
+    let final_plan = planner.decline(&[second_out]).expect("replanned");
+    println!("Final recommendation:   {final_plan}");
+    assert!(!final_plan.contains(second_out));
+    assert_eq!(final_plan.len(), k);
+
+    println!(
+        "\n{} replanning rounds; every confirmed attendee kept their seat.",
+        planner.replans()
+    );
+}

@@ -1,0 +1,59 @@
+//! # waso — Willingness Optimization for Social Group Activity
+//!
+//! A production-quality Rust reproduction of Shuai, Yang, Yu & Chen,
+//! *Willingness Optimization for Social Group Activity* (VLDB 2013):
+//! the WASO problem, the CBAS / CBAS-ND randomized solvers with optimal
+//! computing-budget allocation and cross-entropy neighbour differentiation,
+//! the greedy baselines, an exact branch-and-bound (the paper's CPLEX
+//! ground truth), synthetic datasets matching the paper's evaluation
+//! networks, and a harness regenerating every figure of its §5.
+//!
+//! This facade crate re-exports every sub-crate under a stable path and
+//! provides a [`prelude`] for the common workflow:
+//!
+//! ```
+//! use waso::prelude::*;
+//!
+//! // Build a tiny social graph: interest scores on nodes, tightness on edges.
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_node(0.8);
+//! let c = b.add_node(0.5);
+//! let d = b.add_node(0.9);
+//! b.add_edge_symmetric(a, c, 0.7).unwrap();
+//! b.add_edge_symmetric(c, d, 0.4).unwrap();
+//! let graph = b.build();
+//!
+//! // Ask for the best connected group of k = 2.
+//! let instance = WasoInstance::new(graph, 2).unwrap();
+//! let mut solver = CbasNd::new(CbasNdConfig::fast());
+//! let result = solver.solve_seeded(&instance, 42).unwrap();
+//! assert_eq!(result.group.len(), 2);
+//! // Optimum: {a, c} with W = 0.8 + 0.5 + 2·0.7 = 2.7.
+//! assert!((result.group.willingness() - 2.7).abs() < 1e-9);
+//! ```
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`graph`] | CSR social graphs, builders, generators, traversal, I/O |
+//! | [`core`] | WASO instances, the willingness objective, groups, scenarios |
+//! | [`algos`] | DGreedy, RGreedy, CBAS, CBAS-ND(-G), online replanning, parallel |
+//! | [`exact`] | ESU enumeration, branch-and-bound, the Appendix-B IP model |
+//! | [`datasets`] | Facebook/DBLP/Flickr-like synthetics, simulated user study |
+//! | [`stats`] | numerics: normal distribution, power laws, quantiles, quadrature |
+
+pub use waso_algos as algos;
+pub use waso_core as core;
+pub use waso_datasets as datasets;
+pub use waso_exact as exact;
+pub use waso_graph as graph;
+pub use waso_stats as stats;
+
+/// One-line imports for the common build-graph → solve → inspect workflow.
+pub mod prelude {
+    pub use waso_algos::{
+        Cbas, CbasConfig, CbasNd, CbasNdConfig, DGreedy, OnlinePlanner, ParallelCbasNd, RGreedy,
+        RGreedyConfig, SolveError, SolveResult, Solver,
+    };
+    pub use waso_core::{scenario, willingness, Group, WasoInstance};
+    pub use waso_graph::{GraphBuilder, NodeId, SocialGraph};
+}

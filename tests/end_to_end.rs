@@ -1,0 +1,119 @@
+//! End-to-end pipeline tests: dataset generation → every solver →
+//! validation → cross-solver sanity.
+
+use waso::prelude::*;
+use waso_datasets::synthetic::{self, Scale};
+use waso_exact::BranchBound;
+
+fn solvers(budget: u64) -> Vec<Box<dyn Solver>> {
+    let mut cbas_cfg = CbasConfig::with_budget(budget);
+    cbas_cfg.stages = Some(4);
+    cbas_cfg.num_start_nodes = Some(8);
+    let mut nd_cfg = CbasNdConfig::with_budget(budget);
+    nd_cfg.base = cbas_cfg.clone();
+    let mut rg_cfg = RGreedyConfig::with_budget(budget.min(100));
+    rg_cfg.num_start_nodes = Some(8);
+    vec![
+        Box::new(DGreedy::new()),
+        Box::new(RGreedy::new(rg_cfg)),
+        Box::new(Cbas::new(cbas_cfg)),
+        Box::new(CbasNd::new(nd_cfg.clone())),
+        Box::new(CbasNd::new(nd_cfg.clone().gaussian())),
+        Box::new(ParallelCbasNd::new(nd_cfg, 3)),
+    ]
+}
+
+#[test]
+fn every_solver_produces_valid_groups_on_every_dataset() {
+    let datasets = [
+        ("facebook", synthetic::facebook_like(Scale::Smoke, 1)),
+        ("dblp", synthetic::dblp_like(Scale::Smoke, 1)),
+        ("flickr", synthetic::flickr_like(Scale::Smoke, 1)),
+    ];
+    for (name, graph) in datasets {
+        let inst = WasoInstance::new(graph, 8).expect("k=8 fits the smoke graphs");
+        for solver in solvers(120).iter_mut() {
+            let res = solver
+                .solve_seeded(&inst, 7)
+                .unwrap_or_else(|e| panic!("{} failed on {name}: {e}", solver.name()));
+            // Group::new re-validates size, distinctness and connectivity.
+            res.group
+                .validate(&inst)
+                .unwrap_or_else(|e| panic!("{} invalid on {name}: {e}", solver.name()));
+            assert!(res.group.willingness().is_finite());
+            assert!(res.stats.elapsed.as_nanos() > 0);
+        }
+    }
+}
+
+#[test]
+fn randomized_solvers_never_beat_the_exact_optimum() {
+    let graph = synthetic::dblp_like_n(80, 3);
+    let inst = WasoInstance::new(graph, 5).unwrap();
+    let exact = BranchBound::new().solve(&inst, None).expect("feasible");
+    assert!(exact.optimal);
+    for solver in solvers(150).iter_mut() {
+        let res = solver.solve_seeded(&inst, 3).unwrap();
+        assert!(
+            res.group.willingness() <= exact.group.willingness() + 1e-9,
+            "{} exceeded the optimum: {} > {}",
+            solver.name(),
+            res.group.willingness(),
+            exact.group.willingness()
+        );
+    }
+}
+
+#[test]
+fn budgets_are_respected_exactly() {
+    let graph = synthetic::facebook_like(Scale::Smoke, 5);
+    let inst = WasoInstance::new(graph, 6).unwrap();
+    for budget in [40u64, 100, 250] {
+        let mut cfg = CbasNdConfig::with_budget(budget);
+        cfg.base.stages = Some(5);
+        cfg.base.num_start_nodes = Some(5);
+        let res = CbasNd::new(cfg).solve_seeded(&inst, 2).unwrap();
+        assert_eq!(res.stats.samples_drawn, budget, "budget {budget}");
+    }
+}
+
+#[test]
+fn quality_improves_with_budget_on_average() {
+    let graph = synthetic::facebook_like(Scale::Smoke, 9);
+    let inst = WasoInstance::new(graph, 10).unwrap();
+    let quality_at = |budget: u64| -> f64 {
+        let mut total = 0.0;
+        for seed in 0..5 {
+            let mut cfg = CbasNdConfig::with_budget(budget);
+            cfg.base.stages = Some(5);
+            cfg.base.num_start_nodes = Some(8);
+            total += CbasNd::new(cfg)
+                .solve_seeded(&inst, seed)
+                .unwrap()
+                .group
+                .willingness();
+        }
+        total / 5.0
+    };
+    let small = quality_at(50);
+    let large = quality_at(800);
+    assert!(
+        large >= small,
+        "more budget should not hurt: T=50 → {small:.2}, T=800 → {large:.2}"
+    );
+}
+
+#[test]
+fn graph_io_roundtrips_through_the_full_pipeline() {
+    // Generate → serialize → parse → solve: byte-identical behaviour.
+    let graph = synthetic::flickr_like(Scale::Smoke, 4);
+    let text = waso::graph::io::to_string(&graph);
+    let parsed = waso::graph::io::from_str(&text).expect("roundtrip parse");
+    assert_eq!(graph, parsed);
+
+    let inst_a = WasoInstance::new(graph, 6).unwrap();
+    let inst_b = WasoInstance::new(parsed, 6).unwrap();
+    let a = CbasNd::new(CbasNdConfig::fast()).solve_seeded(&inst_a, 11).unwrap();
+    let b = CbasNd::new(CbasNdConfig::fast()).solve_seeded(&inst_b, 11).unwrap();
+    assert_eq!(a.group, b.group);
+}

@@ -1,0 +1,107 @@
+//! Cross-crate tests pinning the reproduction to the paper's worked
+//! examples (Figure 1 and the Example 1/2 arithmetic).
+
+use waso::prelude::*;
+use waso_exact::{exhaustive_optimum, BranchBound, IpModel};
+
+/// The Figure-1 counterexample reconstructed from §1's narrative: path
+/// v1 -1- v2 -2- v3 -4- v4 with η = (8, 7, 6, 5), k = 3.
+fn figure1() -> WasoInstance {
+    let mut b = GraphBuilder::new();
+    let v1 = b.add_node(8.0);
+    let v2 = b.add_node(7.0);
+    let v3 = b.add_node(6.0);
+    let v4 = b.add_node(5.0);
+    b.add_edge_symmetric(v1, v2, 1.0).unwrap();
+    b.add_edge_symmetric(v2, v3, 2.0).unwrap();
+    b.add_edge_symmetric(v3, v4, 4.0).unwrap();
+    WasoInstance::new(b.build(), 3).unwrap()
+}
+
+#[test]
+fn every_component_agrees_on_figure_one() {
+    let inst = figure1();
+
+    // Greedy is trapped at 27 (the paper's motivating observation).
+    let greedy = DGreedy::new().solve_seeded(&inst, 0).unwrap();
+    assert_eq!(greedy.group.willingness(), 27.0);
+
+    // Both exact solvers and the IP model agree the optimum is 30.
+    let brute = exhaustive_optimum(&inst).unwrap();
+    let bb = BranchBound::new().solve(&inst, None).unwrap();
+    let ip = IpModel::build(&inst).solve(None).unwrap();
+    assert_eq!(brute.willingness(), 30.0);
+    assert_eq!(bb.group.willingness(), 30.0);
+    assert_eq!(ip.group.willingness(), 30.0);
+    assert_eq!(brute.nodes(), bb.group.nodes());
+
+    // Every randomized solver escapes the trap with a modest budget.
+    let cbas = Cbas::new(CbasConfig::fast()).solve_seeded(&inst, 1).unwrap();
+    assert_eq!(cbas.group.willingness(), 30.0, "CBAS");
+    let nd = CbasNd::new(CbasNdConfig::fast())
+        .solve_seeded(&inst, 1)
+        .unwrap();
+    assert_eq!(nd.group.willingness(), 30.0, "CBAS-ND");
+    let rg = RGreedy::new(RGreedyConfig::with_budget(60))
+        .solve_seeded(&inst, 1)
+        .unwrap();
+    assert_eq!(rg.group.willingness(), 30.0, "RGreedy");
+}
+
+#[test]
+fn willingness_counts_both_directions() {
+    // §2.1: τ_{i,j} and τ_{j,i} are both counted; asymmetric example.
+    let mut b = GraphBuilder::new();
+    let u = b.add_node(1.0);
+    let v = b.add_node(2.0);
+    b.add_edge(u, v, 0.3, 0.7).unwrap();
+    let g = b.build();
+    assert_eq!(waso::core::willingness(&g, &[u, v]), 4.0);
+}
+
+#[test]
+fn example_one_start_node_scores() {
+    // Example 1 scores a node as η + Σ incident τ (each edge counted once):
+    // reproduce the arithmetic shape on a 3-node path.
+    let mut b = GraphBuilder::new();
+    let a = b.add_node(0.8);
+    let c = b.add_node(0.1);
+    let d = b.add_node(0.4);
+    b.add_edge_symmetric(a, c, 0.6).unwrap();
+    b.add_edge_symmetric(c, d, 0.9).unwrap();
+    let g = b.build();
+    assert!((g.start_node_score(a) - 1.4).abs() < 1e-12);
+    assert!((g.start_node_score(c) - 1.6).abs() < 1e-12);
+    assert!((g.start_node_score(d) - 1.3).abs() < 1e-12);
+}
+
+#[test]
+fn theorem_five_quality_bound_holds_empirically() {
+    // E[Q]/Q* ≥ N_b (1/(N_b+1))^{(N_b+1)/N_b} with scores normalized to the
+    // incumbent's sample range. We check the weaker, testable implication:
+    // CBAS's solution is within the bound of the optimum on a small graph
+    // once the budget is moderate.
+    let inst = figure1();
+    let opt = 30.0;
+    let budget = 40u64;
+    let mut total = 0.0;
+    let runs = 10;
+    for seed in 0..runs {
+        let mut cfg = CbasConfig::with_budget(budget);
+        cfg.stages = Some(4);
+        let got = Cbas::new(cfg).solve_seeded(&inst, seed).unwrap();
+        total += got.group.willingness();
+    }
+    let mean = total / runs as f64;
+    // N_b ≈ (4 + m(r-1))/(4rm) · T with m = 2, r = 4 → 10/32·40 = 12.5.
+    let n_b = waso::algos::theory::incumbent_budget_after_stages(2, 4, budget);
+    let bound = waso::algos::theory::expected_quality_ratio(n_b);
+    // The theorem normalizes to [c_b, d_b]; our unnormalized check uses the
+    // conservative form mean ≥ bound · opt · (c_b/d_b slack) — on this tiny
+    // instance CBAS hits the optimum almost always, so the check is strong.
+    assert!(
+        mean >= bound * opt * 0.8,
+        "mean {mean:.2} vs bound {:.2}",
+        bound * opt
+    );
+}

@@ -1,0 +1,123 @@
+//! Cross-crate property-based tests: solver outputs are always feasible,
+//! never beat the exact optimum, and algebraic identities hold on random
+//! instances.
+
+use proptest::prelude::*;
+use waso::prelude::*;
+use waso_exact::{exhaustive_optimum, BranchBound};
+use waso_graph::{generate, InterestModel, ScoreModel, TightnessModel};
+
+fn random_instance(
+    seed: u64,
+    n: usize,
+    extra_edges: usize,
+    k: usize,
+    connected: bool,
+) -> WasoInstance {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A spanning path plus random extra edges: always connected, arbitrary
+    // density.
+    let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+    let extra = generate::erdos_renyi_gnm(n, extra_edges.min(n * (n - 1) / 2), &mut rng);
+    edges.extend(extra.edges);
+    let topo = generate::GraphTopology::new(n, edges);
+    let model = ScoreModel {
+        interest: InterestModel::Uniform { lo: -0.5, hi: 1.5 },
+        tightness: TightnessModel::Uniform { lo: -0.3, hi: 1.0 },
+    };
+    let g = model.realize(&topo, &mut rng);
+    if connected {
+        WasoInstance::new(g, k).unwrap()
+    } else {
+        WasoInstance::without_connectivity(g, k).unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn solvers_always_return_feasible_groups(
+        seed in 0u64..10_000,
+        n in 8usize..20,
+        extra in 0usize..25,
+        k in 2usize..6,
+        connected: bool,
+    ) {
+        let inst = random_instance(seed, n, extra, k.min(n), connected);
+        let mut cfg = CbasNdConfig::with_budget(60);
+        cfg.base.stages = Some(3);
+        let mut solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(DGreedy::new()),
+            Box::new(RGreedy::new(RGreedyConfig::with_budget(30))),
+            Box::new(CbasNd::new(cfg)),
+        ];
+        for s in solvers.iter_mut() {
+            if let Ok(res) = s.solve_seeded(&inst, seed) {
+                prop_assert!(res.group.validate(&inst).is_ok(), "{} invalid", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_is_never_beaten(
+        seed in 0u64..10_000,
+        n in 8usize..14,
+        extra in 0usize..15,
+        k in 2usize..5,
+    ) {
+        let inst = random_instance(seed, n, extra, k, true);
+        let exact = BranchBound::new().solve(&inst, None);
+        let brute = exhaustive_optimum(&inst);
+        match (exact, brute) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a.group.willingness() - b.willingness()).abs() < 1e-9);
+                // No heuristic may exceed it.
+                let heur = DGreedy::new().solve_seeded(&inst, 0);
+                if let Ok(h) = heur {
+                    prop_assert!(h.group.willingness() <= a.group.willingness() + 1e-9);
+                }
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "feasibility mismatch {:?}", other.0.is_some()),
+        }
+    }
+
+    #[test]
+    fn lambda_interpolates_between_scenarios(
+        seed in 0u64..10_000,
+        n in 6usize..14,
+        lambda in 0.0..1.0f64,
+    ) {
+        // W_λ(F) = λ·W_interest(F) + (1-λ)·W_tightness(F) for uniform λ.
+        let inst = random_instance(seed, n, 10, 3, true);
+        let g = inst.graph().clone();
+        let nodes: Vec<NodeId> = (0..3).map(|i| NodeId(i as u32)).collect();
+
+        let weighted = waso::core::instance::apply_lambda(&g, &vec![lambda; n]).unwrap();
+        let interest_only = waso::core::instance::apply_lambda(&g, &vec![1.0; n]).unwrap();
+        let tight_only = waso::core::instance::apply_lambda(&g, &vec![0.0; n]).unwrap();
+
+        let w = waso::core::willingness(&weighted, &nodes);
+        let wi = waso::core::willingness(&interest_only, &nodes);
+        let wt = waso::core::willingness(&tight_only, &nodes);
+        prop_assert!((w - (lambda * wi + (1.0 - lambda) * wt)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_willingness_is_permutation_invariant(
+        seed in 0u64..10_000,
+        n in 6usize..16,
+    ) {
+        let inst = random_instance(seed, n, 12, 4, false);
+        let g = inst.graph();
+        let forward: Vec<NodeId> = (0..4u32).map(NodeId).collect();
+        let backward: Vec<NodeId> = (0..4u32).rev().map(NodeId).collect();
+        // Summation order differs, so compare up to float associativity.
+        let a = waso::core::willingness(g, &forward);
+        let b = waso::core::willingness(g, &backward);
+        prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+    }
+}
