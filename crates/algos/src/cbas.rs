@@ -67,6 +67,19 @@ impl CbasConfig {
         }
     }
 
+    /// The staged-sampling settings a [`crate::SolverSpec`] carries
+    /// (budget, stages, start-node count, pinned starts); everything else
+    /// keeps the paper's defaults. Shared with
+    /// [`crate::CbasNdConfig::from_spec`].
+    pub fn from_spec(spec: &crate::SolverSpec) -> Self {
+        Self {
+            stages: spec.stages,
+            num_start_nodes: spec.start_nodes,
+            start_override: spec.starts.clone(),
+            ..Self::with_budget(spec.budget_or_default())
+        }
+    }
+
     pub(crate) fn resolve_starts(&self, instance: &WasoInstance) -> Vec<NodeId> {
         match &self.start_override {
             Some(s) => s.clone(),
@@ -117,6 +130,13 @@ impl Solver for Cbas {
         "cbas"
     }
 
+    fn capabilities(&self) -> crate::Capabilities {
+        crate::Capabilities {
+            randomized: true,
+            ..crate::Capabilities::default()
+        }
+    }
+
     fn solve_seeded(
         &mut self,
         instance: &WasoInstance,
@@ -159,20 +179,13 @@ impl Solver for Cbas {
                     continue;
                 }
                 for q in 0..ni {
-                    let mut rng = StdRng::seed_from_u64(crate::sample_seed(
-                        seed,
-                        i as u64,
-                        stage as u64,
-                        q,
-                    ));
+                    let mut rng =
+                        StdRng::seed_from_u64(crate::sample_seed(seed, i as u64, stage as u64, q));
                     drawn += 1;
                     match sampler.sample_uniform(instance, starts[i], &mut rng) {
                         Some(sample) => {
                             stats[i].record(sample.willingness);
-                            if best
-                                .as_ref()
-                                .is_none_or(|(bw, _)| sample.willingness > *bw)
-                            {
+                            if best.as_ref().is_none_or(|(bw, _)| sample.willingness > *bw) {
                                 best = Some((sample.willingness, sample.nodes));
                             }
                         }
@@ -201,7 +214,7 @@ impl Solver for Cbas {
                 start_nodes: m as u32,
                 pruned_start_nodes: pruned_count,
                 elapsed: t0.elapsed(),
-                backtracks: 0,
+                ..SolverStats::default()
             },
         })
     }
@@ -267,8 +280,12 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let inst = figure1_instance();
-        let a = Cbas::new(CbasConfig::fast()).solve_seeded(&inst, 11).unwrap();
-        let b = Cbas::new(CbasConfig::fast()).solve_seeded(&inst, 11).unwrap();
+        let a = Cbas::new(CbasConfig::fast())
+            .solve_seeded(&inst, 11)
+            .unwrap();
+        let b = Cbas::new(CbasConfig::fast())
+            .solve_seeded(&inst, 11)
+            .unwrap();
         assert_eq!(a.group, b.group);
         assert_eq!(a.stats.samples_drawn, b.stats.samples_drawn);
     }
@@ -339,7 +356,9 @@ mod tests {
         b.add_node(1.0);
         b.add_node(1.0);
         let inst = WasoInstance::new(b.build(), 2).unwrap();
-        let err = Cbas::new(CbasConfig::fast()).solve_seeded(&inst, 0).unwrap_err();
+        let err = Cbas::new(CbasConfig::fast())
+            .solve_seeded(&inst, 0)
+            .unwrap_err();
         assert_eq!(err, SolveError::NoFeasibleGroup);
     }
 
@@ -348,11 +367,14 @@ mod tests {
         let mut stats = vec![StartStats::new(); 3];
         stats[1].pruned = true;
         assert_eq!(uniform_split(10, 3, &stats), vec![5, 0, 5]);
-        assert_eq!(uniform_split(5, 3, &{
-            let mut s = vec![StartStats::new(); 3];
-            s[2].pruned = true;
-            s
-        }), vec![3, 2, 0]);
+        assert_eq!(
+            uniform_split(5, 3, &{
+                let mut s = vec![StartStats::new(); 3];
+                s[2].pruned = true;
+                s
+            }),
+            vec![3, 2, 0]
+        );
     }
 
     #[test]

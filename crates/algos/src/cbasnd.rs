@@ -75,6 +75,20 @@ impl CbasNdConfig {
         self
     }
 
+    /// The CBAS-ND settings a [`crate::SolverSpec`] carries: the staged
+    /// base ([`CbasConfig::from_spec`]) plus the cross-entropy knobs
+    /// (ρ, smoothing `w`, §4.4.2 backtracking threshold).
+    pub fn from_spec(spec: &crate::SolverSpec) -> Self {
+        let defaults = Self::with_budget(spec.budget_or_default());
+        Self {
+            base: CbasConfig::from_spec(spec),
+            rho: spec.rho.unwrap_or(defaults.rho),
+            smoothing: spec.smoothing.unwrap_or(defaults.smoothing),
+            backtrack_threshold: spec.backtrack,
+            allocation: defaults.allocation,
+        }
+    }
+
     /// Enables §4.4.2 backtracking with threshold `z_t`.
     pub fn with_backtracking(mut self, z_t: f64) -> Self {
         self.backtrack_threshold = Some(z_t);
@@ -99,39 +113,16 @@ impl CbasNd {
         &self.config
     }
 
-    /// Solves with *required attendees*: every sample grows from the given
-    /// partial solution, so all `required` nodes appear in the answer.
-    ///
-    /// This powers two paper features: the §4.4.1 online extension (the
-    /// confirmed attendees are required) and the §6 future-work item
-    /// "allow users to specify some attendees that must be included in a
-    /// certain group activity".
-    ///
-    /// `required` must be non-empty, contain no duplicates or blocked
-    /// nodes, and have at most `k` members. The required set itself need
-    /// not be connected — feasibility of the full group is validated on
-    /// the way out (`Err(SolveError::NoFeasibleGroup)` when no sample can
-    /// connect everything).
-    pub fn solve_with_required(
-        &mut self,
-        instance: &WasoInstance,
-        required: &[NodeId],
-        seed: u64,
-    ) -> Result<SolveResult, SolveError> {
-        if required.len() > instance.k() {
-            return Err(SolveError::NoFeasibleGroup);
-        }
-        self.run(instance, StartMode::Partial(required), seed)
-    }
-
-    /// Backwards-compatible crate alias used by the online planner.
+    /// Crate alias used by the online planner (the confirmed attendees
+    /// seed every sample). Same contract as the
+    /// [`Solver::solve_with_required`] implementation below.
     pub(crate) fn solve_with_seeds(
         &mut self,
         instance: &WasoInstance,
         seeds: &[NodeId],
         seed: u64,
     ) -> Result<SolveResult, SolveError> {
-        self.solve_with_required(instance, seeds, seed)
+        Solver::solve_with_required(self, instance, seeds, seed)
     }
 
     fn run(
@@ -213,12 +204,8 @@ impl CbasNd {
                 }
                 stage_samples.clear();
                 for q in 0..ni {
-                    let mut rng = StdRng::seed_from_u64(crate::sample_seed(
-                        seed,
-                        i as u64,
-                        stage as u64,
-                        q,
-                    ));
+                    let mut rng =
+                        StdRng::seed_from_u64(crate::sample_seed(seed, i as u64, stage as u64, q));
                     drawn += 1;
                     let sample = match mode {
                         StartMode::Fresh => {
@@ -240,9 +227,7 @@ impl CbasNd {
                             if let StartMode::Partial(seeds) = mode {
                                 if seeds.len() > 1
                                     && instance.requires_connectivity()
-                                    && !waso_graph::traversal::is_connected_subset(
-                                        g, &s.nodes,
-                                    )
+                                    && !waso_graph::traversal::is_connected_subset(g, &s.nodes)
                                 {
                                     continue;
                                 }
@@ -295,6 +280,7 @@ impl CbasNd {
                 start_nodes: m as u32,
                 pruned_start_nodes: pruned_count,
                 backtracks,
+                truncated: false,
                 elapsed: t0.elapsed(),
             },
         })
@@ -360,12 +346,48 @@ impl Solver for CbasNd {
         }
     }
 
+    fn capabilities(&self) -> crate::Capabilities {
+        crate::Capabilities {
+            required_attendees: true,
+            randomized: true,
+            ..crate::Capabilities::default()
+        }
+    }
+
     fn solve_seeded(
         &mut self,
         instance: &WasoInstance,
         seed: u64,
     ) -> Result<SolveResult, SolveError> {
         self.run(instance, StartMode::Fresh, seed)
+    }
+
+    /// Solves with *required attendees*: every sample grows from the given
+    /// partial solution, so all `required` nodes appear in the answer.
+    ///
+    /// This powers two paper features: the §4.4.1 online extension (the
+    /// confirmed attendees are required) and the §6 future-work item
+    /// "allow users to specify some attendees that must be included in a
+    /// certain group activity".
+    ///
+    /// `required` must contain no duplicates or blocked nodes and have at
+    /// most `k` members. The required set itself need not be connected —
+    /// feasibility of the full group is validated on the way out
+    /// (`Err(SolveError::NoFeasibleGroup)` when no sample can connect
+    /// everything).
+    fn solve_with_required(
+        &mut self,
+        instance: &WasoInstance,
+        required: &[NodeId],
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        if required.is_empty() {
+            return self.solve_seeded(instance, seed);
+        }
+        if required.len() > instance.k() {
+            return Err(SolveError::NoFeasibleGroup);
+        }
+        self.run(instance, StartMode::Partial(required), seed)
     }
 }
 
@@ -404,8 +426,12 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let inst = random_instance(50, 5, 1);
-        let a = CbasNd::new(CbasNdConfig::fast()).solve_seeded(&inst, 9).unwrap();
-        let b = CbasNd::new(CbasNdConfig::fast()).solve_seeded(&inst, 9).unwrap();
+        let a = CbasNd::new(CbasNdConfig::fast())
+            .solve_seeded(&inst, 9)
+            .unwrap();
+        let b = CbasNd::new(CbasNdConfig::fast())
+            .solve_seeded(&inst, 9)
+            .unwrap();
         assert_eq!(a.group, b.group);
         assert_eq!(a.stats.samples_drawn, b.stats.samples_drawn);
     }
@@ -480,9 +506,7 @@ mod tests {
         // seed clique, node 0 too).
         let mut cfg = CbasNdConfig::with_budget(60);
         cfg.base.stages = Some(3);
-        let res = CbasNd::new(cfg)
-            .solve_with_seeds(&inst, &seeds, 2)
-            .unwrap();
+        let res = CbasNd::new(cfg).solve_with_seeds(&inst, &seeds, 2).unwrap();
         assert!(res.group.contains(NodeId(0)));
         assert!(res.group.contains(NodeId(1)));
         assert_eq!(res.group.len(), 6);
@@ -529,7 +553,9 @@ mod tests {
             .solve_with_required(&inst, &[NodeId(0), NodeId(4)], 1)
             .unwrap();
         assert_eq!(res.group.len(), 5);
-        res.group.validate(&inst).expect("bridged group is connected");
+        res.group
+            .validate(&inst)
+            .expect("bridged group is connected");
 
         // k = 3 cannot connect 0 and 4 on a path — infeasible.
         let inst3 = WasoInstance::new(

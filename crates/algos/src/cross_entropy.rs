@@ -120,7 +120,10 @@ impl ProbabilityVector {
     /// # Panics
     /// Panics if `w` is outside `[0, 1]` or any frequency is outside `[0,1]`.
     pub fn update_from_frequencies(&mut self, freqs: &[(NodeId, f64)], w: f64) {
-        assert!((0.0..=1.0).contains(&w), "smoothing weight {w} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&w),
+            "smoothing weight {w} outside [0,1]"
+        );
         let old_default = self.default;
 
         // Decay phase: every probability (explicit and implicit) shrinks by
@@ -131,7 +134,10 @@ impl ProbabilityVector {
         self.default *= 1.0 - w;
 
         for &(v, freq) in freqs {
-            assert!((0.0..=1.0).contains(&freq), "frequency {freq} outside [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&freq),
+                "frequency {freq} outside [0,1]"
+            );
             let base = self
                 .explicit
                 .get(&v.0)

@@ -55,14 +55,7 @@ impl GaussStats {
 /// draws) and `J_i ~ N(mu_i, sd_i²)` (max of `n_i` draws), by quadrature.
 ///
 /// Degenerate spreads fall back to point-mass comparisons.
-pub fn prob_challenger_wins(
-    mu_b: f64,
-    sd_b: f64,
-    n_b: f64,
-    mu_i: f64,
-    sd_i: f64,
-    n_i: f64,
-) -> f64 {
+pub fn prob_challenger_wins(mu_b: f64, sd_b: f64, n_b: f64, mu_i: f64, sd_i: f64, n_i: f64) -> f64 {
     debug_assert!(n_b >= 1.0 && n_i >= 1.0);
     if sd_b <= 0.0 && sd_i <= 0.0 {
         // Two point masses.
@@ -210,7 +203,11 @@ mod tests {
 
     #[test]
     fn allocation_sums_and_favors_the_best() {
-        let stats = vec![gauss(10.0, 1.0, 10), gauss(6.0, 1.0, 10), gauss(9.5, 1.0, 10)];
+        let stats = vec![
+            gauss(10.0, 1.0, 10),
+            gauss(6.0, 1.0, 10),
+            gauss(9.5, 1.0, 10),
+        ];
         let alloc = allocate_stage_gaussian(&stats, 100);
         assert_eq!(alloc.iter().sum::<u64>(), 100);
         assert!(alloc[0] > alloc[1], "{alloc:?}");

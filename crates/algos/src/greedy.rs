@@ -59,6 +59,33 @@ impl Solver for DGreedy {
         "dgreedy"
     }
 
+    /// Deterministic; guarantees at most *one* required attendee (the
+    /// pinned start node).
+    fn capabilities(&self) -> crate::Capabilities {
+        crate::Capabilities {
+            required_attendees: true,
+            ..crate::Capabilities::default()
+        }
+    }
+
+    /// A single required attendee is honoured by pinning it as the start
+    /// node; more than one cannot be guaranteed by a greedy pass and is
+    /// rejected rather than silently dropped.
+    fn solve_with_required(
+        &mut self,
+        instance: &WasoInstance,
+        required: &[NodeId],
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        match required {
+            [] => self.solve_seeded(instance, seed),
+            [v] => DGreedy::from_start(*v).solve_seeded(instance, seed),
+            _ => Err(SolveError::RequiredUnsupported {
+                solver: self.name(),
+            }),
+        }
+    }
+
     fn solve_seeded(
         &mut self,
         instance: &WasoInstance,
@@ -138,10 +165,7 @@ mod tests {
         let res = DGreedy::new().solve_seeded(&figure1_instance(), 0).unwrap();
         // Greedy picks v1 (max η), then v2 (Δ = 7+2·1 = 9), then v3
         // (Δ = 6+2·2 = 10): willingness 27, missing the optimum 30.
-        assert_eq!(
-            res.group.nodes(),
-            &[NodeId(0), NodeId(1), NodeId(2)]
-        );
+        assert_eq!(res.group.nodes(), &[NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(res.group.willingness(), 27.0);
     }
 

@@ -30,13 +30,16 @@ pub mod greedy;
 pub mod ocba;
 pub mod online;
 pub mod parallel;
+pub mod registry;
 pub mod rgreedy;
 pub mod sampler;
+pub mod spec;
 pub mod theory;
 
 use std::time::Duration;
 
 use waso_core::{CoreError, Group, WasoInstance};
+use waso_graph::NodeId;
 
 pub use cbas::{Cbas, CbasConfig};
 pub use cbasnd::{CbasNd, CbasNdConfig};
@@ -45,10 +48,12 @@ pub use gaussian::Allocation;
 pub use greedy::DGreedy;
 pub use online::OnlinePlanner;
 pub use parallel::ParallelCbasNd;
+pub use registry::{BuildFn, RegistryEntry, SolverRegistry};
 pub use rgreedy::{RGreedy, RGreedyConfig};
+pub use spec::{Capabilities, SolverSpec, SpecError, DEFAULT_BUDGET};
 
 /// Why a solver could not produce a group.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SolveError {
     /// No start node could be grown to `k` nodes (e.g. every component of
     /// the graph is smaller than `k`).
@@ -56,15 +61,30 @@ pub enum SolveError {
     /// The produced group failed validation — indicates a solver bug and is
     /// surfaced rather than masked.
     Invalid(CoreError),
+    /// The caller asked for required attendees from a solver that cannot
+    /// guarantee them (see [`Capabilities::required_attendees`]). Surfaced
+    /// instead of silently dropping the constraint.
+    RequiredUnsupported {
+        /// The solver that rejected the constraint.
+        solver: &'static str,
+    },
 }
 
 impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::NoFeasibleGroup => {
-                write!(f, "no feasible group of the requested size exists or was found")
+                write!(
+                    f,
+                    "no feasible group of the requested size exists or was found"
+                )
             }
             SolveError::Invalid(e) => write!(f, "solver produced an invalid group: {e}"),
+            SolveError::RequiredUnsupported { solver } => write!(
+                f,
+                "solver '{solver}' cannot guarantee required attendees \
+                 (use cbas-nd, cbas-nd-g, or dgreedy with a single attendee)"
+            ),
         }
     }
 }
@@ -84,8 +104,28 @@ pub struct SolverStats {
     pub pruned_start_nodes: u32,
     /// Probability-vector reverts performed (backtracking, §4.4.2).
     pub backtracks: u32,
+    /// `true` when a work cap cut the solve short, so the result is the
+    /// best *found* rather than a completed run (the exact solver's
+    /// expansion cap; anytime modes generally).
+    pub truncated: bool,
     /// Wall-clock time of the solve call.
     pub elapsed: Duration,
+}
+
+impl std::fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} samples, {} stages, {} start nodes ({} pruned), {} backtracks, {:.3}s{}",
+            self.samples_drawn,
+            self.stages,
+            self.start_nodes,
+            self.pruned_start_nodes,
+            self.backtracks,
+            self.elapsed.as_secs_f64(),
+            if self.truncated { " (truncated)" } else { "" }
+        )
+    }
 }
 
 /// A solver's answer: the best group found plus statistics.
@@ -97,12 +137,27 @@ pub struct SolveResult {
     pub stats: SolverStats,
 }
 
+impl std::fmt::Display for SolveResult {
+    /// The group with its willingness, then the stats one-liner —
+    /// what CLIs and examples print instead of formatting by hand.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} — {}", self.group, self.stats)
+    }
+}
+
 /// Common interface of all WASO solvers.
 ///
 /// Implementations are deterministic functions of `(instance, seed)` —
 /// rerunning with the same arguments yields the same group. This also makes
 /// the parallel driver bit-identical to the serial one (per-start-node RNG
 /// streams; see [`parallel`]).
+///
+/// Beyond the core [`Solver::solve_seeded`], the trait carries the uniform
+/// constraint surface the [`SolverRegistry`] and the `waso::WasoSession`
+/// facade rely on: [`Solver::capabilities`] declares what a solver can
+/// honour, [`Solver::solve_with_required`] enforces required attendees (or
+/// rejects loudly), and [`Solver::warm_start`] primes anytime solvers with
+/// an incumbent.
 pub trait Solver {
     /// Short machine-friendly name (`"dgreedy"`, `"cbas-nd"`, …).
     fn name(&self) -> &'static str;
@@ -113,6 +168,43 @@ pub trait Solver {
         instance: &WasoInstance,
         seed: u64,
     ) -> Result<SolveResult, SolveError>;
+
+    /// What this solver can honour. Defaults to "nothing beyond plain
+    /// solving"; solvers opt in to each capability they implement.
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::default()
+    }
+
+    /// Solves with *required attendees*: every listed node must appear in
+    /// the answer.
+    ///
+    /// The default rejects any non-empty requirement with
+    /// [`SolveError::RequiredUnsupported`] — constraints are *never*
+    /// silently dropped. Solvers that can guarantee membership (CBAS-ND's
+    /// partial-solution growth, DGreedy's pinned start for a single
+    /// attendee) override this and set
+    /// [`Capabilities::required_attendees`].
+    fn solve_with_required(
+        &mut self,
+        instance: &WasoInstance,
+        required: &[NodeId],
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        if required.is_empty() {
+            return self.solve_seeded(instance, seed);
+        }
+        Err(SolveError::RequiredUnsupported {
+            solver: self.name(),
+        })
+    }
+
+    /// Offers an incumbent solution before solving. Anytime/exact solvers
+    /// use it to prune ([`Capabilities::warm_start`]); everyone else
+    /// ignores it — a warm start is an optimization hint, not a
+    /// constraint, so ignoring it is sound.
+    fn warm_start(&mut self, incumbent: &Group) {
+        let _ = incumbent;
+    }
 }
 
 /// SplitMix64 — derives independent RNG streams from `(seed, stream ids)`.
@@ -155,7 +247,9 @@ mod tests {
 
     #[test]
     fn solve_error_messages() {
-        assert!(SolveError::NoFeasibleGroup.to_string().contains("no feasible"));
+        assert!(SolveError::NoFeasibleGroup
+            .to_string()
+            .contains("no feasible"));
         let e = SolveError::Invalid(CoreError::Disconnected);
         assert!(e.to_string().contains("connected"));
     }

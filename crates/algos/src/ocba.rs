@@ -126,7 +126,13 @@ pub fn allocate_stage(stats: &[StartStats], stage_budget: u64) -> Vec<u64> {
 
 /// Largest-remainder rounding of `stage_budget · w_i / Σw` with the
 /// leftover biased toward the incumbent `b`, guaranteeing exact budget use.
-pub(crate) fn distribute(alloc: &mut [u64], live: &[usize], weights: &[f64], stage_budget: u64, b: usize) {
+pub(crate) fn distribute(
+    alloc: &mut [u64],
+    live: &[usize],
+    weights: &[f64],
+    stage_budget: u64,
+    b: usize,
+) {
     let total: f64 = weights.iter().sum();
     if total <= 0.0 || !total.is_finite() {
         // Everything underflowed: give the whole stage to the incumbent.
@@ -283,7 +289,10 @@ mod tests {
         let s = stats(&[(0.0, 1.0, 10_000), (0.0, 0.99, 10_000)]);
         let alloc = allocate_stage(&s, 100);
         assert_eq!(alloc.iter().sum::<u64>(), 100);
-        assert!(alloc[0] >= 99, "nearly everything to the incumbent: {alloc:?}");
+        assert!(
+            alloc[0] >= 99,
+            "nearly everything to the incumbent: {alloc:?}"
+        );
     }
 
     #[test]
@@ -314,7 +323,7 @@ mod tests {
         assert_eq!(derive_stages(0, 5, 10, 2, 0.9, 0.7), 1);
         assert_eq!(derive_stages(100, 5, 10, 1, 0.9, 0.7), 1); // m = 1
         assert_eq!(derive_stages(100, 5, 10, 2, 0.9, 0.5), 1); // arg = 1
-        // α → 1 drives the numerator to 0 → r clamps to 1.
+                                                               // α → 1 drives the numerator to 0 → r clamps to 1.
         assert_eq!(derive_stages(100, 5, 10, 2, 0.999999, 0.7), 1);
     }
 

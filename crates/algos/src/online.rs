@@ -102,6 +102,17 @@ impl OnlinePlanner {
         })
     }
 
+    /// Plans the initial group from a CBAS-ND [`crate::SolverSpec`] (the
+    /// replanning engine is always CBAS-ND — the only solver whose
+    /// partial-solution growth keeps confirmed attendees, §4.4.1).
+    pub fn from_spec(
+        instance: WasoInstance,
+        spec: &crate::SolverSpec,
+        seed: u64,
+    ) -> Result<Self, OnlineError> {
+        Self::new(instance, CbasNdConfig::from_spec(spec), seed)
+    }
+
     /// The current recommendation.
     pub fn current(&self) -> &Group {
         &self.current
@@ -230,11 +241,17 @@ mod tests {
         let mut planner = OnlinePlanner::new(instance(40, 5, 6), fast_config(), 1).unwrap();
         let v = planner.current().nodes()[0];
         planner.confirm(&[v]).unwrap();
-        assert_eq!(planner.decline(&[v]).unwrap_err(), OnlineError::Conflict(v.0));
+        assert_eq!(
+            planner.decline(&[v]).unwrap_err(),
+            OnlineError::Conflict(v.0)
+        );
 
         let w = planner.current().nodes()[1];
         planner.decline(&[w]).unwrap();
-        assert_eq!(planner.confirm(&[w]).unwrap_err(), OnlineError::Conflict(w.0));
+        assert_eq!(
+            planner.confirm(&[w]).unwrap_err(),
+            OnlineError::Conflict(w.0)
+        );
     }
 
     #[test]

@@ -63,6 +63,32 @@ impl Solver for ParallelCbasNd {
         "cbas-nd-par"
     }
 
+    fn capabilities(&self) -> crate::Capabilities {
+        crate::Capabilities {
+            required_attendees: true, // honoured by routing to serial
+            parallel: true,
+            randomized: true,
+            ..crate::Capabilities::default()
+        }
+    }
+
+    /// The partial-solution growth mode that guarantees required
+    /// attendees is serial-only, so constrained solves route to the
+    /// serial [`CbasNd`] with the same configuration — the constraint is
+    /// honoured at the cost of the parallel speedup, never dropped.
+    fn solve_with_required(
+        &mut self,
+        instance: &WasoInstance,
+        required: &[NodeId],
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        if required.is_empty() {
+            return self.solve_seeded(instance, seed);
+        }
+        crate::cbasnd::CbasNd::new(self.config.clone())
+            .solve_with_required(instance, required, seed)
+    }
+
     fn solve_seeded(
         &mut self,
         instance: &WasoInstance,
@@ -228,6 +254,7 @@ impl Solver for ParallelCbasNd {
                 start_nodes: m as u32,
                 pruned_start_nodes: pruned_count,
                 backtracks,
+                truncated: false,
                 elapsed: t0.elapsed(),
             },
         })
@@ -267,7 +294,10 @@ mod tests {
                 "thread count {threads} changed the result"
             );
             assert_eq!(par.stats.samples_drawn, serial.stats.samples_drawn);
-            assert_eq!(par.stats.pruned_start_nodes, serial.stats.pruned_start_nodes);
+            assert_eq!(
+                par.stats.pruned_start_nodes,
+                serial.stats.pruned_start_nodes
+            );
             assert_eq!(par.stats.backtracks, serial.stats.backtracks);
         }
     }
@@ -316,6 +346,9 @@ mod tests {
         let par = ParallelCbasNd::new(cfg, 4).solve_seeded(&inst, 5).unwrap();
         assert_eq!(par.group, serial.group);
         assert_eq!(par.stats.samples_drawn, serial.stats.samples_drawn);
-        assert_eq!(par.stats.pruned_start_nodes, serial.stats.pruned_start_nodes);
+        assert_eq!(
+            par.stats.pruned_start_nodes,
+            serial.stats.pruned_start_nodes
+        );
     }
 }

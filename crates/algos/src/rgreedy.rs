@@ -54,6 +54,18 @@ impl RGreedyConfig {
             include_base_willingness: false,
         }
     }
+
+    /// The settings a [`crate::SolverSpec`] carries (budget, start-node
+    /// count, pinned starts). The `W(S)+Δ` ablation variant is
+    /// deliberately not spec-reachable — it exists only for the ablation
+    /// benchmarks.
+    pub fn from_spec(spec: &crate::SolverSpec) -> Self {
+        Self {
+            num_start_nodes: spec.start_nodes,
+            start_override: spec.starts.clone(),
+            ..Self::with_budget(spec.budget_or_default())
+        }
+    }
 }
 
 /// Randomized greedy solver.
@@ -72,6 +84,13 @@ impl RGreedy {
 impl Solver for RGreedy {
     fn name(&self) -> &'static str {
         "rgreedy"
+    }
+
+    fn capabilities(&self) -> crate::Capabilities {
+        crate::Capabilities {
+            randomized: true,
+            ..crate::Capabilities::default()
+        }
     }
 
     fn solve_seeded(

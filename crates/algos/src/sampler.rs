@@ -156,11 +156,7 @@ impl Sampler {
 /// Selects the `m` start nodes of CBAS phase 1: the nodes with the largest
 /// `η + Σ incident τ` ([`SocialGraph::start_node_score`]), skipping blocked
 /// nodes. Ties break toward smaller ids (determinism). `O(n log m)`.
-pub fn select_start_nodes(
-    g: &SocialGraph,
-    m: usize,
-    blocked: Option<&BitSet>,
-) -> Vec<NodeId> {
+pub fn select_start_nodes(g: &SocialGraph, m: usize, blocked: Option<&BitSet>) -> Vec<NodeId> {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
@@ -294,13 +290,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut hits = 0;
         for _ in 0..100 {
-            let sample = s.sample_weighted(&inst, NodeId(0), &probs, &mut rng).unwrap();
+            let sample = s
+                .sample_weighted(&inst, NodeId(0), &probs, &mut rng)
+                .unwrap();
             if sample.nodes.contains(&NodeId(3)) {
                 hits += 1;
             }
         }
         // MIN_PROB keeps zeroed nodes possible but vanishingly unlikely.
-        assert!(hits >= 99, "expected nearly all samples to pick v3, got {hits}");
+        assert!(
+            hits >= 99,
+            "expected nearly all samples to pick v3, got {hits}"
+        );
     }
 
     #[test]
@@ -310,7 +311,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let seeds = [NodeId(2), NodeId(3)];
         for _ in 0..20 {
-            let sample = s.sample_from_partial(&inst, &seeds, None, &mut rng).unwrap();
+            let sample = s
+                .sample_from_partial(&inst, &seeds, None, &mut rng)
+                .unwrap();
             assert_eq!(sample.nodes.len(), 4);
             assert!(sample.nodes.contains(&NodeId(2)));
             assert!(sample.nodes.contains(&NodeId(3)));
@@ -356,7 +359,9 @@ mod tests {
         // We reproduce the scoring rule on a small synthetic: scores are
         // η + Σ incident τ (each edge once).
         let mut b = GraphBuilder::new();
-        let ids: Vec<NodeId> = (0..4).map(|i| b.add_node([0.1, 0.9, 0.5, 0.2][i])).collect();
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node([0.1, 0.9, 0.5, 0.2][i]))
+            .collect();
         b.add_edge_symmetric(ids[0], ids[1], 1.0).unwrap(); // v1: 0.9+1+0.2 = 2.1
         b.add_edge_symmetric(ids[1], ids[2], 0.2).unwrap(); // v2: 0.5+0.2+0.3 = 1.0
         b.add_edge_symmetric(ids[2], ids[3], 0.3).unwrap(); // v3: 0.2+0.3 = 0.5

@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use waso_algos::{
-    Cbas, CbasConfig, CbasNd, CbasNdConfig, DGreedy, ParallelCbasNd, RGreedy, RGreedyConfig,
-    Solver,
+    Cbas, CbasConfig, CbasNd, CbasNdConfig, DGreedy, ParallelCbasNd, RGreedy, RGreedyConfig, Solver,
 };
 use waso_core::WasoInstance;
 use waso_datasets::synthetic;
@@ -64,19 +63,15 @@ fn bench_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_cbas_nd");
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| {
-                    black_box(
-                        ParallelCbasNd::new(nd_cfg.clone(), t)
-                            .solve_seeded(&inst, 1)
-                            .unwrap(),
-                    )
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    ParallelCbasNd::new(nd_cfg.clone(), t)
+                        .solve_seeded(&inst, 1)
+                        .unwrap(),
+                )
+            });
+        });
     }
     group.finish();
 }

@@ -9,20 +9,22 @@
 //! "execution time" is the planner's *modeled human seconds*; solver times
 //! are wall-clock.
 
-use waso_algos::{CbasNd, CbasNdConfig, Solver};
+use waso_algos::SolverSpec;
 use waso_datasets::userstudy::{self, ManualPlanner, Opinion};
 use waso_exact::exhaustive_optimum_where;
 
 use crate::report::{Cell, Table, TableSet};
 use crate::runner::ExperimentContext;
 
-/// The study's solver configuration: a small budget suits ≤ 30-node
-/// instances (§5.2 runs interactively).
-fn study_config(pin_initiator: Option<waso_graph::NodeId>) -> CbasNdConfig {
-    let mut cfg = CbasNdConfig::with_budget(100);
-    cfg.base.stages = Some(3);
-    cfg.base.start_override = pin_initiator.map(|v| vec![v]);
-    cfg
+/// The study's solver spec: a small budget suits ≤ 30-node instances
+/// (§5.2 runs interactively); the `-i` mode pins the initiator as the
+/// start node.
+fn study_spec(pin_initiator: Option<waso_graph::NodeId>) -> SolverSpec {
+    let mut spec = SolverSpec::cbas_nd().budget(100).stages(3);
+    if let Some(v) = pin_initiator {
+        spec = spec.starts([v]);
+    }
+    spec
 }
 
 /// One participant × one problem, all six measurements of Figures 4(b)–(e).
@@ -56,14 +58,21 @@ fn run_problem(n: usize, k: usize, seed: u64) -> Option<ProblemOutcome> {
     let m_ni = planner.plan(inst, None, seed ^ 0x22);
     let (m_i_group, m_ni_group) = (m_i.group?, m_ni.group?);
 
-    // CBAS-ND, both modes (wall-clock measured).
+    // CBAS-ND, both modes (wall-clock measured), via the registry.
+    let registry = waso::registry();
     let t0 = std::time::Instant::now();
-    let c_i = CbasNd::new(study_config(Some(initiator)))
+    let c_i = registry
+        .build(&study_spec(Some(initiator)))
+        .expect("study spec is registry-valid")
         .solve_seeded(inst, seed)
         .ok()?;
     let c_i_secs = t0.elapsed().as_secs_f64();
     let t0 = std::time::Instant::now();
-    let c_ni = CbasNd::new(study_config(None)).solve_seeded(inst, seed).ok()?;
+    let c_ni = registry
+        .build(&study_spec(None))
+        .expect("study spec is registry-valid")
+        .solve_seeded(inst, seed)
+        .ok()?;
     let c_ni_secs = t0.elapsed().as_secs_f64();
 
     // Exact optima (the paper's IP / CPLEX role).
@@ -137,7 +146,13 @@ fn averaged(n: usize, k: usize, ctx: &ExperimentContext) -> Option<ProblemOutcom
 }
 
 const QUALITY_COLS: [&str; 7] = [
-    "x", "Manual-i", "CBAS-ND-i", "IP-i", "Manual-ni", "CBAS-ND-ni", "IP-ni",
+    "x",
+    "Manual-i",
+    "CBAS-ND-i",
+    "IP-i",
+    "Manual-ni",
+    "CBAS-ND-ni",
+    "IP-ni",
 ];
 
 fn quality_row(x: usize, o: &ProblemOutcome) -> Vec<Cell> {
@@ -180,8 +195,8 @@ pub fn lambda_histogram(ctx: &ExperimentContext) -> TableSet {
         &["lambda bin", "percentage"],
     );
     for &(lo, hi, _) in &userstudy::LAMBDA_BINS {
-        let frac = samples.iter().filter(|&&x| x >= lo && x < hi).count() as f64
-            / samples.len() as f64;
+        let frac =
+            samples.iter().filter(|&&x| x >= lo && x < hi).count() as f64 / samples.len() as f64;
         t.push_row(vec![
             Cell::from(format!("{lo:.2}-{hi:.2}")),
             Cell::from(100.0 * frac),
@@ -292,7 +307,10 @@ pub fn opinions(ctx: &ExperimentContext) -> TableSet {
             100.0 * x as f64 / total as f64
         }
     };
-    for (i, name) in ["Better", "Acceptable", "Not Acceptable"].iter().enumerate() {
+    for (i, name) in ["Better", "Acceptable", "Not Acceptable"]
+        .iter()
+        .enumerate()
+    {
         t.push_row(vec![
             Cell::from(*name),
             Cell::from(pct(with_init[i])),

@@ -2,36 +2,60 @@
 //! size, network size, thread count, budget, smoothing, elite fraction and
 //! start-node count.
 //!
+//! All solvers are obtained via [`SolverSpec`] → `waso::registry()`; the
+//! comparison roster, its table columns, and the cost caps derive from
+//! registry metadata ([`crate::runner::roster_specs`]).
+//!
 //! All solvers run with explicit `stages = 10` (the paper's stage-count
 //! formula degenerates to r = 1 at realistic n; see
 //! `waso_algos::ocba::derive_stages` and EXPERIMENTS.md).
 
-use waso_algos::{
-    Cbas, CbasConfig, CbasNd, CbasNdConfig, DGreedy, ParallelCbasNd, RGreedy, RGreedyConfig,
-};
+use waso_algos::SolverSpec;
 use waso_core::WasoInstance;
 use waso_datasets::synthetic;
 
 use crate::report::{Cell, Table, TableSet};
-use crate::runner::{measure, measure_avg, ExperimentContext};
+use crate::runner::{
+    harness_spec, measure_spec, measure_spec_avg, roster_specs, ExperimentContext,
+};
 
 pub(crate) const STAGES: u32 = 10;
 
-pub(crate) fn cbas_config(budget: u64, m: Option<usize>) -> CbasConfig {
-    let mut c = CbasConfig::with_budget(budget);
-    c.stages = Some(STAGES);
-    c.num_start_nodes = m;
-    c
+/// The harness's standard CBAS-ND spec (budget + stages + start nodes) —
+/// the baseline the parameter sweeps (5d/5g/5h) perturb.
+pub(crate) fn cbasnd_spec(budget: u64, m: Option<usize>) -> SolverSpec {
+    let mut spec = SolverSpec::cbas_nd().budget(budget).stages(STAGES);
+    if let Some(m) = m {
+        spec = spec.start_nodes(m);
+    }
+    spec
 }
 
-pub(crate) fn cbasnd_config(budget: u64, m: Option<usize>) -> CbasNdConfig {
-    let mut c = CbasNdConfig::with_budget(budget);
-    c.base = cbas_config(budget, m);
-    c
+/// Measures one cell of a roster sweep: `None` when the cost cap skips
+/// the solver at this size.
+fn roster_cell(
+    solver: &crate::runner::RosterSolver<'_>,
+    registry: &waso_algos::SolverRegistry,
+    inst: &WasoInstance,
+    ctx: &ExperimentContext,
+    k: usize,
+) -> Option<crate::runner::Measurement> {
+    if solver.entry.costly && k > ctx.costly_k_limit() {
+        // The paper aborts per-candidate-pricing solvers beyond small
+        // groups (12-hour timeouts, §5.3.1).
+        return None;
+    }
+    Some(measure_spec_avg(
+        registry,
+        &solver.spec,
+        inst,
+        ctx.seed,
+        solver.repeats(ctx),
+    ))
 }
 
 /// Shared "quality + time vs k" sweep used by Figures 5(a,b), 7(a,b),
-/// 8(a,b): DGreedy / RGreedy / CBAS / CBAS-ND on one graph.
+/// 8(a,b): the registry's comparison roster on one graph.
 pub(crate) fn sweep_k(
     graph: &waso_graph::SocialGraph,
     ks: &[usize],
@@ -40,62 +64,44 @@ pub(crate) fn sweep_k(
     id_quality: &str,
     dataset: &str,
 ) -> TableSet {
-    let cols = ["k", "DGreedy", "CBAS", "RGreedy", "CBAS-ND"];
+    let registry = waso::registry();
+    let budget = ctx.budget();
+    let m = Some(ctx.harness_m(graph.num_nodes()));
+    let roster = roster_specs(&registry, budget, STAGES, m);
+
+    let cols: Vec<String> = std::iter::once("k".to_string())
+        .chain(roster.iter().map(|s| s.entry.label.to_string()))
+        .collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
     let mut time = Table::new(
         id_time,
         format!("execution time vs k in seconds ({dataset})"),
-        &cols,
+        &col_refs,
     );
     let mut quality = Table::new(
         id_quality,
         format!("solution quality vs k ({dataset})"),
-        &cols,
+        &col_refs,
     );
-    let budget = ctx.budget();
 
-    let m = Some(ctx.harness_m(graph.num_nodes()));
     for &k in ks {
         let inst = WasoInstance::new(graph.clone(), k).expect("k <= n");
-        let dg = measure(&mut DGreedy::new(), &inst, ctx.seed);
-        let cb = measure_avg(
-            &mut Cbas::new(cbas_config(budget, m)),
-            &inst,
-            ctx.seed,
-            ctx.repeats,
-        );
-        let nd = measure_avg(
-            &mut CbasNd::new(cbasnd_config(budget, m)),
-            &inst,
-            ctx.seed,
-            ctx.repeats,
-        );
-        // RGreedy only at small k — the paper aborts it beyond that
-        // (12-hour timeouts, §5.3.1). Same budget, same start nodes.
-        let rg = (k <= ctx.rgreedy_k_limit()).then(|| {
-            let mut cfg = RGreedyConfig::with_budget(budget);
-            cfg.num_start_nodes = m;
-            measure_avg(&mut RGreedy::new(cfg), &inst, ctx.seed, ctx.repeats)
-        });
-
-        let q = |m: &crate::runner::Measurement| {
-            m.quality.map(Cell::from).unwrap_or(Cell::Missing)
-        };
-        let rg_time = rg.as_ref().map(|m| Cell::from(m.seconds)).unwrap_or(Cell::Missing);
-        let rg_quality = rg.as_ref().map(q).unwrap_or(Cell::Missing);
-        time.push_row(vec![
-            Cell::from(k),
-            Cell::from(dg.seconds),
-            Cell::from(cb.seconds),
-            rg_time,
-            Cell::from(nd.seconds),
-        ]);
-        quality.push_row(vec![
-            Cell::from(k),
-            q(&dg),
-            q(&cb),
-            rg_quality,
-            q(&nd),
-        ]);
+        let mut time_row = vec![Cell::from(k)];
+        let mut quality_row = vec![Cell::from(k)];
+        for solver in &roster {
+            match roster_cell(solver, &registry, &inst, ctx, k) {
+                Some(meas) => {
+                    time_row.push(Cell::from(meas.seconds));
+                    quality_row.push(meas.quality.map(Cell::from).unwrap_or(Cell::Missing));
+                }
+                None => {
+                    time_row.push(Cell::Missing);
+                    quality_row.push(Cell::Missing);
+                }
+            }
+        }
+        time.push_row(time_row);
+        quality.push_row(quality_row);
     }
 
     let mut set = TableSet::new();
@@ -119,38 +125,39 @@ pub fn quality_time_vs_k(ctx: &ExperimentContext) -> TableSet {
 
 /// Figure 5(c): execution time vs network size (k = 10).
 pub fn time_vs_n(ctx: &ExperimentContext) -> TableSet {
-    let cols = ["n", "DGreedy", "CBAS", "RGreedy", "CBAS-ND"];
+    let registry = waso::registry();
+    let k = 10;
+    // Column list derived from the roster, like everywhere else.
+    let roster_cols: Vec<String> = registry
+        .roster()
+        .iter()
+        .map(|e| e.label.to_string())
+        .collect();
+    let cols: Vec<String> = std::iter::once("n".to_string())
+        .chain(roster_cols)
+        .collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
     let mut time = Table::new(
         "fig5c",
         "Figure 5(c): execution time vs n, k=10 (Facebook-like)",
-        &cols,
+        &col_refs,
     );
-    let k = 10;
     for &n in &ctx.n_sweep() {
         let g = synthetic::facebook_like_n(n, ctx.seed ^ n as u64);
         let inst = WasoInstance::new(g, k).expect("n >= 10");
         let budget = ctx.budget();
         let m = Some(ctx.harness_m(n));
-        let dg = measure(&mut DGreedy::new(), &inst, ctx.seed);
-        let cb = measure(&mut Cbas::new(cbas_config(budget, m)), &inst, ctx.seed);
-        let nd = measure(
-            &mut CbasNd::new(cbasnd_config(budget, m)),
-            &inst,
-            ctx.seed,
-        );
-        // RGreedy scales poorly in n too; cap it at 10k nodes.
-        let rg = (n <= 10_000).then(|| {
-            let mut cfg = RGreedyConfig::with_budget(budget);
-            cfg.num_start_nodes = m;
-            measure(&mut RGreedy::new(cfg), &inst, ctx.seed)
-        });
-        time.push_row(vec![
-            Cell::from(n),
-            Cell::from(dg.seconds),
-            Cell::from(cb.seconds),
-            rg.map(|m| Cell::from(m.seconds)).unwrap_or(Cell::Missing),
-            Cell::from(nd.seconds),
-        ]);
+        let mut row = vec![Cell::from(n)];
+        for solver in roster_specs(&registry, budget, STAGES, m) {
+            // Costly solvers scale poorly in n too; cap them at 10k nodes.
+            if solver.entry.costly && n > 10_000 {
+                row.push(Cell::Missing);
+                continue;
+            }
+            let meas = measure_spec(&registry, &solver.spec, &inst, ctx.seed);
+            row.push(Cell::from(meas.seconds));
+        }
+        time.push_row(row);
     }
     let mut set = TableSet::new();
     set.push(time);
@@ -159,6 +166,7 @@ pub fn time_vs_n(ctx: &ExperimentContext) -> TableSet {
 
 /// Figure 5(d): multi-threaded CBAS-ND speedup (1/2/4/8 threads).
 pub fn parallel_speedup(ctx: &ExperimentContext) -> TableSet {
+    let registry = waso::registry();
     let g = synthetic::facebook_like(ctx.scale, ctx.seed);
     let threads = [1usize, 2, 4, 8];
     let ks: Vec<usize> = match ctx.scale {
@@ -174,7 +182,14 @@ pub fn parallel_speedup(ctx: &ExperimentContext) -> TableSet {
             "Figure 5(d): CBAS-ND execution time vs threads, seconds \
              (host has {cores} cores — the attainable ceiling; the paper used 40)"
         ),
-        &["k", "1 thread", "2 threads", "4 threads", "8 threads", "speedup@8"],
+        &[
+            "k",
+            "1 thread",
+            "2 threads",
+            "4 threads",
+            "8 threads",
+            "speedup@8",
+        ],
     );
     // A heavier budget so the parallel section dominates.
     let budget = ctx.budget() * 4;
@@ -183,11 +198,8 @@ pub fn parallel_speedup(ctx: &ExperimentContext) -> TableSet {
         let inst = WasoInstance::new(g.clone(), k).expect("k <= n");
         let mut secs = Vec::new();
         for &t in &threads {
-            let meas = measure(
-                &mut ParallelCbasNd::new(cbasnd_config(budget, m), t),
-                &inst,
-                ctx.seed,
-            );
+            let spec = cbasnd_spec(budget, m).threads(t);
+            let meas = measure_spec(&registry, &spec, &inst, ctx.seed);
             secs.push(meas.seconds);
         }
         let speedup = secs[0] / secs[3].max(1e-12);
@@ -212,6 +224,8 @@ pub fn vs_budget(ctx: &ExperimentContext) -> TableSet {
 }
 
 /// Shared "time + quality vs T" sweep (Figures 5(e,f) and 7(e,f)).
+/// Budget-insensitive roster members (DGreedy) are omitted — the paper's
+/// T-axis figures only plot the sampling solvers.
 pub(crate) fn budget_sweep(
     graph: &waso_graph::SocialGraph,
     k: usize,
@@ -220,44 +234,41 @@ pub(crate) fn budget_sweep(
     id_quality: &str,
     dataset: &str,
 ) -> TableSet {
-    let cols = ["T", "CBAS", "RGreedy", "CBAS-ND"];
-    let mut time = Table::new(id_time, format!("execution time vs T, seconds ({dataset})"), &cols);
-    let mut quality = Table::new(id_quality, format!("solution quality vs T ({dataset})"), &cols);
+    let registry = waso::registry();
     let inst = WasoInstance::new(graph.clone(), k).expect("k <= n");
     let m = Some(ctx.harness_m(graph.num_nodes()));
+
+    let budgeted: Vec<&waso_algos::RegistryEntry> = registry
+        .roster()
+        .into_iter()
+        .filter(|e| e.options.contains(&"budget"))
+        .collect();
+    let cols: Vec<String> = std::iter::once("T".to_string())
+        .chain(budgeted.iter().map(|e| e.label.to_string()))
+        .collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut time = Table::new(
+        id_time,
+        format!("execution time vs T, seconds ({dataset})"),
+        &col_refs,
+    );
+    let mut quality = Table::new(
+        id_quality,
+        format!("solution quality vs T ({dataset})"),
+        &col_refs,
+    );
+
     for &t in &ctx.t_sweep() {
-        let cb = measure_avg(
-            &mut Cbas::new(cbas_config(t, m)),
-            &inst,
-            ctx.seed,
-            ctx.repeats,
-        );
-        let nd = measure_avg(
-            &mut CbasNd::new(cbasnd_config(t, m)),
-            &inst,
-            ctx.seed,
-            ctx.repeats,
-        );
-        let rg = measure_avg(
-            &mut RGreedy::new({
-                let mut cfg = RGreedyConfig::with_budget(t);
-                cfg.num_start_nodes = m;
-                cfg
-            }),
-            &inst,
-            ctx.seed,
-            ctx.repeats,
-        );
-        let q = |m: &crate::runner::Measurement| {
-            m.quality.map(Cell::from).unwrap_or(Cell::Missing)
-        };
-        time.push_row(vec![
-            Cell::from(t),
-            Cell::from(cb.seconds),
-            Cell::from(rg.seconds),
-            Cell::from(nd.seconds),
-        ]);
-        quality.push_row(vec![Cell::from(t), q(&cb), q(&rg), q(&nd)]);
+        let mut time_row = vec![Cell::from(t)];
+        let mut quality_row = vec![Cell::from(t)];
+        for entry in &budgeted {
+            let spec = harness_spec(entry, t, STAGES, m);
+            let meas = measure_spec_avg(&registry, &spec, &inst, ctx.seed, ctx.repeats);
+            time_row.push(Cell::from(meas.seconds));
+            quality_row.push(meas.quality.map(Cell::from).unwrap_or(Cell::Missing));
+        }
+        time.push_row(time_row);
+        quality.push_row(quality_row);
     }
     let mut set = TableSet::new();
     set.push(time);
@@ -267,61 +278,58 @@ pub(crate) fn budget_sweep(
 
 /// Figure 5(g): CBAS-ND quality vs smoothing weight w, k ∈ {10, 20, 30}.
 pub fn smoothing_sweep(ctx: &ExperimentContext) -> TableSet {
-    let g = synthetic::facebook_like(ctx.scale, ctx.seed);
-    let ws = [0.1, 0.3, 0.5, 0.7, 0.9];
-    let ks: Vec<usize> = match ctx.scale {
-        waso_datasets::Scale::Smoke => vec![10],
-        _ => vec![10, 20, 30],
-    };
-    let cols: Vec<String> = std::iter::once("w".to_string())
-        .chain(ks.iter().map(|k| format!("k={k}")))
-        .collect();
-    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut quality = Table::new(
+    parameter_sweep(
+        ctx,
         "fig5g",
         "Figure 5(g): CBAS-ND quality vs smoothing weight w",
-        &col_refs,
-    );
-    for &w in &ws {
-        let mut row = vec![Cell::from(w)];
-        for &k in &ks {
-            let inst = WasoInstance::new(g.clone(), k).expect("k <= n");
-            let mut cfg = cbasnd_config(ctx.budget(), Some(ctx.harness_m(g.num_nodes())));
-            cfg.smoothing = w;
-            let m = measure_avg(&mut CbasNd::new(cfg), &inst, ctx.seed, ctx.repeats);
-            row.push(m.quality.map(Cell::from).unwrap_or(Cell::Missing));
-        }
-        quality.push_row(row);
-    }
-    let mut set = TableSet::new();
-    set.push(quality);
-    set
+        "w",
+        &[0.1, 0.3, 0.5, 0.7, 0.9],
+        |spec, w| spec.smoothing(w),
+    )
 }
 
 /// Figure 5(h): CBAS-ND quality vs elite fraction ρ, k ∈ {10, 20, 30}.
 pub fn rho_sweep(ctx: &ExperimentContext) -> TableSet {
+    parameter_sweep(
+        ctx,
+        "fig5h",
+        "Figure 5(h): CBAS-ND quality vs elite fraction rho",
+        "rho",
+        &[0.1, 0.3, 0.5, 0.7, 0.9],
+        |spec, x| spec.rho(x),
+    )
+}
+
+/// Shared CBAS-ND parameter sweep behind Figures 5(g) and 5(h): one spec
+/// knob varied, quality per k.
+fn parameter_sweep(
+    ctx: &ExperimentContext,
+    id: &str,
+    title: &str,
+    param: &str,
+    values: &[f64],
+    apply: impl Fn(SolverSpec, f64) -> SolverSpec,
+) -> TableSet {
+    let registry = waso::registry();
     let g = synthetic::facebook_like(ctx.scale, ctx.seed);
-    let rhos = [0.1, 0.3, 0.5, 0.7, 0.9];
     let ks: Vec<usize> = match ctx.scale {
         waso_datasets::Scale::Smoke => vec![10],
         _ => vec![10, 20, 30],
     };
-    let cols: Vec<String> = std::iter::once("rho".to_string())
+    let cols: Vec<String> = std::iter::once(param.to_string())
         .chain(ks.iter().map(|k| format!("k={k}")))
         .collect();
     let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut quality = Table::new(
-        "fig5h",
-        "Figure 5(h): CBAS-ND quality vs elite fraction rho",
-        &col_refs,
-    );
-    for &rho in &rhos {
-        let mut row = vec![Cell::from(rho)];
+    let mut quality = Table::new(id, title, &col_refs);
+    for &x in values {
+        let mut row = vec![Cell::from(x)];
         for &k in &ks {
             let inst = WasoInstance::new(g.clone(), k).expect("k <= n");
-            let mut cfg = cbasnd_config(ctx.budget(), Some(ctx.harness_m(g.num_nodes())));
-            cfg.rho = rho;
-            let m = measure_avg(&mut CbasNd::new(cfg), &inst, ctx.seed, ctx.repeats);
+            let spec = apply(
+                cbasnd_spec(ctx.budget(), Some(ctx.harness_m(g.num_nodes()))),
+                x,
+            );
+            let m = measure_spec_avg(&registry, &spec, &inst, ctx.seed, ctx.repeats);
             row.push(m.quality.map(Cell::from).unwrap_or(Cell::Missing));
         }
         quality.push_row(row);
@@ -337,7 +345,8 @@ pub fn start_nodes_sweep(ctx: &ExperimentContext) -> TableSet {
     m_sweep(&g, 10, ctx, "fig5i", "fig5j", "Facebook-like")
 }
 
-/// Shared "time + quality vs m" sweep (Figures 5(i,j) and 7(c,d)).
+/// Shared "time + quality vs m" sweep (Figures 5(i,j) and 7(c,d)), over
+/// the roster members that take a start-node count.
 pub(crate) fn m_sweep(
     graph: &waso_graph::SocialGraph,
     k: usize,
@@ -346,47 +355,43 @@ pub(crate) fn m_sweep(
     id_quality: &str,
     dataset: &str,
 ) -> TableSet {
-    let cols = ["m", "CBAS", "RGreedy", "CBAS-ND"];
-    let mut time = Table::new(id_time, format!("execution time vs m, seconds ({dataset})"), &cols);
-    let mut quality = Table::new(id_quality, format!("solution quality vs m ({dataset})"), &cols);
+    let registry = waso::registry();
     let inst = WasoInstance::new(graph.clone(), k).expect("k <= n");
+
+    let swept: Vec<&waso_algos::RegistryEntry> = registry
+        .roster()
+        .into_iter()
+        .filter(|e| e.options.contains(&"start-nodes"))
+        .collect();
+    let cols: Vec<String> = std::iter::once("m".to_string())
+        .chain(swept.iter().map(|e| e.label.to_string()))
+        .collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut time = Table::new(
+        id_time,
+        format!("execution time vs m, seconds ({dataset})"),
+        &col_refs,
+    );
+    let mut quality = Table::new(
+        id_quality,
+        format!("solution quality vs m ({dataset})"),
+        &col_refs,
+    );
+
     for &m in &ctx.m_sweep(graph.num_nodes(), k) {
         // The paper's stage budget T₁ is linear in m (pseudo-code line 4),
         // which is why Figure 5(i)'s time grows with m; mirror that.
         let budget = 100 * m as u64;
-        let cb = measure_avg(
-            &mut Cbas::new(cbas_config(budget, Some(m))),
-            &inst,
-            ctx.seed,
-            ctx.repeats,
-        );
-        let nd = measure_avg(
-            &mut CbasNd::new(cbasnd_config(budget, Some(m))),
-            &inst,
-            ctx.seed,
-            ctx.repeats,
-        );
-        let rg = measure_avg(
-            &mut RGreedy::new(RGreedyConfig {
-                budget,
-                num_start_nodes: Some(m),
-                start_override: None,
-                include_base_willingness: false,
-            }),
-            &inst,
-            ctx.seed,
-            ctx.repeats,
-        );
-        let q = |meas: &crate::runner::Measurement| {
-            meas.quality.map(Cell::from).unwrap_or(Cell::Missing)
-        };
-        time.push_row(vec![
-            Cell::from(m),
-            Cell::from(cb.seconds),
-            Cell::from(rg.seconds),
-            Cell::from(nd.seconds),
-        ]);
-        quality.push_row(vec![Cell::from(m), q(&cb), q(&rg), q(&nd)]);
+        let mut time_row = vec![Cell::from(m)];
+        let mut quality_row = vec![Cell::from(m)];
+        for entry in &swept {
+            let spec = harness_spec(entry, budget, STAGES, Some(m));
+            let meas = measure_spec_avg(&registry, &spec, &inst, ctx.seed, ctx.repeats);
+            time_row.push(Cell::from(meas.seconds));
+            quality_row.push(meas.quality.map(Cell::from).unwrap_or(Cell::Missing));
+        }
+        time.push_row(time_row);
+        quality.push_row(quality_row);
     }
     let mut set = TableSet::new();
     set.push(time);
@@ -404,12 +409,17 @@ mod tests {
     }
 
     #[test]
-    fn k_sweep_produces_both_tables() {
+    fn k_sweep_produces_both_tables_with_roster_columns() {
         let set = quality_time_vs_k(&smoke());
         assert_eq!(set.tables.len(), 2);
         assert_eq!(set.tables[0].id, "fig5a");
         assert_eq!(set.tables[1].id, "fig5b");
         assert_eq!(set.tables[1].rows.len(), smoke().k_sweep_facebook().len());
+        // Columns derive from the registry roster.
+        assert_eq!(
+            set.tables[0].columns,
+            vec!["k", "DGreedy", "CBAS", "RGreedy", "CBAS-ND"]
+        );
     }
 
     #[test]
@@ -420,9 +430,11 @@ mod tests {
         // emerges at Small scale and is recorded in EXPERIMENTS.md.
         let set = quality_time_vs_k(&smoke());
         let q = &set.tables[1];
+        let cbas_col = q.columns.iter().position(|c| c == "CBAS").unwrap();
+        let nd_col = q.columns.iter().position(|c| c == "CBAS-ND").unwrap();
         let (mut nd_total, mut cbas_total) = (0.0, 0.0);
         for row in &q.rows {
-            if let (Cell::Num(cb), Cell::Num(nd)) = (&row[2], &row[4]) {
+            if let (Cell::Num(cb), Cell::Num(nd)) = (&row[cbas_col], &row[nd_col]) {
                 cbas_total += cb;
                 nd_total += nd;
             }
@@ -438,6 +450,8 @@ mod tests {
         let ctx = smoke();
         let set = vs_budget(&ctx);
         assert_eq!(set.tables[1].rows.len(), ctx.t_sweep().len());
+        // DGreedy takes no budget — it must not appear on the T axis.
+        assert!(!set.tables[0].columns.iter().any(|c| c == "DGreedy"));
     }
 
     #[test]

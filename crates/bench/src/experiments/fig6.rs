@@ -10,14 +10,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use waso_algos::sampler::{select_start_nodes, Sampler};
-use waso_algos::{Cbas, CbasNd, DGreedy, RGreedy, RGreedyConfig};
 use waso_core::WasoInstance;
 use waso_datasets::synthetic;
 use waso_stats::{Histogram, NormalFit};
 
-use super::fig5::{cbas_config, cbasnd_config};
+use super::fig5::STAGES;
 use crate::report::{Cell, Table, TableSet};
-use crate::runner::{measure, measure_avg, ExperimentContext};
+use crate::runner::{measure_spec_avg, roster_specs, ExperimentContext};
 
 /// Figure 6(a): histogram of random-sample willingness + Gaussian fit.
 pub fn sample_histogram(ctx: &ExperimentContext) -> TableSet {
@@ -76,54 +75,48 @@ pub fn sample_histogram(ctx: &ExperimentContext) -> TableSet {
 }
 
 /// Figure 6(b): quality vs k with the Gaussian allocation variant
-/// (CBAS-ND-G) alongside the Figure 5(b) roster.
+/// (CBAS-ND-G) alongside the Figure 5(b) roster — the roster plus the
+/// `cbas-nd-g` registry entry, columns derived from their labels.
 pub fn gaussian_variant(ctx: &ExperimentContext) -> TableSet {
+    let registry = waso::registry();
     let g = synthetic::facebook_like(ctx.scale, ctx.seed);
-    let cols = ["k", "DGreedy", "CBAS", "RGreedy", "CBAS-ND", "CBAS-ND-G"];
+    let budget = ctx.budget();
+    let m = Some(ctx.harness_m(g.num_nodes()));
+
+    let mut roster = roster_specs(&registry, budget, STAGES, m);
+    let ndg = registry.get("cbas-nd-g").expect("registered");
+    roster.push(crate::runner::RosterSolver {
+        spec: crate::runner::harness_spec(ndg, budget, STAGES, m),
+        entry: ndg,
+    });
+
+    let cols: Vec<String> = std::iter::once("k".to_string())
+        .chain(roster.iter().map(|s| s.entry.label.to_string()))
+        .collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
     let mut quality = Table::new(
         "fig6b",
         "Figure 6(b): solution quality vs k incl. Gaussian allocation",
-        &cols,
+        &col_refs,
     );
-    let budget = ctx.budget();
-    let m = Some(ctx.harness_m(g.num_nodes()));
     for &k in &ctx.k_sweep_facebook() {
         let inst = WasoInstance::new(g.clone(), k).expect("k <= n");
-        let dg = measure(&mut DGreedy::new(), &inst, ctx.seed);
-        let cb = measure_avg(
-            &mut Cbas::new(cbas_config(budget, m)),
-            &inst,
-            ctx.seed,
-            ctx.repeats,
-        );
-        let nd = measure_avg(
-            &mut CbasNd::new(cbasnd_config(budget, m)),
-            &inst,
-            ctx.seed,
-            ctx.repeats,
-        );
-        let ndg = measure_avg(
-            &mut CbasNd::new(cbasnd_config(budget, m).gaussian()),
-            &inst,
-            ctx.seed,
-            ctx.repeats,
-        );
-        let rg = (k <= ctx.rgreedy_k_limit()).then(|| {
-            let mut cfg = RGreedyConfig::with_budget(budget);
-            cfg.num_start_nodes = m;
-            measure_avg(&mut RGreedy::new(cfg), &inst, ctx.seed, ctx.repeats)
-        });
-        let q = |m: &crate::runner::Measurement| {
-            m.quality.map(Cell::from).unwrap_or(Cell::Missing)
-        };
-        quality.push_row(vec![
-            Cell::from(k),
-            q(&dg),
-            q(&cb),
-            rg.as_ref().map(q).unwrap_or(Cell::Missing),
-            q(&nd),
-            q(&ndg),
-        ]);
+        let mut row = vec![Cell::from(k)];
+        for solver in &roster {
+            if solver.entry.costly && k > ctx.costly_k_limit() {
+                row.push(Cell::Missing);
+                continue;
+            }
+            let meas = measure_spec_avg(
+                &registry,
+                &solver.spec,
+                &inst,
+                ctx.seed,
+                solver.repeats(ctx),
+            );
+            row.push(meas.quality.map(Cell::from).unwrap_or(Cell::Missing));
+        }
+        quality.push_row(row);
     }
     let mut set = TableSet::new();
     set.push(quality);
@@ -158,8 +151,11 @@ mod tests {
         // The paper's Figure 6(b) finding: the two allocations coincide.
         let ctx = ExperimentContext::new(Scale::Smoke);
         let set = gaussian_variant(&ctx);
-        for row in &set.tables[0].rows {
-            if let (Cell::Num(nd), Cell::Num(ndg)) = (&row[4], &row[5]) {
+        let t = &set.tables[0];
+        let nd_col = t.columns.iter().position(|c| c == "CBAS-ND").unwrap();
+        let ndg_col = t.columns.iter().position(|c| c == "CBAS-ND-G").unwrap();
+        for row in &t.rows {
+            if let (Cell::Num(nd), Cell::Num(ndg)) = (&row[nd_col], &row[ndg_col]) {
                 let rel = (nd - ndg).abs() / nd.abs().max(1e-9);
                 assert!(rel < 0.25, "CBAS-ND {nd} vs CBAS-ND-G {ndg}");
             }

@@ -19,7 +19,14 @@ pub fn quality_time_vs_k(ctx: &ExperimentContext) -> TableSet {
     let g = synthetic::dblp_like(ctx.scale, ctx.seed);
     // Paper order: 7(a) quality, 7(b) time — sweep_k returns (time, quality),
     // so name the ids accordingly.
-    let mut set = sweep_k(&g, &ctx.k_sweep_sparse(), ctx, "fig7b", "fig7a", "DBLP-like");
+    let mut set = sweep_k(
+        &g,
+        &ctx.k_sweep_sparse(),
+        ctx,
+        "fig7b",
+        "fig7a",
+        "DBLP-like",
+    );
     set.tables.swap(0, 1);
     set
 }
@@ -64,9 +71,11 @@ mod tests {
         let ctx = ExperimentContext::new(Scale::Smoke);
         let set = quality_time_vs_k(&ctx);
         let quality = &set.tables[0];
+        let cb_col = quality.columns.iter().position(|c| c == "CBAS").unwrap();
+        let nd_col = quality.columns.iter().position(|c| c == "CBAS-ND").unwrap();
         let (mut cb, mut nd) = (0.0, 0.0);
         for row in &quality.rows {
-            if let (Cell::Num(c), Cell::Num(n)) = (&row[2], &row[4]) {
+            if let (Cell::Num(c), Cell::Num(n)) = (&row[cb_col], &row[nd_col]) {
                 cb += c;
                 nd += n;
             }

@@ -16,7 +16,14 @@ use crate::runner::ExperimentContext;
 /// Figures 8(a)+(b): quality and time vs group size on Flickr-like.
 pub fn quality_time_vs_k(ctx: &ExperimentContext) -> TableSet {
     let g = synthetic::flickr_like(ctx.scale, ctx.seed);
-    let mut set = sweep_k(&g, &ctx.k_sweep_sparse(), ctx, "fig8b", "fig8a", "Flickr-like");
+    let mut set = sweep_k(
+        &g,
+        &ctx.k_sweep_sparse(),
+        ctx,
+        "fig8b",
+        "fig8a",
+        "Flickr-like",
+    );
     // Paper order: 8(a) quality, 8(b) time.
     set.tables.swap(0, 1);
     set
@@ -41,12 +48,14 @@ mod tests {
     fn quality_is_recorded_for_all_roster_solvers() {
         let ctx = ExperimentContext::new(Scale::Smoke);
         let set = quality_time_vs_k(&ctx);
-        for row in &set.tables[0].rows {
-            // DGreedy, CBAS and CBAS-ND always produce values on the
-            // connected Flickr-like graph.
-            assert!(matches!(row[1], Cell::Num(_)));
-            assert!(matches!(row[2], Cell::Num(_)));
-            assert!(matches!(row[4], Cell::Num(_)));
+        let t = &set.tables[0];
+        for label in ["DGreedy", "CBAS", "CBAS-ND"] {
+            // These solvers always produce values on the connected
+            // Flickr-like graph (RGreedy may be cost-capped).
+            let col = t.columns.iter().position(|c| c == label).unwrap();
+            for row in &t.rows {
+                assert!(matches!(row[col], Cell::Num(_)), "{label}");
+            }
         }
     }
 }

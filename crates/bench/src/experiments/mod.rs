@@ -73,10 +73,7 @@ mod tests {
     fn all_ids_route() {
         // Routing only — execution is covered by the per-figure tests.
         for id in ALL_FIGURES {
-            assert!(
-                matches!(id.chars().next(), Some('4'..='9')),
-                "odd id {id}"
-            );
+            assert!(matches!(id.chars().next(), Some('4'..='9')), "odd id {id}");
         }
     }
 }

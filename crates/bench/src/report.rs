@@ -108,11 +108,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
         Self {
             id: id.into(),
             title: title.into(),
@@ -145,7 +141,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let cells: Vec<String> = row.iter().map(Cell::render).collect();

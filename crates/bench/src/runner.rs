@@ -1,8 +1,14 @@
 //! Shared measurement machinery for the figure drivers.
+//!
+//! Solvers are obtained exclusively through [`SolverSpec`] → the
+//! [`SolverRegistry`] (`waso::registry()`): the per-figure rosters, their
+//! table columns, and the cost caps all derive from registry metadata, so
+//! registering a new solver puts it in every figure without touching a
+//! driver.
 
 use std::time::Instant;
 
-use waso_algos::{SolveError, Solver};
+use waso_algos::{RegistryEntry, SolveError, Solver, SolverRegistry, SolverSpec};
 use waso_core::WasoInstance;
 use waso_datasets::Scale;
 
@@ -15,6 +21,8 @@ pub struct Measurement {
     pub seconds: f64,
     /// Samples the solver reports having drawn.
     pub samples: u64,
+    /// Whether the solver reported hitting a work cap (best-found result).
+    pub truncated: bool,
 }
 
 /// Runs `solver` on `instance` and measures it. Infeasibility is recorded,
@@ -32,11 +40,13 @@ pub fn measure<S: Solver + ?Sized>(
             quality: Some(res.group.willingness()),
             seconds,
             samples: res.stats.samples_drawn,
+            truncated: res.stats.truncated,
         },
         Err(SolveError::NoFeasibleGroup) => Measurement {
             quality: None,
             seconds,
             samples: 0,
+            truncated: false,
         },
         Err(e) => panic!("solver {} misbehaved: {e}", solver.name()),
     }
@@ -55,6 +65,7 @@ pub fn measure_avg<S: Solver + ?Sized>(
     let mut q_count = 0u32;
     let mut t_sum = 0.0;
     let mut samples = 0u64;
+    let mut truncated = false;
     for r in 0..repeats {
         let m = measure(solver, instance, base_seed.wrapping_add(r as u64));
         if let Some(q) = m.quality {
@@ -63,12 +74,108 @@ pub fn measure_avg<S: Solver + ?Sized>(
         }
         t_sum += m.seconds;
         samples += m.samples;
+        truncated |= m.truncated;
     }
     Measurement {
         quality: (q_count > 0).then(|| q_sum / q_count as f64),
         seconds: t_sum / repeats as f64,
         samples,
+        truncated,
     }
+}
+
+/// One roster member: the registry entry plus the harness's spec for it.
+#[derive(Debug)]
+pub struct RosterSolver<'r> {
+    /// The registry entry (label, capabilities, cost metadata).
+    pub entry: &'r RegistryEntry,
+    /// The spec the harness solves with.
+    pub spec: SolverSpec,
+}
+
+impl RosterSolver<'_> {
+    /// Repeats a measurement deserves: deterministic solvers are measured
+    /// once, randomized ones averaged over the context's repeat count.
+    pub fn repeats(&self, ctx: &ExperimentContext) -> u32 {
+        if self.entry.capabilities.randomized {
+            ctx.repeats
+        } else {
+            1
+        }
+    }
+}
+
+/// The paper's standard comparison roster at the harness's standard
+/// settings: every registry entry with a roster rank, each with budget /
+/// stages / start-node knobs applied *if the solver supports them* (the
+/// supported-option lists come from the registry, not from per-solver
+/// knowledge here).
+pub fn roster_specs<'r>(
+    registry: &'r SolverRegistry,
+    budget: u64,
+    stages: u32,
+    m: Option<usize>,
+) -> Vec<RosterSolver<'r>> {
+    registry
+        .roster()
+        .into_iter()
+        .map(|entry| RosterSolver {
+            spec: harness_spec(entry, budget, stages, m),
+            entry,
+        })
+        .collect()
+}
+
+/// The harness's standard spec for one registry entry (see
+/// [`roster_specs`]).
+pub fn harness_spec(
+    entry: &RegistryEntry,
+    budget: u64,
+    stages: u32,
+    m: Option<usize>,
+) -> SolverSpec {
+    let mut spec = SolverSpec::new(entry.name);
+    if entry.options.contains(&"budget") {
+        spec = spec.budget(budget);
+    }
+    if entry.options.contains(&"stages") {
+        spec = spec.stages(stages);
+    }
+    if let Some(m) = m {
+        if entry.options.contains(&"start-nodes") {
+            spec = spec.start_nodes(m);
+        }
+    }
+    spec
+}
+
+/// Builds the spec's solver from the registry and measures it.
+/// Construction failures are bugs in the harness's spec derivation and
+/// panic loudly.
+pub fn measure_spec(
+    registry: &SolverRegistry,
+    spec: &SolverSpec,
+    instance: &WasoInstance,
+    seed: u64,
+) -> Measurement {
+    let mut solver = registry
+        .build(spec)
+        .unwrap_or_else(|e| panic!("harness built an unusable spec '{spec}': {e}"));
+    measure(solver.as_mut(), instance, seed)
+}
+
+/// [`measure_spec`] averaged over `repeats` seeds.
+pub fn measure_spec_avg(
+    registry: &SolverRegistry,
+    spec: &SolverSpec,
+    instance: &WasoInstance,
+    base_seed: u64,
+    repeats: u32,
+) -> Measurement {
+    let mut solver = registry
+        .build(spec)
+        .unwrap_or_else(|e| panic!("harness built an unusable spec '{spec}': {e}"));
+    measure_avg(solver.as_mut(), instance, base_seed, repeats)
 }
 
 /// Scale-dependent experiment parameters shared across figure drivers.
@@ -173,9 +280,11 @@ impl ExperimentContext {
         out
     }
 
-    /// The largest `k` at which RGreedy is still run (the paper aborts it
-    /// beyond small groups — 12-hour timeouts on Facebook, §5.3.1).
-    pub fn rgreedy_k_limit(&self) -> usize {
+    /// The largest `k` at which *costly* solvers (per-candidate pricing,
+    /// [`RegistryEntry::costly`] — RGreedy in the paper's roster) are
+    /// still run: the paper aborts them beyond small groups — 12-hour
+    /// timeouts on Facebook, §5.3.1.
+    pub fn costly_k_limit(&self) -> usize {
         match self.scale {
             Scale::Smoke => 20,
             Scale::Small => 40,

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors raised when constructing instances or validating groups.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum CoreError {
     /// `k` must satisfy `1 <= k <= n`.
     InvalidGroupSize {
@@ -42,6 +42,32 @@ pub enum CoreError {
     },
 }
 
+/// Hand-written so the one float payload (`LambdaOutOfRange::value`)
+/// compares by bit pattern: that keeps the equivalence total (NaN == NaN),
+/// which lets `CoreError` — and every error type wrapping it, like
+/// `waso_algos::SolveError` — be `Eq`.
+impl PartialEq for CoreError {
+    fn eq(&self, other: &Self) -> bool {
+        use CoreError::*;
+        match (self, other) {
+            (InvalidGroupSize { k: a, n: b }, InvalidGroupSize { k: c, n: d }) => (a, b) == (c, d),
+            (UnknownNode(a), UnknownNode(b)) => a == b,
+            (DuplicateMember(a), DuplicateMember(b)) => a == b,
+            (WrongSize { got: a, want: b }, WrongSize { got: c, want: d }) => (a, b) == (c, d),
+            (Disconnected, Disconnected) => true,
+            (BadParameterLength { got: a, want: b }, BadParameterLength { got: c, want: d }) => {
+                (a, b) == (c, d)
+            }
+            (LambdaOutOfRange { node: a, value: x }, LambdaOutOfRange { node: b, value: y }) => {
+                a == b && x.to_bits() == y.to_bits()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for CoreError {}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -57,7 +83,10 @@ impl fmt::Display for CoreError {
                 write!(f, "group does not induce a connected subgraph")
             }
             CoreError::BadParameterLength { got, want } => {
-                write!(f, "parameter array has {got} entries, graph has {want} nodes")
+                write!(
+                    f,
+                    "parameter array has {got} entries, graph has {want} nodes"
+                )
             }
             CoreError::LambdaOutOfRange { node, value } => {
                 write!(f, "lambda weight {value} of node v{node} outside [0, 1]")
@@ -82,8 +111,11 @@ mod tests {
             CoreError::Disconnected.to_string(),
             "group does not induce a connected subgraph"
         );
-        assert!(CoreError::LambdaOutOfRange { node: 3, value: 1.5 }
-            .to_string()
-            .contains("v3"));
+        assert!(CoreError::LambdaOutOfRange {
+            node: 3,
+            value: 1.5
+        }
+        .to_string()
+        .contains("v3"));
     }
 }

@@ -136,9 +136,7 @@ impl GrowthWorkspace {
     /// `true` if `v` is currently blocked.
     #[inline]
     pub fn is_blocked(&self, v: NodeId) -> bool {
-        self.blocked
-            .as_ref()
-            .is_some_and(|b| b.contains(v.index()))
+        self.blocked.as_ref().is_some_and(|b| b.contains(v.index()))
     }
 
     /// Clears `VS`, `VA` and the running willingness (keeps the blocked
@@ -377,10 +375,7 @@ mod tests {
         // Grows again cleanly.
         ws.seed(&g, NodeId(3));
         ws.add(&g, NodeId(2));
-        assert_eq!(
-            ws.willingness(),
-            willingness(&g, &[NodeId(2), NodeId(3)])
-        );
+        assert_eq!(ws.willingness(), willingness(&g, &[NodeId(2), NodeId(3)]));
     }
 
     #[test]
@@ -390,10 +385,7 @@ mod tests {
         ws.seed_free(&g, NodeId(0));
         assert_eq!(ws.frontier().len(), 3);
         ws.add(&g, NodeId(3)); // not adjacent to 0 — allowed in free mode
-        assert_eq!(
-            ws.willingness(),
-            willingness(&g, &[NodeId(0), NodeId(3)])
-        );
+        assert_eq!(ws.willingness(), willingness(&g, &[NodeId(0), NodeId(3)]));
         // Frontier no longer offers 3.
         assert!(!ws.frontier().contains(NodeId(3)));
         // Adding an adjacent node still counts its edges.

@@ -51,11 +51,7 @@ impl WasoInstance {
     /// The weights are folded into the stored scores (`η̃ = λη`,
     /// `τ̃_{i,·} = (1-λ_i) τ_{i,·}`), so the returned instance is a plain
     /// Eq.-(1) instance over the transformed graph.
-    pub fn with_lambda(
-        graph: SocialGraph,
-        k: usize,
-        lambda: &[f64],
-    ) -> Result<Self, CoreError> {
+    pub fn with_lambda(graph: SocialGraph, k: usize, lambda: &[f64]) -> Result<Self, CoreError> {
         let transformed = apply_lambda(&graph, lambda)?;
         Self::build(transformed, k, true)
     }

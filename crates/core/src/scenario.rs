@@ -95,11 +95,7 @@ pub fn merge_couple(g: &SocialGraph, a: NodeId, b: NodeId) -> Result<CoupleMerge
         *acc.entry((nu, nv)).or_insert(0.0) += tau_uv;
         *acc.entry((nv, nu)).or_insert(0.0) += tau_vu;
     }
-    let mut pairs: Vec<(u32, u32)> = acc
-        .keys()
-        .filter(|&&(x, y)| x < y)
-        .copied()
-        .collect();
+    let mut pairs: Vec<(u32, u32)> = acc.keys().filter(|&&(x, y)| x < y).copied().collect();
     pairs.sort_unstable();
     for (x, y) in pairs {
         let fwd = acc[&(x, y)];
@@ -432,7 +428,10 @@ mod tests {
     fn house_warming_keeps_only_tightness() {
         let g = path4();
         let inst = house_warming(&g, 2).unwrap();
-        assert_eq!(willingness(inst.graph(), &[NodeId(0), NodeId(1)]), 3.0_f64.min(3.0));
+        assert_eq!(
+            willingness(inst.graph(), &[NodeId(0), NodeId(1)]),
+            3.0_f64.min(3.0)
+        );
         // η zeroed, τ intact: W = 1 + 2 = 3.
         assert_eq!(willingness(inst.graph(), &[NodeId(1), NodeId(2)]), 7.0);
         assert_eq!(inst.graph().interest(NodeId(3)), 0.0);
@@ -458,10 +457,7 @@ mod tests {
         assert_eq!(filtered.graph.num_nodes(), 3);
         // The 2-3 edge went with node 3; 0-1-2 chain survives with scores.
         assert_eq!(filtered.graph.num_edges(), 2);
-        assert_eq!(
-            filtered.graph.tightness(NodeId(1), NodeId(2)),
-            Some(3.0)
-        );
+        assert_eq!(filtered.graph.tightness(NodeId(1), NodeId(2)), Some(3.0));
     }
 
     #[test]
@@ -493,10 +489,7 @@ mod tests {
         let g = path4();
         let red = separate_groups(&g, 2, 1.0).unwrap();
         // {0, 3} is disconnected in g, but {0, 3, v} is connected via v.
-        let group = crate::Group::new(
-            &red.instance,
-            vec![NodeId(0), NodeId(3), red.virtual_node],
-        );
+        let group = crate::Group::new(&red.instance, vec![NodeId(0), NodeId(3), red.virtual_node]);
         assert!(group.is_ok());
         // Willingness = η_0 + η_3 + η_v (zero-tightness edges): 1+4+32.
         assert_eq!(group.unwrap().willingness(), 37.0);

@@ -205,7 +205,12 @@ mod tests {
         assert_eq!(ds.graph.num_nodes(), 4);
         assert_eq!(ds.graph.num_edges(), 4);
         // §5.1 scores: normalized interests, common-neighbour tightness.
-        let max_eta = ds.graph.interests().iter().cloned().fold(f64::MIN, f64::max);
+        let max_eta = ds
+            .graph
+            .interests()
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
         assert!((max_eta - 1.0).abs() < 1e-9);
         // Deterministic per seed.
         let again = load_edge_list(&path, ScoreModel::paper_default(), 7).unwrap();

@@ -103,10 +103,7 @@ impl BranchBound {
         let gains: Vec<f64> = g
             .node_ids()
             .map(|v| {
-                let pos: f64 = g
-                    .neighbor_entries(v)
-                    .map(|(_, _, pw)| pw.max(0.0))
-                    .sum();
+                let pos: f64 = g.neighbor_entries(v).map(|(_, _, pw)| pw.max(0.0)).sum();
                 g.interest(v) + pos
             })
             .collect();
@@ -354,10 +351,7 @@ mod tests {
         let res = BranchBound::new().solve(&figure1_instance(), None).unwrap();
         assert!(res.optimal);
         assert_eq!(res.group.willingness(), 30.0);
-        assert_eq!(
-            res.group.nodes(),
-            &[NodeId(1), NodeId(2), NodeId(3)]
-        );
+        assert_eq!(res.group.nodes(), &[NodeId(1), NodeId(2), NodeId(3)]);
     }
 
     #[test]

@@ -147,10 +147,7 @@ impl<'a> IpModel<'a> {
         if x.len() != g.num_nodes() {
             return false;
         }
-        let selected: Vec<waso_graph::NodeId> = g
-            .node_ids()
-            .filter(|v| x[v.index()])
-            .collect();
+        let selected: Vec<waso_graph::NodeId> = g.node_ids().filter(|v| x[v.index()]).collect();
         if selected.len() != self.instance.k() {
             return false; // constraint (11)
         }
@@ -228,7 +225,11 @@ impl<'a> IpModel<'a> {
         let _ = writeln!(out, " = {}", self.instance.k());
         // (12): x_i + x_j - 2 y_ij >= 0
         for (idx, (u, v, _, _)) in g.undirected_edges().enumerate() {
-            let _ = writeln!(out, " c12_{idx}: x{} + x{} - 2 y{}_{} >= 0", u.0, v.0, u.0, v.0);
+            let _ = writeln!(
+                out,
+                " c12_{idx}: x{} + x{} - 2 y{}_{} >= 0",
+                u.0, v.0, u.0, v.0
+            );
         }
         if self.instance.requires_connectivity() {
             out.push_str("\\ constraints (13)-(19): path-based connectivity (summarized)\n");

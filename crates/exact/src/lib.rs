@@ -14,7 +14,12 @@
 //!   variable and exportable in LP format. We do not ship a general MILP
 //!   solver; [`ip::IpModel::solve`] delegates to the branch-and-bound,
 //!   which optimizes the identical objective over the identical feasible
-//!   set (see DESIGN.md §3 for the substitution argument).
+//!   set (see DESIGN.md §3 for the substitution argument);
+//! * [`solver`] — [`ExactSolver`], the branch-and-bound behind the
+//!   uniform `waso_algos::Solver` interface, registered in the
+//!   `SolverRegistry` as `exact` (aliases `bb`, `ip`) so the CLI and the
+//!   figure drivers build it from the same spec strings as the
+//!   heuristics.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,9 +27,11 @@
 pub mod branch_bound;
 pub mod enumerate;
 pub mod ip;
+pub mod solver;
 
 pub use branch_bound::{BranchBound, ExactResult};
 pub use enumerate::{
     enumerate_connected_k_subgraphs, exhaustive_optimum, exhaustive_optimum_where,
 };
 pub use ip::IpModel;
+pub use solver::{register_exact, ExactSolver};

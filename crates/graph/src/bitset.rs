@@ -34,7 +34,11 @@ impl BitSet {
     /// Panics in debug builds if `i >= capacity`.
     #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
-        debug_assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "index {i} out of capacity {}",
+            self.capacity
+        );
         let word = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         let was = *word & mask != 0;

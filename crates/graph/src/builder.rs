@@ -187,9 +187,10 @@ impl GraphBuilder {
             for s in lo..hi {
                 let j = neighbors[s] as usize;
                 let (jlo, jhi) = (offsets[j] as usize, offsets[j + 1] as usize);
-                let back = jlo + neighbors[jlo..jhi]
-                    .binary_search(&(i as u32))
-                    .expect("reverse slot must exist: builder inserts both directions");
+                let back = jlo
+                    + neighbors[jlo..jhi]
+                        .binary_search(&(i as u32))
+                        .expect("reverse slot must exist: builder inserts both directions");
                 pair_weight[s] = tightness[s] + tightness[back];
             }
         }
@@ -225,10 +226,7 @@ mod tests {
             b.add_edge(v0, NodeId(5), 1.0, 1.0),
             Err(GraphError::UnknownNode(5))
         );
-        assert_eq!(
-            b.add_edge(v0, v0, 1.0, 1.0),
-            Err(GraphError::SelfLoop(0))
-        );
+        assert_eq!(b.add_edge(v0, v0, 1.0, 1.0), Err(GraphError::SelfLoop(0)));
     }
 
     #[test]

@@ -121,10 +121,7 @@ impl SocialGraph {
 
     /// Iterates `(neighbour, τ_{v,j}, pair_weight)` triples for `v`.
     #[inline]
-    pub fn neighbor_entries(
-        &self,
-        v: NodeId,
-    ) -> impl Iterator<Item = (NodeId, f64, f64)> + '_ {
+    pub fn neighbor_entries(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64, f64)> + '_ {
         let i = v.index();
         let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
         (lo..hi).map(move |s| {

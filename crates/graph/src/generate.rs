@@ -98,7 +98,10 @@ impl GraphTopology {
 /// Panics if `m` exceeds the number of possible edges `n(n-1)/2`.
 pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> GraphTopology {
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_edges, "G(n={n}) has at most {max_edges} edges, asked for {m}");
+    assert!(
+        m <= max_edges,
+        "G(n={n}) has at most {max_edges} edges, asked for {m}"
+    );
     let mut set = HashSet::with_capacity(m);
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {
@@ -247,7 +250,9 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     final_edges.sort_unstable();
     GraphTopology::new(
         n,
-        final_edges.into_iter().map(|e| ((e >> 32) as u32, e as u32)),
+        final_edges
+            .into_iter()
+            .map(|e| ((e >> 32) as u32, e as u32)),
     )
 }
 

@@ -121,7 +121,12 @@ mod tests {
     #[test]
     fn shifted_normal_density_integrates_to_one() {
         let (mu, sigma) = (124.71, 3.72);
-        let s = gauss_legendre(|x| normal_pdf(x, mu, sigma), mu - 8.0 * sigma, mu + 8.0 * sigma, 8);
+        let s = gauss_legendre(
+            |x| normal_pdf(x, mu, sigma),
+            mu - 8.0 * sigma,
+            mu + 8.0 * sigma,
+            8,
+        );
         assert!((s - 1.0).abs() < 1e-9, "got {s}");
     }
 

@@ -266,7 +266,10 @@ mod tests {
             .count() as f64
             / n as f64;
         // True mass beyond ±2σ ≈ 4.55%.
-        assert!((beyond_2sigma - 0.0455).abs() < 0.005, "got {beyond_2sigma}");
+        assert!(
+            (beyond_2sigma - 0.0455).abs() < 0.005,
+            "got {beyond_2sigma}"
+        );
     }
 
     proptest! {

@@ -4,7 +4,8 @@
 //!
 //! 1. the Theorem-2 virtual-node reduction (solve WASO with k+1 on an
 //!    augmented graph, then strip the virtual node), and
-//! 2. the native unconstrained mode (footnote 3's "simple modification").
+//! 2. the native unconstrained mode (`WasoSession::disconnected`,
+//!    footnote 3's "simple modification").
 //!
 //! On a graph this small the exact solver verifies both give the same
 //! optimum.
@@ -15,7 +16,6 @@
 
 use waso::core::scenario;
 use waso::prelude::*;
-use waso_exact::BranchBound;
 
 fn main() {
     // Two separate friend groups, no edges between them: a connected
@@ -30,15 +30,17 @@ fn main() {
     let graph = b.build();
     let k = 4;
 
-    // Route 1: Theorem-2 virtual node.
+    // Route 1: Theorem-2 virtual node. The reduction produces its own
+    // augmented instance, solved through a session over that graph.
     let reduction = scenario::separate_groups(&graph, k, 1.0).expect("valid scenario");
     println!(
         "Virtual-node reduction: augmented graph has {} nodes, asks for k+1 = {}.",
         reduction.instance.graph().num_nodes(),
         reduction.instance.k()
     );
-    let exact_aug = BranchBound::new()
-        .solve(&reduction.instance, None)
+    let exact_aug = WasoSession::new(reduction.instance.graph().clone())
+        .k(reduction.instance.k())
+        .solve_str("exact")
         .expect("feasible");
     let via_reduction = reduction.strip(exact_aug.group.nodes());
     let w_reduction = waso::core::willingness(&graph, &via_reduction);
@@ -47,9 +49,9 @@ fn main() {
         via_reduction, w_reduction
     );
 
-    // Route 2: native unconstrained instance.
-    let native = WasoInstance::without_connectivity(graph.clone(), k).unwrap();
-    let exact_native = BranchBound::new().solve(&native, None).expect("feasible");
+    // Route 2: native unconstrained session.
+    let free = WasoSession::new(graph.clone()).k(k).disconnected();
+    let exact_native = free.solve_str("exact").expect("feasible");
     println!(
         "  optimal campers natively:      {:?}, willingness {:.2}",
         exact_native.group.nodes(),
@@ -61,8 +63,8 @@ fn main() {
 
     // The best four campers mix both friend groups — which a connected
     // WASO group cannot.
-    let connected = WasoInstance::new(graph.clone(), k).unwrap();
-    let exact_connected = BranchBound::new().solve(&connected, None).expect("feasible");
+    let connected = WasoSession::new(graph.clone()).k(k);
+    let exact_connected = connected.solve_str("exact").expect("feasible");
     println!(
         "\nBest *connected* group: {:?}, willingness {:.2}",
         exact_connected.group.nodes(),
@@ -74,9 +76,10 @@ fn main() {
         exact_native.group.willingness() - exact_connected.group.willingness()
     );
 
-    // CBAS-ND handles the unconstrained mode directly, too.
-    let mut solver = CbasNd::new(CbasNdConfig::fast());
-    let nd = solver.solve_seeded(&native, 3).unwrap();
+    // CBAS-ND handles the unconstrained mode through the same session.
+    let nd = free
+        .solve(&SolverSpec::cbas_nd().budget(200).stages(4))
+        .expect("feasible");
     println!(
         "CBAS-ND (native WASO-dis) finds willingness {:.2}.",
         nd.group.willingness()

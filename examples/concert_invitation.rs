@@ -4,6 +4,10 @@
 //! while the inviter's closeness to each guest still counts (λ = 0 for the
 //! inviter).
 //!
+//! The host *must* attend — expressed as a session-level required
+//! attendee, which the facade enforces uniformly (solvers that cannot
+//! guarantee it reject the job instead of ignoring it).
+//!
 //! ```text
 //! cargo run --release --example concert_invitation
 //! ```
@@ -36,11 +40,19 @@ fn main() {
         instance.graph().num_nodes()
     );
 
-    // The pianist must attend — pin them as the start node.
-    let mut config = CbasNdConfig::fast();
-    config.base.start_override = Some(vec![NodeId(0)]);
-    let mut solver = CbasNd::new(config);
-    let result = solver.solve_seeded(&instance, 7).unwrap();
+    // The session requires the host; CBAS-ND guarantees the constraint.
+    let session = WasoSession::new(instance.graph().clone())
+        .k(k)
+        .require([NodeId(0)])
+        .seed(7);
+    let result = session
+        .solve(&SolverSpec::cbas_nd().budget(200).stages(4))
+        .expect("feasible concert");
+
+    // A solver that cannot guarantee the host's seat is rejected loudly —
+    // the constraint is never silently dropped.
+    let err = session.solve_str("cbas").unwrap_err();
+    println!("\n(cbas was rejected as expected: {err})");
 
     println!("\nRecommended concert party (ids in the full network):");
     for &v in result.group.nodes() {
@@ -49,9 +61,7 @@ fn main() {
         println!(
             "  {role} {original}  (interest {:.2}, closeness to host {:.2})",
             graph.interest(original),
-            graph
-                .tightness(pianist, original)
-                .unwrap_or(0.0)
+            graph.tightness(pianist, original).unwrap_or(0.0)
         );
     }
     println!(

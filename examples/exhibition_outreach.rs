@@ -3,7 +3,7 @@
 //! audience does not need to be mutually acquainted — but the museum still
 //! wants a socially connected cluster so word of mouth spreads, so we run
 //! both the connectivity-constrained and unconstrained variants and
-//! compare.
+//! compare. Both variants are one-line session changes.
 //!
 //! ```text
 //! cargo run --release --example exhibition_outreach
@@ -16,16 +16,18 @@ use waso_datasets::synthetic;
 fn main() {
     let graph = synthetic::facebook_like_n(1500, 5);
     let k = 12;
+    let nd_spec = SolverSpec::cbas_nd().budget(200).stages(4);
 
-    // λ = 1 for everyone: pure-interest objective.
+    // λ = 1 for everyone: pure-interest objective, connectivity required.
     let connected = scenario::exhibition(&graph, k).expect("valid scenario");
-
-    let mut solver = CbasNd::new(CbasNdConfig::fast());
-    let social_cluster = solver.solve_seeded(&connected, 5).unwrap();
+    let social = WasoSession::new(connected.graph().clone()).k(k).seed(5);
+    let social_cluster = social.solve(&nd_spec).expect("feasible");
 
     // Unconstrained variant: just the k most interested people anywhere.
-    let free = WasoInstance::without_connectivity(connected.graph().clone(), k).unwrap();
-    let top_individuals = DGreedy::new().solve_seeded(&free, 0).unwrap();
+    let free = WasoSession::new(connected.graph().clone())
+        .k(k)
+        .disconnected();
+    let top_individuals = free.solve_str("dgreedy").expect("feasible");
 
     println!("Exhibition outreach for k = {k} invitations (interest-only scores)\n");
     println!(
@@ -45,13 +47,19 @@ fn main() {
     assert!((top_individuals.group.willingness() - ideal).abs() < 1e-9);
 
     let price = ideal - social_cluster.group.willingness();
-    println!("\nConnectivity price: {price:.3} ({:.1}% of the ideal)", 100.0 * price / ideal);
+    println!(
+        "\nConnectivity price: {price:.3} ({:.1}% of the ideal)",
+        100.0 * price / ideal
+    );
 
     // House-warming contrast: with λ = 0 only tightness counts, and the
     // recommendation flips from interest hubs to a close-knit clique.
     let cozy = scenario::house_warming(&graph, 6).expect("valid scenario");
-    let mut solver = CbasNd::new(CbasNdConfig::fast());
-    let party = solver.solve_seeded(&cozy, 6).unwrap();
+    let party = WasoSession::new(cozy.graph().clone())
+        .k(6)
+        .seed(6)
+        .solve(&nd_spec)
+        .expect("feasible");
     println!(
         "\nHouse-warming contrast (λ = 0, tightness only, k = 6): willingness {:.3}",
         party.group.willingness()

@@ -14,11 +14,10 @@ fn main() {
     let k = 8;
     let instance = WasoInstance::new(graph, k).expect("valid instance");
 
-    let mut config = CbasNdConfig::with_budget(400);
-    config.base.stages = Some(5);
-    config.base.num_start_nodes = Some(10);
-
-    let mut planner = OnlinePlanner::new(instance, config, 11).expect("initial plan");
+    // The replanning engine's settings come from the same SolverSpec
+    // currency as everything else in the workspace.
+    let spec = SolverSpec::cbas_nd().budget(400).stages(5).start_nodes(10);
+    let mut planner = OnlinePlanner::from_spec(instance, &spec, 11).expect("initial plan");
     println!("Initial recommendation: {}", planner.current());
 
     // Round 1: the first two invitees confirm, the third declines.

@@ -1,12 +1,12 @@
-//! Quickstart: build a small social graph, solve WASO with every solver,
-//! and compare against the exact optimum.
+//! Quickstart: build a small social graph, solve WASO with every
+//! registered solver through one `WasoSession`, and compare against the
+//! exact optimum.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use waso::prelude::*;
-use waso_exact::BranchBound;
 
 fn main() {
     // A weekend hike for k = 4 people out of a 12-person friend circle.
@@ -40,32 +40,48 @@ fn main() {
     for (u, v, tau) in friendships {
         b.add_edge_symmetric(people[u], people[v], tau).unwrap();
     }
-    let graph = b.build();
 
-    let instance = WasoInstance::new(graph, 4).expect("valid instance");
+    // One session: the graph, the group size, the seed policy. Every
+    // solver below runs through it — specs are the only thing that vary.
+    let session = WasoSession::new(b.build()).k(4).seed(42);
 
     println!("WASO quickstart: pick the best-connected group of 4 hikers\n");
 
     // The deterministic greedy baseline.
-    let greedy = DGreedy::new().solve_seeded(&instance, 0).unwrap();
+    let greedy = session.solve_str("dgreedy").expect("feasible");
     print_group("DGreedy ", &greedy.group, &names);
 
-    // The paper's flagship: CBAS-ND.
-    let mut solver = CbasNd::new(CbasNdConfig::fast());
-    let nd = solver.solve_seeded(&instance, 42).unwrap();
+    // The paper's flagship, CBAS-ND, from a builder-style spec.
+    let nd = session
+        .solve(&SolverSpec::cbas_nd().budget(200).stages(4))
+        .expect("feasible");
     print_group("CBAS-ND ", &nd.group, &names);
-    println!(
-        "          ({} samples across {} stages, {} start nodes)",
-        nd.stats.samples_drawn, nd.stats.stages, nd.stats.start_nodes
-    );
+    println!("          ({})", nd.stats);
 
-    // Ground truth on a graph this small.
-    let exact = BranchBound::new().solve(&instance, None).unwrap();
+    // Ground truth on a graph this small — same session, same interface.
+    let exact = session.solve_str("exact").expect("feasible");
     print_group("Optimum ", &exact.group, &names);
 
     assert!(nd.group.willingness() <= exact.group.willingness() + 1e-9);
     let ratio = nd.group.willingness() / exact.group.willingness();
     println!("\nCBAS-ND reached {:.1}% of the optimum.", 100.0 * ratio);
+
+    // The registry knows every solver; run the full roster for fun.
+    println!("\nThe whole registered family on the same instance:");
+    for entry in session.registry().entries() {
+        let spec = match entry.name {
+            "dgreedy" => SolverSpec::dgreedy(),
+            "rgreedy" => SolverSpec::rgreedy().budget(200),
+            "exact" => SolverSpec::exact(),
+            name => SolverSpec::new(name).budget(200).stages(4),
+        };
+        let res = session.solve(&spec).expect("feasible");
+        println!(
+            "  {:12} willingness {:.2}",
+            entry.label,
+            res.group.willingness()
+        );
+    }
 }
 
 fn print_group(label: &str, group: &Group, names: &[&str]) {

@@ -8,8 +8,21 @@
 //! ground truth), synthetic datasets matching the paper's evaluation
 //! networks, and a harness regenerating every figure of its §5.
 //!
-//! This facade crate re-exports every sub-crate under a stable path and
-//! provides a [`prelude`] for the common workflow:
+//! ## The unified solving API
+//!
+//! Three pieces, used by every caller in the workspace (the CLI, the
+//! figure drivers, the examples — and your code):
+//!
+//! * [`SolverSpec`] — one serializable description of *which* algorithm
+//!   with *what* settings (`"cbas-nd:budget=2000,stages=10"`), parseable
+//!   from CLI strings and constructible via a builder;
+//! * [`SolverRegistry`] (see [`registry()`]) — the single place specs
+//!   become solvers; algorithm names, help text and the figure rosters
+//!   are derived from it, and solver options a spec names but a solver
+//!   cannot honour are rejected, never ignored;
+//! * [`WasoSession`] — the facade that owns instance validation, the seed
+//!   policy, and uniform constraint enforcement (required attendees,
+//!   connectivity relaxation, λ re-weighting) across every solver.
 //!
 //! ```
 //! use waso::prelude::*;
@@ -24,19 +37,29 @@
 //! let graph = b.build();
 //!
 //! // Ask for the best connected group of k = 2.
-//! let instance = WasoInstance::new(graph, 2).unwrap();
-//! let mut solver = CbasNd::new(CbasNdConfig::fast());
-//! let result = solver.solve_seeded(&instance, 42).unwrap();
+//! let session = WasoSession::new(graph).k(2).seed(42);
+//! let result = session.solve(&SolverSpec::cbas_nd().budget(200).stages(4)).unwrap();
 //! assert_eq!(result.group.len(), 2);
 //! // Optimum: {a, c} with W = 0.8 + 0.5 + 2·0.7 = 2.7.
 //! assert!((result.group.willingness() - 2.7).abs() < 1e-9);
+//!
+//! // The same session solves with any registered algorithm — including
+//! // the exact branch-and-bound — from a plain string.
+//! let exact = session.solve_str("exact").unwrap();
+//! assert_eq!(exact.group, result.group);
+//!
+//! // Constraints are enforced uniformly: a solver that cannot guarantee
+//! // required attendees rejects the combination instead of ignoring it.
+//! let constrained = WasoSession::new(session.graph().clone()).k(2).require([a]);
+//! assert!(constrained.solve_str("cbas-nd:budget=200,stages=4").is_ok());
+//! assert!(constrained.solve_str("cbas").is_err());
 //! ```
 //!
 //! | Crate | Contents |
 //! |---|---|
 //! | [`graph`] | CSR social graphs, builders, generators, traversal, I/O |
 //! | [`core`] | WASO instances, the willingness objective, groups, scenarios |
-//! | [`algos`] | DGreedy, RGreedy, CBAS, CBAS-ND(-G), online replanning, parallel |
+//! | [`algos`] | DGreedy, RGreedy, CBAS, CBAS-ND(-G), online replanning, parallel, [`SolverSpec`]/[`SolverRegistry`] |
 //! | [`exact`] | ESU enumeration, branch-and-bound, the Appendix-B IP model |
 //! | [`datasets`] | Facebook/DBLP/Flickr-like synthetics, simulated user study |
 //! | [`stats`] | numerics: normal distribution, power laws, quantiles, quadrature |
@@ -48,11 +71,18 @@ pub use waso_exact as exact;
 pub use waso_graph as graph;
 pub use waso_stats as stats;
 
-/// One-line imports for the common build-graph → solve → inspect workflow.
+pub mod session;
+
+pub use session::{registry, SessionError, WasoSession, DEFAULT_SEED};
+pub use waso_algos::{SolverRegistry, SolverSpec};
+
+/// One-line imports for the common build-graph → session → solve workflow.
 pub mod prelude {
+    pub use crate::session::{registry, SessionError, WasoSession};
     pub use waso_algos::{
-        Cbas, CbasConfig, CbasNd, CbasNdConfig, DGreedy, OnlinePlanner, ParallelCbasNd, RGreedy,
-        RGreedyConfig, SolveError, SolveResult, Solver,
+        Capabilities, Cbas, CbasConfig, CbasNd, CbasNdConfig, DGreedy, OnlinePlanner,
+        ParallelCbasNd, RGreedy, RGreedyConfig, SolveError, SolveResult, Solver, SolverRegistry,
+        SolverSpec, SpecError,
     };
     pub use waso_core::{scenario, willingness, Group, WasoInstance};
     pub use waso_graph::{GraphBuilder, NodeId, SocialGraph};

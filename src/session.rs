@@ -1,0 +1,414 @@
+//! [`WasoSession`] — the one-stop facade for solving WASO instances.
+//!
+//! A session owns everything around the solver that callers used to
+//! hand-roll: instance validation (group size, λ weights, connectivity
+//! mode), the seed policy, constraint enforcement (required attendees are
+//! guaranteed or the combination is *rejected* — never silently dropped),
+//! and result reporting. Solvers are chosen by [`SolverSpec`] and built
+//! through the [`SolverRegistry`], so a session works identically for
+//! every registered algorithm, including ones registered after the fact.
+//!
+//! ```
+//! use waso::prelude::*;
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_node(0.8);
+//! let c = b.add_node(0.5);
+//! let d = b.add_node(0.9);
+//! b.add_edge_symmetric(a, c, 0.7).unwrap();
+//! b.add_edge_symmetric(c, d, 0.4).unwrap();
+//!
+//! let session = WasoSession::new(b.build()).k(2).seed(42);
+//! let result = session.solve(&SolverSpec::cbas_nd().budget(200).stages(4)).unwrap();
+//! assert_eq!(result.group.len(), 2);
+//! assert!((result.group.willingness() - 2.7).abs() < 1e-9);
+//! ```
+
+use std::fmt;
+
+use waso_algos::{SolveError, SolveResult, SolverRegistry, SolverSpec, SpecError};
+use waso_core::{CoreError, WasoInstance};
+use waso_graph::{NodeId, SocialGraph};
+
+/// The session's default seed — solves are reproducible out of the box,
+/// and explicitly seeded when exploration is wanted.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// The fully-populated solver registry: the `waso-algos` family
+/// ([`SolverRegistry::builtin`]) plus `waso-exact`'s branch-and-bound.
+/// This is the table behind every [`WasoSession`], the `waso-solve` CLI,
+/// and the `waso-bench` figure drivers.
+pub fn registry() -> SolverRegistry {
+    let mut r = SolverRegistry::builtin();
+    waso_exact::register_exact(&mut r);
+    r
+}
+
+/// Why a session could not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// [`WasoSession::k`] was never called.
+    GroupSizeNotSet,
+    /// Instance construction or validation failed (bad `k`, bad λ,
+    /// unknown/duplicate required attendee).
+    Core(CoreError),
+    /// The spec did not resolve to a buildable solver.
+    Spec(SpecError),
+    /// The solver ran and failed (infeasible, or a constraint it cannot
+    /// honour).
+    Solve(SolveError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::GroupSizeNotSet => {
+                write!(
+                    f,
+                    "group size not set — call WasoSession::k(...) before solving"
+                )
+            }
+            SessionError::Core(e) => write!(f, "invalid instance: {e}"),
+            SessionError::Spec(e) => write!(f, "unusable solver spec: {e}"),
+            SessionError::Solve(e) => write!(f, "solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<CoreError> for SessionError {
+    fn from(e: CoreError) -> Self {
+        SessionError::Core(e)
+    }
+}
+
+impl From<SpecError> for SessionError {
+    fn from(e: SpecError) -> Self {
+        SessionError::Spec(e)
+    }
+}
+
+impl From<SolveError> for SessionError {
+    fn from(e: SolveError) -> Self {
+        SessionError::Solve(e)
+    }
+}
+
+/// A configured solving context: graph + constraints + seed policy +
+/// registry. Build once, solve with as many specs as you like.
+#[derive(Debug)]
+pub struct WasoSession {
+    graph: SocialGraph,
+    k: Option<usize>,
+    required: Vec<NodeId>,
+    connectivity: bool,
+    lambda: Option<Vec<f64>>,
+    seed: u64,
+    registry: SolverRegistry,
+}
+
+impl WasoSession {
+    /// A session over `graph` with the full [`registry`], connectivity
+    /// required, no constraints, and the [`DEFAULT_SEED`].
+    pub fn new(graph: SocialGraph) -> Self {
+        Self {
+            graph,
+            k: None,
+            required: Vec::new(),
+            connectivity: true,
+            lambda: None,
+            seed: DEFAULT_SEED,
+            registry: registry(),
+        }
+    }
+
+    /// Sets the group size `k` (mandatory).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Adds attendees that must appear in every answer. Enforced
+    /// *uniformly*: solvers that cannot guarantee membership reject the
+    /// solve ([`SolveError::RequiredUnsupported`]) instead of ignoring the
+    /// constraint.
+    pub fn require(mut self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        self.required.extend(nodes);
+        self
+    }
+
+    /// Drops the connectivity constraint (the §2.2 WASO-dis variant).
+    pub fn disconnected(mut self) -> Self {
+        self.connectivity = false;
+        self
+    }
+
+    /// Applies per-node λ weights (footnote 7): `η̃ = λη`,
+    /// `τ̃_{i,·} = (1-λ_i)τ_{i,·}`. Validated at solve time.
+    pub fn lambda(mut self, lambda: Vec<f64>) -> Self {
+        self.lambda = Some(lambda);
+        self
+    }
+
+    /// Applies one λ to every node.
+    pub fn lambda_uniform(mut self, l: f64) -> Self {
+        self.lambda = Some(vec![l; self.graph.num_nodes()]);
+        self
+    }
+
+    /// Sets the seed every solve derives its randomness from.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the solver registry (to add custom solvers or restrict
+    /// the available set).
+    pub fn with_registry(mut self, registry: SolverRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The registry this session resolves specs against.
+    pub fn registry(&self) -> &SolverRegistry {
+        &self.registry
+    }
+
+    /// The graph under optimization (λ not yet applied).
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// Builds and validates the [`WasoInstance`] this session describes.
+    pub fn instance(&self) -> Result<WasoInstance, SessionError> {
+        let k = self.k.ok_or(SessionError::GroupSizeNotSet)?;
+        let graph = match &self.lambda {
+            Some(l) => waso_core::instance::apply_lambda(&self.graph, l)?,
+            None => self.graph.clone(),
+        };
+        let instance = if self.connectivity {
+            WasoInstance::new(graph, k)?
+        } else {
+            WasoInstance::without_connectivity(graph, k)?
+        };
+        validate_required(&instance, &self.required)?;
+        Ok(instance)
+    }
+
+    /// Solves with the given spec: validates the instance, merges the
+    /// session's and the spec's required attendees, rejects spec/solver
+    /// combinations that cannot honour them, and runs the solver under
+    /// the session's seed policy.
+    pub fn solve(&self, spec: &SolverSpec) -> Result<SolveResult, SessionError> {
+        let instance = self.instance()?;
+
+        // Union of session-level and spec-level required attendees,
+        // first-mention order. The merged set is re-validated: the spec
+        // half never went through `instance()`.
+        let mut required = self.required.clone();
+        for &v in &spec.required {
+            if !required.contains(&v) {
+                required.push(v);
+            }
+        }
+        validate_required(&instance, &required)?;
+
+        let entry = self.registry.resolve(spec)?;
+        if !required.is_empty() && !entry.capabilities.required_attendees {
+            // Rejected up front, before paying for construction — and
+            // re-checked by the solver itself as a backstop.
+            return Err(SolveError::RequiredUnsupported { solver: entry.name }.into());
+        }
+
+        let mut solver = self.registry.build(spec)?;
+        let result = solver.solve_with_required(&instance, &required, self.seed)?;
+        debug_assert!(
+            required.iter().all(|&v| result.group.contains(v)),
+            "solver {} violated the required-attendee contract",
+            solver.name()
+        );
+        Ok(result)
+    }
+
+    /// [`WasoSession::solve`] from a spec string (`"cbas-nd:budget=500"`),
+    /// resolved and canonicalized against the session's registry.
+    pub fn solve_str(&self, spec: &str) -> Result<SolveResult, SessionError> {
+        let spec = self.registry.parse(spec)?;
+        self.solve(&spec)
+    }
+}
+
+/// Bounds, duplicate and size checks for a required-attendee list.
+fn validate_required(instance: &WasoInstance, required: &[NodeId]) -> Result<(), SessionError> {
+    let n = instance.graph().num_nodes() as u32;
+    let mut seen = std::collections::BTreeSet::new();
+    for &v in required {
+        if v.0 >= n {
+            return Err(CoreError::UnknownNode(v.0).into());
+        }
+        if !seen.insert(v.0) {
+            return Err(CoreError::DuplicateMember(v.0).into());
+        }
+    }
+    if required.len() > instance.k() {
+        return Err(CoreError::WrongSize {
+            got: required.len(),
+            want: instance.k(),
+        }
+        .into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waso_graph::GraphBuilder;
+
+    fn path4() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_node(8.0);
+        let v2 = b.add_node(7.0);
+        let v3 = b.add_node(6.0);
+        let v4 = b.add_node(5.0);
+        b.add_edge_symmetric(v1, v2, 1.0).unwrap();
+        b.add_edge_symmetric(v2, v3, 2.0).unwrap();
+        b.add_edge_symmetric(v3, v4, 4.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn session_solves_with_any_registered_spec() {
+        let session = WasoSession::new(path4()).k(3);
+        for spec in ["dgreedy", "cbas:budget=60,stages=2", "exact"] {
+            let res = session.solve_str(spec).unwrap();
+            assert_eq!(res.group.len(), 3, "{spec}");
+        }
+    }
+
+    #[test]
+    fn missing_k_is_an_error() {
+        let err = WasoSession::new(path4()).solve_str("dgreedy").unwrap_err();
+        assert_eq!(err, SessionError::GroupSizeNotSet);
+    }
+
+    #[test]
+    fn required_attendees_are_enforced_or_rejected() {
+        let session = WasoSession::new(path4()).k(3).require([NodeId(0)]);
+        // CBAS-ND honours the requirement.
+        let res = session.solve_str("cbas-nd:budget=60,stages=2").unwrap();
+        assert!(res.group.contains(NodeId(0)));
+        // CBAS cannot guarantee it — rejected, not ignored.
+        let err = session.solve_str("cbas:budget=60").unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::Solve(SolveError::RequiredUnsupported { solver: "cbas" })
+        );
+    }
+
+    #[test]
+    fn spec_level_requirements_merge_with_session_ones() {
+        let session = WasoSession::new(path4()).k(3).require([NodeId(0)]);
+        let res = session
+            .solve(
+                &SolverSpec::cbas_nd()
+                    .budget(80)
+                    .stages(2)
+                    .require([NodeId(2)]),
+            )
+            .unwrap();
+        assert!(res.group.contains(NodeId(0)));
+        assert!(res.group.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn invalid_required_sets_fail_validation() {
+        let g = path4();
+        let err = WasoSession::new(g.clone())
+            .k(2)
+            .require([NodeId(99)])
+            .solve_str("cbas-nd")
+            .unwrap_err();
+        assert_eq!(err, SessionError::Core(CoreError::UnknownNode(99)));
+
+        let err = WasoSession::new(g.clone())
+            .k(2)
+            .require([NodeId(1), NodeId(1)])
+            .solve_str("cbas-nd")
+            .unwrap_err();
+        assert_eq!(err, SessionError::Core(CoreError::DuplicateMember(1)));
+
+        let err = WasoSession::new(g)
+            .k(2)
+            .require([NodeId(0), NodeId(1), NodeId(2)])
+            .solve_str("cbas-nd")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::Core(CoreError::WrongSize { got: 3, want: 2 })
+        );
+    }
+
+    #[test]
+    fn disconnected_mode_reaches_separated_optima() {
+        // Two components; the best pair straddles them.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(10.0);
+        let c = b.add_node(9.0);
+        let d = b.add_node(1.0);
+        b.add_edge_symmetric(a, d, 0.1).unwrap();
+        let _ = c;
+        let session = WasoSession::new(b.build()).k(2).disconnected();
+        let res = session.solve_str("dgreedy").unwrap();
+        assert_eq!(res.group.willingness(), 19.0);
+    }
+
+    #[test]
+    fn lambda_rescores_the_instance() {
+        let session = WasoSession::new(path4()).k(3).lambda_uniform(1.0);
+        // λ = 1 everywhere: tightness vanishes, best trio is {v1,v2,v3}
+        // by pure interest (8+7+6).
+        let res = session.solve_str("exact").unwrap();
+        assert_eq!(res.group.willingness(), 21.0);
+
+        let err = WasoSession::new(path4())
+            .k(3)
+            .lambda(vec![0.5; 3])
+            .solve_str("dgreedy")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::Core(CoreError::BadParameterLength { got: 3, want: 4 })
+        );
+    }
+
+    #[test]
+    fn seed_policy_is_deterministic_and_overridable() {
+        let g = waso_datasets::synthetic::facebook_like_n(120, 3);
+        let session = WasoSession::new(g.clone()).k(6);
+        let a = session.solve_str("cbas-nd:budget=80,stages=3").unwrap();
+        let b = session.solve_str("cbas-nd:budget=80,stages=3").unwrap();
+        assert_eq!(a.group, b.group, "default seed is fixed");
+
+        let reseeded = WasoSession::new(g).k(6).seed(7);
+        let c = reseeded.solve_str("cbas-nd:budget=80,stages=3").unwrap();
+        // Different seed explores differently (stats differ even if the
+        // answer coincides).
+        assert!(c.group.validate(&reseeded.instance().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn unknown_algorithms_name_the_known_set() {
+        let err = WasoSession::new(path4())
+            .k(2)
+            .solve_str("magic")
+            .unwrap_err();
+        match err {
+            SessionError::Spec(SpecError::UnknownAlgorithm { known, .. }) => {
+                assert!(known.contains(&"exact"), "exact is registered");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,26 +1,44 @@
 //! End-to-end pipeline tests: dataset generation → every solver →
 //! validation → cross-solver sanity.
+//!
+//! The solver roster is *derived from the registry*: every registered
+//! heuristic is exercised, so a newly registered solver is covered here
+//! with zero test changes.
 
 use waso::prelude::*;
 use waso_datasets::synthetic::{self, Scale};
-use waso_exact::BranchBound;
 
+/// Every registered sampling/greedy solver at end-to-end test settings
+/// (the exact solver is exercised separately — it cannot run on the
+/// larger smoke graphs).
 fn solvers(budget: u64) -> Vec<Box<dyn Solver>> {
-    let mut cbas_cfg = CbasConfig::with_budget(budget);
-    cbas_cfg.stages = Some(4);
-    cbas_cfg.num_start_nodes = Some(8);
-    let mut nd_cfg = CbasNdConfig::with_budget(budget);
-    nd_cfg.base = cbas_cfg.clone();
-    let mut rg_cfg = RGreedyConfig::with_budget(budget.min(100));
-    rg_cfg.num_start_nodes = Some(8);
-    vec![
-        Box::new(DGreedy::new()),
-        Box::new(RGreedy::new(rg_cfg)),
-        Box::new(Cbas::new(cbas_cfg)),
-        Box::new(CbasNd::new(nd_cfg.clone())),
-        Box::new(CbasNd::new(nd_cfg.clone().gaussian())),
-        Box::new(ParallelCbasNd::new(nd_cfg, 3)),
-    ]
+    let registry = waso::registry();
+    registry
+        .entries()
+        .iter()
+        .filter(|e| !e.capabilities.exact)
+        .map(|entry| {
+            let mut spec = SolverSpec::new(entry.name);
+            if entry.options.contains(&"budget") {
+                // Costly solvers (per-candidate pricing) get a small budget,
+                // like the paper's aborted-RGreedy practice.
+                spec = spec.budget(if entry.costly {
+                    budget.min(100)
+                } else {
+                    budget
+                });
+            }
+            if entry.options.contains(&"stages") {
+                spec = spec.stages(4);
+            }
+            if entry.options.contains(&"start-nodes") {
+                spec = spec.start_nodes(8);
+            }
+            registry
+                .build(&spec)
+                .unwrap_or_else(|e| panic!("spec for {} unusable: {e}", entry.name))
+        })
+        .collect()
 }
 
 #[test]
@@ -50,8 +68,11 @@ fn every_solver_produces_valid_groups_on_every_dataset() {
 fn randomized_solvers_never_beat_the_exact_optimum() {
     let graph = synthetic::dblp_like_n(80, 3);
     let inst = WasoInstance::new(graph, 5).unwrap();
-    let exact = BranchBound::new().solve(&inst, None).expect("feasible");
-    assert!(exact.optimal);
+    let exact = waso::registry()
+        .build(&SolverSpec::exact())
+        .unwrap()
+        .solve_seeded(&inst, 0)
+        .expect("feasible");
     for solver in solvers(150).iter_mut() {
         let res = solver.solve_seeded(&inst, 3).unwrap();
         assert!(
@@ -113,7 +134,11 @@ fn graph_io_roundtrips_through_the_full_pipeline() {
 
     let inst_a = WasoInstance::new(graph, 6).unwrap();
     let inst_b = WasoInstance::new(parsed, 6).unwrap();
-    let a = CbasNd::new(CbasNdConfig::fast()).solve_seeded(&inst_a, 11).unwrap();
-    let b = CbasNd::new(CbasNdConfig::fast()).solve_seeded(&inst_b, 11).unwrap();
+    let a = CbasNd::new(CbasNdConfig::fast())
+        .solve_seeded(&inst_a, 11)
+        .unwrap();
+    let b = CbasNd::new(CbasNdConfig::fast())
+        .solve_seeded(&inst_b, 11)
+        .unwrap();
     assert_eq!(a.group, b.group);
 }

@@ -36,7 +36,9 @@ fn every_component_agrees_on_figure_one() {
     assert_eq!(brute.nodes(), bb.group.nodes());
 
     // Every randomized solver escapes the trap with a modest budget.
-    let cbas = Cbas::new(CbasConfig::fast()).solve_seeded(&inst, 1).unwrap();
+    let cbas = Cbas::new(CbasConfig::fast())
+        .solve_seeded(&inst, 1)
+        .unwrap();
     assert_eq!(cbas.group.willingness(), 30.0, "CBAS");
     let nd = CbasNd::new(CbasNdConfig::fast())
         .solve_seeded(&inst, 1)

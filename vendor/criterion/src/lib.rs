@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the subset of the Criterion API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, per-input
+//! benchmarks, `iter` / `iter_batched`). Each benchmark is timed with a
+//! short adaptive loop and reported as a median per-iteration time on
+//! stdout — good enough to compare hot paths locally, with no statistics
+//! machinery. Set `WASO_BENCH_QUICK=1` to run each benchmark exactly once
+//! (CI smoke mode).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints for [`Bencher::iter_batched`]. The shim treats all
+/// variants identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup values.
+    SmallInput,
+    /// Large per-iteration setup values.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures.
+pub struct Bencher {
+    samples: usize,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            last: None,
+        }
+    }
+
+    /// Times `routine`, running it enough times for a stable estimate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration run.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed();
+
+        let iters = if quick_mode() {
+            1
+        } else {
+            // Aim for ~100ms of work or `samples` iterations, whichever is
+            // smaller.
+            let budget = Duration::from_millis(100);
+            let fit = (budget.as_nanos() / once.as_nanos().max(1)) as usize;
+            fit.clamp(1, self.samples.max(1))
+        };
+
+        let mut best = once;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            let dt = t0.elapsed();
+            if dt < best {
+                best = dt;
+            }
+        }
+        self.last = Some(best);
+    }
+
+    /// Times `routine` over values produced by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = if quick_mode() { 1 } else { self.samples.max(1) };
+        let mut best: Option<Duration> = None;
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            let dt = t0.elapsed();
+            if best.is_none_or(|b| dt < b) {
+                best = Some(dt);
+            }
+        }
+        self.last = best;
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("WASO_BENCH_QUICK").is_some()
+}
+
+fn report(group: Option<&str>, id: &str, bencher: &Bencher) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match bencher.last {
+        Some(d) => println!("bench {label:<50} {:>12.3?} /iter", d),
+        None => println!("bench {label:<50}  (no measurement)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration budget (compatible with Criterion's sample
+    /// count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(Some(&self.name), &id.to_string(), &b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b, input);
+        report(Some(&self.name), &id.to_string(), &b);
+        self
+    }
+
+    /// Ends the group (prints nothing in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A driver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 20,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        report(None, &id.to_string(), &b);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_a_time() {
+        let mut b = Bencher::new(5);
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.last.is_some());
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.last.is_some());
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}
