@@ -8,17 +8,19 @@
 //! ([`crate::sampler`]). The best sampled solution over all stages is the
 //! answer; Theorem 5 lower-bounds its expected quality
 //! ([`crate::theory::expected_quality_ratio`]).
+//!
+//! [`Cbas`] is a thin configuration over the shared
+//! [`crate::engine::StagedEngine`]: uniform candidate distribution,
+//! uniform-OCBA allocation, serial execution. The stage loop itself lives
+//! in the engine, not here.
 
-use std::time::Instant;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use waso_core::{Group, WasoInstance};
+use waso_core::WasoInstance;
 use waso_graph::{BitSet, NodeId};
 
-use crate::ocba::{allocate_stage, derive_stages, stage_budgets, StartStats};
-use crate::sampler::{default_num_start_nodes, select_start_nodes, Sampler};
-use crate::{SolveError, SolveResult, Solver, SolverStats};
+use crate::engine::{Distribution, StagedEngine, StartMode};
+use crate::ocba::derive_stages;
+use crate::sampler::{default_num_start_nodes, select_start_nodes};
+use crate::{SolveError, SolveResult, Solver};
 
 /// Configuration shared by CBAS and (via [`crate::CbasNdConfig`]) CBAS-ND.
 #[derive(Debug, Clone)]
@@ -107,7 +109,8 @@ impl CbasConfig {
     }
 }
 
-/// The CBAS solver.
+/// The CBAS solver: [`crate::engine::StagedEngine`] with the uniform
+/// candidate distribution.
 #[derive(Debug, Clone)]
 pub struct Cbas {
     config: CbasConfig,
@@ -142,103 +145,18 @@ impl Solver for Cbas {
         instance: &WasoInstance,
         seed: u64,
     ) -> Result<SolveResult, SolveError> {
-        let t0 = Instant::now();
-        let g = instance.graph();
-        let starts = self.config.resolve_starts(instance);
-        if starts.is_empty() {
-            return Err(SolveError::NoFeasibleGroup);
-        }
-        let m = starts.len();
-        let r = self.config.resolve_stages(instance, m);
-        let budgets = stage_budgets(self.config.budget, r);
-
-        let mut sampler = Sampler::new(g.num_nodes());
-        sampler.set_blocked(self.config.blocked.clone());
-        let mut stats = vec![StartStats::new(); m];
-        let mut best: Option<(f64, Vec<NodeId>)> = None;
-        let mut drawn = 0u64;
-        let mut pruned_count = 0u32;
-
-        for (stage, &stage_budget) in budgets.iter().enumerate() {
-            let alloc = if stage == 0 {
-                uniform_split(stage_budget, m, &stats)
-            } else {
-                let a = allocate_stage(&stats, stage_budget);
-                // §3.1: zero allocation at stage t prunes the node from t+1.
-                for (i, s) in stats.iter_mut().enumerate() {
-                    if a[i] == 0 && !s.pruned && s.sampled() {
-                        s.pruned = true;
-                        pruned_count += 1;
-                    }
-                }
-                a
-            };
-
-            for (i, &ni) in alloc.iter().enumerate() {
-                if ni == 0 {
-                    continue;
-                }
-                for q in 0..ni {
-                    let mut rng =
-                        StdRng::seed_from_u64(crate::sample_seed(seed, i as u64, stage as u64, q));
-                    drawn += 1;
-                    match sampler.sample_uniform(instance, starts[i], &mut rng) {
-                        Some(sample) => {
-                            stats[i].record(sample.willingness);
-                            if best.as_ref().is_none_or(|(bw, _)| sample.willingness > *bw) {
-                                best = Some((sample.willingness, sample.nodes));
-                            }
-                        }
-                        None => {
-                            // Deterministic stall: the start's component is
-                            // smaller than k. All further samples fail too.
-                            if !stats[i].pruned {
-                                stats[i].pruned = true;
-                                pruned_count += 1;
-                            }
-                            break;
-                        }
-                    }
-                }
-                stats[i].spent += ni;
-            }
-        }
-
-        let (_, nodes) = best.ok_or(SolveError::NoFeasibleGroup)?;
-        let group = Group::new(instance, nodes).map_err(SolveError::Invalid)?;
-        Ok(SolveResult {
-            group,
-            stats: SolverStats {
-                samples_drawn: drawn,
-                stages: r,
-                start_nodes: m as u32,
-                pruned_start_nodes: pruned_count,
-                elapsed: t0.elapsed(),
-                ..SolverStats::default()
-            },
-        })
+        StagedEngine::new(self.config.clone(), Distribution::Uniform).solve(
+            instance,
+            StartMode::Fresh,
+            seed,
+        )
     }
-}
-
-/// Stage-1 split: `T_1/m` each, remainder to the first nodes (pseudo-code
-/// line 9), skipping already-pruned entries.
-pub(crate) fn uniform_split(stage_budget: u64, m: usize, stats: &[StartStats]) -> Vec<u64> {
-    let live: Vec<usize> = (0..m).filter(|&i| !stats[i].pruned).collect();
-    let mut alloc = vec![0u64; m];
-    if live.is_empty() {
-        return alloc;
-    }
-    let base = stage_budget / live.len() as u64;
-    let extra = (stage_budget % live.len() as u64) as usize;
-    for (rank, &i) in live.iter().enumerate() {
-        alloc[i] = base + u64::from(rank < extra);
-    }
-    alloc
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use waso_graph::{generate, GraphBuilder, ScoreModel};
 
     fn figure1_instance() -> WasoInstance {
@@ -360,21 +278,6 @@ mod tests {
             .solve_seeded(&inst, 0)
             .unwrap_err();
         assert_eq!(err, SolveError::NoFeasibleGroup);
-    }
-
-    #[test]
-    fn uniform_split_skips_pruned() {
-        let mut stats = vec![StartStats::new(); 3];
-        stats[1].pruned = true;
-        assert_eq!(uniform_split(10, 3, &stats), vec![5, 0, 5]);
-        assert_eq!(
-            uniform_split(5, 3, &{
-                let mut s = vec![StartStats::new(); 3];
-                s[2].pruned = true;
-                s
-            }),
-            vec![3, 2, 0]
-        );
     }
 
     #[test]

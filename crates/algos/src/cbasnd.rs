@@ -1,8 +1,7 @@
 //! `CBAS-ND` — CBAS with Neighbour Differentiation (§4).
 //!
-//! Extends the staged CBAS driver with per-start-node *node-selection
-//! probability vectors* updated by the cross-entropy method
-//! ([`crate::cross_entropy`]):
+//! Extends staged CBAS with per-start-node *node-selection probability
+//! vectors* updated by the cross-entropy method ([`crate::cross_entropy`]):
 //!
 //! 1. stage 1 samples with the uniform vector `p_{i,1,j} = (k-1)/(n-1)`;
 //! 2. after each stage, the top-ρ elite samples of each start node re-fit
@@ -16,21 +15,21 @@
 //!
 //! Theorem 6 shows this converges to the optimum faster than CBAS for the
 //! same budget; the Figure 5/7/8 harnesses measure exactly that.
+//!
+//! [`CbasNd`] is a thin configuration over the shared
+//! [`crate::engine::StagedEngine`] — cross-entropy candidate distribution,
+//! uniform-OCBA or Gaussian allocation, serial execution. The stage loop,
+//! prune accounting and best-tracking merge live in the engine; the
+//! elite/γ update lives with the vectors in
+//! [`crate::cross_entropy::update_vector`].
 
-use std::time::Instant;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use waso_core::{Group, WasoInstance};
+use waso_core::WasoInstance;
 use waso_graph::NodeId;
 
-use crate::cbas::{uniform_split, CbasConfig};
-use crate::cross_entropy::ProbabilityVector;
-use crate::gaussian::{allocate_stage_gaussian, Allocation, GaussStats};
-use crate::ocba::{allocate_stage, stage_budgets, StartStats};
-use crate::sampler::{Sample, Sampler};
-use crate::{SolveError, SolveResult, Solver, SolverStats};
-use waso_stats::quantile::top_rho_count;
+use crate::cbas::CbasConfig;
+use crate::engine::{StagedEngine, StartMode};
+use crate::gaussian::Allocation;
+use crate::{SolveError, SolveResult, Solver};
 
 /// Configuration of [`CbasNd`].
 #[derive(Debug, Clone)]
@@ -96,7 +95,8 @@ impl CbasNdConfig {
     }
 }
 
-/// The CBAS-ND solver.
+/// The CBAS-ND solver: [`crate::engine::StagedEngine`] with the
+/// cross-entropy candidate distribution.
 #[derive(Debug, Clone)]
 pub struct CbasNd {
     config: CbasNdConfig,
@@ -125,217 +125,9 @@ impl CbasNd {
         Solver::solve_with_required(self, instance, seeds, seed)
     }
 
-    fn run(
-        &mut self,
-        instance: &WasoInstance,
-        mode: StartMode<'_>,
-        seed: u64,
-    ) -> Result<SolveResult, SolveError> {
-        let t0 = Instant::now();
-        let cfg = &self.config;
-        assert!(
-            (0.0..=1.0).contains(&cfg.rho) && cfg.rho > 0.0,
-            "rho must be in (0,1]"
-        );
-        assert!(
-            (0.0..=1.0).contains(&cfg.smoothing),
-            "smoothing weight outside [0,1]"
-        );
-
-        let g = instance.graph();
-        let n = g.num_nodes();
-        let k = instance.k();
-
-        // In Partial mode there is a single "virtual start": the seed set.
-        let starts: Vec<NodeId> = match mode {
-            StartMode::Fresh => cfg.base.resolve_starts(instance),
-            StartMode::Partial(seeds) => {
-                if seeds.is_empty() {
-                    return Err(SolveError::NoFeasibleGroup);
-                }
-                vec![seeds[0]]
-            }
-        };
-        if starts.is_empty() {
-            return Err(SolveError::NoFeasibleGroup);
-        }
-        let m = starts.len();
-        let r = cfg.base.resolve_stages(instance, m);
-        let budgets = stage_budgets(cfg.base.budget, r);
-
-        let mut sampler = Sampler::new(n);
-        sampler.set_blocked(cfg.base.blocked.clone());
-
-        let mut stats = vec![StartStats::new(); m];
-        let mut gstats = vec![GaussStats::new(); m];
-        let mut vectors: Vec<ProbabilityVector> = starts
-            .iter()
-            .map(|&s| ProbabilityVector::uniform_for_start(n.max(2), k, s))
-            .collect();
-        let mut gammas = vec![f64::NEG_INFINITY; m];
-        let mut best: Option<(f64, Vec<NodeId>)> = None;
-        let mut drawn = 0u64;
-        let mut pruned_count = 0u32;
-        let mut backtracks = 0u32;
-        // Reused per-stage sample buffer.
-        let mut stage_samples: Vec<Sample> = Vec::new();
-
-        for (stage, &stage_budget) in budgets.iter().enumerate() {
-            let alloc = if stage == 0 {
-                uniform_split(stage_budget, m, &stats)
-            } else {
-                let a = match cfg.allocation {
-                    Allocation::UniformOcba => allocate_stage(&stats, stage_budget),
-                    Allocation::Gaussian => allocate_stage_gaussian(&gstats, stage_budget),
-                };
-                for i in 0..m {
-                    if a[i] == 0 && !stats[i].pruned && stats[i].sampled() {
-                        stats[i].pruned = true;
-                        gstats[i].pruned = true;
-                        pruned_count += 1;
-                    }
-                }
-                a
-            };
-
-            for (i, &ni) in alloc.iter().enumerate() {
-                if ni == 0 {
-                    continue;
-                }
-                stage_samples.clear();
-                for q in 0..ni {
-                    let mut rng =
-                        StdRng::seed_from_u64(crate::sample_seed(seed, i as u64, stage as u64, q));
-                    drawn += 1;
-                    let sample = match mode {
-                        StartMode::Fresh => {
-                            sampler.sample_weighted(instance, starts[i], &vectors[i], &mut rng)
-                        }
-                        StartMode::Partial(seeds) => sampler.sample_from_partial(
-                            instance,
-                            seeds,
-                            Some(&vectors[i]),
-                            &mut rng,
-                        ),
-                    };
-                    match sample {
-                        Some(s) => {
-                            // Multi-seed growth can finish without bridging
-                            // a disconnected required set — such samples are
-                            // infeasible and simply discarded (they still
-                            // consumed budget).
-                            if let StartMode::Partial(seeds) = mode {
-                                if seeds.len() > 1
-                                    && instance.requires_connectivity()
-                                    && !waso_graph::traversal::is_connected_subset(g, &s.nodes)
-                                {
-                                    continue;
-                                }
-                            }
-                            stats[i].record(s.willingness);
-                            gstats[i].moments.push(s.willingness);
-                            if best.as_ref().is_none_or(|(bw, _)| s.willingness > *bw) {
-                                best = Some((s.willingness, s.nodes.clone()));
-                            }
-                            stage_samples.push(s);
-                        }
-                        None => {
-                            if !stats[i].pruned {
-                                stats[i].pruned = true;
-                                gstats[i].pruned = true;
-                                pruned_count += 1;
-                            }
-                            break;
-                        }
-                    }
-                }
-                stats[i].spent += ni;
-                gstats[i].spent += ni;
-
-                // Cross-entropy update (Algorithm 2 lines 35–46).
-                if !stage_samples.is_empty() {
-                    backtracks += update_vector(
-                        &mut vectors[i],
-                        &mut gammas[i],
-                        &mut stage_samples,
-                        cfg.rho,
-                        cfg.smoothing,
-                        cfg.backtrack_threshold,
-                    ) as u32;
-                }
-            }
-        }
-
-        let (_, mut nodes) = best.ok_or(SolveError::NoFeasibleGroup)?;
-        if let StartMode::Partial(seeds) = mode {
-            debug_assert!(seeds.iter().all(|s| nodes.contains(s)));
-        }
-        nodes.sort_unstable();
-        let group = Group::new(instance, nodes).map_err(SolveError::Invalid)?;
-        Ok(SolveResult {
-            group,
-            stats: SolverStats {
-                samples_drawn: drawn,
-                stages: r,
-                start_nodes: m as u32,
-                pruned_start_nodes: pruned_count,
-                backtracks,
-                truncated: false,
-                elapsed: t0.elapsed(),
-            },
-        })
+    fn engine(&self) -> StagedEngine {
+        StagedEngine::from_cbasnd(&self.config)
     }
-}
-
-#[derive(Clone, Copy)]
-enum StartMode<'a> {
-    /// Phase-1 start-node selection (normal solving).
-    Fresh,
-    /// Grow every sample from a fixed partial solution (online replanning).
-    Partial(&'a [NodeId]),
-}
-
-/// One stage's cross-entropy update for one start node. Returns `true` when
-/// backtracking reverted the vector. Shared with the parallel driver.
-pub(crate) fn update_vector(
-    vector: &mut ProbabilityVector,
-    gamma: &mut f64,
-    stage_samples: &mut [Sample],
-    rho: f64,
-    smoothing: f64,
-    backtrack_threshold: Option<f64>,
-) -> bool {
-    // γ_{t+1} = max(γ_t, W_(⌈ρN⌉)) — pseudo-code lines 35–39.
-    stage_samples.sort_by(|a, b| {
-        b.willingness
-            .partial_cmp(&a.willingness)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let idx = top_rho_count(stage_samples.len(), rho);
-    let stage_gamma = stage_samples[idx - 1].willingness;
-    if stage_gamma > *gamma {
-        *gamma = stage_gamma;
-    }
-    // Elites: samples meeting the (monotone) threshold, Eq. (4).
-    let elites: Vec<&Sample> = stage_samples
-        .iter()
-        .filter(|s| s.willingness >= *gamma)
-        .collect();
-    if elites.is_empty() {
-        // Whole stage below the historic γ: nothing to learn from.
-        return false;
-    }
-    let previous = vector.clone();
-    vector.update_from_elites(&elites, smoothing);
-    if let Some(z_t) = backtrack_threshold {
-        // §4.4.2: converged updates are reverted so the next stage
-        // re-samples from the previous, more diverse distribution.
-        if vector.distance_sq(&previous) < z_t {
-            *vector = previous;
-            return true;
-        }
-    }
-    false
 }
 
 impl Solver for CbasNd {
@@ -359,7 +151,7 @@ impl Solver for CbasNd {
         instance: &WasoInstance,
         seed: u64,
     ) -> Result<SolveResult, SolveError> {
-        self.run(instance, StartMode::Fresh, seed)
+        self.engine().solve(instance, StartMode::Fresh, seed)
     }
 
     /// Solves with *required attendees*: every sample grows from the given
@@ -387,7 +179,8 @@ impl Solver for CbasNd {
         if required.len() > instance.k() {
             return Err(SolveError::NoFeasibleGroup);
         }
-        self.run(instance, StartMode::Partial(required), seed)
+        self.engine()
+            .solve(instance, StartMode::Partial(required), seed)
     }
 }
 
@@ -395,6 +188,7 @@ impl Solver for CbasNd {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use waso_graph::{generate, GraphBuilder, ScoreModel};
 
     fn figure1_instance() -> WasoInstance {
@@ -584,27 +378,5 @@ mod tests {
         let res = CbasNd::new(cfg).solve_seeded(&inst, 0).unwrap();
         assert!(res.group.contains(NodeId(0)));
         assert_eq!(res.stats.start_nodes, 1);
-    }
-
-    #[test]
-    fn gamma_monotonicity_filters_bad_stages() {
-        // Directly exercise update_vector: a second stage entirely below
-        // the first stage's γ must not update the vector.
-        let mut v = ProbabilityVector::uniform(10, 3);
-        let mut gamma = f64::NEG_INFINITY;
-        let mk = |nodes: &[u32], w: f64| Sample {
-            nodes: nodes.iter().map(|&x| NodeId(x)).collect(),
-            willingness: w,
-        };
-        let mut stage1 = vec![mk(&[0, 1, 2], 10.0), mk(&[0, 1, 3], 8.0)];
-        let reverted = update_vector(&mut v, &mut gamma, &mut stage1, 0.5, 0.5, None);
-        assert!(!reverted);
-        assert_eq!(gamma, 10.0);
-        let after_stage1 = v.clone();
-
-        let mut stage2 = vec![mk(&[4, 5, 6], 3.0), mk(&[4, 5, 7], 2.0)];
-        update_vector(&mut v, &mut gamma, &mut stage2, 0.5, 0.5, None);
-        assert_eq!(gamma, 10.0, "gamma must not regress");
-        assert_eq!(v, after_stage1, "sub-γ stages contribute no elites");
     }
 }

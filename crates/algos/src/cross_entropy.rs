@@ -176,10 +176,79 @@ impl ProbabilityVector {
     }
 }
 
+/// One stage's full cross-entropy update for one start node (Algorithm 2
+/// lines 35–46): rank the stage's samples, lift γ to the top-ρ quantile
+/// (kept monotone across stages), re-fit the vector to the elites via
+/// Eq. (4) with smoothing `w`, and optionally backtrack per §4.4.2 when
+/// the update moved the vector less than `z_t`. Returns `true` when
+/// backtracking reverted the vector.
+///
+/// This is the distribution-update step of the
+/// [`crate::engine::StagedEngine`]; it lives here with the vector it
+/// mutates.
+pub fn update_vector(
+    vector: &mut ProbabilityVector,
+    gamma: &mut f64,
+    stage_samples: &mut [Sample],
+    rho: f64,
+    smoothing: f64,
+    backtrack_threshold: Option<f64>,
+) -> bool {
+    // γ_{t+1} = max(γ_t, W_(⌈ρN⌉)) — pseudo-code lines 35–39.
+    stage_samples.sort_by(|a, b| {
+        b.willingness
+            .partial_cmp(&a.willingness)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let idx = waso_stats::quantile::top_rho_count(stage_samples.len(), rho);
+    let stage_gamma = stage_samples[idx - 1].willingness;
+    if stage_gamma > *gamma {
+        *gamma = stage_gamma;
+    }
+    // Elites: samples meeting the (monotone) threshold, Eq. (4).
+    let elites: Vec<&Sample> = stage_samples
+        .iter()
+        .filter(|s| s.willingness >= *gamma)
+        .collect();
+    if elites.is_empty() {
+        // Whole stage below the historic γ: nothing to learn from.
+        return false;
+    }
+    let previous = vector.clone();
+    vector.update_from_elites(&elites, smoothing);
+    if let Some(z_t) = backtrack_threshold {
+        // §4.4.2: converged updates are reverted so the next stage
+        // re-samples from the previous, more diverse distribution.
+        if vector.distance_sq(&previous) < z_t {
+            *vector = previous;
+            return true;
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn gamma_monotonicity_filters_bad_stages() {
+        // A second stage entirely below the first stage's γ must not update
+        // the vector.
+        let mut v = ProbabilityVector::uniform(10, 3);
+        let mut gamma = f64::NEG_INFINITY;
+        let mut stage1 = vec![sample(&[0, 1, 2], 10.0), sample(&[0, 1, 3], 8.0)];
+        let reverted = update_vector(&mut v, &mut gamma, &mut stage1, 0.5, 0.5, None);
+        assert!(!reverted);
+        assert_eq!(gamma, 10.0);
+        let after_stage1 = v.clone();
+
+        let mut stage2 = vec![sample(&[4, 5, 6], 3.0), sample(&[4, 5, 7], 2.0)];
+        update_vector(&mut v, &mut gamma, &mut stage2, 0.5, 0.5, None);
+        assert_eq!(gamma, 10.0, "gamma must not regress");
+        assert_eq!(v, after_stage1, "sub-γ stages contribute no elites");
+    }
 
     fn sample(nodes: &[u32], w: f64) -> Sample {
         Sample {

@@ -1,0 +1,607 @@
+//! `StagedEngine` — the one-and-only staged-sampling loop.
+//!
+//! The paper's whole solver family (§3 Algorithm 1, §4 Algorithm 2, the
+//! §5.3.1 parallel runs, Appendix A's Gaussian variant) shares a single
+//! algorithmic skeleton: select start nodes, then run `r` stages, each of
+//! which (1) divides its share of the budget `T` across start nodes,
+//! (2) prunes zero-allocation nodes, (3) grows the allocated samples by
+//! randomized candidate selection, and (4) keeps the best solution seen.
+//! This module implements that skeleton **once**, parameterized along
+//! three orthogonal axes:
+//!
+//! * **allocation policy** — uniform split at stage 0, then either the
+//!   OCBA ratio of Theorem 3 ([`crate::ocba::allocate_stage`]) or the
+//!   Gaussian rule of Appendix A
+//!   ([`crate::gaussian::allocate_stage_gaussian`]), selected by
+//!   [`Allocation`];
+//! * **candidate distribution** — [`Distribution::Uniform`] (CBAS) or
+//!   [`Distribution::CrossEntropy`] per-start probability vectors updated
+//!   after every stage ([`crate::cross_entropy::update_vector`], CBAS-ND,
+//!   including the [`StartMode::Partial`] online-replanning path of
+//!   §4.4.1);
+//! * **execution backend** — [`ExecBackend::Serial`], or
+//!   [`ExecBackend::Pool`] with a persistent worker pool spawned once per
+//!   solve ([`crate::exec`]).
+//!
+//! [`crate::Cbas`], [`crate::CbasNd`] and [`crate::ParallelCbasNd`] are
+//! thin, registry-visible configurations over this engine.
+//!
+//! ## Determinism contract
+//!
+//! Every `(start node, stage, sample)` triple draws from its own RNG
+//! stream ([`crate::sample_seed`]) and the merge processes results in
+//! sample order, so the outcome is **bit-identical for every backend and
+//! thread count**; `tests/determinism.rs` and the `tests/properties.rs`
+//! proptest pin this down.
+//!
+//! ## Budget accounting
+//!
+//! A start node whose component is smaller than `k` stalls
+//! deterministically on its first draw; the engine charges it only the
+//! samples actually drawn (historically the full stage allocation was
+//! charged), so `Σ spent == samples_drawn` holds for every solve — the
+//! engine debug-asserts it.
+
+use std::time::Instant;
+
+use waso_core::{Group, WasoInstance};
+use waso_graph::NodeId;
+
+use crate::cbas::CbasConfig;
+use crate::cbasnd::CbasNdConfig;
+use crate::cross_entropy::{update_vector, ProbabilityVector};
+use crate::exec::{ExecBackend, SerialExec, StageExec, StageShared, WorkItem, WorkerPool};
+use crate::gaussian::{allocate_stage_gaussian, Allocation, GaussStats};
+use crate::ocba::{allocate_stage, stage_budgets, uniform_split, StartStats};
+use crate::sampler::{Sample, Sampler};
+use crate::{SolveError, SolveResult, SolverStats};
+
+/// The candidate-distribution axis: how a stage's samples pick the next
+/// node from the frontier `VA`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform selection over `VA` (CBAS, Algorithm 1 line 22).
+    Uniform,
+    /// Per-start-node selection vectors re-fit to each stage's elites by
+    /// the cross-entropy method (CBAS-ND, Algorithm 2 lines 35–46).
+    CrossEntropy {
+        /// Elite fraction ρ (paper default 0.3).
+        rho: f64,
+        /// Smoothing weight `w` of Eq. (4) (paper default 0.9).
+        smoothing: f64,
+        /// §4.4.2 backtracking threshold `z_t`; `None` disables it.
+        backtrack_threshold: Option<f64>,
+    },
+}
+
+/// Where a solve's samples grow from.
+#[derive(Clone, Copy)]
+pub enum StartMode<'a> {
+    /// Phase-1 start-node selection (normal solving).
+    Fresh,
+    /// Grow every sample from a fixed partial solution — the §4.4.1 online
+    /// extension (confirmed attendees) and required-attendee solves.
+    /// Always executed serially, whatever the configured backend.
+    Partial(&'a [NodeId]),
+}
+
+/// The unified staged-sampling engine. See the module docs for the three
+/// axes; construction is via [`StagedEngine::new`] (CBAS shape) or
+/// [`StagedEngine::from_cbasnd`] (CBAS-ND shape) plus the builder-style
+/// [`StagedEngine::backend`] override.
+#[derive(Debug, Clone)]
+pub struct StagedEngine {
+    base: CbasConfig,
+    distribution: Distribution,
+    allocation: Allocation,
+    backend: ExecBackend,
+}
+
+impl StagedEngine {
+    /// An engine over `base` with the given candidate distribution,
+    /// uniform-OCBA allocation and serial execution.
+    pub fn new(base: CbasConfig, distribution: Distribution) -> Self {
+        Self {
+            base,
+            distribution,
+            allocation: Allocation::UniformOcba,
+            backend: ExecBackend::Serial,
+        }
+    }
+
+    /// The CBAS-ND family's engine: cross-entropy candidate distribution
+    /// with the config's allocation rule (uniform OCBA or Gaussian).
+    pub fn from_cbasnd(cfg: &CbasNdConfig) -> Self {
+        Self {
+            base: cfg.base.clone(),
+            distribution: Distribution::CrossEntropy {
+                rho: cfg.rho,
+                smoothing: cfg.smoothing,
+                backtrack_threshold: cfg.backtrack_threshold,
+            },
+            allocation: cfg.allocation,
+            backend: ExecBackend::Serial,
+        }
+    }
+
+    /// Overrides the allocation policy.
+    pub fn allocation(mut self, allocation: Allocation) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Overrides the execution backend.
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The staged-CBAS parameters in use.
+    pub fn base(&self) -> &CbasConfig {
+        &self.base
+    }
+
+    /// Solves `instance`, deriving all randomness from `seed`.
+    pub fn solve(
+        &self,
+        instance: &WasoInstance,
+        mode: StartMode<'_>,
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        self.run(instance, mode, seed).map(|(result, _)| result)
+    }
+
+    /// The full solve, also returning the per-start-node statistics (test
+    /// hook for the `spent == drawn` budget-accounting invariant).
+    fn run(
+        &self,
+        instance: &WasoInstance,
+        mode: StartMode<'_>,
+        seed: u64,
+    ) -> Result<(SolveResult, Vec<StartStats>), SolveError> {
+        let t0 = Instant::now();
+        if let Distribution::CrossEntropy { rho, smoothing, .. } = self.distribution {
+            assert!(
+                (0.0..=1.0).contains(&rho) && rho > 0.0,
+                "rho must be in (0,1]"
+            );
+            assert!(
+                (0.0..=1.0).contains(&smoothing),
+                "smoothing weight outside [0,1]"
+            );
+        }
+
+        let g = instance.graph();
+        let n = g.num_nodes();
+        let k = instance.k();
+
+        // In Partial mode there is a single "virtual start": the seed set.
+        let starts: Vec<NodeId> = match mode {
+            StartMode::Fresh => self.base.resolve_starts(instance),
+            StartMode::Partial(seeds) => {
+                if seeds.is_empty() {
+                    return Err(SolveError::NoFeasibleGroup);
+                }
+                vec![seeds[0]]
+            }
+        };
+        if starts.is_empty() {
+            return Err(SolveError::NoFeasibleGroup);
+        }
+        let m = starts.len();
+        let r = self.base.resolve_stages(instance, m);
+        let budgets = stage_budgets(self.base.budget, r);
+
+        let vectors: Vec<ProbabilityVector> = match self.distribution {
+            Distribution::Uniform => Vec::new(),
+            Distribution::CrossEntropy { .. } => starts
+                .iter()
+                .map(|&s| ProbabilityVector::uniform_for_start(n.max(2), k, s))
+                .collect(),
+        };
+        let shared = StageShared::new(vectors, m);
+
+        // Partial-solution growth is serial-only (the virtual start's
+        // samples share one seed set); everything else follows the
+        // configured backend.
+        let make_sampler = || {
+            let mut s = Sampler::for_instance(instance);
+            s.set_blocked(self.base.blocked.clone());
+            s
+        };
+        let outcome = match (self.backend, mode) {
+            (_, StartMode::Partial(seeds)) => self.stage_loop(
+                instance,
+                mode,
+                &starts,
+                &budgets,
+                &shared,
+                &mut SerialExec {
+                    instance,
+                    shared: &shared,
+                    sampler: make_sampler(),
+                    seed,
+                    partial: Some(seeds),
+                },
+            ),
+            (ExecBackend::Serial, StartMode::Fresh) => self.stage_loop(
+                instance,
+                mode,
+                &starts,
+                &budgets,
+                &shared,
+                &mut SerialExec {
+                    instance,
+                    shared: &shared,
+                    sampler: make_sampler(),
+                    seed,
+                    partial: None,
+                },
+            ),
+            (ExecBackend::Pool { threads }, StartMode::Fresh) => std::thread::scope(|scope| {
+                // Spawned ONCE per solve; stages only exchange channel
+                // messages with the parked workers.
+                let mut pool =
+                    WorkerPool::spawn(scope, threads, instance, &self.base.blocked, &shared, seed);
+                self.stage_loop(instance, mode, &starts, &budgets, &shared, &mut pool)
+            }),
+        };
+
+        let (best, stats, counters) = outcome;
+        let (_, mut nodes) = best.ok_or(SolveError::NoFeasibleGroup)?;
+        if let StartMode::Partial(seeds) = mode {
+            debug_assert!(seeds.iter().all(|s| nodes.contains(s)));
+        }
+        nodes.sort_unstable();
+        let group = Group::new(instance, nodes).map_err(SolveError::Invalid)?;
+        debug_assert_eq!(
+            stats.iter().map(|s| s.spent).sum::<u64>(),
+            counters.drawn,
+            "engine must charge exactly the samples it drew"
+        );
+        let result = SolveResult {
+            group,
+            stats: SolverStats {
+                samples_drawn: counters.drawn,
+                stages: r,
+                start_nodes: m as u32,
+                pruned_start_nodes: counters.pruned,
+                backtracks: counters.backtracks,
+                truncated: false,
+                elapsed: t0.elapsed(),
+            },
+        };
+        Ok((result, stats))
+    }
+
+    /// The single stage loop every staged solver runs. Allocation, prune
+    /// accounting, execution, in-order merge, best tracking and the
+    /// cross-entropy update all live here — and only here.
+    fn stage_loop(
+        &self,
+        instance: &WasoInstance,
+        mode: StartMode<'_>,
+        starts: &[NodeId],
+        budgets: &[u64],
+        shared: &StageShared,
+        exec: &mut dyn StageExec,
+    ) -> (BestSolution, Vec<StartStats>, Counters) {
+        let g = instance.graph();
+        let m = starts.len();
+        let gaussian = self.allocation == Allocation::Gaussian;
+
+        let mut stats = vec![StartStats::new(); m];
+        let mut gstats = if gaussian {
+            vec![GaussStats::new(); m]
+        } else {
+            Vec::new()
+        };
+        let mut gammas = vec![f64::NEG_INFINITY; m];
+        let mut best: BestSolution = None;
+        let mut counters = Counters::default();
+        // Reused across stages: the flattened work list lives in `shared`
+        // (workers read it), results and the per-start sample buffer here.
+        let mut results: Vec<Option<Sample>> = Vec::new();
+        let mut stage_samples: Vec<Sample> = Vec::new();
+
+        for (stage, &stage_budget) in budgets.iter().enumerate() {
+            let alloc = if stage == 0 {
+                uniform_split(stage_budget, m, &stats)
+            } else {
+                let a = match self.allocation {
+                    Allocation::UniformOcba => allocate_stage(&stats, stage_budget),
+                    Allocation::Gaussian => allocate_stage_gaussian(&gstats, stage_budget),
+                };
+                // §3.1: zero allocation at stage t prunes the node from t+1.
+                for i in 0..m {
+                    if a[i] == 0 && !stats[i].pruned && stats[i].sampled() {
+                        stats[i].pruned = true;
+                        if gaussian {
+                            gstats[i].pruned = true;
+                        }
+                        counters.pruned += 1;
+                    }
+                }
+                a
+            };
+
+            // Flatten the stage into independent sample-granularity items
+            // (OCBA concentrates most of a stage's budget on the incumbent
+            // start node, so per-node parallelism would serialize).
+            let n_items = {
+                let mut items = shared.items.write().expect("no poisoned stage locks");
+                items.clear();
+                for (i, &ni) in alloc.iter().enumerate() {
+                    for q in 0..ni {
+                        items.push(WorkItem {
+                            start_index: i as u32,
+                            start: starts[i],
+                            q,
+                        });
+                    }
+                }
+                items.len()
+            };
+            if n_items == 0 {
+                continue;
+            }
+            results.clear();
+            results.resize(n_items, None);
+            exec.run_stage(stage as u64, &mut results);
+
+            // Merge in (start node, sample) order — identical for every
+            // backend, including the stop-at-first-stall accounting (a
+            // stall is a property of the start node's component, so sample
+            // 0 stalls iff they all do).
+            let mut idx = 0usize;
+            for (i, &ni) in alloc.iter().enumerate() {
+                if ni == 0 {
+                    continue;
+                }
+                let node_range = idx..idx + ni as usize;
+                idx += ni as usize;
+
+                stage_samples.clear();
+                let mut attempted = 0u64;
+                for j in node_range {
+                    attempted += 1;
+                    counters.drawn += 1;
+                    match results[j].take() {
+                        Some(s) => {
+                            // Multi-seed growth can finish without bridging
+                            // a disconnected required set — such samples
+                            // are infeasible and simply discarded (they
+                            // still consumed budget).
+                            if let StartMode::Partial(seeds) = mode {
+                                if seeds.len() > 1
+                                    && instance.requires_connectivity()
+                                    && !waso_graph::traversal::is_connected_subset(g, &s.nodes)
+                                {
+                                    continue;
+                                }
+                            }
+                            stats[i].record(s.willingness);
+                            if gaussian {
+                                gstats[i].moments.push(s.willingness);
+                            }
+                            if best.as_ref().is_none_or(|(bw, _)| s.willingness > *bw) {
+                                best = Some((s.willingness, s.nodes.clone()));
+                            }
+                            stage_samples.push(s);
+                        }
+                        None => {
+                            // Deterministic stall: the start's component is
+                            // smaller than k. All further samples fail too.
+                            if !stats[i].pruned {
+                                stats[i].pruned = true;
+                                if gaussian {
+                                    gstats[i].pruned = true;
+                                }
+                                counters.pruned += 1;
+                            }
+                            break;
+                        }
+                    }
+                }
+                // Charge only what was actually drawn: a stalled node's
+                // skipped remainder is never spent (Σ spent == drawn).
+                stats[i].spent += attempted;
+                if gaussian {
+                    gstats[i].spent += attempted;
+                }
+
+                // Cross-entropy update (Algorithm 2 lines 35–46).
+                if let Distribution::CrossEntropy {
+                    rho,
+                    smoothing,
+                    backtrack_threshold,
+                } = self.distribution
+                {
+                    if !stage_samples.is_empty() {
+                        let mut vectors = shared.vectors.write().expect("no poisoned stage locks");
+                        counters.backtracks += update_vector(
+                            &mut vectors[i],
+                            &mut gammas[i],
+                            &mut stage_samples,
+                            rho,
+                            smoothing,
+                            backtrack_threshold,
+                        ) as u32;
+                    }
+                }
+            }
+        }
+
+        (best, stats, counters)
+    }
+}
+
+type BestSolution = Option<(f64, Vec<NodeId>)>;
+
+#[derive(Debug, Default)]
+struct Counters {
+    drawn: u64,
+    pruned: u32,
+    backtracks: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use waso_graph::{generate, GraphBuilder, ScoreModel};
+
+    fn random_instance(n: usize, k: usize, seed: u64) -> WasoInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = generate::barabasi_albert(n, 3, &mut rng);
+        let g = ScoreModel::paper_default().realize(&topo, &mut rng);
+        WasoInstance::new(g, k).unwrap()
+    }
+
+    /// A graph with an isolated high-score node that attracts a start slot
+    /// but stalls every draw.
+    fn stalled_instance() -> WasoInstance {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(100.0);
+        let ids: Vec<NodeId> = (0..6).map(|i| b.add_node(i as f64 * 0.1)).collect();
+        for w in ids.windows(2) {
+            b.add_edge_symmetric(w[0], w[1], 1.0).unwrap();
+        }
+        let _ = hub;
+        WasoInstance::new(b.build(), 3).unwrap()
+    }
+
+    fn engine(budget: u64, stages: u32, m: usize, dist: Distribution) -> StagedEngine {
+        let base = CbasConfig {
+            stages: Some(stages),
+            num_start_nodes: Some(m),
+            ..CbasConfig::with_budget(budget)
+        };
+        StagedEngine::new(base, dist)
+    }
+
+    #[test]
+    fn stalled_starts_are_charged_only_drawn_samples() {
+        // Budget-accounting regression: the stalled start breaks out of
+        // its loop after one failed draw; `spent` must equal the draws
+        // actually made, summing to `samples_drawn` exactly.
+        for dist in [
+            Distribution::Uniform,
+            Distribution::CrossEntropy {
+                rho: 0.3,
+                smoothing: 0.9,
+                backtrack_threshold: None,
+            },
+        ] {
+            let eng = engine(60, 2, 3, dist);
+            let (result, stats) = eng.run(&stalled_instance(), StartMode::Fresh, 0).unwrap();
+            let spent: u64 = stats.iter().map(|s| s.spent).sum();
+            assert_eq!(spent, result.stats.samples_drawn, "{dist:?}");
+            // The stalled start really was charged less than its stage-0
+            // allocation (one failed draw, not 60/3 = 20).
+            let stalled = stats
+                .iter()
+                .find(|s| !s.sampled())
+                .expect("a stalled start");
+            assert_eq!(stalled.spent, 1);
+            assert!(result.stats.samples_drawn < 60, "skipped draws uncharged");
+            assert!(result.stats.pruned_start_nodes >= 1);
+        }
+    }
+
+    #[test]
+    fn pooled_backend_charges_identically() {
+        let eng = engine(
+            60,
+            2,
+            3,
+            Distribution::CrossEntropy {
+                rho: 0.3,
+                smoothing: 0.9,
+                backtrack_threshold: None,
+            },
+        );
+        let (serial, s_stats) = eng.run(&stalled_instance(), StartMode::Fresh, 0).unwrap();
+        let pooled = eng.clone().backend(ExecBackend::Pool { threads: 4 });
+        let (par, p_stats) = pooled
+            .run(&stalled_instance(), StartMode::Fresh, 0)
+            .unwrap();
+        assert_eq!(serial.group, par.group);
+        assert_eq!(serial.stats.samples_drawn, par.stats.samples_drawn);
+        for (a, b) in s_stats.iter().zip(&p_stats) {
+            assert_eq!(a.spent, b.spent);
+            assert_eq!(a.pruned, b.pruned);
+        }
+    }
+
+    #[test]
+    fn axes_compose_independently() {
+        // Every (distribution, allocation, backend) combination solves and
+        // spends the full budget on a feasible graph.
+        let inst = random_instance(60, 5, 1);
+        let ce = Distribution::CrossEntropy {
+            rho: 0.3,
+            smoothing: 0.9,
+            backtrack_threshold: None,
+        };
+        for dist in [Distribution::Uniform, ce] {
+            for allocation in [Allocation::UniformOcba, Allocation::Gaussian] {
+                for backend in [ExecBackend::Serial, ExecBackend::Pool { threads: 3 }] {
+                    let eng = engine(80, 4, 6, dist)
+                        .allocation(allocation)
+                        .backend(backend);
+                    let res = eng.solve(&inst, StartMode::Fresh, 7).unwrap();
+                    assert_eq!(res.stats.samples_drawn, 80, "{dist:?}/{allocation:?}");
+                    assert_eq!(res.group.len(), 5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_choice_never_changes_the_answer() {
+        let inst = random_instance(80, 6, 2);
+        let ce = Distribution::CrossEntropy {
+            rho: 0.3,
+            smoothing: 0.9,
+            backtrack_threshold: Some(0.01),
+        };
+        let serial = engine(120, 4, 8, ce)
+            .solve(&inst, StartMode::Fresh, 42)
+            .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par = engine(120, 4, 8, ce)
+                .backend(ExecBackend::Pool { threads })
+                .solve(&inst, StartMode::Fresh, 42)
+                .unwrap();
+            assert_eq!(par.group, serial.group, "threads={threads}");
+            assert_eq!(par.stats.samples_drawn, serial.stats.samples_drawn);
+            assert_eq!(par.stats.backtracks, serial.stats.backtracks);
+            assert_eq!(
+                par.stats.pruned_start_nodes,
+                serial.stats.pruned_start_nodes
+            );
+        }
+    }
+
+    #[test]
+    fn partial_mode_runs_serially_under_any_backend() {
+        let inst = random_instance(50, 6, 8);
+        let seeds = [NodeId(0), NodeId(1)];
+        let ce = Distribution::CrossEntropy {
+            rho: 0.3,
+            smoothing: 0.9,
+            backtrack_threshold: None,
+        };
+        let a = engine(60, 3, 4, ce)
+            .solve(&inst, StartMode::Partial(&seeds), 2)
+            .unwrap();
+        let b = engine(60, 3, 4, ce)
+            .backend(ExecBackend::Pool { threads: 4 })
+            .solve(&inst, StartMode::Partial(&seeds), 2)
+            .unwrap();
+        assert_eq!(a.group, b.group);
+        assert!(a.group.contains(NodeId(0)) && a.group.contains(NodeId(1)));
+    }
+}

@@ -1,0 +1,286 @@
+//! Execution backends for the [`crate::engine::StagedEngine`].
+//!
+//! The engine's stage loop is backend-agnostic: it describes one stage as a
+//! flat list of [`WorkItem`]s (one per sample to draw) and asks an executor
+//! to fill a result slot per item. Two executors exist:
+//!
+//! * [`ExecBackend::Serial`] — one reusable [`Sampler`] on the calling
+//!   thread;
+//! * [`ExecBackend::Pool`] — a **persistent pool of workers spawned once
+//!   per solve**. Workers park on a job channel between stages; the
+//!   per-stage cost is two channel messages per worker, not a thread spawn.
+//!   Each worker owns its `Sampler` (and thus its `GrowthWorkspace` and
+//!   weight buffer) for the whole solve, and result buffers are recycled
+//!   through the job channel, so steady-state stages allocate nothing
+//!   beyond the sampled node lists themselves.
+//!
+//! Determinism: every `(start node, stage, sample)` triple draws from its
+//! own RNG stream ([`crate::sample_seed`]), and results are keyed by item
+//! index, so *which* worker draws a sample is irrelevant — any thread count
+//! (including the serial executor) produces bit-identical solves.
+//!
+//! Stall cutoff: a failed draw means the start's component is smaller than
+//! `k`, so every other draw of that start fails too (deterministically).
+//! Both executors publish stalls in [`StageShared::stalled`] and skip the
+//! start's remaining items — their result slots stay `None`, which is
+//! exactly what drawing them would produce, so the cutoff is invisible to
+//! the merge. This keeps the historical break-on-first-stall cost profile
+//! and keeps serial/pooled wall-clock comparable on stall-heavy graphs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::RwLock;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use waso_core::WasoInstance;
+use waso_graph::{BitSet, NodeId};
+
+use crate::cross_entropy::ProbabilityVector;
+use crate::sampler::{Sample, Sampler};
+
+/// How a [`crate::engine::StagedEngine`] executes a stage's samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// Draw every sample on the calling thread (CBAS / CBAS-ND).
+    Serial,
+    /// Fan samples out across a persistent pool of `threads` workers
+    /// (§5.3.1, Figure 5(d)). Bit-identical to [`ExecBackend::Serial`] for
+    /// every thread count.
+    Pool {
+        /// Worker count (clamped to ≥ 1 by the solvers that build this).
+        threads: usize,
+    },
+}
+
+/// One unit of stage work: draw sample `q` of start node `start_index`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WorkItem {
+    /// Index into the engine's start-node roster.
+    pub start_index: u32,
+    /// The start node itself.
+    pub start: NodeId,
+    /// Sample number within this `(start, stage)` pair — the RNG stream id.
+    pub q: u64,
+}
+
+/// Read-mostly state shared between the engine (coordinator) and pool
+/// workers. The coordinator mutates the locked fields only *between*
+/// stages — while every worker is parked on its job channel — under a
+/// write lock; workers hold read locks for the duration of one stage. The
+/// serial executor reads the same structure (uncontended, one lock per
+/// stage) so the engine has a single code path.
+pub(crate) struct StageShared {
+    /// The current stage's flattened work list (reused across stages).
+    pub items: RwLock<Vec<WorkItem>>,
+    /// Per-start-node selection vectors; empty for the uniform
+    /// distribution (CBAS).
+    pub vectors: RwLock<Vec<ProbabilityVector>>,
+    /// One flag per start node, set (never cleared — a stall is a
+    /// permanent property of the start's component) on the first failed
+    /// draw. Relaxed ordering suffices: the flags only avoid provably
+    /// futile work, results are identical whether a racing worker sees
+    /// them or not.
+    pub stalled: Vec<AtomicBool>,
+}
+
+impl StageShared {
+    pub fn new(vectors: Vec<ProbabilityVector>, num_starts: usize) -> Self {
+        Self {
+            items: RwLock::new(Vec::new()),
+            vectors: RwLock::new(vectors),
+            stalled: (0..num_starts).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    #[inline]
+    fn is_stalled(&self, start_index: u32) -> bool {
+        self.stalled[start_index as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn mark_stalled(&self, start_index: u32) {
+        self.stalled[start_index as usize].store(true, Ordering::Relaxed);
+    }
+}
+
+/// Draws one work item with the given sampler. `vectors` is empty for the
+/// uniform distribution; otherwise it holds one vector per start node.
+#[inline]
+fn draw_item(
+    sampler: &mut Sampler,
+    instance: &WasoInstance,
+    item: WorkItem,
+    vectors: &[ProbabilityVector],
+    stage: u64,
+    seed: u64,
+) -> Option<Sample> {
+    let mut rng = StdRng::seed_from_u64(crate::sample_seed(
+        seed,
+        item.start_index as u64,
+        stage,
+        item.q,
+    ));
+    let probs = vectors.get(item.start_index as usize);
+    sampler.sample(instance, item.start, probs, &mut rng)
+}
+
+/// A stage executor: fills `results[j]` with the outcome of item `j`.
+pub(crate) trait StageExec {
+    fn run_stage(&mut self, stage: u64, results: &mut [Option<Sample>]);
+}
+
+/// The calling-thread executor: one sampler, items drawn in order.
+pub(crate) struct SerialExec<'a> {
+    pub instance: &'a WasoInstance,
+    pub shared: &'a StageShared,
+    pub sampler: Sampler,
+    pub seed: u64,
+    /// Online-replanning mode: grow every sample from this partial
+    /// solution instead of the item's start node (§4.4.1). Serial-only —
+    /// the engine routes partial solves here regardless of backend.
+    pub partial: Option<&'a [NodeId]>,
+}
+
+impl StageExec for SerialExec<'_> {
+    fn run_stage(&mut self, stage: u64, results: &mut [Option<Sample>]) {
+        let items = self.shared.items.read().expect("no poisoned stage locks");
+        let vectors = self.shared.vectors.read().expect("no poisoned stage locks");
+        for (j, &item) in items.iter().enumerate() {
+            if self.shared.is_stalled(item.start_index) {
+                continue; // slot stays None, as a draw would produce
+            }
+            results[j] = match self.partial {
+                Some(seeds) => {
+                    let mut rng = StdRng::seed_from_u64(crate::sample_seed(
+                        self.seed,
+                        item.start_index as u64,
+                        stage,
+                        item.q,
+                    ));
+                    self.sampler.sample_from_partial(
+                        self.instance,
+                        seeds,
+                        vectors.get(item.start_index as usize),
+                        &mut rng,
+                    )
+                }
+                None => draw_item(
+                    &mut self.sampler,
+                    self.instance,
+                    item,
+                    &vectors,
+                    stage,
+                    self.seed,
+                ),
+            };
+            if results[j].is_none() {
+                self.shared.mark_stalled(item.start_index);
+            }
+        }
+    }
+}
+
+/// One per-stage assignment sent to a parked worker. Carries a recycled
+/// output buffer so steady-state stages perform no buffer allocation.
+struct Job {
+    stage: u64,
+    buf: Vec<(usize, Option<Sample>)>,
+}
+
+/// The coordinator's handle to one pool worker: its job sender and its
+/// dedicated result channel. Per-worker result channels (rather than one
+/// shared channel) make worker death observable — a panicked worker drops
+/// its sender, so the coordinator's `recv` errors instead of blocking
+/// forever on a channel kept open by the surviving workers.
+struct WorkerHandle {
+    job_tx: Sender<Job>,
+    result_rx: Receiver<Vec<(usize, Option<Sample>)>>,
+}
+
+/// The persistent worker pool: spawned once per solve inside a
+/// `std::thread::scope`, fed one [`Job`] per worker per stage.
+pub(crate) struct WorkerPool {
+    workers: Vec<WorkerHandle>,
+    spare_bufs: Vec<Vec<(usize, Option<Sample>)>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers onto `scope`. Each worker builds its
+    /// sampler **once**, then loops: receive job → read-lock the stage's
+    /// items and vectors → draw its stripe (items `w, w+T, w+2T, …`) →
+    /// send the batch back. Workers exit when the pool (and with it the
+    /// job senders) is dropped.
+    pub fn spawn<'scope, 'env: 'scope>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        threads: usize,
+        instance: &'env WasoInstance,
+        blocked: &'env Option<BitSet>,
+        shared: &'env StageShared,
+        seed: u64,
+    ) -> Self {
+        let threads = threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (job_tx, job_rx) = channel::<Job>();
+            let (result_tx, result_rx) = channel();
+            workers.push(WorkerHandle { job_tx, result_rx });
+            scope.spawn(move || {
+                let mut sampler = Sampler::for_instance(instance);
+                sampler.set_blocked(blocked.clone());
+                while let Ok(Job { stage, mut buf }) = job_rx.recv() {
+                    buf.clear();
+                    {
+                        let items = shared.items.read().expect("no poisoned stage locks");
+                        let vectors = shared.vectors.read().expect("no poisoned stage locks");
+                        let mut j = w;
+                        while j < items.len() {
+                            let item = items[j];
+                            if !shared.is_stalled(item.start_index) {
+                                let s =
+                                    draw_item(&mut sampler, instance, item, &vectors, stage, seed);
+                                if s.is_none() {
+                                    shared.mark_stalled(item.start_index);
+                                }
+                                buf.push((j, s));
+                            }
+                            // Skipped items' result slots stay None — the
+                            // outcome a draw would have produced.
+                            j += threads;
+                        }
+                    }
+                    if result_tx.send(buf).is_err() {
+                        break; // coordinator gone mid-stage
+                    }
+                }
+            });
+        }
+        Self {
+            workers,
+            spare_bufs: Vec::with_capacity(threads),
+        }
+    }
+}
+
+impl StageExec for WorkerPool {
+    fn run_stage(&mut self, stage: u64, results: &mut [Option<Sample>]) {
+        for worker in &self.workers {
+            let buf = self.spare_bufs.pop().unwrap_or_default();
+            worker
+                .job_tx
+                .send(Job { stage, buf })
+                .expect("pool worker panicked");
+        }
+        // Collect each worker's batch from its own channel: a dead worker
+        // surfaces as a recv error (its sender is dropped on unwind), and
+        // the resulting coordinator panic lets `thread::scope` propagate
+        // the worker's original panic instead of deadlocking.
+        for worker in &self.workers {
+            let mut batch = worker.result_rx.recv().expect("pool worker panicked");
+            for (j, s) in batch.drain(..) {
+                results[j] = s;
+            }
+            self.spare_bufs.push(batch);
+        }
+    }
+}

@@ -19,7 +19,8 @@ use waso_stats::descriptive::Welford;
 use waso_stats::integrate::gauss_legendre;
 use waso_stats::normal::{normal_cdf, normal_pdf};
 
-/// Which budget-allocation rule a staged solver uses.
+/// Which budget-allocation rule a staged solver uses — the allocation
+/// axis of the [`crate::engine::StagedEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Allocation {
     /// The paper's main rule: uniform-distribution OCBA (Theorem 3).

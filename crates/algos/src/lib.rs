@@ -8,16 +8,21 @@
 //! | [`rgreedy`] | §4.1 | `RGreedy`, randomized greedy with willingness-proportional selection |
 //! | [`sampler`] | §3.1 | random growth of partial solutions (uniform / probability-vector weighted) |
 //! | [`ocba`] | §3.1–3.2 | computational-budget allocation across start nodes, stage derivation |
-//! | [`cbas`] | §3 | `Cbas` — budget-allocated random sampling |
+//! | [`engine`] | §3–§4, §5.3.1 | **the** staged-sampling loop: allocation × distribution × backend |
+//! | [`exec`] | §5.3.1 | execution backends: serial, persistent worker pool (spawned once per solve) |
+//! | [`cbas`] | §3 | `Cbas` — the engine with uniform candidate selection |
 //! | [`cross_entropy`] | §4.2–4.3 | sparse node-selection probability vectors, elite updates, smoothing |
-//! | [`cbasnd`] | §4 | `CbasNd` — CBAS with neighbour differentiation (+ backtracking §4.4.2) |
+//! | [`cbasnd`] | §4 | `CbasNd` — the engine with cross-entropy neighbour differentiation |
 //! | [`gaussian`] | Appendix A | Gaussian budget allocation (`CBAS-ND-G`) |
 //! | [`online`] | §4.4.1 | replanning after declines, keeping confirmed attendees |
-//! | [`parallel`] | §5.3.1 | multi-threaded stage execution (the paper's OpenMP run, Fig 5(d)) |
+//! | [`parallel`] | §5.3.1 | `ParallelCbasNd` — the engine on the pooled backend (Fig 5(d)) |
 //! | [`theory`] | §3.2, §4.3 | the approximation-ratio and `P_b` formulas of Theorems 3–5 |
 //!
 //! All solvers implement [`Solver`]: deterministic given `(instance, seed)`,
-//! returning a validated [`waso_core::Group`] plus run statistics.
+//! returning a validated [`waso_core::Group`] plus run statistics. The
+//! staged family (CBAS, CBAS-ND, CBAS-ND-G, parallel) shares one stage
+//! loop — [`engine::StagedEngine`] — whose execution backend, allocation
+//! policy and candidate distribution are orthogonal axes.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,6 +30,8 @@
 pub mod cbas;
 pub mod cbasnd;
 pub mod cross_entropy;
+pub mod engine;
+pub mod exec;
 pub mod gaussian;
 pub mod greedy;
 pub mod ocba;
@@ -44,6 +51,8 @@ use waso_graph::NodeId;
 pub use cbas::{Cbas, CbasConfig};
 pub use cbasnd::{CbasNd, CbasNdConfig};
 pub use cross_entropy::ProbabilityVector;
+pub use engine::{Distribution, StagedEngine, StartMode};
+pub use exec::ExecBackend;
 pub use gaussian::Allocation;
 pub use greedy::DGreedy;
 pub use online::OnlinePlanner;
@@ -112,12 +121,28 @@ pub struct SolverStats {
     pub elapsed: Duration,
 }
 
+impl SolverStats {
+    /// Sampling throughput of the solve: `samples_drawn / elapsed`
+    /// (0 when the run was too fast to time or drew nothing). The
+    /// perf-trajectory figure the bench harness tracks per backend and
+    /// thread count.
+    pub fn samples_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 && self.samples_drawn > 0 {
+            self.samples_drawn as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 impl std::fmt::Display for SolverStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} samples, {} stages, {} start nodes ({} pruned), {} backtracks, {:.3}s{}",
+            "{} samples ({:.0}/s), {} stages, {} start nodes ({} pruned), {} backtracks, {:.3}s{}",
             self.samples_drawn,
+            self.samples_per_sec(),
             self.stages,
             self.start_nodes,
             self.pruned_start_nodes,

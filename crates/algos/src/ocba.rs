@@ -58,6 +58,24 @@ impl Default for StartStats {
     }
 }
 
+/// Stage-0 split: `T_1/m` each, remainder to the first nodes (pseudo-code
+/// line 9), skipping already-pruned entries. The uniform opening move of
+/// every staged solver ([`crate::engine::StagedEngine`]); later stages use
+/// [`allocate_stage`] / [`crate::gaussian::allocate_stage_gaussian`].
+pub fn uniform_split(stage_budget: u64, m: usize, stats: &[StartStats]) -> Vec<u64> {
+    let live: Vec<usize> = (0..m).filter(|&i| !stats[i].pruned).collect();
+    let mut alloc = vec![0u64; m];
+    if live.is_empty() {
+        return alloc;
+    }
+    let base = stage_budget / live.len() as u64;
+    let extra = (stage_budget % live.len() as u64) as usize;
+    for (rank, &i) in live.iter().enumerate() {
+        alloc[i] = base + u64::from(rank < extra);
+    }
+    alloc
+}
+
 /// Index of the incumbent best start node `v_b` (largest `d_i` among
 /// unpruned, sampled nodes; ties toward smaller index). `None` when nothing
 /// has been sampled.
@@ -325,6 +343,21 @@ mod tests {
         assert_eq!(derive_stages(100, 5, 10, 2, 0.9, 0.5), 1); // arg = 1
                                                                // α → 1 drives the numerator to 0 → r clamps to 1.
         assert_eq!(derive_stages(100, 5, 10, 2, 0.999999, 0.7), 1);
+    }
+
+    #[test]
+    fn uniform_split_skips_pruned() {
+        let mut s = vec![StartStats::new(); 3];
+        s[1].pruned = true;
+        assert_eq!(uniform_split(10, 3, &s), vec![5, 0, 5]);
+        assert_eq!(
+            uniform_split(5, 3, &{
+                let mut s = vec![StartStats::new(); 3];
+                s[2].pruned = true;
+                s
+            }),
+            vec![3, 2, 0]
+        );
     }
 
     #[test]

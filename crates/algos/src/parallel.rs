@@ -5,28 +5,28 @@
 //! probability vectors, so a stage's sampling fans out across threads at
 //! **sample granularity** — necessary because the OCBA allocation
 //! concentrates most of a stage's budget on the incumbent start node, which
-//! would serialize any per-start-node split. Every `(start node, stage,
-//! sample)` triple draws from its own deterministic RNG stream
-//! (`sample_seed`) and the merge processes results in sample
-//! order, so the outcome is **bit-identical for any thread count** —
-//! `threads = 1` reproduces the serial [`crate::CbasNd`] exactly (tested).
-//! The paper reports a 7.6× speedup on 8 cores; the Figure 5(d) harness
-//! sweeps the same thread counts on whatever cores this machine has.
+//! would serialize any per-start-node split.
+//!
+//! [`ParallelCbasNd`] is the CBAS-ND configuration of the shared
+//! [`crate::engine::StagedEngine`] with the [`ExecBackend::Pool`] backend:
+//! a **persistent worker pool spawned once per solve** (not once per
+//! stage), each worker keeping its sampler and buffers for the whole run
+//! (see [`crate::exec`]). Every `(start node, stage, sample)` triple draws
+//! from its own deterministic RNG stream (`sample_seed`) and the engine
+//! merges results in sample order, so the outcome is **bit-identical for
+//! any thread count** — `threads = 1` reproduces the serial
+//! [`crate::CbasNd`] exactly (tested here and by the `tests/properties.rs`
+//! proptest). The paper reports a 7.6× speedup on 8 cores; the Figure 5(d)
+//! harness sweeps the same thread counts on whatever cores this machine
+//! has.
 
-use std::time::Instant;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use waso_core::{Group, WasoInstance};
+use waso_core::WasoInstance;
 use waso_graph::NodeId;
 
-use crate::cbas::uniform_split;
-use crate::cbasnd::{update_vector, CbasNdConfig};
-use crate::cross_entropy::ProbabilityVector;
-use crate::gaussian::{allocate_stage_gaussian, Allocation, GaussStats};
-use crate::ocba::{allocate_stage, stage_budgets, StartStats};
-use crate::sampler::{Sample, Sampler};
-use crate::{sample_seed, SolveError, SolveResult, Solver, SolverStats};
+use crate::cbasnd::CbasNdConfig;
+use crate::engine::{StagedEngine, StartMode};
+use crate::exec::ExecBackend;
+use crate::{SolveError, SolveResult, Solver};
 
 /// Parallel CBAS-ND with a fixed worker count.
 #[derive(Debug, Clone)]
@@ -48,14 +48,12 @@ impl ParallelCbasNd {
     pub fn threads(&self) -> usize {
         self.threads
     }
-}
 
-/// One unit of stage work: draw sample `q` of start node `start_index`.
-#[derive(Clone, Copy)]
-struct WorkItem {
-    start_index: usize,
-    start: NodeId,
-    q: u64,
+    fn engine(&self) -> StagedEngine {
+        StagedEngine::from_cbasnd(&self.config).backend(ExecBackend::Pool {
+            threads: self.threads,
+        })
+    }
 }
 
 impl Solver for ParallelCbasNd {
@@ -73,8 +71,8 @@ impl Solver for ParallelCbasNd {
     }
 
     /// The partial-solution growth mode that guarantees required
-    /// attendees is serial-only, so constrained solves route to the
-    /// serial [`CbasNd`] with the same configuration — the constraint is
+    /// attendees is serial-only, so constrained solves run the engine's
+    /// serial path with the same configuration — the constraint is
     /// honoured at the cost of the parallel speedup, never dropped.
     fn solve_with_required(
         &mut self,
@@ -85,8 +83,11 @@ impl Solver for ParallelCbasNd {
         if required.is_empty() {
             return self.solve_seeded(instance, seed);
         }
-        crate::cbasnd::CbasNd::new(self.config.clone())
-            .solve_with_required(instance, required, seed)
+        if required.len() > instance.k() {
+            return Err(SolveError::NoFeasibleGroup);
+        }
+        self.engine()
+            .solve(instance, StartMode::Partial(required), seed)
     }
 
     fn solve_seeded(
@@ -94,170 +95,7 @@ impl Solver for ParallelCbasNd {
         instance: &WasoInstance,
         seed: u64,
     ) -> Result<SolveResult, SolveError> {
-        let t0 = Instant::now();
-        let cfg = &self.config;
-        let g = instance.graph();
-        let n = g.num_nodes();
-        let k = instance.k();
-
-        let starts = cfg.base.resolve_starts(instance);
-        if starts.is_empty() {
-            return Err(SolveError::NoFeasibleGroup);
-        }
-        let m = starts.len();
-        let r = cfg.base.resolve_stages(instance, m);
-        let budgets = stage_budgets(cfg.base.budget, r);
-
-        let mut stats = vec![StartStats::new(); m];
-        let mut gstats = vec![GaussStats::new(); m];
-        let mut vectors: Vec<ProbabilityVector> = starts
-            .iter()
-            .map(|&s| ProbabilityVector::uniform_for_start(n.max(2), k, s))
-            .collect();
-        let mut gammas = vec![f64::NEG_INFINITY; m];
-        let mut best: Option<(f64, Vec<NodeId>)> = None;
-        let mut drawn = 0u64;
-        let mut pruned_count = 0u32;
-        let mut backtracks = 0u32;
-
-        for (stage, &stage_budget) in budgets.iter().enumerate() {
-            let alloc = if stage == 0 {
-                uniform_split(stage_budget, m, &stats)
-            } else {
-                let a = match cfg.allocation {
-                    Allocation::UniformOcba => allocate_stage(&stats, stage_budget),
-                    Allocation::Gaussian => allocate_stage_gaussian(&gstats, stage_budget),
-                };
-                for i in 0..m {
-                    if a[i] == 0 && !stats[i].pruned && stats[i].sampled() {
-                        stats[i].pruned = true;
-                        gstats[i].pruned = true;
-                        pruned_count += 1;
-                    }
-                }
-                a
-            };
-
-            // Flatten the stage into independent sample-granularity items.
-            let mut items: Vec<WorkItem> = Vec::new();
-            for (i, &ni) in alloc.iter().enumerate() {
-                for q in 0..ni {
-                    items.push(WorkItem {
-                        start_index: i,
-                        start: starts[i],
-                        q,
-                    });
-                }
-            }
-            if items.is_empty() {
-                continue;
-            }
-
-            let workers = self.threads.min(items.len());
-            // results[j] = outcome of items[j].
-            let mut results: Vec<Option<Sample>> = vec![None; items.len()];
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                let vectors_ref = &vectors;
-                let blocked = &cfg.base.blocked;
-                let items_ref = &items;
-                for w in 0..workers {
-                    handles.push(scope.spawn(move || {
-                        let mut sampler = Sampler::new(n);
-                        sampler.set_blocked(blocked.clone());
-                        let mut out: Vec<(usize, Option<Sample>)> = Vec::new();
-                        let mut j = w;
-                        while j < items_ref.len() {
-                            let item = items_ref[j];
-                            let mut rng = StdRng::seed_from_u64(sample_seed(
-                                seed,
-                                item.start_index as u64,
-                                stage as u64,
-                                item.q,
-                            ));
-                            let sample = sampler.sample_weighted(
-                                instance,
-                                item.start,
-                                &vectors_ref[item.start_index],
-                                &mut rng,
-                            );
-                            out.push((j, sample));
-                            j += workers;
-                        }
-                        out
-                    }));
-                }
-                for h in handles {
-                    for (j, sample) in h.join().expect("sampling worker panicked") {
-                        results[j] = sample;
-                    }
-                }
-            });
-
-            // Merge in (start node, sample) order — identical to the serial
-            // solver, including its stop-at-first-stall accounting (a stall
-            // is a property of the start node's component, so sample 0
-            // stalls iff they all do).
-            let mut idx = 0usize;
-            for (i, &ni) in alloc.iter().enumerate() {
-                if ni == 0 {
-                    continue;
-                }
-                let node_range = idx..idx + ni as usize;
-                idx += ni as usize;
-
-                let mut stage_samples: Vec<Sample> = Vec::with_capacity(ni as usize);
-                for j in node_range {
-                    drawn += 1;
-                    match results[j].take() {
-                        Some(s) => {
-                            stats[i].record(s.willingness);
-                            gstats[i].moments.push(s.willingness);
-                            if best.as_ref().is_none_or(|(bw, _)| s.willingness > *bw) {
-                                best = Some((s.willingness, s.nodes.clone()));
-                            }
-                            stage_samples.push(s);
-                        }
-                        None => {
-                            if !stats[i].pruned {
-                                stats[i].pruned = true;
-                                gstats[i].pruned = true;
-                                pruned_count += 1;
-                            }
-                            break;
-                        }
-                    }
-                }
-                stats[i].spent += ni;
-                gstats[i].spent += ni;
-                if !stage_samples.is_empty() {
-                    backtracks += update_vector(
-                        &mut vectors[i],
-                        &mut gammas[i],
-                        &mut stage_samples,
-                        cfg.rho,
-                        cfg.smoothing,
-                        cfg.backtrack_threshold,
-                    ) as u32;
-                }
-            }
-        }
-
-        let (_, mut nodes) = best.ok_or(SolveError::NoFeasibleGroup)?;
-        nodes.sort_unstable();
-        let group = Group::new(instance, nodes).map_err(SolveError::Invalid)?;
-        Ok(SolveResult {
-            group,
-            stats: SolverStats {
-                samples_drawn: drawn,
-                stages: r,
-                start_nodes: m as u32,
-                pruned_start_nodes: pruned_count,
-                backtracks,
-                truncated: false,
-                elapsed: t0.elapsed(),
-            },
-        })
+        self.engine().solve(instance, StartMode::Fresh, seed)
     }
 }
 
@@ -266,6 +104,7 @@ mod tests {
     use super::*;
     use crate::cbasnd::CbasNd;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use waso_graph::{generate, ScoreModel};
 
     fn instance(n: usize, k: usize, seed: u64) -> WasoInstance {
@@ -350,5 +189,21 @@ mod tests {
             par.stats.pruned_start_nodes,
             serial.stats.pruned_start_nodes
         );
+    }
+
+    #[test]
+    fn required_attendees_route_through_the_serial_path() {
+        let inst = instance(50, 6, 9);
+        let required = [NodeId(0), NodeId(1)];
+        let par = ParallelCbasNd::new(config(60), 4)
+            .solve_with_required(&inst, &required, 2)
+            .unwrap();
+        let serial = CbasNd::new(config(60))
+            .solve_with_required(&inst, &required, 2)
+            .unwrap();
+        assert_eq!(par.group, serial.group);
+        for &v in &required {
+            assert!(par.group.contains(v));
+        }
     }
 }

@@ -13,7 +13,10 @@
 //!   paper's comparison-roster order, and cost warnings.
 //!
 //! [`SolverRegistry::builtin`] registers the `waso-algos` family
-//! (DGreedy, RGreedy, CBAS, CBAS-ND, CBAS-ND-G, parallel CBAS-ND).
+//! (DGreedy, RGreedy, CBAS, CBAS-ND, CBAS-ND-G, parallel CBAS-ND). The
+//! staged entries are all configurations of the one
+//! [`crate::engine::StagedEngine`]; a spec's `threads` knob selects its
+//! pooled execution backend without changing the answer.
 //! Downstream crates append their own entries — `waso-exact` registers
 //! the branch-and-bound under `exact`, and the `waso` facade exposes the
 //! fully-populated registry via `waso::registry()`.
@@ -160,7 +163,7 @@ impl SolverRegistry {
             name: "cbas-nd-par",
             aliases: &["parallel"],
             label: "CBAS-ND (parallel)",
-            summary: "multi-threaded CBAS-ND, bit-identical to serial (§5.3.1)",
+            summary: "CBAS-ND on a persistent worker pool, bit-identical to serial (§5.3.1)",
             capabilities: Capabilities {
                 required_attendees: true, // honoured by routing to serial
                 parallel: true,

@@ -41,6 +41,15 @@ impl Sampler {
         }
     }
 
+    /// Creates a sampler sized for `instance`, pre-reserving the growth
+    /// buffers for groups of `k` so the first samples of a pooled worker
+    /// do not pay reallocation either ([`GrowthWorkspace::reserve`]).
+    pub fn for_instance(instance: &WasoInstance) -> Self {
+        let mut s = Self::new(instance.graph().num_nodes());
+        s.ws.reserve(instance.k(), instance.graph().max_degree());
+        s
+    }
+
     /// Sets the blocked node set (declined invitees, §4.4.1).
     pub fn set_blocked(&mut self, blocked: Option<BitSet>) {
         self.ws.set_blocked(blocked);
@@ -56,6 +65,19 @@ impl Sampler {
         rng: &mut R,
     ) -> Option<Sample> {
         self.grow(instance, &[start], None, rng)
+    }
+
+    /// Draws one sample, uniform when `probs` is `None`, weighted
+    /// otherwise — the single entry point the staged engine's executors
+    /// dispatch through ([`crate::engine::StagedEngine`]).
+    pub fn sample<R: Rng + ?Sized>(
+        &mut self,
+        instance: &WasoInstance,
+        start: NodeId,
+        probs: Option<&ProbabilityVector>,
+        rng: &mut R,
+    ) -> Option<Sample> {
+        self.grow(instance, &[start], probs, rng)
     }
 
     /// Draws one sample with candidate probabilities from `probs` (CBAS-ND).

@@ -122,9 +122,29 @@ fn main() -> ExitCode {
 
     for id in ids {
         let t0 = std::time::Instant::now();
-        let Some(set) = run_figure(id, &ctx) else {
-            eprintln!("unknown figure id '{id}'\n{}", usage());
-            return ExitCode::from(2);
+        // The engine-throughput sweep also emits the machine-readable perf
+        // trajectory (BENCH_engine.json) alongside its tables; both come
+        // from one measurement pass (experiments::engine::throughput_to).
+        let set = if id == "engine" {
+            match waso_bench::experiments::engine::throughput_to(&ctx, &args.out) {
+                Ok(set) => {
+                    eprintln!(
+                        "[engine] JSON written to {}",
+                        args.out.join("BENCH_engine.json").display()
+                    );
+                    set
+                }
+                Err(e) => {
+                    eprintln!("failed to write BENCH_engine.json: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            let Some(set) = run_figure(id, &ctx) else {
+                eprintln!("unknown figure id '{id}'\n{}", usage());
+                return ExitCode::from(2);
+            };
+            set
         };
         println!("{}", set.to_markdown());
         if let Err(e) = set.write_csvs(&args.out) {

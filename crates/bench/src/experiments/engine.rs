@@ -1,0 +1,150 @@
+//! Engine throughput — the perf trajectory (`BENCH_engine.json`).
+//!
+//! Sweeps the staged engine's execution backend (serial, pooled with
+//! 1/2/4/8 workers) over two workloads:
+//!
+//! * the Figure 5(d) thread-sweep workload (Facebook-like, k = 10) — the
+//!   paper's own parallel benchmark;
+//! * the planted-partition workload
+//!   ([`waso_datasets::synthetic::planted_partition_like`]) — near-uniform
+//!   community degrees, where OCBA pruning behaves differently from the
+//!   heavy-tailed BA-style graphs.
+//!
+//! Results are returned both as a markdown/CSV [`TableSet`] (like every
+//! figure driver) and as machine-readable [`BenchRecord`]s; the
+//! `waso-experiments` binary writes the latter to `BENCH_engine.json`.
+//! The committed copy of that file is the yardstick future perf PRs diff
+//! against — regenerate it with
+//! `waso-experiments --figure engine --scale smoke`.
+
+use waso_core::WasoInstance;
+use waso_datasets::synthetic;
+
+use crate::report::{BenchRecord, Cell, Table, TableSet};
+use crate::runner::{measure_spec_avg, ExperimentContext};
+
+use super::fig5::cbasnd_spec;
+
+/// Thread counts of the pooled sweep (the paper's Figure 5(d) axis).
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Measures both workloads across the backend sweep.
+pub fn throughput_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
+    let registry = waso::registry();
+    let k = 10;
+    let workloads = [
+        (
+            "facebook-like",
+            synthetic::facebook_like(ctx.scale, ctx.seed),
+        ),
+        (
+            "planted-partition",
+            synthetic::planted_partition_like(ctx.scale, ctx.seed),
+        ),
+    ];
+    // The Figure 5(d) settings: a heavier budget so sampling dominates.
+    let budget = ctx.budget() * 4;
+
+    let mut records = Vec::new();
+    for (name, graph) in workloads {
+        let n = graph.num_nodes();
+        let inst = WasoInstance::new(graph, k).expect("workloads have n >= k");
+        let m = Some(ctx.harness_m(n));
+        let workload = format!("{name}/n={n}/k={k}");
+
+        // The serial solver, then the pooled backend at each thread count.
+        let serial_spec = cbasnd_spec(budget, m);
+        let mut specs = vec![(0usize, serial_spec.clone())];
+        specs.extend(
+            THREAD_SWEEP
+                .iter()
+                .map(|&t| (t, serial_spec.clone().threads(t))),
+        );
+        for (threads, spec) in specs {
+            let meas = measure_spec_avg(&registry, &spec, &inst, ctx.seed, ctx.repeats);
+            records.push(BenchRecord {
+                workload: workload.clone(),
+                solver: spec.to_string(),
+                threads,
+                mean_quality: meas.quality,
+                wall_seconds: meas.seconds,
+                samples_per_sec: meas.samples_per_sec,
+            });
+        }
+    }
+    records
+}
+
+/// Renders the records as one table per workload (markdown/CSV surface).
+pub fn records_table(records: &[BenchRecord]) -> TableSet {
+    let mut set = TableSet::new();
+    let mut workloads: Vec<&str> = records.iter().map(|r| r.workload.as_str()).collect();
+    workloads.dedup();
+    for (idx, w) in workloads.iter().enumerate() {
+        let mut t = Table::new(
+            format!("engine{}", (b'a' + idx as u8) as char),
+            format!("staged-engine throughput ({w})"),
+            &["threads", "wall s", "samples/s", "mean quality"],
+        );
+        for r in records.iter().filter(|r| r.workload == *w) {
+            t.push_row(vec![
+                if r.threads == 0 {
+                    Cell::from("serial")
+                } else {
+                    Cell::from(r.threads)
+                },
+                Cell::from(r.wall_seconds),
+                Cell::from(r.samples_per_sec),
+                r.mean_quality.map(Cell::from).unwrap_or(Cell::Missing),
+            ]);
+        }
+        set.push(t);
+    }
+    set
+}
+
+/// Tables-only entry point (the [`super::run_figure`] route). The JSON
+/// side effect needs an output directory, which only the CLI has — use
+/// [`throughput_to`] to get both from one measurement pass.
+pub fn throughput(ctx: &ExperimentContext) -> TableSet {
+    records_table(&throughput_records(ctx))
+}
+
+/// Measures once, writes `<out_dir>/BENCH_engine.json`, and returns the
+/// tables — the `waso-experiments --figure engine` path.
+pub fn throughput_to(
+    ctx: &ExperimentContext,
+    out_dir: &std::path::Path,
+) -> std::io::Result<TableSet> {
+    let records = throughput_records(ctx);
+    crate::report::write_records_json(&records, &out_dir.join("BENCH_engine.json"))?;
+    Ok(records_table(&records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waso_datasets::Scale;
+
+    #[test]
+    fn records_cover_both_workloads_and_all_backends() {
+        let mut ctx = ExperimentContext::new(Scale::Smoke);
+        // Keep the CI cost tiny; the committed yardstick uses the real
+        // smoke budget.
+        ctx.repeats = 1;
+        let records = throughput_records(&ctx);
+        // 2 workloads × (serial + 4 thread counts).
+        assert_eq!(records.len(), 2 * (1 + THREAD_SWEEP.len()));
+        assert!(records.iter().any(|r| r.workload.starts_with("facebook")));
+        assert!(records
+            .iter()
+            .any(|r| r.workload.starts_with("planted-partition")));
+        for r in &records {
+            assert!(r.samples_per_sec > 0.0, "{}: no throughput", r.solver);
+            assert!(r.mean_quality.is_some(), "{}: infeasible", r.solver);
+        }
+        let tables = records_table(&records);
+        assert_eq!(tables.tables.len(), 2);
+        assert_eq!(tables.tables[0].rows.len(), 1 + THREAD_SWEEP.len());
+    }
+}

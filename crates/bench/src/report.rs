@@ -1,8 +1,13 @@
-//! Result tables: the harness's output format.
+//! Result tables and perf records: the harness's output formats.
 //!
 //! Every figure driver returns [`Table`]s whose rows are the series the
 //! paper plots (x value + one column per algorithm). Tables render as
 //! GitHub markdown (for EXPERIMENTS.md) and CSV (for replotting).
+//!
+//! The engine-throughput trajectory additionally emits machine-readable
+//! [`BenchRecord`]s (workload, solver spec, quality, wall seconds,
+//! samples/sec, thread count) rendered as JSON — the committed
+//! `BENCH_engine.json` yardstick future perf PRs diff against.
 
 use std::fmt::Write as _;
 use std::io;
@@ -213,6 +218,80 @@ impl TableSet {
     }
 }
 
+/// One machine-readable throughput measurement of the perf trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Workload identifier, e.g. `facebook-like/n=300/k=10`.
+    pub workload: String,
+    /// The solver spec string the run was built from.
+    pub solver: String,
+    /// Worker threads (0 = the solver's serial path).
+    pub threads: usize,
+    /// Mean willingness over the measured repeats (`null` when every
+    /// repeat was infeasible).
+    pub mean_quality: Option<f64>,
+    /// Mean wall-clock seconds per solve.
+    pub wall_seconds: f64,
+    /// Aggregate sampling throughput over the measured repeats.
+    pub samples_per_sec: f64,
+}
+
+/// Minimal JSON string escaping (the only string fields are workload and
+/// spec names, but quotes/backslashes must not corrupt the file).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string() // JSON has no Inf/NaN
+    }
+}
+
+/// Renders the records as a pretty-printed JSON array (stable field
+/// order, one record per object) — hand-rolled, the workspace vendors no
+/// serde.
+pub fn records_to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"workload\": \"{}\", \"solver\": \"{}\", \"threads\": {}, \
+             \"mean_quality\": {}, \"wall_seconds\": {}, \"samples_per_sec\": {}}}",
+            json_escape(&r.workload),
+            json_escape(&r.solver),
+            r.threads,
+            r.mean_quality.map_or("null".to_string(), json_num),
+            json_num(r.wall_seconds),
+            json_num(r.samples_per_sec),
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes the records as JSON to `path` (creating parent directories).
+pub fn write_records_json(records: &[BenchRecord], path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, records_to_json(records))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +345,57 @@ mod tests {
         assert_eq!(format_num(415.24), "415.2");
         assert_eq!(format_num(4.35719), "4.357");
         assert_eq!(format_num(0.01234), "0.01234");
+    }
+
+    #[test]
+    fn bench_records_render_as_json() {
+        let records = vec![
+            BenchRecord {
+                workload: "facebook-like/k=10".into(),
+                solver: "cbas-nd:budget=2000,stages=10".into(),
+                threads: 0,
+                mean_quality: Some(123.456789),
+                wall_seconds: 0.25,
+                samples_per_sec: 8000.0,
+            },
+            BenchRecord {
+                workload: "planted\"weird\"".into(),
+                solver: "cbas-nd:threads=8".into(),
+                threads: 8,
+                mean_quality: None,
+                wall_seconds: 0.5,
+                samples_per_sec: f64::NAN,
+            },
+        ];
+        let json = records_to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"mean_quality\": 123.456789"));
+        assert!(json.contains("\"threads\": 8"));
+        assert!(json.contains("\"mean_quality\": null"));
+        assert!(json.contains("\"samples_per_sec\": null"), "NaN → null");
+        assert!(json.contains("planted\\\"weird\\\""), "quotes escaped");
+        // Exactly one comma separator between the two records.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn bench_records_json_written_to_disk() {
+        let dir = std::env::temp_dir().join("waso-bench-test-json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("BENCH_engine.json");
+        let records = vec![BenchRecord {
+            workload: "w".into(),
+            solver: "s".into(),
+            threads: 1,
+            mean_quality: Some(1.0),
+            wall_seconds: 0.1,
+            samples_per_sec: 10.0,
+        }];
+        write_records_json(&records, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"workload\": \"w\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

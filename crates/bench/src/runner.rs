@@ -23,6 +23,19 @@ pub struct Measurement {
     pub samples: u64,
     /// Whether the solver reported hitting a work cap (best-found result).
     pub truncated: bool,
+    /// Sampling throughput: total samples over total wall-clock time
+    /// (the [`waso_algos::SolverStats::samples_per_sec`] figure,
+    /// aggregated across repeats for averaged measurements).
+    pub samples_per_sec: f64,
+}
+
+/// `samples / seconds` guarded against empty or untimeable runs.
+fn throughput(samples: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 && samples > 0 {
+        samples as f64 / seconds
+    } else {
+        0.0
+    }
 }
 
 /// Runs `solver` on `instance` and measures it. Infeasibility is recorded,
@@ -41,12 +54,14 @@ pub fn measure<S: Solver + ?Sized>(
             seconds,
             samples: res.stats.samples_drawn,
             truncated: res.stats.truncated,
+            samples_per_sec: throughput(res.stats.samples_drawn, seconds),
         },
         Err(SolveError::NoFeasibleGroup) => Measurement {
             quality: None,
             seconds,
             samples: 0,
             truncated: false,
+            samples_per_sec: 0.0,
         },
         Err(e) => panic!("solver {} misbehaved: {e}", solver.name()),
     }
@@ -81,6 +96,7 @@ pub fn measure_avg<S: Solver + ?Sized>(
         seconds: t_sum / repeats as f64,
         samples,
         truncated,
+        samples_per_sec: throughput(samples, t_sum),
     }
 }
 
@@ -359,6 +375,24 @@ mod tests {
         let m = measure_avg(&mut DGreedy::new(), &tiny_instance(), 0, 3);
         assert_eq!(m.quality, Some(4.0));
         assert_eq!(m.samples, 3);
+    }
+
+    #[test]
+    fn throughput_aggregates_over_total_time() {
+        assert_eq!(throughput(0, 1.0), 0.0);
+        assert_eq!(throughput(10, 0.0), 0.0);
+        assert_eq!(throughput(100, 0.5), 200.0);
+        // Averaged measurements report total samples / total seconds, not
+        // total samples / mean seconds.
+        let m = measure_avg(&mut DGreedy::new(), &tiny_instance(), 0, 4);
+        if m.seconds > 0.0 {
+            let expect = m.samples as f64 / (m.seconds * 4.0);
+            assert!(
+                (m.samples_per_sec - expect).abs() < 1e-6 * expect.max(1.0),
+                "{} vs {expect}",
+                m.samples_per_sec
+            );
+        }
     }
 
     #[test]

@@ -92,6 +92,15 @@ impl Frontier {
         true
     }
 
+    /// Pre-reserves capacity for `cap` candidates (buffer-reuse hint for
+    /// long-lived workspaces; see [`GrowthWorkspace::reserve`]).
+    pub fn reserve(&mut self, cap: usize) {
+        let cap = cap.min(self.pos.len());
+        if cap > self.items.capacity() {
+            self.items.reserve(cap - self.items.len());
+        }
+    }
+
     /// Empties the frontier in O(current length).
     pub fn clear(&mut self) {
         for &v in &self.items {
@@ -137,6 +146,18 @@ impl GrowthWorkspace {
     #[inline]
     pub fn is_blocked(&self, v: NodeId) -> bool {
         self.blocked.as_ref().is_some_and(|b| b.contains(v.index()))
+    }
+
+    /// Pre-reserves the growth buffers for groups of `k` nodes whose
+    /// frontier can reach roughly `k · max_degree` candidates. Long-lived
+    /// workspaces (one per staged-engine worker, reused across thousands
+    /// of samples) call this once so even the first samples allocate
+    /// nothing.
+    pub fn reserve(&mut self, k: usize, max_degree: usize) {
+        if k > self.selected.capacity() {
+            self.selected.reserve(k - self.selected.len());
+        }
+        self.frontier.reserve(k.saturating_mul(max_degree));
     }
 
     /// Clears `VS`, `VA` and the running willingness (keeps the blocked

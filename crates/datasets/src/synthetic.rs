@@ -64,6 +64,18 @@ pub const FLICKR: DatasetSpec = DatasetSpec {
     target_mean_degree: 24.5,
 };
 
+/// Planted-partition benchmark workload (not one of the paper's crawls):
+/// ~50-person communities with near-uniform internal degrees, the regime
+/// where OCBA's budget concentrates on whole communities rather than hubs.
+/// The second workload of the engine-throughput trajectory
+/// (`BENCH_engine.json`) precisely because pruning behaves differently
+/// here than on the heavy-tailed BA-style graphs.
+pub const PLANTED: DatasetSpec = DatasetSpec {
+    name: "planted-partition",
+    nodes: (300, 2_000, 100_000),
+    target_mean_degree: 16.0,
+};
+
 impl DatasetSpec {
     /// Node count at `scale`.
     pub fn node_count(&self, scale: Scale) -> usize {
@@ -147,6 +159,29 @@ pub fn flickr_like_n(n: usize, seed: u64) -> SocialGraph {
         generate::community_ba(n, community, 5.min(hi), hi, 2.0, &mut rng)
     };
     ScoreModel::paper_asymmetric().realize(&topo, &mut rng)
+}
+
+/// Planted-partition network at a named scale.
+pub fn planted_partition_like(scale: Scale, seed: u64) -> SocialGraph {
+    planted_partition_like_n(PLANTED.node_count(scale), seed)
+}
+
+/// Planted-partition network with an explicit node count
+/// ([`waso_graph::generate::planted_partition`]): blocks of ≈ 50 nodes,
+/// each intra-block pair wired with the probability that yields internal
+/// degree ≈ 12, plus cross-block pairs contributing ≈ 4 more — the
+/// [`PLANTED`] target mean degree of 16 with near-uniform internal
+/// degrees (contrast [`facebook_like_n`]'s heavy-tailed communities).
+pub fn planted_partition_like_n(n: usize, seed: u64) -> SocialGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size = 50.min(n.max(2));
+    let communities = n.div_ceil(size).max(1);
+    let intra_target = PLANTED.target_mean_degree * 0.75; // 12 of 16
+    let p_in = (intra_target / (size.saturating_sub(1)).max(1) as f64).min(1.0);
+    let cross_span = n.saturating_sub(size).max(1);
+    let p_out = ((PLANTED.target_mean_degree - intra_target) / cross_span as f64).min(1.0);
+    let topo = generate::planted_partition(n, communities, p_in, p_out, &mut rng);
+    ScoreModel::paper_default().realize(&topo, &mut rng)
 }
 
 /// Attachment parameter giving mean degree ≈ `target` (BA: `2m` per node
@@ -238,11 +273,41 @@ mod tests {
     }
 
     #[test]
+    fn planted_partition_like_hits_target_density() {
+        let g = planted_partition_like(Scale::Smoke, 6);
+        assert_eq!(g.num_nodes(), PLANTED.node_count(Scale::Smoke));
+        let stats = metrics::degree_stats(&g).unwrap();
+        assert!(
+            (stats.mean - PLANTED.target_mean_degree).abs() < 3.0,
+            "mean degree {}",
+            stats.mean
+        );
+        // Near-uniform internal degrees: no BA-style hubs.
+        let fb = facebook_like(Scale::Smoke, 6);
+        let fb_stats = metrics::degree_stats(&fb).unwrap();
+        let pp_ratio = stats.max as f64 / stats.mean;
+        let fb_ratio = fb_stats.max as f64 / fb_stats.mean;
+        assert!(
+            pp_ratio < fb_ratio,
+            "planted partition ({pp_ratio:.2}) should be flatter than BA ({fb_ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn planted_partition_like_is_deterministic() {
+        assert_eq!(
+            planted_partition_like(Scale::Smoke, 9),
+            planted_partition_like(Scale::Smoke, 9)
+        );
+    }
+
+    #[test]
     fn scores_are_normalized() {
         for g in [
             facebook_like(Scale::Smoke, 5),
             dblp_like(Scale::Smoke, 5),
             flickr_like(Scale::Smoke, 5),
+            planted_partition_like(Scale::Smoke, 5),
         ] {
             let max_eta = g.interests().iter().cloned().fold(f64::MIN, f64::max);
             assert!((max_eta - 1.0).abs() < 1e-9, "interest max {max_eta}");

@@ -100,6 +100,17 @@ impl SocialGraph {
         (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
+    /// Largest degree in the graph (0 for an empty graph). O(n) scan —
+    /// callers that need it per solve (growth-buffer sizing) compute it
+    /// once, not per sample.
+    pub fn max_degree(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Interest score `η_v`.
     #[inline]
     pub fn interest(&self, v: NodeId) -> f64 {

@@ -304,6 +304,69 @@ pub fn planted_communities<R: Rng + ?Sized>(
     GraphTopology { n, edges }
 }
 
+/// The classic planted-partition model: `communities` equal-size blocks,
+/// every intra-block pair connected with probability `p_in`, every
+/// cross-block pair with probability `p_out` (`p_in >> p_out` plants the
+/// structure). Unlike [`planted_communities`] (which targets expected
+/// *degrees* by sampling endpoints) this fixes per-*pair* probabilities,
+/// giving near-uniform internal degrees — the regime where OCBA's start
+/// budget concentrates on whole communities rather than individual hubs,
+/// and where pruning behaves differently from the BA/WS topologies the
+/// harness otherwise uses.
+///
+/// Edges are enumerated with the same geometric-skipping trick as
+/// [`erdos_renyi_gnp`] (O(n + m) expected): one pass per block for the
+/// intra-community pairs, one pass over the global pair index for the
+/// cross-community pairs (intra pairs skipped).
+pub fn planted_partition<R: Rng + ?Sized>(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> GraphTopology {
+    assert!(communities >= 1 && communities <= n.max(1));
+    assert!((0.0..=1.0).contains(&p_in), "p_in={p_in} outside [0,1]");
+    assert!((0.0..=1.0).contains(&p_out), "p_out={p_out} outside [0,1]");
+    let size = n.div_ceil(communities);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+
+    // Intra-community edges: an independent G(s, p_in) per block.
+    let mut start = 0usize;
+    while start < n {
+        let s = size.min(n - start);
+        let block = erdos_renyi_gnp(s, p_in, rng);
+        let offset = start as u32;
+        edges.extend(block.edges.iter().map(|&(u, v)| (u + offset, v + offset)));
+        start += s;
+    }
+
+    // Cross-community edges: geometric skipping over the global pair
+    // index, dropping pairs that fall inside one block.
+    if p_out > 0.0 && n >= 2 {
+        let log_q = (1.0 - p_out).ln();
+        let full = p_out >= 1.0;
+        let mut v: i64 = 1;
+        let mut w: i64 = -1;
+        while (v as usize) < n {
+            if full {
+                w += 1;
+            } else {
+                let r: f64 = rng.random();
+                w += 1 + ((1.0 - r).ln() / log_q).floor() as i64;
+            }
+            while w >= v && (v as usize) < n {
+                w -= v;
+                v += 1;
+            }
+            if (v as usize) < n && (w as usize) / size != (v as usize) / size {
+                edges.push((w as u32, v as u32));
+            }
+        }
+    }
+    GraphTopology { n, edges }
+}
+
 /// Community-structured preferential attachment: the friendship-network
 /// model behind the Facebook-like and Flickr-like datasets.
 ///
@@ -516,6 +579,50 @@ mod tests {
             .count();
         let outside = t.num_edges() - inside;
         assert!(inside > 4 * outside, "inside {inside}, outside {outside}");
+    }
+
+    #[test]
+    fn planted_partition_plants_the_structure() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (n, c) = (400, 8);
+        let size = n / c;
+        let (p_in, p_out) = (0.25, 0.005);
+        let t = planted_partition(n, c, p_in, p_out, &mut rng);
+        assert_eq!(t.n, n);
+        let inside = t
+            .edges
+            .iter()
+            .filter(|&&(u, v)| u as usize / size == v as usize / size)
+            .count();
+        let outside = t.num_edges() - inside;
+        // Expected: c·(s choose 2)·p_in ≈ 2450 intra, ~875 inter.
+        let want_in = c as f64 * (size * (size - 1) / 2) as f64 * p_in;
+        assert!(
+            (inside as f64 - want_in).abs() < 0.2 * want_in,
+            "intra {inside} vs expected {want_in}"
+        );
+        assert!(inside > 2 * outside, "inside {inside}, outside {outside}");
+        assert!(t.edges.iter().all(|&(u, v)| u < v && (v as usize) < n));
+    }
+
+    #[test]
+    fn planted_partition_extremes_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // No cross edges at all.
+        let isolated = planted_partition(60, 3, 1.0, 0.0, &mut rng);
+        let size = 20;
+        assert!(isolated
+            .edges
+            .iter()
+            .all(|&(u, v)| u as usize / size == v as usize / size));
+        assert_eq!(isolated.num_edges(), 3 * size * (size - 1) / 2);
+        // p_in = p_out = 1 is the complete graph.
+        let complete = planted_partition(12, 3, 1.0, 1.0, &mut rng);
+        assert_eq!(complete.num_edges(), 12 * 11 / 2);
+        // Pure function of the seed.
+        let a = planted_partition(100, 4, 0.3, 0.02, &mut StdRng::seed_from_u64(8));
+        let b = planted_partition(100, 4, 0.3, 0.02, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! ground truth), synthetic datasets matching the paper's evaluation
 //! networks, and a harness regenerating every figure of its §5.
 //!
+//! The whole staged family (CBAS, CBAS-ND, CBAS-ND-G, the §5.3.1
+//! parallel runs) executes through **one** stage loop —
+//! [`waso_algos::engine::StagedEngine`] — whose budget-allocation policy,
+//! candidate distribution and execution backend (serial, or a persistent
+//! worker pool spawned once per solve) are orthogonal axes. Every solver
+//! is a pure function of `(instance, seed)`, bit-identical across thread
+//! counts; see the Architecture section of the README.
+//!
 //! ## The unified solving API
 //!
 //! Three pieces, used by every caller in the workspace (the CLI, the
@@ -59,7 +67,7 @@
 //! |---|---|
 //! | [`graph`] | CSR social graphs, builders, generators, traversal, I/O |
 //! | [`core`] | WASO instances, the willingness objective, groups, scenarios |
-//! | [`algos`] | DGreedy, RGreedy, CBAS, CBAS-ND(-G), online replanning, parallel, [`SolverSpec`]/[`SolverRegistry`] |
+//! | [`algos`] | the `StagedEngine` + DGreedy, RGreedy, CBAS, CBAS-ND(-G), online replanning, parallel, [`SolverSpec`]/[`SolverRegistry`] |
 //! | [`exact`] | ESU enumeration, branch-and-bound, the Appendix-B IP model |
 //! | [`datasets`] | Facebook/DBLP/Flickr-like synthetics, simulated user study |
 //! | [`stats`] | numerics: normal distribution, power laws, quantiles, quadrature |

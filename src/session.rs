@@ -8,6 +8,14 @@
 //! through the [`SolverRegistry`], so a session works identically for
 //! every registered algorithm, including ones registered after the fact.
 //!
+//! Under the hood the staged specs (`cbas`, `cbas-nd`, `cbas-nd-g`,
+//! `cbas-nd-par`, and any `threads=N` variant) all resolve to the single
+//! `waso_algos::engine::StagedEngine`; a spec's `threads` knob selects
+//! the engine's pooled execution backend without changing the answer —
+//! solves are bit-identical for every thread count, so the session's
+//! reproducibility guarantee (same `(instance, spec, seed)` → same group)
+//! holds regardless of parallelism.
+//!
 //! ```
 //! use waso::prelude::*;
 //!

@@ -61,6 +61,47 @@ proptest! {
         }
     }
 
+    /// The staged engine's determinism contract, generalized from the
+    /// hand-picked cases in `parallel.rs`: for random instances, budgets
+    /// and stage counts, the pooled backend is bit-identical to the serial
+    /// solver at every thread count — same group, same samples drawn, same
+    /// pruned-start and backtrack counts.
+    #[test]
+    fn parallel_engine_is_bit_identical_to_serial(
+        seed in 0u64..10_000,
+        n in 12usize..48,
+        extra in 0usize..40,
+        k in 2usize..7,
+        budget in 8u64..160,
+        stages in 1u32..6,
+        backtrack: bool,
+    ) {
+        let inst = random_instance(seed, n, extra, k.min(n), true);
+        let mut cfg = CbasNdConfig::with_budget(budget);
+        cfg.base.stages = Some(stages);
+        if backtrack {
+            cfg = cfg.with_backtracking(0.05);
+        }
+        let serial = CbasNd::new(cfg.clone()).solve_seeded(&inst, seed);
+        for threads in [1usize, 2, 4, 8] {
+            let par = ParallelCbasNd::new(cfg.clone(), threads).solve_seeded(&inst, seed);
+            match (&serial, &par) {
+                (Ok(s), Ok(p)) => {
+                    prop_assert_eq!(&s.group, &p.group, "threads={}", threads);
+                    prop_assert_eq!(s.stats.samples_drawn, p.stats.samples_drawn);
+                    prop_assert_eq!(s.stats.pruned_start_nodes, p.stats.pruned_start_nodes);
+                    prop_assert_eq!(s.stats.backtracks, p.stats.backtracks);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (s, p) => prop_assert!(
+                    false,
+                    "feasibility diverged at threads={}: serial ok={}, parallel ok={}",
+                    threads, s.is_ok(), p.is_ok()
+                ),
+            }
+        }
+    }
+
     #[test]
     fn branch_and_bound_is_never_beaten(
         seed in 0u64..10_000,
