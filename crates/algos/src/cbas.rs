@@ -14,10 +14,13 @@
 //! uniform-OCBA allocation, serial execution. The stage loop itself lives
 //! in the engine, not here.
 
+use std::sync::Arc;
+
 use waso_core::WasoInstance;
 use waso_graph::{BitSet, NodeId};
 
 use crate::engine::{Distribution, StagedEngine, StartMode};
+use crate::exec::{ExecBackend, SolverPool};
 use crate::ocba::derive_stages;
 use crate::sampler::{default_num_start_nodes, select_start_nodes};
 use crate::{SolveError, SolveResult, Solver};
@@ -110,21 +113,49 @@ impl CbasConfig {
 }
 
 /// The CBAS solver: [`crate::engine::StagedEngine`] with the uniform
-/// candidate distribution.
+/// candidate distribution — serial by default, pooled when a worker count
+/// is set (`cbas:threads=N`; the engine's `Uniform × Pool` cell,
+/// bit-identical to serial for every thread count).
 #[derive(Debug, Clone)]
 pub struct Cbas {
     config: CbasConfig,
+    threads: Option<usize>,
 }
 
 impl Cbas {
-    /// Creates the solver.
+    /// Creates the (serial) solver.
     pub fn new(config: CbasConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            threads: None,
+        }
+    }
+
+    /// Creates the solver on the pooled backend with `threads` workers
+    /// (≥ 1). Same answer as serial CBAS for any count.
+    pub fn with_threads(config: CbasConfig, threads: usize) -> Self {
+        Self {
+            config,
+            threads: Some(threads.max(1)),
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &CbasConfig {
         &self.config
+    }
+
+    /// Worker count, when the pooled backend is selected.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    fn engine(&self) -> StagedEngine {
+        let engine = StagedEngine::new(self.config.clone(), Distribution::Uniform);
+        match self.threads {
+            Some(threads) => engine.backend(ExecBackend::Pool { threads }),
+            None => engine,
+        }
     }
 }
 
@@ -136,6 +167,9 @@ impl Solver for Cbas {
     fn capabilities(&self) -> crate::Capabilities {
         crate::Capabilities {
             randomized: true,
+            // Instance-accurate: only a threads-configured CBAS actually
+            // fans out (the registry entry advertises the knob itself).
+            parallel: self.threads.is_some(),
             ..crate::Capabilities::default()
         }
     }
@@ -145,11 +179,27 @@ impl Solver for Cbas {
         instance: &WasoInstance,
         seed: u64,
     ) -> Result<SolveResult, SolveError> {
-        StagedEngine::new(self.config.clone(), Distribution::Uniform).solve(
-            instance,
-            StartMode::Fresh,
-            seed,
-        )
+        self.engine().solve(instance, StartMode::Fresh, seed)
+    }
+
+    fn pool_threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    fn solve_pooled(
+        &mut self,
+        instance: &Arc<WasoInstance>,
+        required: &[NodeId],
+        seed: u64,
+        pool: &mut SolverPool,
+    ) -> Result<SolveResult, SolveError> {
+        if !required.is_empty() {
+            // CBAS has no partial-solution growth; the session rejects
+            // this combination before building, this is the backstop.
+            return Err(SolveError::RequiredUnsupported { solver: "cbas" });
+        }
+        self.engine()
+            .solve_in_pool(pool, instance, StartMode::Fresh, seed)
     }
 }
 
@@ -265,6 +315,28 @@ mod tests {
         let res = solver.solve_seeded(&inst, 0).unwrap();
         assert!(!res.group.contains(NodeId(0)));
         assert!(res.stats.pruned_start_nodes >= 1);
+    }
+
+    #[test]
+    fn pooled_cbas_is_bit_identical_to_serial() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let topo = generate::barabasi_albert(70, 3, &mut rng);
+        let g = ScoreModel::paper_default().realize(&topo, &mut rng);
+        let inst = WasoInstance::new(g, 5).unwrap();
+        let mut cfg = CbasConfig::with_budget(120);
+        cfg.stages = Some(4);
+        let serial = Cbas::new(cfg.clone()).solve_seeded(&inst, 8).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let pooled = Cbas::with_threads(cfg.clone(), threads)
+                .solve_seeded(&inst, 8)
+                .unwrap();
+            assert_eq!(pooled.group, serial.group, "threads={threads}");
+            assert_eq!(pooled.stats.samples_drawn, serial.stats.samples_drawn);
+            assert_eq!(
+                pooled.stats.pruned_start_nodes,
+                serial.stats.pruned_start_nodes
+            );
+        }
     }
 
     #[test]

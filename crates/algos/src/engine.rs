@@ -42,6 +42,7 @@
 //! charged), so `Σ spent == samples_drawn` holds for every solve — the
 //! engine debug-asserts it.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use waso_core::{Group, WasoInstance};
@@ -50,7 +51,9 @@ use waso_graph::NodeId;
 use crate::cbas::CbasConfig;
 use crate::cbasnd::CbasNdConfig;
 use crate::cross_entropy::{update_vector, ProbabilityVector};
-use crate::exec::{ExecBackend, SerialExec, StageExec, StageShared, WorkItem, WorkerPool};
+use crate::exec::{
+    ExecBackend, SerialExec, SolveCtx, SolverPool, StageExec, StageShared, WorkItem, WorkerPool,
+};
 use crate::gaussian::{allocate_stage_gaussian, Allocation, GaussStats};
 use crate::ocba::{allocate_stage, stage_budgets, uniform_split, StartStats};
 use crate::sampler::{Sample, Sampler};
@@ -81,7 +84,9 @@ pub enum StartMode<'a> {
     Fresh,
     /// Grow every sample from a fixed partial solution — the §4.4.1 online
     /// extension (confirmed attendees) and required-attendee solves.
-    /// Always executed serially, whatever the configured backend.
+    /// Samples are independent draws from the same seed set, so partial
+    /// solves run on every backend (serial, per-solve pool, session pool)
+    /// with bit-identical results.
     Partial(&'a [NodeId]),
 }
 
@@ -151,26 +156,77 @@ impl StagedEngine {
         self.run(instance, mode, seed).map(|(result, _)| result)
     }
 
-    /// The full solve, also returning the per-start-node statistics (test
-    /// hook for the `spent == drawn` budget-accounting invariant).
-    fn run(
+    /// Solves over a **session-held** [`SolverPool`]: the pool's parked
+    /// workers serve this solve's stages instead of spawning a fresh pool,
+    /// amortizing thread creation across the many solves of a session or
+    /// batch. The pool's worker count governs the striping, but the
+    /// determinism contract makes that invisible — results are
+    /// bit-identical to [`StagedEngine::solve`] for every pool size.
+    /// Serial-backend engines ignore the pool and run on the caller's
+    /// thread.
+    pub fn solve_in_pool(
+        &self,
+        pool: &mut SolverPool,
+        instance: &Arc<WasoInstance>,
+        mode: StartMode<'_>,
+        seed: u64,
+    ) -> Result<SolveResult, SolveError> {
+        if self.backend == ExecBackend::Serial {
+            return self.solve(instance, mode, seed);
+        }
+        let t0 = Instant::now();
+        self.validate()?;
+        let (starts, budgets, r, shared) = self.prepare(instance, mode)?;
+        let ctx = Arc::new(SolveCtx {
+            instance: Arc::clone(instance),
+            blocked: self.base.blocked.clone(),
+            shared,
+            seed,
+            partial: match mode {
+                StartMode::Partial(seeds) => Some(seeds.to_vec()),
+                StartMode::Fresh => None,
+            },
+        });
+        let outcome = {
+            let mut exec = pool.attach(Arc::clone(&ctx));
+            self.stage_loop(instance, mode, &starts, &budgets, &ctx.shared, &mut exec)
+        };
+        self.finalize(instance, mode, t0, r, starts.len(), outcome)
+            .map(|(result, _)| result)
+    }
+
+    /// Rejects out-of-range distribution parameters. A typed error — not
+    /// a panic — so user-supplied specs cannot take down a serving
+    /// process; the registry builders reject the same ranges at build
+    /// time, this is the backstop for programmatic construction.
+    fn validate(&self) -> Result<(), SolveError> {
+        if let Distribution::CrossEntropy { rho, smoothing, .. } = self.distribution {
+            if !(rho > 0.0 && rho <= 1.0) {
+                return Err(SolveError::BadParameter {
+                    param: "rho",
+                    value: rho.to_string(),
+                    expected: "in (0, 1]",
+                });
+            }
+            if !(0.0..=1.0).contains(&smoothing) {
+                return Err(SolveError::BadParameter {
+                    param: "smoothing",
+                    value: smoothing.to_string(),
+                    expected: "in [0, 1]",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Start-node selection, stage budgeting and shared-state setup —
+    /// everything a solve does before its first sample, identical for
+    /// every execution path.
+    fn prepare(
         &self,
         instance: &WasoInstance,
         mode: StartMode<'_>,
-        seed: u64,
-    ) -> Result<(SolveResult, Vec<StartStats>), SolveError> {
-        let t0 = Instant::now();
-        if let Distribution::CrossEntropy { rho, smoothing, .. } = self.distribution {
-            assert!(
-                (0.0..=1.0).contains(&rho) && rho > 0.0,
-                "rho must be in (0,1]"
-            );
-            assert!(
-                (0.0..=1.0).contains(&smoothing),
-                "smoothing weight outside [0,1]"
-            );
-        }
-
+    ) -> Result<(Vec<NodeId>, Vec<u64>, u32, StageShared), SolveError> {
         let g = instance.graph();
         let n = g.num_nodes();
         let k = instance.k();
@@ -199,54 +255,76 @@ impl StagedEngine {
                 .map(|&s| ProbabilityVector::uniform_for_start(n.max(2), k, s))
                 .collect(),
         };
-        let shared = StageShared::new(vectors, m);
+        Ok((starts, budgets, r, StageShared::new(vectors, m)))
+    }
 
-        // Partial-solution growth is serial-only (the virtual start's
-        // samples share one seed set); everything else follows the
-        // configured backend.
-        let make_sampler = || {
-            let mut s = Sampler::for_instance(instance);
-            s.set_blocked(self.base.blocked.clone());
-            s
+    /// The full solve, also returning the per-start-node statistics (test
+    /// hook for the `spent == drawn` budget-accounting invariant).
+    fn run(
+        &self,
+        instance: &WasoInstance,
+        mode: StartMode<'_>,
+        seed: u64,
+    ) -> Result<(SolveResult, Vec<StartStats>), SolveError> {
+        let t0 = Instant::now();
+        self.validate()?;
+        let (starts, budgets, r, shared) = self.prepare(instance, mode)?;
+
+        // Partial-mode samples grow from the same seed set but are
+        // independent draws, so every mode follows the configured backend.
+        let partial: Option<&[NodeId]> = match mode {
+            StartMode::Partial(seeds) => Some(seeds),
+            StartMode::Fresh => None,
         };
-        let outcome = match (self.backend, mode) {
-            (_, StartMode::Partial(seeds)) => self.stage_loop(
-                instance,
-                mode,
-                &starts,
-                &budgets,
-                &shared,
-                &mut SerialExec {
+        let outcome = match self.backend {
+            ExecBackend::Serial => {
+                let mut sampler = Sampler::for_instance(instance);
+                sampler.set_blocked(self.base.blocked.clone());
+                self.stage_loop(
                     instance,
-                    shared: &shared,
-                    sampler: make_sampler(),
-                    seed,
-                    partial: Some(seeds),
-                },
-            ),
-            (ExecBackend::Serial, StartMode::Fresh) => self.stage_loop(
-                instance,
-                mode,
-                &starts,
-                &budgets,
-                &shared,
-                &mut SerialExec {
-                    instance,
-                    shared: &shared,
-                    sampler: make_sampler(),
-                    seed,
-                    partial: None,
-                },
-            ),
-            (ExecBackend::Pool { threads }, StartMode::Fresh) => std::thread::scope(|scope| {
+                    mode,
+                    &starts,
+                    &budgets,
+                    &shared,
+                    &mut SerialExec {
+                        instance,
+                        shared: &shared,
+                        sampler,
+                        seed,
+                        partial,
+                    },
+                )
+            }
+            ExecBackend::Pool { threads } => std::thread::scope(|scope| {
                 // Spawned ONCE per solve; stages only exchange channel
-                // messages with the parked workers.
-                let mut pool =
-                    WorkerPool::spawn(scope, threads, instance, &self.base.blocked, &shared, seed);
+                // messages with the parked workers. (Sessions amortize
+                // further: `solve_in_pool` borrows an already-spawned
+                // session pool instead.)
+                let mut pool = WorkerPool::spawn(
+                    scope,
+                    threads,
+                    instance,
+                    &self.base.blocked,
+                    &shared,
+                    seed,
+                    partial,
+                );
                 self.stage_loop(instance, mode, &starts, &budgets, &shared, &mut pool)
             }),
         };
+        self.finalize(instance, mode, t0, r, starts.len(), outcome)
+    }
 
+    /// Turns a stage loop's outcome into the validated result + stats.
+    fn finalize(
+        &self,
+        instance: &WasoInstance,
+        mode: StartMode<'_>,
+        t0: Instant,
+        r: u32,
+        m: usize,
+        outcome: (BestSolution, Vec<StartStats>, Counters),
+    ) -> Result<(SolveResult, Vec<StartStats>), SolveError> {
         let (best, stats, counters) = outcome;
         let (_, mut nodes) = best.ok_or(SolveError::NoFeasibleGroup)?;
         if let StartMode::Partial(seeds) = mode {
@@ -303,6 +381,10 @@ impl StagedEngine {
         // (workers read it), results and the per-start sample buffer here.
         let mut results: Vec<Option<Sample>> = Vec::new();
         let mut stage_samples: Vec<Sample> = Vec::new();
+        // Spent samples' node buffers, fed back to the executor each stage
+        // (and from there to the samplers — across the job channels for
+        // pooled backends), so steady-state sampling allocates nothing.
+        let mut slab: Vec<Vec<NodeId>> = Vec::new();
 
         for (stage, &stage_budget) in budgets.iter().enumerate() {
             let alloc = if stage == 0 {
@@ -347,7 +429,7 @@ impl StagedEngine {
             }
             results.clear();
             results.resize(n_items, None);
-            exec.run_stage(stage as u64, &mut results);
+            exec.run_stage(stage as u64, &mut results, &mut slab);
 
             // Merge in (start node, sample) order — identical for every
             // backend, including the stop-at-first-stall accounting (a
@@ -377,6 +459,7 @@ impl StagedEngine {
                                     && instance.requires_connectivity()
                                     && !waso_graph::traversal::is_connected_subset(g, &s.nodes)
                                 {
+                                    slab.push(s.nodes);
                                     continue;
                                 }
                             }
@@ -429,6 +512,9 @@ impl StagedEngine {
                         ) as u32;
                     }
                 }
+                // The samples are fully consumed — their node buffers go
+                // back into the slab for the next stage's draws.
+                slab.extend(stage_samples.drain(..).map(|s| s.nodes));
             }
         }
 
@@ -586,7 +672,9 @@ mod tests {
     }
 
     #[test]
-    fn partial_mode_runs_serially_under_any_backend() {
+    fn partial_mode_is_backend_invariant() {
+        // Partial solves are served by the pool too; every backend (and
+        // the session-held pool) must agree bit-for-bit.
         let inst = random_instance(50, 6, 8);
         let seeds = [NodeId(0), NodeId(1)];
         let ce = Distribution::CrossEntropy {
@@ -597,11 +685,75 @@ mod tests {
         let a = engine(60, 3, 4, ce)
             .solve(&inst, StartMode::Partial(&seeds), 2)
             .unwrap();
-        let b = engine(60, 3, 4, ce)
-            .backend(ExecBackend::Pool { threads: 4 })
-            .solve(&inst, StartMode::Partial(&seeds), 2)
-            .unwrap();
-        assert_eq!(a.group, b.group);
+        for threads in [1, 2, 4] {
+            let b = engine(60, 3, 4, ce)
+                .backend(ExecBackend::Pool { threads })
+                .solve(&inst, StartMode::Partial(&seeds), 2)
+                .unwrap();
+            assert_eq!(a.group, b.group, "threads={threads}");
+            assert_eq!(a.stats.samples_drawn, b.stats.samples_drawn);
+        }
         assert!(a.group.contains(NodeId(0)) && a.group.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn session_pool_solves_are_bit_identical_and_reusable() {
+        // One SolverPool serving many solves — fresh and partial, across
+        // different instances — must match the per-solve paths exactly.
+        let mut pool = SolverPool::new(3);
+        let ce = Distribution::CrossEntropy {
+            rho: 0.3,
+            smoothing: 0.9,
+            backtrack_threshold: Some(0.01),
+        };
+        for seed in 0..3u64 {
+            let inst = Arc::new(random_instance(60, 5, seed));
+            let eng = engine(80, 4, 6, ce).backend(ExecBackend::Pool { threads: 7 });
+            let direct = eng.solve(&inst, StartMode::Fresh, seed).unwrap();
+            let pooled = eng
+                .solve_in_pool(&mut pool, &inst, StartMode::Fresh, seed)
+                .unwrap();
+            assert_eq!(direct.group, pooled.group, "seed={seed}");
+            assert_eq!(direct.stats.samples_drawn, pooled.stats.samples_drawn);
+
+            let seeds = [NodeId(0), NodeId(1)];
+            let direct = eng.solve(&inst, StartMode::Partial(&seeds), seed).unwrap();
+            let pooled = eng
+                .solve_in_pool(&mut pool, &inst, StartMode::Partial(&seeds), seed)
+                .unwrap();
+            assert_eq!(direct.group, pooled.group, "partial seed={seed}");
+            assert_eq!(direct.stats.backtracks, pooled.stats.backtracks);
+        }
+    }
+
+    #[test]
+    fn bad_parameters_error_instead_of_panicking() {
+        let inst = random_instance(20, 3, 0);
+        for (rho, smoothing, param) in [
+            (0.0, 0.9, "rho"),
+            (-0.5, 0.9, "rho"),
+            (1.5, 0.9, "rho"),
+            (f64::NAN, 0.9, "rho"),
+            (0.3, -0.1, "smoothing"),
+            (0.3, 1.1, "smoothing"),
+            (0.3, f64::NAN, "smoothing"),
+        ] {
+            let eng = engine(
+                40,
+                2,
+                3,
+                Distribution::CrossEntropy {
+                    rho,
+                    smoothing,
+                    backtrack_threshold: None,
+                },
+            );
+            match eng.solve(&inst, StartMode::Fresh, 0) {
+                Err(SolveError::BadParameter { param: p, .. }) => assert_eq!(p, param),
+                other => {
+                    panic!("rho={rho} smoothing={smoothing}: expected BadParameter, got {other:?}")
+                }
+            }
+        }
     }
 }

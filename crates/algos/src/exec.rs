@@ -2,17 +2,30 @@
 //!
 //! The engine's stage loop is backend-agnostic: it describes one stage as a
 //! flat list of [`WorkItem`]s (one per sample to draw) and asks an executor
-//! to fill a result slot per item. Two executors exist:
+//! to fill a result slot per item. Three executors exist:
 //!
 //! * [`ExecBackend::Serial`] — one reusable [`Sampler`] on the calling
 //!   thread;
-//! * [`ExecBackend::Pool`] — a **persistent pool of workers spawned once
-//!   per solve**. Workers park on a job channel between stages; the
-//!   per-stage cost is two channel messages per worker, not a thread spawn.
-//!   Each worker owns its `Sampler` (and thus its `GrowthWorkspace` and
-//!   weight buffer) for the whole solve, and result buffers are recycled
-//!   through the job channel, so steady-state stages allocate nothing
-//!   beyond the sampled node lists themselves.
+//! * [`ExecBackend::Pool`] — a pool of workers spawned once per solve
+//!   (scoped threads borrowing the solve's state). Workers park on a job
+//!   channel between stages; the per-stage cost is two channel messages
+//!   per worker, not a thread spawn.
+//! * [`SolverPool`] — a **session-held** pool of owned threads that
+//!   outlives any single solve. A solve attaches (shipping one
+//!   [`SolveCtx`] `Arc` per worker), runs its stages over the same parked
+//!   workers, and detaches; thread spawns are amortized across the
+//!   thousands of solves a figure sweep or a serving session performs.
+//!
+//! All pooled paths serve [`crate::engine::StartMode::Partial`] too: a
+//! partial solve's samples are independent draws growing from the same
+//! seed set, so they stripe across workers exactly like fresh samples.
+//!
+//! Each worker owns its `Sampler` (and thus its `GrowthWorkspace` and
+//! weight buffer) for the whole solve, result buffers are recycled through
+//! the job channel, and the per-sample `Vec<NodeId>` node lists flow
+//! coordinator → worker → coordinator through a slab (job messages carry
+//! spent buffers back; see [`StageExec::run_stage`]) — steady-state stages
+//! allocate nothing.
 //!
 //! Determinism: every `(start node, stage, sample)` triple draws from its
 //! own RNG stream ([`crate::sample_seed`]), and results are keyed by item
@@ -20,16 +33,18 @@
 //! (including the serial executor) produces bit-identical solves.
 //!
 //! Stall cutoff: a failed draw means the start's component is smaller than
-//! `k`, so every other draw of that start fails too (deterministically).
-//! Both executors publish stalls in [`StageShared::stalled`] and skip the
-//! start's remaining items — their result slots stay `None`, which is
-//! exactly what drawing them would produce, so the cutoff is invisible to
-//! the merge. This keeps the historical break-on-first-stall cost profile
-//! and keeps serial/pooled wall-clock comparable on stall-heavy graphs.
+//! `k` (or the seed set cannot be completed), so every other draw of that
+//! start fails too (deterministically). All executors publish stalls in
+//! [`StageShared::stalled`] and skip the start's remaining items — their
+//! result slots stay `None`, which is exactly what drawing them would
+//! produce, so the cutoff is invisible to the merge. This keeps the
+//! historical break-on-first-stall cost profile and keeps serial/pooled
+//! wall-clock comparable on stall-heavy graphs.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -104,8 +119,30 @@ impl StageShared {
     }
 }
 
+/// Everything one solve shares with the workers of a session-held
+/// [`SolverPool`]. Owned (`Arc`ed instance, owned seed list) because the
+/// pool's threads outlive any borrow a single solve could offer.
+pub(crate) struct SolveCtx {
+    /// The validated instance, cloned into an `Arc` once per solve (or
+    /// once per *batch* — the session facade reuses one `Arc` across a
+    /// whole `solve_batch`).
+    pub instance: Arc<WasoInstance>,
+    /// Blocked nodes (declined invitees, §4.4.1).
+    pub blocked: Option<BitSet>,
+    /// The stage state this solve's coordinator and workers share.
+    pub shared: StageShared,
+    /// The solve's master seed.
+    pub seed: u64,
+    /// [`crate::engine::StartMode::Partial`] seed set; `None` for fresh
+    /// solves.
+    pub partial: Option<Vec<NodeId>>,
+}
+
 /// Draws one work item with the given sampler. `vectors` is empty for the
-/// uniform distribution; otherwise it holds one vector per start node.
+/// uniform distribution; otherwise it holds one vector per start node. In
+/// partial mode (`seeds` present) the sample grows from the whole seed set
+/// instead of the item's start node — same RNG stream either way, so
+/// partial solves stripe across workers exactly like fresh ones.
 #[inline]
 fn draw_item(
     sampler: &mut Sampler,
@@ -114,6 +151,7 @@ fn draw_item(
     vectors: &[ProbabilityVector],
     stage: u64,
     seed: u64,
+    partial: Option<&[NodeId]>,
 ) -> Option<Sample> {
     let mut rng = StdRng::seed_from_u64(crate::sample_seed(
         seed,
@@ -122,12 +160,56 @@ fn draw_item(
         item.q,
     ));
     let probs = vectors.get(item.start_index as usize);
-    sampler.sample(instance, item.start, probs, &mut rng)
+    match partial {
+        Some(seeds) => sampler.sample_from_partial(instance, seeds, probs, &mut rng),
+        None => sampler.sample(instance, item.start, probs, &mut rng),
+    }
+}
+
+/// Draws worker `w`'s stripe (items `w, w+T, w+2T, …`) of one stage into
+/// `buf`. Shared verbatim by the scoped per-solve workers and the
+/// session-held pool workers so the two can never drift behaviourally.
+#[allow(clippy::too_many_arguments)]
+fn draw_stripe(
+    sampler: &mut Sampler,
+    instance: &WasoInstance,
+    shared: &StageShared,
+    partial: Option<&[NodeId]>,
+    stage: u64,
+    seed: u64,
+    w: usize,
+    stride: usize,
+    buf: &mut Vec<(usize, Option<Sample>)>,
+) {
+    let items = shared.items.read().expect("no poisoned stage locks");
+    let vectors = shared.vectors.read().expect("no poisoned stage locks");
+    let mut j = w;
+    while j < items.len() {
+        let item = items[j];
+        if !shared.is_stalled(item.start_index) {
+            let s = draw_item(sampler, instance, item, &vectors, stage, seed, partial);
+            if s.is_none() {
+                shared.mark_stalled(item.start_index);
+            }
+            buf.push((j, s));
+        }
+        // Skipped items' result slots stay None — the outcome a draw
+        // would have produced.
+        j += stride;
+    }
 }
 
 /// A stage executor: fills `results[j]` with the outcome of item `j`.
+/// `slab` carries the node buffers of already-consumed samples *into* the
+/// call (the executor hands them to its samplers for reuse); executors
+/// take what they need and leave the rest.
 pub(crate) trait StageExec {
-    fn run_stage(&mut self, stage: u64, results: &mut [Option<Sample>]);
+    fn run_stage(
+        &mut self,
+        stage: u64,
+        results: &mut [Option<Sample>],
+        slab: &mut Vec<Vec<NodeId>>,
+    );
 }
 
 /// The calling-thread executor: one sampler, items drawn in order.
@@ -136,44 +218,36 @@ pub(crate) struct SerialExec<'a> {
     pub shared: &'a StageShared,
     pub sampler: Sampler,
     pub seed: u64,
-    /// Online-replanning mode: grow every sample from this partial
-    /// solution instead of the item's start node (§4.4.1). Serial-only —
-    /// the engine routes partial solves here regardless of backend.
+    /// Online-replanning / required-attendee mode: grow every sample from
+    /// this partial solution instead of the item's start node (§4.4.1).
     pub partial: Option<&'a [NodeId]>,
 }
 
 impl StageExec for SerialExec<'_> {
-    fn run_stage(&mut self, stage: u64, results: &mut [Option<Sample>]) {
+    fn run_stage(
+        &mut self,
+        stage: u64,
+        results: &mut [Option<Sample>],
+        slab: &mut Vec<Vec<NodeId>>,
+    ) {
+        for buf in slab.drain(..) {
+            self.sampler.recycle(buf);
+        }
         let items = self.shared.items.read().expect("no poisoned stage locks");
         let vectors = self.shared.vectors.read().expect("no poisoned stage locks");
         for (j, &item) in items.iter().enumerate() {
             if self.shared.is_stalled(item.start_index) {
                 continue; // slot stays None, as a draw would produce
             }
-            results[j] = match self.partial {
-                Some(seeds) => {
-                    let mut rng = StdRng::seed_from_u64(crate::sample_seed(
-                        self.seed,
-                        item.start_index as u64,
-                        stage,
-                        item.q,
-                    ));
-                    self.sampler.sample_from_partial(
-                        self.instance,
-                        seeds,
-                        vectors.get(item.start_index as usize),
-                        &mut rng,
-                    )
-                }
-                None => draw_item(
-                    &mut self.sampler,
-                    self.instance,
-                    item,
-                    &vectors,
-                    stage,
-                    self.seed,
-                ),
-            };
+            results[j] = draw_item(
+                &mut self.sampler,
+                self.instance,
+                item,
+                &vectors,
+                stage,
+                self.seed,
+                self.partial,
+            );
             if results[j].is_none() {
                 self.shared.mark_stalled(item.start_index);
             }
@@ -182,10 +256,33 @@ impl StageExec for SerialExec<'_> {
 }
 
 /// One per-stage assignment sent to a parked worker. Carries a recycled
-/// output buffer so steady-state stages perform no buffer allocation.
+/// output buffer and a share of the spent node-buffer slab, so
+/// steady-state stages perform no allocation at all.
 struct Job {
     stage: u64,
     buf: Vec<(usize, Option<Sample>)>,
+    /// Spent `Sample::nodes` buffers flowing back to the worker's sampler.
+    recycled: Vec<Vec<NodeId>>,
+}
+
+/// One worker's per-stage answer: its stripe results, plus the emptied
+/// recycling container going back to the coordinator's spares.
+struct StripeResult {
+    buf: Vec<(usize, Option<Sample>)>,
+    empties: Vec<Vec<NodeId>>,
+}
+
+/// Splits up to `per_worker` node buffers off `slab` into a recycled
+/// container from `spares`.
+fn take_share(
+    slab: &mut Vec<Vec<NodeId>>,
+    spares: &mut Vec<Vec<Vec<NodeId>>>,
+    per_worker: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut share = spares.pop().unwrap_or_default();
+    let cut = slab.len().saturating_sub(per_worker);
+    share.extend(slab.drain(cut..));
+    share
 }
 
 /// The coordinator's handle to one pool worker: its job sender and its
@@ -195,14 +292,108 @@ struct Job {
 /// forever on a channel kept open by the surviving workers.
 struct WorkerHandle {
     job_tx: Sender<Job>,
-    result_rx: Receiver<Vec<(usize, Option<Sample>)>>,
+    result_rx: Receiver<StripeResult>,
 }
 
-/// The persistent worker pool: spawned once per solve inside a
-/// `std::thread::scope`, fed one [`Job`] per worker per stage.
+/// Buffer spares a pooled coordinator keeps between stages.
+#[derive(Default)]
+struct PoolSpares {
+    bufs: Vec<Vec<(usize, Option<Sample>)>>,
+    recycle_containers: Vec<Vec<Vec<NodeId>>>,
+}
+
+/// The coordinator's view of one parked worker — how to hand it a stage
+/// job and collect its stripe. Implemented by both pool flavours so the
+/// dispatch/merge choreography exists exactly once.
+trait StageWorker {
+    fn send_stage(&self, job: Job);
+    fn recv_result(&self) -> StripeResult;
+}
+
+impl StageWorker for WorkerHandle {
+    fn send_stage(&self, job: Job) {
+        self.job_tx.send(job).expect("pool worker panicked");
+    }
+    fn recv_result(&self) -> StripeResult {
+        self.result_rx.recv().expect("pool worker panicked")
+    }
+}
+
+/// Sends one stage's jobs to `workers` and merges their stripes into
+/// `results` — the common coordinator half of both pool flavours. A dead
+/// worker surfaces as a recv error (its sender is dropped on unwind), and
+/// the resulting coordinator panic propagates the failure instead of
+/// deadlocking.
+fn run_pooled_stage<W: StageWorker>(
+    workers: &[W],
+    spares: &mut PoolSpares,
+    stage: u64,
+    results: &mut [Option<Sample>],
+    slab: &mut Vec<Vec<NodeId>>,
+) {
+    let per_worker = slab.len().div_ceil(workers.len().max(1));
+    for worker in workers {
+        let buf = spares.bufs.pop().unwrap_or_default();
+        let recycled = take_share(slab, &mut spares.recycle_containers, per_worker);
+        worker.send_stage(Job {
+            stage,
+            buf,
+            recycled,
+        });
+    }
+    for worker in workers {
+        let StripeResult { mut buf, empties } = worker.recv_result();
+        for (j, s) in buf.drain(..) {
+            results[j] = s;
+        }
+        spares.bufs.push(buf);
+        spares.recycle_containers.push(empties);
+    }
+}
+
+/// The worker half of one stage: absorb the recycled buffers, draw the
+/// stripe, send the batch back. Returns `false` when the coordinator is
+/// gone and the worker should stop.
+#[allow(clippy::too_many_arguments)]
+fn work_stage(
+    sampler: &mut Sampler,
+    instance: &WasoInstance,
+    shared: &StageShared,
+    partial: Option<&[NodeId]>,
+    seed: u64,
+    w: usize,
+    stride: usize,
+    job: Job,
+    result_tx: &Sender<StripeResult>,
+) -> bool {
+    let Job {
+        stage,
+        mut buf,
+        mut recycled,
+    } = job;
+    buf.clear();
+    for spent in recycled.drain(..) {
+        sampler.recycle(spent);
+    }
+    draw_stripe(
+        sampler, instance, shared, partial, stage, seed, w, stride, &mut buf,
+    );
+    result_tx
+        .send(StripeResult {
+            buf,
+            empties: recycled,
+        })
+        .is_ok()
+}
+
+/// The per-solve worker pool: spawned once per solve inside a
+/// `std::thread::scope`, fed one [`Job`] per worker per stage. One-shot
+/// solves use this (it borrows the solve's state, so the instance is
+/// never cloned); sessions and batch solves amortize further with the
+/// owned [`SolverPool`].
 pub(crate) struct WorkerPool {
     workers: Vec<WorkerHandle>,
-    spare_bufs: Vec<Vec<(usize, Option<Sample>)>>,
+    spares: PoolSpares,
 }
 
 impl WorkerPool {
@@ -211,6 +402,7 @@ impl WorkerPool {
     /// items and vectors → draw its stripe (items `w, w+T, w+2T, …`) →
     /// send the batch back. Workers exit when the pool (and with it the
     /// job senders) is dropped.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn<'scope, 'env: 'scope>(
         scope: &'scope std::thread::Scope<'scope, 'env>,
         threads: usize,
@@ -218,6 +410,7 @@ impl WorkerPool {
         blocked: &'env Option<BitSet>,
         shared: &'env StageShared,
         seed: u64,
+        partial: Option<&'env [NodeId]>,
     ) -> Self {
         let threads = threads.max(1);
         let mut workers = Vec::with_capacity(threads);
@@ -228,28 +421,18 @@ impl WorkerPool {
             scope.spawn(move || {
                 let mut sampler = Sampler::for_instance(instance);
                 sampler.set_blocked(blocked.clone());
-                while let Ok(Job { stage, mut buf }) = job_rx.recv() {
-                    buf.clear();
-                    {
-                        let items = shared.items.read().expect("no poisoned stage locks");
-                        let vectors = shared.vectors.read().expect("no poisoned stage locks");
-                        let mut j = w;
-                        while j < items.len() {
-                            let item = items[j];
-                            if !shared.is_stalled(item.start_index) {
-                                let s =
-                                    draw_item(&mut sampler, instance, item, &vectors, stage, seed);
-                                if s.is_none() {
-                                    shared.mark_stalled(item.start_index);
-                                }
-                                buf.push((j, s));
-                            }
-                            // Skipped items' result slots stay None — the
-                            // outcome a draw would have produced.
-                            j += threads;
-                        }
-                    }
-                    if result_tx.send(buf).is_err() {
+                while let Ok(job) = job_rx.recv() {
+                    if !work_stage(
+                        &mut sampler,
+                        instance,
+                        shared,
+                        partial,
+                        seed,
+                        w,
+                        threads,
+                        job,
+                        &result_tx,
+                    ) {
                         break; // coordinator gone mid-stage
                     }
                 }
@@ -257,30 +440,195 @@ impl WorkerPool {
         }
         Self {
             workers,
-            spare_bufs: Vec::with_capacity(threads),
+            spares: PoolSpares::default(),
         }
     }
 }
 
 impl StageExec for WorkerPool {
-    fn run_stage(&mut self, stage: u64, results: &mut [Option<Sample>]) {
+    fn run_stage(
+        &mut self,
+        stage: u64,
+        results: &mut [Option<Sample>],
+        slab: &mut Vec<Vec<NodeId>>,
+    ) {
+        run_pooled_stage(&self.workers, &mut self.spares, stage, results, slab);
+    }
+}
+
+/// A message to a session-held pool worker.
+enum PoolMsg {
+    /// Begin serving a solve: build a sampler for the context's instance
+    /// and hold the context until [`PoolMsg::Detach`].
+    Attach(Arc<SolveCtx>),
+    /// Draw one stage's stripe of the attached solve.
+    Stage(Job),
+    /// The solve is over; drop the context and sampler, park for the next.
+    Detach,
+}
+
+/// A worker thread of a [`SolverPool`].
+struct OwnedWorker {
+    job_tx: Sender<PoolMsg>,
+    result_rx: Receiver<StripeResult>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StageWorker for OwnedWorker {
+    fn send_stage(&self, job: Job) {
+        self.job_tx
+            .send(PoolMsg::Stage(job))
+            .expect("pool worker panicked");
+    }
+    fn recv_result(&self) -> StripeResult {
+        self.result_rx.recv().expect("pool worker panicked")
+    }
+}
+
+/// A **session-held** worker pool: `threads` owned OS threads spawned
+/// once and reused by every pooled solve a session (or the bench batch
+/// runner) performs, amortizing thread spawns across solves — the §5.3.1
+/// parallel regime at serving scale.
+///
+/// A solve attaches (each worker receives the solve's [`SolveCtx`] and
+/// builds a sampler for its instance), runs stages over the parked
+/// workers, then detaches. The stripe layout, RNG streams and merge order
+/// are identical to the per-solve [`WorkerPool`] and the serial executor,
+/// so results are bit-identical to both, for every worker count —
+/// including partial-mode (required-attendee / online-replanning) solves.
+pub struct SolverPool {
+    workers: Vec<OwnedWorker>,
+    spares: PoolSpares,
+    threads: usize,
+}
+
+impl std::fmt::Debug for SolverPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolverPool {
+    /// Spawns a pool of `threads` owned workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (job_tx, job_rx) = channel::<PoolMsg>();
+            let (result_tx, result_rx) = channel::<StripeResult>();
+            let handle = std::thread::Builder::new()
+                .name(format!("waso-pool-{w}"))
+                .spawn(move || {
+                    let mut attached: Option<(Arc<SolveCtx>, Sampler)> = None;
+                    while let Ok(msg) = job_rx.recv() {
+                        match msg {
+                            PoolMsg::Attach(ctx) => {
+                                let mut sampler = Sampler::for_instance(&ctx.instance);
+                                sampler.set_blocked(ctx.blocked.clone());
+                                attached = Some((ctx, sampler));
+                            }
+                            PoolMsg::Detach => attached = None,
+                            PoolMsg::Stage(job) => {
+                                let (ctx, sampler) = attached
+                                    .as_mut()
+                                    .expect("stage job sent to a detached pool worker");
+                                if !work_stage(
+                                    sampler,
+                                    &ctx.instance,
+                                    &ctx.shared,
+                                    ctx.partial.as_deref(),
+                                    ctx.seed,
+                                    w,
+                                    threads,
+                                    job,
+                                    &result_tx,
+                                ) {
+                                    break; // pool dropped mid-stage
+                                }
+                            }
+                        }
+                    }
+                })
+                .expect("spawning a pool worker thread");
+            workers.push(OwnedWorker {
+                job_tx,
+                result_rx,
+                handle: Some(handle),
+            });
+        }
+        Self {
+            workers,
+            spares: PoolSpares::default(),
+            threads,
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Attaches one solve to the pool. The returned guard is the solve's
+    /// [`StageExec`]; dropping it detaches the workers.
+    pub(crate) fn attach(&mut self, ctx: Arc<SolveCtx>) -> AttachedPool<'_> {
         for worker in &self.workers {
-            let buf = self.spare_bufs.pop().unwrap_or_default();
             worker
                 .job_tx
-                .send(Job { stage, buf })
+                .send(PoolMsg::Attach(ctx.clone()))
                 .expect("pool worker panicked");
         }
-        // Collect each worker's batch from its own channel: a dead worker
-        // surfaces as a recv error (its sender is dropped on unwind), and
-        // the resulting coordinator panic lets `thread::scope` propagate
-        // the worker's original panic instead of deadlocking.
-        for worker in &self.workers {
-            let mut batch = worker.result_rx.recv().expect("pool worker panicked");
-            for (j, s) in batch.drain(..) {
-                results[j] = s;
+        AttachedPool { pool: self }
+    }
+}
+
+impl Drop for SolverPool {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Dropping the sender unparks the worker's recv loop.
+            let (dead_tx, _) = channel();
+            worker.job_tx = dead_tx;
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                // A worker that panicked already surfaced the failure to
+                // its coordinator; the join result adds nothing here.
+                let _ = handle.join();
             }
-            self.spare_bufs.push(batch);
+        }
+    }
+}
+
+/// One solve's executor over a session-held [`SolverPool`] — detaches the
+/// workers on drop.
+pub(crate) struct AttachedPool<'p> {
+    pool: &'p mut SolverPool,
+}
+
+impl StageExec for AttachedPool<'_> {
+    fn run_stage(
+        &mut self,
+        stage: u64,
+        results: &mut [Option<Sample>],
+        slab: &mut Vec<Vec<NodeId>>,
+    ) {
+        run_pooled_stage(
+            &self.pool.workers,
+            &mut self.pool.spares,
+            stage,
+            results,
+            slab,
+        );
+    }
+}
+
+impl Drop for AttachedPool<'_> {
+    fn drop(&mut self) {
+        for worker in &self.pool.workers {
+            // The pool may already be tearing down (worker gone); detach
+            // failures are then unobservable and harmless.
+            let _ = worker.job_tx.send(PoolMsg::Detach);
         }
     }
 }

@@ -9,7 +9,7 @@
 //! | [`sampler`] | §3.1 | random growth of partial solutions (uniform / probability-vector weighted) |
 //! | [`ocba`] | §3.1–3.2 | computational-budget allocation across start nodes, stage derivation |
 //! | [`engine`] | §3–§4, §5.3.1 | **the** staged-sampling loop: allocation × distribution × backend |
-//! | [`exec`] | §5.3.1 | execution backends: serial, persistent worker pool (spawned once per solve) |
+//! | [`exec`] | §5.3.1 | execution backends: serial, per-solve worker pool, session-held [`SolverPool`] |
 //! | [`cbas`] | §3 | `Cbas` — the engine with uniform candidate selection |
 //! | [`cross_entropy`] | §4.2–4.3 | sparse node-selection probability vectors, elite updates, smoothing |
 //! | [`cbasnd`] | §4 | `CbasNd` — the engine with cross-entropy neighbour differentiation |
@@ -52,7 +52,7 @@ pub use cbas::{Cbas, CbasConfig};
 pub use cbasnd::{CbasNd, CbasNdConfig};
 pub use cross_entropy::ProbabilityVector;
 pub use engine::{Distribution, StagedEngine, StartMode};
-pub use exec::ExecBackend;
+pub use exec::{ExecBackend, SolverPool};
 pub use gaussian::Allocation;
 pub use greedy::DGreedy;
 pub use online::OnlinePlanner;
@@ -77,6 +77,18 @@ pub enum SolveError {
         /// The solver that rejected the constraint.
         solver: &'static str,
     },
+    /// A solver parameter is outside its valid range (e.g. a cross-entropy
+    /// elite fraction ρ of 0). Returned — never panicked — so a serving
+    /// process survives user-supplied specs; the registry builders reject
+    /// the same ranges earlier with [`SpecError::OutOfRange`].
+    BadParameter {
+        /// The offending parameter name (`"rho"`, `"smoothing"`).
+        param: &'static str,
+        /// The rejected value, rendered.
+        value: String,
+        /// The accepted range, rendered (`"in (0, 1]"`).
+        expected: &'static str,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -93,6 +105,14 @@ impl std::fmt::Display for SolveError {
                 f,
                 "solver '{solver}' cannot guarantee required attendees \
                  (use cbas-nd, cbas-nd-g, or dgreedy with a single attendee)"
+            ),
+            SolveError::BadParameter {
+                param,
+                value,
+                expected,
+            } => write!(
+                f,
+                "parameter {param}={value} is invalid (must be {expected})"
             ),
         }
     }
@@ -229,6 +249,31 @@ pub trait Solver {
     /// constraint, so ignoring it is sound.
     fn warm_start(&mut self, incumbent: &Group) {
         let _ = incumbent;
+    }
+
+    /// The worker count this solver would use from a session-held
+    /// [`SolverPool`], or `None` for inherently serial solvers. Sessions
+    /// use this to decide whether a solve is worth routing through (and
+    /// lazily spawning) their shared pool.
+    fn pool_threads(&self) -> Option<usize> {
+        None
+    }
+
+    /// [`Solver::solve_with_required`] over a session-held pool: pooled
+    /// solvers borrow the already-spawned workers instead of spawning
+    /// their own, amortizing thread creation across every solve of a
+    /// session or batch. Results are bit-identical to the non-pooled
+    /// paths for every worker count (per-sample RNG streams, in-order
+    /// merge). The default ignores the pool — correct for serial solvers.
+    fn solve_pooled(
+        &mut self,
+        instance: &std::sync::Arc<WasoInstance>,
+        required: &[NodeId],
+        seed: u64,
+        pool: &mut SolverPool,
+    ) -> Result<SolveResult, SolveError> {
+        let _ = pool;
+        self.solve_with_required(instance, required, seed)
     }
 }
 

@@ -129,10 +129,14 @@ impl OnlinePlanner {
     }
 
     /// Records confirmations. Confirming is cheap — no replan needed, the
-    /// attendee was already in the plan. Unknown nodes and
-    /// confirm-after-decline conflicts are rejected.
+    /// attendee was already in the plan. Unknown nodes,
+    /// confirm-after-decline conflicts and over-confirmation beyond `k`
+    /// are rejected **before** any state changes: an erroring `confirm`
+    /// leaves the planner exactly as it was, so later replans are not
+    /// poisoned by a half-applied response batch.
     pub fn confirm(&mut self, nodes: &[NodeId]) -> Result<(), OnlineError> {
         let n = self.instance.graph().num_nodes() as u32;
+        let mut fresh: Vec<NodeId> = Vec::new();
         for &v in nodes {
             if v.0 >= n {
                 return Err(OnlineError::Unknown(v.0));
@@ -140,15 +144,14 @@ impl OnlinePlanner {
             if self.declined.contains(v.index()) {
                 return Err(OnlineError::Conflict(v.0));
             }
-        }
-        for &v in nodes {
-            if !self.confirmed.contains(&v) {
-                self.confirmed.push(v);
+            if !self.confirmed.contains(&v) && !fresh.contains(&v) {
+                fresh.push(v);
             }
         }
-        if self.confirmed.len() > self.instance.k() {
+        if self.confirmed.len() + fresh.len() > self.instance.k() {
             return Err(OnlineError::TooManyConfirmed);
         }
+        self.confirmed.extend(fresh);
         Ok(())
     }
 
@@ -156,6 +159,11 @@ impl OnlinePlanner {
     /// every sample, declined nodes are blocked, and phase 1 (start-node
     /// selection) is skipped entirely per §4.4.1. Returns the new
     /// recommendation.
+    ///
+    /// Transactional like [`OnlinePlanner::confirm`]: on *any* error —
+    /// validation or a failed replan (e.g. the declines leave no feasible
+    /// completion) — the planner's state is exactly what it was before
+    /// the call, so the host can surface the problem and keep planning.
     pub fn decline(&mut self, nodes: &[NodeId]) -> Result<&Group, OnlineError> {
         let n = self.instance.graph().num_nodes() as u32;
         for &v in nodes {
@@ -166,15 +174,15 @@ impl OnlinePlanner {
                 return Err(OnlineError::Conflict(v.0));
             }
         }
+        let mut declined = self.declined.clone();
         for &v in nodes {
-            self.declined.insert(v.index());
+            declined.insert(v.index());
         }
-        self.replans += 1;
 
         let mut config = self.config.clone();
-        config.base.blocked = Some(self.declined.clone());
+        config.base.blocked = Some(declined.clone());
         let mut solver = CbasNd::new(config);
-        let seed = self.seed.wrapping_add(self.replans);
+        let seed = self.seed.wrapping_add(self.replans + 1);
 
         let result: Result<SolveResult, SolveError> = if self.confirmed.is_empty() {
             // Nothing confirmed yet: an ordinary solve with blocking.
@@ -182,7 +190,10 @@ impl OnlinePlanner {
         } else {
             solver.solve_with_seeds(&self.instance, &self.confirmed.clone(), seed)
         };
+        // Commit only on success.
         self.current = result?.group;
+        self.declined = declined;
+        self.replans += 1;
         Ok(&self.current)
     }
 }
@@ -276,6 +287,102 @@ mod tests {
         // exceeding k is not.
         let res = planner.confirm(&many);
         assert_eq!(res.unwrap_err(), OnlineError::TooManyConfirmed);
+    }
+
+    /// The observable planner state, for no-mutation-on-error assertions.
+    fn snapshot(p: &OnlinePlanner) -> (Vec<NodeId>, Group, u64) {
+        (p.confirmed().to_vec(), p.current().clone(), p.replans())
+    }
+
+    #[test]
+    fn erroring_confirm_leaves_state_untouched() {
+        let mut planner = OnlinePlanner::new(instance(30, 3, 11), fast_config(), 5).unwrap();
+        let member = planner.current().nodes()[0];
+        planner.confirm(&[member]).unwrap();
+        let before = snapshot(&planner);
+
+        // Unknown node.
+        assert_eq!(
+            planner.confirm(&[NodeId(999)]).unwrap_err(),
+            OnlineError::Unknown(999)
+        );
+        assert_eq!(snapshot(&planner), before);
+
+        // Unknown node listed *after* valid ones — the valid prefix must
+        // not be half-applied.
+        let fresh = planner.current().nodes()[1];
+        assert_eq!(
+            planner.confirm(&[fresh, NodeId(999)]).unwrap_err(),
+            OnlineError::Unknown(999)
+        );
+        assert_eq!(snapshot(&planner), before);
+
+        // Confirm-after-decline conflict.
+        let outsider = planner.current().nodes()[2];
+        planner.decline(&[outsider]).unwrap();
+        let before = snapshot(&planner);
+        assert_eq!(
+            planner.confirm(&[fresh, outsider]).unwrap_err(),
+            OnlineError::Conflict(outsider.0)
+        );
+        assert_eq!(snapshot(&planner), before);
+
+        // Over-confirmation: the k-2 new nodes that fit must not stick
+        // when the batch as a whole exceeds k.
+        let many: Vec<NodeId> = (0..4).map(NodeId).collect();
+        assert_eq!(
+            planner.confirm(&many).unwrap_err(),
+            OnlineError::TooManyConfirmed
+        );
+        assert_eq!(snapshot(&planner), before);
+
+        // The planner is still fully serviceable afterwards.
+        planner.confirm(&[fresh]).unwrap();
+        assert_eq!(planner.confirmed().len(), 2);
+    }
+
+    #[test]
+    fn erroring_decline_leaves_state_untouched() {
+        let mut planner = OnlinePlanner::new(instance(30, 4, 12), fast_config(), 6).unwrap();
+        let confirmed = planner.current().nodes()[0];
+        planner.confirm(&[confirmed]).unwrap();
+        let before = snapshot(&planner);
+
+        assert_eq!(
+            planner.decline(&[NodeId(999)]).unwrap_err(),
+            OnlineError::Unknown(999)
+        );
+        assert_eq!(snapshot(&planner), before);
+
+        assert_eq!(
+            planner.decline(&[confirmed]).unwrap_err(),
+            OnlineError::Conflict(confirmed.0)
+        );
+        assert_eq!(snapshot(&planner), before);
+    }
+
+    #[test]
+    fn infeasible_replan_rolls_back_the_declines() {
+        // Path 0-1-2 with k = 3: declining the middle node leaves no
+        // feasible group; the planner must report the failure and stay on
+        // its previous plan, with the decline un-applied.
+        let mut b = waso_graph::GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..3).map(|i| b.add_node(1.0 + i as f64)).collect();
+        b.add_edge_symmetric(ids[0], ids[1], 1.0).unwrap();
+        b.add_edge_symmetric(ids[1], ids[2], 1.0).unwrap();
+        let inst = WasoInstance::new(b.build(), 3).unwrap();
+        let mut planner = OnlinePlanner::new(inst, fast_config(), 7).unwrap();
+        let before = snapshot(&planner);
+
+        assert_eq!(
+            planner.decline(&[ids[1]]).unwrap_err(),
+            OnlineError::Solve(SolveError::NoFeasibleGroup)
+        );
+        assert_eq!(snapshot(&planner), before, "failed replan mutated state");
+
+        // The un-applied decline is really gone: the same seed replays to
+        // the same (full) plan, and the node can still be confirmed.
+        planner.confirm(&[ids[1]]).unwrap();
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! [`crate::engine::StagedEngine`] with the [`ExecBackend::Pool`] backend:
 //! a **persistent worker pool spawned once per solve** (not once per
 //! stage), each worker keeping its sampler and buffers for the whole run
-//! (see [`crate::exec`]). Every `(start node, stage, sample)` triple draws
+//! (see [`crate::exec`]) — or, through [`Solver::solve_pooled`], a
+//! session-held [`SolverPool`] shared across solves. Required-attendee
+//! solves run partial-solution growth on the pool as well.
+//! Every `(start node, stage, sample)` triple draws
 //! from its own deterministic RNG stream (`sample_seed`) and the engine
 //! merges results in sample order, so the outcome is **bit-identical for
 //! any thread count** — `threads = 1` reproduces the serial
@@ -20,12 +23,14 @@
 //! harness sweeps the same thread counts on whatever cores this machine
 //! has.
 
+use std::sync::Arc;
+
 use waso_core::WasoInstance;
 use waso_graph::NodeId;
 
 use crate::cbasnd::CbasNdConfig;
 use crate::engine::{StagedEngine, StartMode};
-use crate::exec::ExecBackend;
+use crate::exec::{ExecBackend, SolverPool};
 use crate::{SolveError, SolveResult, Solver};
 
 /// Parallel CBAS-ND with a fixed worker count.
@@ -63,17 +68,18 @@ impl Solver for ParallelCbasNd {
 
     fn capabilities(&self) -> crate::Capabilities {
         crate::Capabilities {
-            required_attendees: true, // honoured by routing to serial
+            required_attendees: true, // partial-mode growth, pooled too
             parallel: true,
             randomized: true,
             ..crate::Capabilities::default()
         }
     }
 
-    /// The partial-solution growth mode that guarantees required
-    /// attendees is serial-only, so constrained solves run the engine's
-    /// serial path with the same configuration — the constraint is
-    /// honoured at the cost of the parallel speedup, never dropped.
+    /// Required-attendee solves run the engine's partial-solution growth
+    /// on the **pooled** backend: partial-mode samples are independent
+    /// draws from the same seed set, so they stripe across workers like
+    /// fresh samples — the constraint is honoured at full parallel speed,
+    /// bit-identically to the serial path.
     fn solve_with_required(
         &mut self,
         instance: &WasoInstance,
@@ -96,6 +102,30 @@ impl Solver for ParallelCbasNd {
         seed: u64,
     ) -> Result<SolveResult, SolveError> {
         self.engine().solve(instance, StartMode::Fresh, seed)
+    }
+
+    fn pool_threads(&self) -> Option<usize> {
+        Some(self.threads)
+    }
+
+    /// Runs over a session-held pool — fresh and required-attendee solves
+    /// alike — amortizing worker spawns across the session's solves.
+    fn solve_pooled(
+        &mut self,
+        instance: &Arc<WasoInstance>,
+        required: &[NodeId],
+        seed: u64,
+        pool: &mut SolverPool,
+    ) -> Result<SolveResult, SolveError> {
+        if required.len() > instance.k() {
+            return Err(SolveError::NoFeasibleGroup);
+        }
+        let mode = if required.is_empty() {
+            StartMode::Fresh
+        } else {
+            StartMode::Partial(required)
+        };
+        self.engine().solve_in_pool(pool, instance, mode, seed)
     }
 }
 
@@ -192,18 +222,44 @@ mod tests {
     }
 
     #[test]
-    fn required_attendees_route_through_the_serial_path() {
+    fn required_attendees_are_pooled_and_match_serial() {
+        // Partial-mode (required-attendee) solves run on the worker pool
+        // too, and must be bit-identical to the serial path.
         let inst = instance(50, 6, 9);
         let required = [NodeId(0), NodeId(1)];
-        let par = ParallelCbasNd::new(config(60), 4)
-            .solve_with_required(&inst, &required, 2)
-            .unwrap();
         let serial = CbasNd::new(config(60))
             .solve_with_required(&inst, &required, 2)
             .unwrap();
-        assert_eq!(par.group, serial.group);
-        for &v in &required {
-            assert!(par.group.contains(v));
+        for threads in [1, 2, 4] {
+            let par = ParallelCbasNd::new(config(60), threads)
+                .solve_with_required(&inst, &required, 2)
+                .unwrap();
+            assert_eq!(par.group, serial.group, "threads={threads}");
+            assert_eq!(par.stats.samples_drawn, serial.stats.samples_drawn);
+            for &v in &required {
+                assert!(par.group.contains(v));
+            }
         }
+    }
+
+    #[test]
+    fn session_pool_matches_per_solve_pool() {
+        let inst = Arc::new(instance(60, 5, 11));
+        let mut pool = SolverPool::new(4);
+        let mut solver = ParallelCbasNd::new(config(90), 2);
+        let direct = solver.solve_seeded(&inst, 6).unwrap();
+        // Two pooled solves over the same held pool: identical to the
+        // per-solve pool, and the pool stays serviceable between solves.
+        for _ in 0..2 {
+            let held = solver.solve_pooled(&inst, &[], 6, &mut pool).unwrap();
+            assert_eq!(held.group, direct.group);
+            assert_eq!(held.stats.samples_drawn, direct.stats.samples_drawn);
+        }
+        let required = [NodeId(0), NodeId(1)];
+        let serial = CbasNd::new(config(90))
+            .solve_with_required(&inst, &required, 6)
+            .unwrap();
+        let held = solver.solve_pooled(&inst, &required, 6, &mut pool).unwrap();
+        assert_eq!(held.group, serial.group);
     }
 }

@@ -106,6 +106,7 @@ impl SolverRegistry {
             summary: "budget-allocated uniform random sampling (§3)",
             capabilities: Capabilities {
                 randomized: true,
+                parallel: true, // threads=N selects the pooled backend
                 ..Capabilities::default()
             },
             roster_rank: Some(1),
@@ -259,7 +260,7 @@ impl SolverRegistry {
 
 const DGREEDY_KEYS: &[&str] = &["starts"];
 const RGREEDY_KEYS: &[&str] = &["budget", "start-nodes", "starts"];
-const CBAS_KEYS: &[&str] = &["budget", "stages", "start-nodes", "starts"];
+const CBAS_KEYS: &[&str] = &["budget", "stages", "start-nodes", "starts", "threads"];
 
 fn build_dgreedy(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     spec.ensure_only("dgreedy", DGREEDY_KEYS)?;
@@ -277,7 +278,11 @@ fn build_rgreedy(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
 
 fn build_cbas(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     spec.ensure_only("cbas", CBAS_KEYS)?;
-    Ok(Box::new(Cbas::new(CbasConfig::from_spec(spec))))
+    let cfg = CbasConfig::from_spec(spec);
+    Ok(Box::new(match spec.threads {
+        Some(t) => Cbas::with_threads(cfg, t),
+        None => Cbas::new(cfg),
+    }))
 }
 
 const CBASND_KEYS: &[&str] = &[
@@ -293,6 +298,7 @@ const CBASND_KEYS: &[&str] = &[
 
 fn build_cbasnd(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     spec.ensure_only("cbas-nd", CBASND_KEYS)?;
+    spec.ensure_ce_ranges()?;
     let cfg = CbasNdConfig::from_spec(spec);
     Ok(match spec.threads {
         Some(t) => Box::new(ParallelCbasNd::new(cfg, t)),
@@ -302,6 +308,7 @@ fn build_cbasnd(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
 
 fn build_cbasnd_g(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     spec.ensure_only("cbas-nd-g", CBASND_KEYS)?;
+    spec.ensure_ce_ranges()?;
     let cfg = CbasNdConfig::from_spec(spec).gaussian();
     Ok(match spec.threads {
         Some(t) => Box::new(ParallelCbasNd::new(cfg, t)),
@@ -311,6 +318,7 @@ fn build_cbasnd_g(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
 
 fn build_parallel(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     spec.ensure_only("cbas-nd-par", CBASND_KEYS)?;
+    spec.ensure_ce_ranges()?;
     let threads = spec.threads.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|c| c.get())
@@ -406,6 +414,53 @@ mod tests {
                 key: "smoothing"
             }
         );
+    }
+
+    #[test]
+    fn cbas_threads_knob_is_bit_identical_to_serial() {
+        // The registry-level pin of the engine's `Uniform × Pool` cell
+        // (ROADMAP: "CBAS on the pooled backend").
+        let registry = SolverRegistry::builtin();
+        let serial = registry
+            .build(&SolverSpec::cbas().budget(90).stages(3))
+            .unwrap()
+            .solve_seeded(&figure1_instance(), 5)
+            .unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let pooled = registry
+                .build(&SolverSpec::cbas().budget(90).stages(3).threads(threads))
+                .unwrap()
+                .solve_seeded(&figure1_instance(), 5)
+                .unwrap();
+            assert_eq!(pooled.group, serial.group, "threads={threads}");
+            assert_eq!(pooled.stats.samples_drawn, serial.stats.samples_drawn);
+        }
+    }
+
+    #[test]
+    fn out_of_range_ce_parameters_are_rejected_at_build_time() {
+        // A user-supplied `cbas-nd:rho=0` must be a typed error, never a
+        // panic inside a solve.
+        let registry = SolverRegistry::builtin();
+        for (spec, key) in [
+            (SolverSpec::cbas_nd().rho(0.0), "rho"),
+            (SolverSpec::cbas_nd().rho(1.5), "rho"),
+            (SolverSpec::cbas_nd_g().rho(-0.2), "rho"),
+            (SolverSpec::cbas_nd().smoothing(-0.1), "smoothing"),
+            (SolverSpec::new("cbas-nd-par").smoothing(2.0), "smoothing"),
+        ] {
+            match registry.build(&spec) {
+                Err(SpecError::OutOfRange { key: k, .. }) => assert_eq!(k, key),
+                other => panic!("{spec}: expected OutOfRange, got {:?}", other.err()),
+            }
+        }
+        // Boundary values stay legal: ρ = 1, w ∈ {0, 1}.
+        assert!(registry
+            .build(&SolverSpec::cbas_nd().rho(1.0).smoothing(0.0))
+            .is_ok());
+        assert!(registry
+            .build(&SolverSpec::cbas_nd().smoothing(1.0))
+            .is_ok());
     }
 
     #[test]

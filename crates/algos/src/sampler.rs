@@ -30,6 +30,10 @@ pub struct Sample {
 pub struct Sampler {
     ws: GrowthWorkspace,
     weights: Vec<f64>,
+    /// Recycled node buffers: successful draws pop one instead of
+    /// allocating, so a steady-state stage whose consumed samples are fed
+    /// back via [`Sampler::recycle`] allocates nothing at all.
+    spare: Vec<Vec<NodeId>>,
 }
 
 impl Sampler {
@@ -38,6 +42,7 @@ impl Sampler {
         Self {
             ws: GrowthWorkspace::new(n),
             weights: Vec::new(),
+            spare: Vec::new(),
         }
     }
 
@@ -53,6 +58,14 @@ impl Sampler {
     /// Sets the blocked node set (declined invitees, §4.4.1).
     pub fn set_blocked(&mut self, blocked: Option<BitSet>) {
         self.ws.set_blocked(blocked);
+    }
+
+    /// Returns a spent sample's node buffer for reuse by a future draw.
+    /// The staged engine feeds the buffers of merged samples back through
+    /// here (via the executors' slab), making its sample hot path
+    /// allocation-free after the first stage.
+    pub fn recycle(&mut self, buf: Vec<NodeId>) {
+        self.spare.push(buf);
     }
 
     /// Draws one sample by uniform candidate selection (CBAS). Returns
@@ -163,8 +176,11 @@ impl Sampler {
             self.ws.add(g, pick);
         }
 
+        let mut nodes = self.spare.pop().unwrap_or_default();
+        nodes.clear();
+        nodes.extend_from_slice(self.ws.selected());
         Some(Sample {
-            nodes: self.ws.selected().to_vec(),
+            nodes,
             willingness: self.ws.willingness(),
         })
     }

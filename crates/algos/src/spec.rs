@@ -84,6 +84,17 @@ pub enum SpecError {
         /// The rejected key.
         key: &'static str,
     },
+    /// An option value outside its valid range (e.g. `rho=0`). Rejected
+    /// at build time so a malformed spec string can never reach — let
+    /// alone panic — a running solver.
+    OutOfRange {
+        /// The offending key.
+        key: &'static str,
+        /// The rejected value, rendered.
+        value: String,
+        /// The accepted range, rendered (`"in (0, 1]"`).
+        expected: &'static str,
+    },
     /// A syntactically malformed option (`missing '='`).
     Malformed(String),
 }
@@ -105,6 +116,16 @@ impl fmt::Display for SpecError {
             }
             SpecError::UnsupportedOption { algorithm, key } => {
                 write!(f, "solver '{algorithm}' does not honour option '{key}'")
+            }
+            SpecError::OutOfRange {
+                key,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "solver option {key}={value} is invalid (must be {expected})"
+                )
             }
             SpecError::Malformed(opt) => {
                 write!(f, "malformed solver option '{opt}' (expected key=value)")
@@ -366,6 +387,33 @@ impl SolverSpec {
             keys.push("cap");
         }
         keys
+    }
+
+    /// Rejects cross-entropy parameters outside their valid ranges —
+    /// ρ ∈ (0, 1], smoothing `w` ∈ [0, 1] — at build time, so a bad spec
+    /// string (`cbas-nd:rho=0`) is a typed error, never a panic inside a
+    /// solve. The engine re-checks the same ranges as a backstop
+    /// ([`crate::SolveError::BadParameter`]).
+    pub(crate) fn ensure_ce_ranges(&self) -> Result<(), SpecError> {
+        if let Some(rho) = self.rho {
+            if !(rho > 0.0 && rho <= 1.0) {
+                return Err(SpecError::OutOfRange {
+                    key: "rho",
+                    value: rho.to_string(),
+                    expected: "in (0, 1]",
+                });
+            }
+        }
+        if let Some(w) = self.smoothing {
+            if !(0.0..=1.0).contains(&w) {
+                return Err(SpecError::OutOfRange {
+                    key: "smoothing",
+                    value: w.to_string(),
+                    expected: "in [0, 1]",
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Rejects any set option that is not in `allowed` — the mechanism

@@ -10,23 +10,45 @@
 //!   community degrees, where OCBA pruning behaves differently from the
 //!   heavy-tailed BA-style graphs.
 //!
+//! A third measurement targets the **serving regime**: a batch of
+//! identical 20-stage pooled solves run (a) the per-solve-spawn way —
+//! build the solver, clone the instance, spawn a fresh worker pool for
+//! every job — and (b) through one `WasoSession::solve_batch`, where the
+//! instance is validated once and every job borrows the session-held
+//! [`waso_algos::SolverPool`]. The samples/sec gap between the two rows
+//! is the amortization the session pool buys.
+//!
 //! Results are returned both as a markdown/CSV [`TableSet`] (like every
 //! figure driver) and as machine-readable [`BenchRecord`]s; the
 //! `waso-experiments` binary writes the latter to `BENCH_engine.json`.
 //! The committed copy of that file is the yardstick future perf PRs diff
-//! against — regenerate it with
+//! against (measured on a **1-core** box — it captures pool overhead,
+//! not scaling) — regenerate it with
 //! `waso-experiments --figure engine --scale smoke`.
 
+use waso::{SolverSpec, WasoSession};
 use waso_core::WasoInstance;
 use waso_datasets::synthetic;
 
 use crate::report::{BenchRecord, Cell, Table, TableSet};
-use crate::runner::{measure_spec_avg, ExperimentContext};
+use crate::runner::{
+    measure_session_batch, measure_spec_avg, measure_spec_batch_baseline, ExperimentContext,
+};
 
 use super::fig5::cbasnd_spec;
 
 /// Thread counts of the pooled sweep (the paper's Figure 5(d) axis).
 pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Stage count of the batch workload — the deep-stage setting of the
+/// PR-2 pool benchmark, where per-stage dispatch costs dominate.
+pub const BATCH_STAGES: u32 = 20;
+
+/// Jobs per measured batch.
+pub const BATCH_SOLVES: usize = 16;
+
+/// Worker count of the batch workload's pooled solver.
+pub const BATCH_THREADS: usize = 4;
 
 /// Measures both workloads across the backend sweep.
 pub fn throughput_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
@@ -75,6 +97,66 @@ pub fn throughput_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
     records
 }
 
+/// Measures the batch workload: `BATCH_SOLVES` identical 20-stage pooled
+/// solves, per-solve-spawn vs. one session-held pool. Two records whose
+/// `samples_per_sec` difference is the spawn/clone amortization.
+pub fn batch_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
+    let registry = waso::registry();
+    let k = 10;
+    let graph = synthetic::facebook_like(ctx.scale, ctx.seed);
+    let n = graph.num_nodes();
+    let inst = WasoInstance::new(graph.clone(), k).expect("workload has n >= k");
+    let spec = SolverSpec::cbas_nd()
+        .budget(ctx.budget())
+        .stages(BATCH_STAGES)
+        .start_nodes(ctx.harness_m(n))
+        .threads(BATCH_THREADS);
+    let workload = format!("facebook-like/n={n}/k={k}/batch={BATCH_SOLVES}x{BATCH_STAGES}-stage");
+
+    let baseline = measure_spec_batch_baseline(&registry, &spec, &inst, ctx.seed, BATCH_SOLVES);
+    let session = WasoSession::new(graph).k(k).seed(ctx.seed);
+    let batched = measure_session_batch(&session, &vec![spec.clone(); BATCH_SOLVES]);
+
+    [("per-solve spawn", baseline), ("session pool", batched)]
+        .into_iter()
+        .map(|(mode, meas)| BenchRecord {
+            workload: workload.clone(),
+            solver: format!("{spec} ({mode})"),
+            threads: BATCH_THREADS,
+            mean_quality: meas.quality,
+            wall_seconds: meas.seconds,
+            samples_per_sec: meas.samples_per_sec,
+        })
+        .collect()
+}
+
+/// Renders the batch records as a mode-keyed table.
+pub fn batch_table(records: &[BenchRecord]) -> Table {
+    let title = records
+        .first()
+        .map(|r| format!("batched solves over a session-held pool ({})", r.workload))
+        .unwrap_or_else(|| "batched solves over a session-held pool".to_string());
+    let mut t = Table::new(
+        "engine-batch",
+        title,
+        &["mode", "wall s/solve", "samples/s", "mean quality"],
+    );
+    for r in records {
+        let mode = if r.solver.ends_with("(session pool)") {
+            "session pool"
+        } else {
+            "per-solve spawn"
+        };
+        t.push_row(vec![
+            Cell::from(mode),
+            Cell::from(r.wall_seconds),
+            Cell::from(r.samples_per_sec),
+            r.mean_quality.map(Cell::from).unwrap_or(Cell::Missing),
+        ]);
+    }
+    t
+}
+
 /// Renders the records as one table per workload (markdown/CSV surface).
 pub fn records_table(records: &[BenchRecord]) -> TableSet {
     let mut set = TableSet::new();
@@ -107,18 +189,26 @@ pub fn records_table(records: &[BenchRecord]) -> TableSet {
 /// side effect needs an output directory, which only the CLI has — use
 /// [`throughput_to`] to get both from one measurement pass.
 pub fn throughput(ctx: &ExperimentContext) -> TableSet {
-    records_table(&throughput_records(ctx))
+    let mut tables = records_table(&throughput_records(ctx));
+    tables.push(batch_table(&batch_records(ctx)));
+    tables
 }
 
-/// Measures once, writes `<out_dir>/BENCH_engine.json`, and returns the
-/// tables — the `waso-experiments --figure engine` path.
+/// Measures once, writes `<out_dir>/BENCH_engine.json` (backend sweep +
+/// batch records), and returns the tables — the
+/// `waso-experiments --figure engine` path.
 pub fn throughput_to(
     ctx: &ExperimentContext,
     out_dir: &std::path::Path,
 ) -> std::io::Result<TableSet> {
-    let records = throughput_records(ctx);
+    let sweep = throughput_records(ctx);
+    let batch = batch_records(ctx);
+    let mut records = sweep.clone();
+    records.extend(batch.clone());
     crate::report::write_records_json(&records, &out_dir.join("BENCH_engine.json"))?;
-    Ok(records_table(&records))
+    let mut tables = records_table(&sweep);
+    tables.push(batch_table(&batch));
+    Ok(tables)
 }
 
 #[cfg(test)]
@@ -146,5 +236,25 @@ mod tests {
         let tables = records_table(&records);
         assert_eq!(tables.tables.len(), 2);
         assert_eq!(tables.tables[0].rows.len(), 1 + THREAD_SWEEP.len());
+    }
+
+    #[test]
+    fn batch_records_cover_both_modes() {
+        let mut ctx = ExperimentContext::new(Scale::Smoke);
+        ctx.repeats = 1;
+        let records = batch_records(&ctx);
+        assert_eq!(records.len(), 2);
+        assert!(records[0].solver.ends_with("(per-solve spawn)"));
+        assert!(records[1].solver.ends_with("(session pool)"));
+        for r in &records {
+            assert!(r.samples_per_sec > 0.0, "{}: no throughput", r.solver);
+            assert!(r.mean_quality.is_some(), "{}: infeasible", r.solver);
+            assert!(r.workload.contains("batch="));
+        }
+        // Determinism contract: both modes solve the identical workload,
+        // so mean quality matches exactly.
+        assert_eq!(records[0].mean_quality, records[1].mean_quality);
+        let table = batch_table(&records);
+        assert_eq!(table.rows.len(), 2);
     }
 }

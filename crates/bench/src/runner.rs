@@ -180,6 +180,81 @@ pub fn measure_spec(
     measure(solver.as_mut(), instance, seed)
 }
 
+/// The per-solve-spawn baseline for batch comparisons: `jobs` identical
+/// solves, each building the solver anew and (for pooled specs) spawning
+/// a fresh worker pool — exactly what a caller without a session pays.
+/// Quality is the mean over feasible jobs, `seconds` the mean per job,
+/// `samples_per_sec` the aggregate throughput.
+pub fn measure_spec_batch_baseline(
+    registry: &SolverRegistry,
+    spec: &SolverSpec,
+    instance: &WasoInstance,
+    seed: u64,
+    jobs: usize,
+) -> Measurement {
+    assert!(jobs >= 1);
+    let mut q_sum = 0.0;
+    let mut q_count = 0u32;
+    let mut t_sum = 0.0;
+    let mut samples = 0u64;
+    let mut truncated = false;
+    for _ in 0..jobs {
+        let m = measure_spec(registry, spec, instance, seed);
+        if let Some(q) = m.quality {
+            q_sum += q;
+            q_count += 1;
+        }
+        t_sum += m.seconds;
+        samples += m.samples;
+        truncated |= m.truncated;
+    }
+    Measurement {
+        quality: (q_count > 0).then(|| q_sum / q_count as f64),
+        seconds: t_sum / jobs as f64,
+        samples,
+        truncated,
+        samples_per_sec: throughput(samples, t_sum),
+    }
+}
+
+/// Runs `specs` through one [`waso::WasoSession::solve_batch`] — the
+/// instance validated and cloned once, every pooled job sharing the
+/// session-held worker pool — and measures the whole batch. Same
+/// aggregation semantics as [`measure_spec_batch_baseline`]. Spec-level
+/// failures are harness bugs and panic loudly; infeasible jobs are
+/// recorded, like [`measure`].
+pub fn measure_session_batch(session: &waso::WasoSession, specs: &[SolverSpec]) -> Measurement {
+    assert!(!specs.is_empty());
+    let t0 = Instant::now();
+    let outcomes = session
+        .solve_batch(specs)
+        .unwrap_or_else(|e| panic!("harness built an unusable batch session: {e}"));
+    let seconds = t0.elapsed().as_secs_f64();
+    let mut q_sum = 0.0;
+    let mut q_count = 0u32;
+    let mut samples = 0u64;
+    let mut truncated = false;
+    for (spec, outcome) in specs.iter().zip(outcomes) {
+        match outcome {
+            Ok(res) => {
+                q_sum += res.group.willingness();
+                q_count += 1;
+                samples += res.stats.samples_drawn;
+                truncated |= res.stats.truncated;
+            }
+            Err(waso::SessionError::Solve(SolveError::NoFeasibleGroup)) => {}
+            Err(e) => panic!("batch job '{spec}' misbehaved: {e}"),
+        }
+    }
+    Measurement {
+        quality: (q_count > 0).then(|| q_sum / q_count as f64),
+        seconds: seconds / specs.len() as f64,
+        samples,
+        truncated,
+        samples_per_sec: throughput(samples, seconds),
+    }
+}
+
 /// [`measure_spec`] averaged over `repeats` seeds.
 pub fn measure_spec_avg(
     registry: &SolverRegistry,

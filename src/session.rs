@@ -16,6 +16,13 @@
 //! reproducibility guarantee (same `(instance, spec, seed)` → same group)
 //! holds regardless of parallelism.
 //!
+//! Pooled solves share one **session-held** [`SolverPool`]: worker
+//! threads are spawned on first use and reused by every later solve, and
+//! the validated instance is cloned once and shared. For many solves in
+//! one go, [`WasoSession::solve_batch`] / [`WasoSession::solve_many`]
+//! run a slice of spec jobs over that shared state with per-job error
+//! reporting.
+//!
 //! ```
 //! use waso::prelude::*;
 //!
@@ -33,8 +40,9 @@
 //! ```
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
-use waso_algos::{SolveError, SolveResult, SolverRegistry, SolverSpec, SpecError};
+use waso_algos::{SolveError, SolveResult, SolverPool, SolverRegistry, SolverSpec, SpecError};
 use waso_core::{CoreError, WasoInstance};
 use waso_graph::{NodeId, SocialGraph};
 
@@ -105,6 +113,20 @@ impl From<SolveError> for SessionError {
 
 /// A configured solving context: graph + constraints + seed policy +
 /// registry. Build once, solve with as many specs as you like.
+///
+/// Sessions hold two lazily-created, solve-to-solve caches:
+///
+/// * the **validated instance** (`Arc`) — built on the first solve and
+///   shared by every later one (and by every job of a
+///   [`WasoSession::solve_batch`]), so the graph is validated and cloned
+///   once per session instead of once per solve;
+/// * the **worker pool** ([`SolverPool`]) — spawned on the first solve
+///   whose spec asks for threads and reused by every pooled solve after
+///   it, amortizing thread creation across the session (§5.3.1 at
+///   serving scale). The determinism contract makes the pool size
+///   unobservable in results: solves are bit-identical for every worker
+///   count, so the session guarantee (same `(instance, spec, seed)` →
+///   same group) is unaffected.
 #[derive(Debug)]
 pub struct WasoSession {
     graph: SocialGraph,
@@ -114,6 +136,13 @@ pub struct WasoSession {
     lambda: Option<Vec<f64>>,
     seed: u64,
     registry: SolverRegistry,
+    /// Pinned worker count for the session pool; `None` sizes the pool
+    /// from the first pooled spec.
+    pool_threads: Option<usize>,
+    /// The validated instance, built once per session configuration.
+    instance_cache: Mutex<Option<Arc<WasoInstance>>>,
+    /// The session-held worker pool, spawned on first pooled use.
+    pool: Mutex<Option<SolverPool>>,
 }
 
 impl WasoSession {
@@ -128,12 +157,21 @@ impl WasoSession {
             lambda: None,
             seed: DEFAULT_SEED,
             registry: registry(),
+            pool_threads: None,
+            instance_cache: Mutex::new(None),
+            pool: Mutex::new(None),
         }
+    }
+
+    /// Forgets the cached instance after a configuration change.
+    fn invalidate_instance(&mut self) {
+        *self.instance_cache.get_mut().expect("unpoisoned cache") = None;
     }
 
     /// Sets the group size `k` (mandatory).
     pub fn k(mut self, k: usize) -> Self {
         self.k = Some(k);
+        self.invalidate_instance();
         self
     }
 
@@ -149,6 +187,7 @@ impl WasoSession {
     /// Drops the connectivity constraint (the §2.2 WASO-dis variant).
     pub fn disconnected(mut self) -> Self {
         self.connectivity = false;
+        self.invalidate_instance();
         self
     }
 
@@ -156,18 +195,28 @@ impl WasoSession {
     /// `τ̃_{i,·} = (1-λ_i)τ_{i,·}`. Validated at solve time.
     pub fn lambda(mut self, lambda: Vec<f64>) -> Self {
         self.lambda = Some(lambda);
+        self.invalidate_instance();
         self
     }
 
     /// Applies one λ to every node.
     pub fn lambda_uniform(mut self, l: f64) -> Self {
         self.lambda = Some(vec![l; self.graph.num_nodes()]);
+        self.invalidate_instance();
         self
     }
 
     /// Sets the seed every solve derives its randomness from.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Pins the session pool's worker count. Without this, the pool is
+    /// sized by the first pooled spec's `threads` value. Either way the
+    /// answers are bit-identical — the count only affects wall-clock.
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        self.pool_threads = Some(threads.max(1));
         self
     }
 
@@ -204,13 +253,34 @@ impl WasoSession {
         Ok(instance)
     }
 
-    /// Solves with the given spec: validates the instance, merges the
-    /// session's and the spec's required attendees, rejects spec/solver
-    /// combinations that cannot honour them, and runs the solver under
-    /// the session's seed policy.
-    pub fn solve(&self, spec: &SolverSpec) -> Result<SolveResult, SessionError> {
-        let instance = self.instance()?;
+    /// The session's validated instance, built and cloned **once** and
+    /// shared by every solve (the batch API's "validate once" half).
+    fn shared_instance(&self) -> Result<Arc<WasoInstance>, SessionError> {
+        let mut cache = self.instance_cache.lock().expect("unpoisoned cache");
+        if let Some(instance) = cache.as_ref() {
+            return Ok(Arc::clone(instance));
+        }
+        let instance = Arc::new(self.instance()?);
+        *cache = Some(Arc::clone(&instance));
+        Ok(instance)
+    }
 
+    /// Solves with the given spec: validates the instance (cached across
+    /// solves), merges the session's and the spec's required attendees,
+    /// rejects spec/solver combinations that cannot honour them, and runs
+    /// the solver under the session's seed policy — over the session-held
+    /// worker pool when the spec asks for threads.
+    pub fn solve(&self, spec: &SolverSpec) -> Result<SolveResult, SessionError> {
+        let instance = self.shared_instance()?;
+        self.solve_on(&instance, spec)
+    }
+
+    /// One job of a solve/batch against an already-validated instance.
+    fn solve_on(
+        &self,
+        instance: &Arc<WasoInstance>,
+        spec: &SolverSpec,
+    ) -> Result<SolveResult, SessionError> {
         // Union of session-level and spec-level required attendees,
         // first-mention order. The merged set is re-validated: the spec
         // half never went through `instance()`.
@@ -220,7 +290,7 @@ impl WasoSession {
                 required.push(v);
             }
         }
-        validate_required(&instance, &required)?;
+        validate_required(instance, &required)?;
 
         let entry = self.registry.resolve(spec)?;
         if !required.is_empty() && !entry.capabilities.required_attendees {
@@ -230,7 +300,18 @@ impl WasoSession {
         }
 
         let mut solver = self.registry.build(spec)?;
-        let result = solver.solve_with_required(&instance, &required, self.seed)?;
+        let result = match solver.pool_threads() {
+            // Pooled solve: borrow the session pool (spawning it on first
+            // use), so worker threads outlive — and are shared by — every
+            // pooled solve of this session.
+            Some(threads) => {
+                let mut guard = self.pool.lock().expect("unpoisoned pool");
+                let pool = guard
+                    .get_or_insert_with(|| SolverPool::new(self.pool_threads.unwrap_or(threads)));
+                solver.solve_pooled(instance, &required, self.seed, pool)?
+            }
+            None => solver.solve_with_required(instance, &required, self.seed)?,
+        };
         debug_assert!(
             required.iter().all(|&v| result.group.contains(v)),
             "solver {} violated the required-attendee contract",
@@ -244,6 +325,44 @@ impl WasoSession {
     pub fn solve_str(&self, spec: &str) -> Result<SolveResult, SessionError> {
         let spec = self.registry.parse(spec)?;
         self.solve(&spec)
+    }
+
+    /// Runs a slice of solve jobs over the session's shared state: the
+    /// instance is validated and cloned **once**, and every pooled job
+    /// borrows the **same** session-held worker pool — no per-solve
+    /// thread spawns, no per-solve graph clones. Each job carries its own
+    /// constraints via [`SolverSpec::require`], merged with the session's
+    /// as in [`WasoSession::solve`].
+    ///
+    /// Per-job failures (unbuildable spec, infeasible constraints) land
+    /// in that job's slot; an instance-level failure fails the batch.
+    /// Results are bit-identical to calling [`WasoSession::solve`] once
+    /// per spec.
+    pub fn solve_batch(
+        &self,
+        specs: &[SolverSpec],
+    ) -> Result<Vec<Result<SolveResult, SessionError>>, SessionError> {
+        let instance = self.shared_instance()?;
+        Ok(specs
+            .iter()
+            .map(|spec| self.solve_on(&instance, spec))
+            .collect())
+    }
+
+    /// [`WasoSession::solve_batch`] from spec strings; a string that does
+    /// not parse fails its own slot, not the batch.
+    pub fn solve_many<'a>(
+        &self,
+        specs: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<Result<SolveResult, SessionError>>, SessionError> {
+        let instance = self.shared_instance()?;
+        Ok(specs
+            .into_iter()
+            .map(|s| {
+                let spec = self.registry.parse(s)?;
+                self.solve_on(&instance, &spec)
+            })
+            .collect())
     }
 }
 
@@ -404,6 +523,94 @@ mod tests {
         // Different seed explores differently (stats differ even if the
         // answer coincides).
         assert!(c.group.validate(&reseeded.instance().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_spec_strings_error_instead_of_panicking() {
+        // A user-supplied `cbas-nd:rho=0` used to assert inside the
+        // engine; it must surface as a typed spec error.
+        let session = WasoSession::new(path4()).k(3);
+        for (spec, key) in [
+            ("cbas-nd:rho=0", "rho"),
+            ("cbas-nd:budget=60,rho=1.5", "rho"),
+            ("cbas-nd-g:smoothing=-0.5", "smoothing"),
+            ("cbas-nd-par:threads=2,smoothing=1.5", "smoothing"),
+        ] {
+            match session.solve_str(spec) {
+                Err(SessionError::Spec(SpecError::OutOfRange { key: k, .. })) => {
+                    assert_eq!(k, key, "{spec}")
+                }
+                other => panic!("{spec}: expected OutOfRange, got {:?}", other.err()),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_solves_match_sequential_solves() {
+        let g = waso_datasets::synthetic::facebook_like_n(100, 3);
+        let specs = vec![
+            SolverSpec::cbas_nd().budget(60).stages(3).threads(2),
+            SolverSpec::cbas().budget(60).stages(2).threads(3),
+            SolverSpec::dgreedy(),
+            SolverSpec::cbas_nd()
+                .budget(60)
+                .stages(3)
+                .threads(4)
+                .require([NodeId(0)]),
+        ];
+        let batch_session = WasoSession::new(g.clone()).k(5).seed(3);
+        let batch = batch_session.solve_batch(&specs).unwrap();
+        assert_eq!(batch.len(), specs.len());
+        for (spec, outcome) in specs.iter().zip(&batch) {
+            // Fresh session per spec: the per-solve baseline the batch
+            // must be bit-identical to.
+            let alone = WasoSession::new(g.clone())
+                .k(5)
+                .seed(3)
+                .solve(spec)
+                .unwrap();
+            let batched = outcome.as_ref().unwrap();
+            assert_eq!(batched.group, alone.group, "{spec}");
+            assert_eq!(batched.stats.samples_drawn, alone.stats.samples_drawn);
+        }
+        let constrained = batch[3].as_ref().unwrap();
+        assert!(constrained.group.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn batch_jobs_fail_individually_not_collectively() {
+        let session = WasoSession::new(path4()).k(3);
+        let results = session
+            .solve_many(["dgreedy", "nope-nope", "cbas:budget=40,rho=1", "exact"])
+            .unwrap();
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(SessionError::Spec(SpecError::UnknownAlgorithm { .. }))
+        ));
+        assert!(matches!(
+            results[2],
+            Err(SessionError::Spec(SpecError::UnsupportedOption { .. }))
+        ));
+        assert!(results[3].is_ok());
+    }
+
+    #[test]
+    fn session_pool_is_reused_across_solves() {
+        // Many pooled solves through one session: all must succeed and
+        // match a fresh session's answers (the pool and the cached
+        // instance are invisible in results).
+        let g = waso_datasets::synthetic::facebook_like_n(80, 3);
+        let session = WasoSession::new(g.clone()).k(4).seed(9).pool_threads(3);
+        let spec_a = SolverSpec::cbas_nd().budget(50).stages(2).threads(8);
+        let spec_b = SolverSpec::cbas().budget(50).stages(2).threads(1);
+        for _ in 0..3 {
+            let a = session.solve(&spec_a).unwrap();
+            let b = session.solve(&spec_b).unwrap();
+            let fresh = WasoSession::new(g.clone()).k(4).seed(9);
+            assert_eq!(a.group, fresh.solve(&spec_a).unwrap().group);
+            assert_eq!(b.group, fresh.solve(&spec_b).unwrap().group);
+        }
     }
 
     #[test]

@@ -102,6 +102,88 @@ proptest! {
         }
     }
 
+    /// The same contract for **partial-mode** (required-attendee) solves:
+    /// the pool serves them too, growing every sample from the seed set,
+    /// and must match the serial path bit-for-bit at every thread count —
+    /// including agreeing on infeasibility.
+    #[test]
+    fn pooled_partial_mode_is_bit_identical_to_serial(
+        seed in 0u64..10_000,
+        n in 12usize..40,
+        extra in 0usize..30,
+        k in 3usize..7,
+        budget in 8u64..120,
+        stages in 1u32..5,
+        req_count in 1usize..3,
+    ) {
+        let inst = random_instance(seed, n, extra, k, true);
+        // The spanning path makes low-id nodes mutually reachable; any
+        // subset of them is a valid (connected-completable) requirement.
+        let required: Vec<NodeId> = (0..req_count as u32).map(NodeId).collect();
+        let mut cfg = CbasNdConfig::with_budget(budget);
+        cfg.base.stages = Some(stages);
+        let serial = CbasNd::new(cfg.clone()).solve_with_required(&inst, &required, seed);
+        for threads in [1usize, 2, 4, 8] {
+            let par = ParallelCbasNd::new(cfg.clone(), threads)
+                .solve_with_required(&inst, &required, seed);
+            match (&serial, &par) {
+                (Ok(s), Ok(p)) => {
+                    prop_assert_eq!(&s.group, &p.group, "threads={}", threads);
+                    prop_assert_eq!(s.stats.samples_drawn, p.stats.samples_drawn);
+                    prop_assert_eq!(s.stats.backtracks, p.stats.backtracks);
+                    for &v in &required {
+                        prop_assert!(p.group.contains(v));
+                    }
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (s, p) => prop_assert!(
+                    false,
+                    "feasibility diverged at threads={}: serial ok={}, parallel ok={}",
+                    threads, s.is_ok(), p.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// Batch-API determinism: one `solve_batch` over a session's shared
+    /// instance and held worker pool returns exactly what solving each
+    /// spec in its own fresh session would.
+    #[test]
+    fn batch_solves_are_identical_to_per_spec_solves(
+        seed in 0u64..10_000,
+        n in 12usize..40,
+        extra in 0usize..30,
+        k in 2usize..6,
+        budget in 8u64..100,
+        threads in 1usize..5,
+    ) {
+        let inst = random_instance(seed, n, extra, k, true);
+        let graph = inst.graph().clone();
+        let specs = vec![
+            SolverSpec::cbas_nd().budget(budget).stages(3).threads(threads),
+            SolverSpec::cbas().budget(budget).stages(2).threads(threads),
+            SolverSpec::cbas_nd().budget(budget).stages(2).threads(threads).require([NodeId(0)]),
+            SolverSpec::dgreedy(),
+        ];
+        let session = WasoSession::new(graph.clone()).k(k).seed(seed);
+        let batch = session.solve_batch(&specs).unwrap();
+        for (spec, outcome) in specs.iter().zip(&batch) {
+            let alone = WasoSession::new(graph.clone()).k(k).seed(seed).solve(spec);
+            match (outcome, &alone) {
+                (Ok(b), Ok(a)) => {
+                    prop_assert_eq!(&b.group, &a.group, "{}", spec);
+                    prop_assert_eq!(b.stats.samples_drawn, a.stats.samples_drawn);
+                }
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(
+                    false,
+                    "batch/sequential feasibility diverged for {}: batch ok={}, alone ok={}",
+                    spec, outcome.is_ok(), alone.is_ok()
+                ),
+            }
+        }
+    }
+
     #[test]
     fn branch_and_bound_is_never_beaten(
         seed in 0u64..10_000,
