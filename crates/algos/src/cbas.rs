@@ -20,9 +20,10 @@ use waso_core::WasoInstance;
 use waso_graph::{BitSet, NodeId};
 
 use crate::engine::{Distribution, StagedEngine, StartMode};
-use crate::exec::{ExecBackend, SolverPool};
+use crate::exec::{ExecBackend, SharedPool};
 use crate::ocba::derive_stages;
 use crate::sampler::{default_num_start_nodes, select_start_nodes};
+use crate::spec::PoolMode;
 use crate::{SolveError, SolveResult, Solver};
 
 /// Configuration shared by CBAS and (via [`crate::CbasNdConfig`]) CBAS-ND.
@@ -120,6 +121,7 @@ impl CbasConfig {
 pub struct Cbas {
     config: CbasConfig,
     threads: Option<usize>,
+    pool: PoolMode,
 }
 
 impl Cbas {
@@ -128,6 +130,7 @@ impl Cbas {
         Self {
             config,
             threads: None,
+            pool: PoolMode::default(),
         }
     }
 
@@ -137,7 +140,16 @@ impl Cbas {
         Self {
             config,
             threads: Some(threads.max(1)),
+            pool: PoolMode::default(),
         }
+    }
+
+    /// Selects where a pooled solve's workers come from (`pool=shared`
+    /// routes through the session's [`SharedPool`], `pool=private` spawns
+    /// a per-solve pool). Scheduling only; the answer is identical.
+    pub fn pool_mode(mut self, pool: PoolMode) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The configuration in use.
@@ -183,7 +195,12 @@ impl Solver for Cbas {
     }
 
     fn pool_threads(&self) -> Option<usize> {
-        self.threads
+        match self.pool {
+            // A private-pool solve never routes through the shared pool:
+            // solve_seeded spawns (and tears down) its own workers.
+            PoolMode::Private => None,
+            PoolMode::Shared => self.threads,
+        }
     }
 
     fn solve_pooled(
@@ -191,7 +208,7 @@ impl Solver for Cbas {
         instance: &Arc<WasoInstance>,
         required: &[NodeId],
         seed: u64,
-        pool: &mut SolverPool,
+        pool: &SharedPool,
     ) -> Result<SolveResult, SolveError> {
         if !required.is_empty() {
             // CBAS has no partial-solution growth; the session rejects

@@ -52,7 +52,7 @@ use crate::cbas::CbasConfig;
 use crate::cbasnd::CbasNdConfig;
 use crate::cross_entropy::{update_vector, ProbabilityVector};
 use crate::exec::{
-    ExecBackend, SerialExec, SolveCtx, SolverPool, StageExec, StageShared, WorkItem, WorkerPool,
+    ExecBackend, SerialExec, SharedPool, SolveCtx, StageExec, StageShared, WorkItem, WorkerPool,
 };
 use crate::gaussian::{allocate_stage_gaussian, Allocation, GaussStats};
 use crate::ocba::{allocate_stage, stage_budgets, uniform_split, StartStats};
@@ -156,17 +156,20 @@ impl StagedEngine {
         self.run(instance, mode, seed).map(|(result, _)| result)
     }
 
-    /// Solves over a **session-held** [`SolverPool`]: the pool's parked
-    /// workers serve this solve's stages instead of spawning a fresh pool,
-    /// amortizing thread creation across the many solves of a session or
-    /// batch. The pool's worker count governs the striping, but the
-    /// determinism contract makes that invisible — results are
-    /// bit-identical to [`StagedEngine::solve`] for every pool size.
+    /// Solves as one **job** of a [`SharedPool`]: the solve is submitted
+    /// to the pool's scheduler and its stages are dealt across the pool's
+    /// workers, concurrently with any other jobs (other solves, other
+    /// sessions) the pool is serving. Thread creation is amortized across
+    /// every job of the process, and a worker panic is healed by the pool
+    /// (respawn + re-issue) instead of poisoning it. The pool's worker
+    /// count and deal govern only the schedule; the determinism contract
+    /// makes both invisible — results are bit-identical to
+    /// [`StagedEngine::solve`] for every pool size, deal, and tenant mix.
     /// Serial-backend engines ignore the pool and run on the caller's
     /// thread.
     pub fn solve_in_pool(
         &self,
-        pool: &mut SolverPool,
+        pool: &SharedPool,
         instance: &Arc<WasoInstance>,
         mode: StartMode<'_>,
         seed: u64,
@@ -188,8 +191,8 @@ impl StagedEngine {
             },
         });
         let outcome = {
-            let mut exec = pool.attach(Arc::clone(&ctx));
-            self.stage_loop(instance, mode, &starts, &budgets, &ctx.shared, &mut exec)
+            let mut job = pool.submit(Arc::clone(&ctx));
+            self.stage_loop(instance, mode, &starts, &budgets, &ctx.shared, &mut job)
         };
         self.finalize(instance, mode, t0, r, starts.len(), outcome)
             .map(|(result, _)| result)
@@ -411,7 +414,7 @@ impl StagedEngine {
             // (OCBA concentrates most of a stage's budget on the incumbent
             // start node, so per-node parallelism would serialize).
             let n_items = {
-                let mut items = shared.items.write().expect("no poisoned stage locks");
+                let mut items = shared.write_items();
                 items.clear();
                 for (i, &ni) in alloc.iter().enumerate() {
                     for q in 0..ni {
@@ -501,7 +504,7 @@ impl StagedEngine {
                 } = self.distribution
                 {
                     if !stage_samples.is_empty() {
-                        let mut vectors = shared.vectors.write().expect("no poisoned stage locks");
+                        let mut vectors = shared.write_vectors();
                         counters.backtracks += update_vector(
                             &mut vectors[i],
                             &mut gammas[i],
@@ -698,9 +701,9 @@ mod tests {
 
     #[test]
     fn session_pool_solves_are_bit_identical_and_reusable() {
-        // One SolverPool serving many solves — fresh and partial, across
+        // One SharedPool serving many solves — fresh and partial, across
         // different instances — must match the per-solve paths exactly.
-        let mut pool = SolverPool::new(3);
+        let pool = SharedPool::new(3);
         let ce = Distribution::CrossEntropy {
             rho: 0.3,
             smoothing: 0.9,
@@ -711,7 +714,7 @@ mod tests {
             let eng = engine(80, 4, 6, ce).backend(ExecBackend::Pool { threads: 7 });
             let direct = eng.solve(&inst, StartMode::Fresh, seed).unwrap();
             let pooled = eng
-                .solve_in_pool(&mut pool, &inst, StartMode::Fresh, seed)
+                .solve_in_pool(&pool, &inst, StartMode::Fresh, seed)
                 .unwrap();
             assert_eq!(direct.group, pooled.group, "seed={seed}");
             assert_eq!(direct.stats.samples_drawn, pooled.stats.samples_drawn);
@@ -719,7 +722,7 @@ mod tests {
             let seeds = [NodeId(0), NodeId(1)];
             let direct = eng.solve(&inst, StartMode::Partial(&seeds), seed).unwrap();
             let pooled = eng
-                .solve_in_pool(&mut pool, &inst, StartMode::Partial(&seeds), seed)
+                .solve_in_pool(&pool, &inst, StartMode::Partial(&seeds), seed)
                 .unwrap();
             assert_eq!(direct.group, pooled.group, "partial seed={seed}");
             assert_eq!(direct.stats.backtracks, pooled.stats.backtracks);

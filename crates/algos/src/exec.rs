@@ -10,15 +10,14 @@
 //!   (scoped threads borrowing the solve's state). Workers park on a job
 //!   channel between stages; the per-stage cost is two channel messages
 //!   per worker, not a thread spawn.
-//! * [`SolverPool`] — a **session-held** pool of owned threads that
-//!   outlives any single solve. A solve attaches (shipping one
-//!   [`SolveCtx`] `Arc` per worker), runs its stages over the same parked
-//!   workers, and detaches; thread spawns are amortized across the
-//!   thousands of solves a figure sweep or a serving session performs.
+//! * [`SharedPool`] (module [`shared`]) — a **process-wide** pool of owned
+//!   threads that any number of sessions and solves attach to
+//!   concurrently, with a job-level scheduler and self-healing workers.
+//!   [`SolverPool`] is its historical (session-held) name.
 //!
 //! All pooled paths serve [`crate::engine::StartMode::Partial`] too: a
 //! partial solve's samples are independent draws growing from the same
-//! seed set, so they stripe across workers exactly like fresh samples.
+//! seed set, so they deal across workers exactly like fresh samples.
 //!
 //! Each worker owns its `Sampler` (and thus its `GrowthWorkspace` and
 //! weight buffer) for the whole solve, result buffers are recycled through
@@ -29,8 +28,9 @@
 //!
 //! Determinism: every `(start node, stage, sample)` triple draws from its
 //! own RNG stream ([`crate::sample_seed`]), and results are keyed by item
-//! index, so *which* worker draws a sample is irrelevant — any thread count
-//! (including the serial executor) produces bit-identical solves.
+//! index, so *which* worker draws a sample — and in *what deal pattern*
+//! ([`Deal`]) — is irrelevant: any thread count (including the serial
+//! executor) produces bit-identical solves.
 //!
 //! Stall cutoff: a failed draw means the start's component is smaller than
 //! `k` (or the seed set cannot be completed), so every other draw of that
@@ -41,10 +41,18 @@
 //! historical break-on-first-stall cost profile and keeps serial/pooled
 //! wall-clock comparable on stall-heavy graphs.
 
+mod shared;
+
+pub use shared::{Deal, SharedPool};
+
+/// Historical name of the owned worker pool. Since the SharedPool
+/// scheduler landed, a "session-held" pool is simply a [`SharedPool`]
+/// with a single tenant — the type is one and the same.
+pub type SolverPool = SharedPool;
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, RwLock};
-use std::thread::JoinHandle;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -85,6 +93,12 @@ pub(crate) struct WorkItem {
 /// write lock; workers hold read locks for the duration of one stage. The
 /// serial executor reads the same structure (uncontended, one lock per
 /// stage) so the engine has a single code path.
+///
+/// Lock poisoning is deliberately ignored (`PoisonError::into_inner`):
+/// workers only ever *read* these fields, so a worker that panics while
+/// holding a read guard leaves the data untouched — treating that as
+/// poison would let one injected (or real) worker panic wedge every other
+/// job sharing the state, defeating the pool's self-healing.
 pub(crate) struct StageShared {
     /// The current stage's flattened work list (reused across stages).
     pub items: RwLock<Vec<WorkItem>>,
@@ -108,6 +122,26 @@ impl StageShared {
         }
     }
 
+    /// Read access that shrugs off poisoning (see the type docs).
+    pub fn read_items(&self) -> RwLockReadGuard<'_, Vec<WorkItem>> {
+        self.items.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Read access that shrugs off poisoning (see the type docs).
+    pub fn read_vectors(&self) -> RwLockReadGuard<'_, Vec<ProbabilityVector>> {
+        self.vectors.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Coordinator-side write access; poisoning recovery as above.
+    pub fn write_items(&self) -> RwLockWriteGuard<'_, Vec<WorkItem>> {
+        self.items.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Coordinator-side write access; poisoning recovery as above.
+    pub fn write_vectors(&self) -> RwLockWriteGuard<'_, Vec<ProbabilityVector>> {
+        self.vectors.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     #[inline]
     fn is_stalled(&self, start_index: u32) -> bool {
         self.stalled[start_index as usize].load(Ordering::Relaxed)
@@ -119,9 +153,9 @@ impl StageShared {
     }
 }
 
-/// Everything one solve shares with the workers of a session-held
-/// [`SolverPool`]. Owned (`Arc`ed instance, owned seed list) because the
-/// pool's threads outlive any borrow a single solve could offer.
+/// Everything one solve shares with the workers of a [`SharedPool`].
+/// Owned (`Arc`ed instance, owned seed list) because the pool's threads
+/// outlive any borrow a single solve could offer.
 pub(crate) struct SolveCtx {
     /// The validated instance, cloned into an `Arc` once per solve (or
     /// once per *batch* — the session facade reuses one `Arc` across a
@@ -166,25 +200,49 @@ fn draw_item(
     }
 }
 
-/// Draws worker `w`'s stripe (items `w, w+T, w+2T, …`) of one stage into
-/// `buf`. Shared verbatim by the scoped per-solve workers and the
-/// session-held pool workers so the two can never drift behaviourally.
+/// One worker's share of a stage's item list: up to `limit` items starting
+/// at `offset`, `stride` apart. A round-robin stripe for worker `w` of `T`
+/// is `Span { offset: w, stride: T, limit: MAX }`; a contiguous chunk
+/// `[lo, hi)` is `Span { offset: lo, stride: 1, limit: hi - lo }`. Results
+/// are keyed by item index, so the deal pattern cannot affect the answer —
+/// only the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Span {
+    pub offset: usize,
+    pub stride: usize,
+    pub limit: usize,
+}
+
+impl Span {
+    /// Worker `w`'s round-robin stripe in a deal over `stride` workers.
+    pub fn stripe(w: usize, stride: usize) -> Self {
+        Self {
+            offset: w,
+            stride,
+            limit: usize::MAX,
+        }
+    }
+}
+
+/// Draws one span of the current stage into `buf`. Shared verbatim by the
+/// scoped per-solve workers and the shared-pool workers so the two can
+/// never drift behaviourally.
 #[allow(clippy::too_many_arguments)]
-fn draw_stripe(
+fn draw_span(
     sampler: &mut Sampler,
     instance: &WasoInstance,
     shared: &StageShared,
     partial: Option<&[NodeId]>,
     stage: u64,
     seed: u64,
-    w: usize,
-    stride: usize,
+    span: Span,
     buf: &mut Vec<(usize, Option<Sample>)>,
 ) {
-    let items = shared.items.read().expect("no poisoned stage locks");
-    let vectors = shared.vectors.read().expect("no poisoned stage locks");
-    let mut j = w;
-    while j < items.len() {
+    let items = shared.read_items();
+    let vectors = shared.read_vectors();
+    let mut j = span.offset;
+    let mut left = span.limit;
+    while j < items.len() && left > 0 {
         let item = items[j];
         if !shared.is_stalled(item.start_index) {
             let s = draw_item(sampler, instance, item, &vectors, stage, seed, partial);
@@ -195,7 +253,8 @@ fn draw_stripe(
         }
         // Skipped items' result slots stay None — the outcome a draw
         // would have produced.
-        j += stride;
+        j += span.stride;
+        left -= 1;
     }
 }
 
@@ -233,8 +292,8 @@ impl StageExec for SerialExec<'_> {
         for buf in slab.drain(..) {
             self.sampler.recycle(buf);
         }
-        let items = self.shared.items.read().expect("no poisoned stage locks");
-        let vectors = self.shared.vectors.read().expect("no poisoned stage locks");
+        let items = self.shared.read_items();
+        let vectors = self.shared.read_vectors();
         for (j, &item) in items.iter().enumerate() {
             if self.shared.is_stalled(item.start_index) {
                 continue; // slot stays None, as a draw would produce
@@ -265,9 +324,9 @@ struct Job {
     recycled: Vec<Vec<NodeId>>,
 }
 
-/// One worker's per-stage answer: its stripe results, plus the emptied
+/// One worker's per-stage answer: its span's results, plus the emptied
 /// recycling container going back to the coordinator's spares.
-struct StripeResult {
+struct SpanResult {
     buf: Vec<(usize, Option<Sample>)>,
     empties: Vec<Vec<NodeId>>,
 }
@@ -285,14 +344,14 @@ fn take_share(
     share
 }
 
-/// The coordinator's handle to one pool worker: its job sender and its
-/// dedicated result channel. Per-worker result channels (rather than one
-/// shared channel) make worker death observable — a panicked worker drops
-/// its sender, so the coordinator's `recv` errors instead of blocking
-/// forever on a channel kept open by the surviving workers.
+/// The coordinator's handle to one scoped pool worker: its job sender and
+/// its dedicated result channel. Per-worker result channels (rather than
+/// one shared channel) make worker death observable — a panicked worker
+/// drops its sender, so the coordinator's `recv` errors instead of
+/// blocking forever on a channel kept open by the surviving workers.
 struct WorkerHandle {
     job_tx: Sender<Job>,
-    result_rx: Receiver<StripeResult>,
+    result_rx: Receiver<SpanResult>,
 }
 
 /// Buffer spares a pooled coordinator keeps between stages.
@@ -302,57 +361,8 @@ struct PoolSpares {
     recycle_containers: Vec<Vec<Vec<NodeId>>>,
 }
 
-/// The coordinator's view of one parked worker — how to hand it a stage
-/// job and collect its stripe. Implemented by both pool flavours so the
-/// dispatch/merge choreography exists exactly once.
-trait StageWorker {
-    fn send_stage(&self, job: Job);
-    fn recv_result(&self) -> StripeResult;
-}
-
-impl StageWorker for WorkerHandle {
-    fn send_stage(&self, job: Job) {
-        self.job_tx.send(job).expect("pool worker panicked");
-    }
-    fn recv_result(&self) -> StripeResult {
-        self.result_rx.recv().expect("pool worker panicked")
-    }
-}
-
-/// Sends one stage's jobs to `workers` and merges their stripes into
-/// `results` — the common coordinator half of both pool flavours. A dead
-/// worker surfaces as a recv error (its sender is dropped on unwind), and
-/// the resulting coordinator panic propagates the failure instead of
-/// deadlocking.
-fn run_pooled_stage<W: StageWorker>(
-    workers: &[W],
-    spares: &mut PoolSpares,
-    stage: u64,
-    results: &mut [Option<Sample>],
-    slab: &mut Vec<Vec<NodeId>>,
-) {
-    let per_worker = slab.len().div_ceil(workers.len().max(1));
-    for worker in workers {
-        let buf = spares.bufs.pop().unwrap_or_default();
-        let recycled = take_share(slab, &mut spares.recycle_containers, per_worker);
-        worker.send_stage(Job {
-            stage,
-            buf,
-            recycled,
-        });
-    }
-    for worker in workers {
-        let StripeResult { mut buf, empties } = worker.recv_result();
-        for (j, s) in buf.drain(..) {
-            results[j] = s;
-        }
-        spares.bufs.push(buf);
-        spares.recycle_containers.push(empties);
-    }
-}
-
 /// The worker half of one stage: absorb the recycled buffers, draw the
-/// stripe, send the batch back. Returns `false` when the coordinator is
+/// span, send the batch back. Returns `false` when the coordinator is
 /// gone and the worker should stop.
 #[allow(clippy::too_many_arguments)]
 fn work_stage(
@@ -361,10 +371,9 @@ fn work_stage(
     shared: &StageShared,
     partial: Option<&[NodeId]>,
     seed: u64,
-    w: usize,
-    stride: usize,
+    span: Span,
     job: Job,
-    result_tx: &Sender<StripeResult>,
+    result_tx: &Sender<SpanResult>,
 ) -> bool {
     let Job {
         stage,
@@ -375,11 +384,11 @@ fn work_stage(
     for spent in recycled.drain(..) {
         sampler.recycle(spent);
     }
-    draw_stripe(
-        sampler, instance, shared, partial, stage, seed, w, stride, &mut buf,
+    draw_span(
+        sampler, instance, shared, partial, stage, seed, span, &mut buf,
     );
     result_tx
-        .send(StripeResult {
+        .send(SpanResult {
             buf,
             empties: recycled,
         })
@@ -390,7 +399,7 @@ fn work_stage(
 /// `std::thread::scope`, fed one [`Job`] per worker per stage. One-shot
 /// solves use this (it borrows the solve's state, so the instance is
 /// never cloned); sessions and batch solves amortize further with the
-/// owned [`SolverPool`].
+/// owned [`SharedPool`].
 pub(crate) struct WorkerPool {
     workers: Vec<WorkerHandle>,
     spares: PoolSpares,
@@ -402,7 +411,6 @@ impl WorkerPool {
     /// items and vectors → draw its stripe (items `w, w+T, w+2T, …`) →
     /// send the batch back. Workers exit when the pool (and with it the
     /// job senders) is dropped.
-    #[allow(clippy::too_many_arguments)]
     pub fn spawn<'scope, 'env: 'scope>(
         scope: &'scope std::thread::Scope<'scope, 'env>,
         threads: usize,
@@ -421,6 +429,7 @@ impl WorkerPool {
             scope.spawn(move || {
                 let mut sampler = Sampler::for_instance(instance);
                 sampler.set_blocked(blocked.clone());
+                let span = Span::stripe(w, threads);
                 while let Ok(job) = job_rx.recv() {
                     if !work_stage(
                         &mut sampler,
@@ -428,8 +437,7 @@ impl WorkerPool {
                         shared,
                         partial,
                         seed,
-                        w,
-                        threads,
+                        span,
                         job,
                         &result_tx,
                     ) {
@@ -446,189 +454,41 @@ impl WorkerPool {
 }
 
 impl StageExec for WorkerPool {
+    /// Sends one stage's jobs to the workers and merges their stripes into
+    /// `results`. A dead worker surfaces as a recv error (its sender is
+    /// dropped on unwind), and the resulting coordinator panic propagates
+    /// the failure instead of deadlocking — per-solve pools are scoped to
+    /// the solve, so there is nothing to heal (the [`SharedPool`] is the
+    /// self-healing flavour).
     fn run_stage(
         &mut self,
         stage: u64,
         results: &mut [Option<Sample>],
         slab: &mut Vec<Vec<NodeId>>,
     ) {
-        run_pooled_stage(&self.workers, &mut self.spares, stage, results, slab);
-    }
-}
-
-/// A message to a session-held pool worker.
-enum PoolMsg {
-    /// Begin serving a solve: build a sampler for the context's instance
-    /// and hold the context until [`PoolMsg::Detach`].
-    Attach(Arc<SolveCtx>),
-    /// Draw one stage's stripe of the attached solve.
-    Stage(Job),
-    /// The solve is over; drop the context and sampler, park for the next.
-    Detach,
-}
-
-/// A worker thread of a [`SolverPool`].
-struct OwnedWorker {
-    job_tx: Sender<PoolMsg>,
-    result_rx: Receiver<StripeResult>,
-    handle: Option<JoinHandle<()>>,
-}
-
-impl StageWorker for OwnedWorker {
-    fn send_stage(&self, job: Job) {
-        self.job_tx
-            .send(PoolMsg::Stage(job))
-            .expect("pool worker panicked");
-    }
-    fn recv_result(&self) -> StripeResult {
-        self.result_rx.recv().expect("pool worker panicked")
-    }
-}
-
-/// A **session-held** worker pool: `threads` owned OS threads spawned
-/// once and reused by every pooled solve a session (or the bench batch
-/// runner) performs, amortizing thread spawns across solves — the §5.3.1
-/// parallel regime at serving scale.
-///
-/// A solve attaches (each worker receives the solve's [`SolveCtx`] and
-/// builds a sampler for its instance), runs stages over the parked
-/// workers, then detaches. The stripe layout, RNG streams and merge order
-/// are identical to the per-solve [`WorkerPool`] and the serial executor,
-/// so results are bit-identical to both, for every worker count —
-/// including partial-mode (required-attendee / online-replanning) solves.
-pub struct SolverPool {
-    workers: Vec<OwnedWorker>,
-    spares: PoolSpares,
-    threads: usize,
-}
-
-impl std::fmt::Debug for SolverPool {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SolverPool")
-            .field("threads", &self.threads)
-            .finish_non_exhaustive()
-    }
-}
-
-impl SolverPool {
-    /// Spawns a pool of `threads` owned workers (clamped to ≥ 1).
-    pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
-        let mut workers = Vec::with_capacity(threads);
-        for w in 0..threads {
-            let (job_tx, job_rx) = channel::<PoolMsg>();
-            let (result_tx, result_rx) = channel::<StripeResult>();
-            let handle = std::thread::Builder::new()
-                .name(format!("waso-pool-{w}"))
-                .spawn(move || {
-                    let mut attached: Option<(Arc<SolveCtx>, Sampler)> = None;
-                    while let Ok(msg) = job_rx.recv() {
-                        match msg {
-                            PoolMsg::Attach(ctx) => {
-                                let mut sampler = Sampler::for_instance(&ctx.instance);
-                                sampler.set_blocked(ctx.blocked.clone());
-                                attached = Some((ctx, sampler));
-                            }
-                            PoolMsg::Detach => attached = None,
-                            PoolMsg::Stage(job) => {
-                                let (ctx, sampler) = attached
-                                    .as_mut()
-                                    .expect("stage job sent to a detached pool worker");
-                                if !work_stage(
-                                    sampler,
-                                    &ctx.instance,
-                                    &ctx.shared,
-                                    ctx.partial.as_deref(),
-                                    ctx.seed,
-                                    w,
-                                    threads,
-                                    job,
-                                    &result_tx,
-                                ) {
-                                    break; // pool dropped mid-stage
-                                }
-                            }
-                        }
-                    }
-                })
-                .expect("spawning a pool worker thread");
-            workers.push(OwnedWorker {
-                job_tx,
-                result_rx,
-                handle: Some(handle),
-            });
-        }
-        Self {
-            workers,
-            spares: PoolSpares::default(),
-            threads,
-        }
-    }
-
-    /// Worker count.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Attaches one solve to the pool. The returned guard is the solve's
-    /// [`StageExec`]; dropping it detaches the workers.
-    pub(crate) fn attach(&mut self, ctx: Arc<SolveCtx>) -> AttachedPool<'_> {
+        let per_worker = slab.len().div_ceil(self.workers.len().max(1));
         for worker in &self.workers {
+            let buf = self.spares.bufs.pop().unwrap_or_default();
+            let recycled = take_share(slab, &mut self.spares.recycle_containers, per_worker);
             worker
                 .job_tx
-                .send(PoolMsg::Attach(ctx.clone()))
-                .expect("pool worker panicked");
+                .send(Job {
+                    stage,
+                    buf,
+                    recycled,
+                })
+                .expect("per-solve pool worker panicked");
         }
-        AttachedPool { pool: self }
-    }
-}
-
-impl Drop for SolverPool {
-    fn drop(&mut self) {
-        for worker in &mut self.workers {
-            // Dropping the sender unparks the worker's recv loop.
-            let (dead_tx, _) = channel();
-            worker.job_tx = dead_tx;
-        }
-        for worker in &mut self.workers {
-            if let Some(handle) = worker.handle.take() {
-                // A worker that panicked already surfaced the failure to
-                // its coordinator; the join result adds nothing here.
-                let _ = handle.join();
+        for worker in &self.workers {
+            let SpanResult { mut buf, empties } = worker
+                .result_rx
+                .recv()
+                .expect("per-solve pool worker panicked");
+            for (j, s) in buf.drain(..) {
+                results[j] = s;
             }
-        }
-    }
-}
-
-/// One solve's executor over a session-held [`SolverPool`] — detaches the
-/// workers on drop.
-pub(crate) struct AttachedPool<'p> {
-    pool: &'p mut SolverPool,
-}
-
-impl StageExec for AttachedPool<'_> {
-    fn run_stage(
-        &mut self,
-        stage: u64,
-        results: &mut [Option<Sample>],
-        slab: &mut Vec<Vec<NodeId>>,
-    ) {
-        run_pooled_stage(
-            &self.pool.workers,
-            &mut self.pool.spares,
-            stage,
-            results,
-            slab,
-        );
-    }
-}
-
-impl Drop for AttachedPool<'_> {
-    fn drop(&mut self) {
-        for worker in &self.pool.workers {
-            // The pool may already be tearing down (worker gone); detach
-            // failures are then unobservable and harmless.
-            let _ = worker.job_tx.send(PoolMsg::Detach);
+            self.spares.bufs.push(buf);
+            self.spares.recycle_containers.push(empties);
         }
     }
 }

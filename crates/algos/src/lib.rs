@@ -9,7 +9,7 @@
 //! | [`sampler`] | §3.1 | random growth of partial solutions (uniform / probability-vector weighted) |
 //! | [`ocba`] | §3.1–3.2 | computational-budget allocation across start nodes, stage derivation |
 //! | [`engine`] | §3–§4, §5.3.1 | **the** staged-sampling loop: allocation × distribution × backend |
-//! | [`exec`] | §5.3.1 | execution backends: serial, per-solve worker pool, session-held [`SolverPool`] |
+//! | [`exec`] | §5.3.1 | execution backends: serial, per-solve worker pool, the process-wide self-healing [`SharedPool`] |
 //! | [`cbas`] | §3 | `Cbas` — the engine with uniform candidate selection |
 //! | [`cross_entropy`] | §4.2–4.3 | sparse node-selection probability vectors, elite updates, smoothing |
 //! | [`cbasnd`] | §4 | `CbasNd` — the engine with cross-entropy neighbour differentiation |
@@ -52,14 +52,14 @@ pub use cbas::{Cbas, CbasConfig};
 pub use cbasnd::{CbasNd, CbasNdConfig};
 pub use cross_entropy::ProbabilityVector;
 pub use engine::{Distribution, StagedEngine, StartMode};
-pub use exec::{ExecBackend, SolverPool};
+pub use exec::{Deal, ExecBackend, SharedPool, SolverPool};
 pub use gaussian::Allocation;
 pub use greedy::DGreedy;
 pub use online::OnlinePlanner;
 pub use parallel::ParallelCbasNd;
 pub use registry::{BuildFn, RegistryEntry, SolverRegistry};
 pub use rgreedy::{RGreedy, RGreedyConfig};
-pub use spec::{Capabilities, SolverSpec, SpecError, DEFAULT_BUDGET};
+pub use spec::{Capabilities, PoolMode, SolverSpec, SpecError, DEFAULT_BUDGET};
 
 /// Why a solver could not produce a group.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -251,26 +251,29 @@ pub trait Solver {
         let _ = incumbent;
     }
 
-    /// The worker count this solver would use from a session-held
-    /// [`SolverPool`], or `None` for inherently serial solvers. Sessions
-    /// use this to decide whether a solve is worth routing through (and
-    /// lazily spawning) their shared pool.
+    /// The worker count this solver would like from a [`SharedPool`], or
+    /// `None` for inherently serial solvers (and for solvers configured
+    /// with [`PoolMode::Private`], which spawn their own workers).
+    /// Sessions use this to decide whether a solve is worth routing
+    /// through (and lazily spawning) their shared pool.
     fn pool_threads(&self) -> Option<usize> {
         None
     }
 
-    /// [`Solver::solve_with_required`] over a session-held pool: pooled
-    /// solvers borrow the already-spawned workers instead of spawning
-    /// their own, amortizing thread creation across every solve of a
-    /// session or batch. Results are bit-identical to the non-pooled
-    /// paths for every worker count (per-sample RNG streams, in-order
-    /// merge). The default ignores the pool — correct for serial solvers.
+    /// [`Solver::solve_with_required`] as a job of a [`SharedPool`]:
+    /// pooled solvers submit their stages to the already-spawned workers
+    /// instead of spawning their own, amortizing thread creation across
+    /// every job the pool serves — concurrently with other jobs and
+    /// sessions. Results are bit-identical to the non-pooled paths for
+    /// every worker count and tenant mix (per-sample RNG streams,
+    /// index-keyed merge). The default ignores the pool — correct for
+    /// serial solvers.
     fn solve_pooled(
         &mut self,
         instance: &std::sync::Arc<WasoInstance>,
         required: &[NodeId],
         seed: u64,
-        pool: &mut SolverPool,
+        pool: &SharedPool,
     ) -> Result<SolveResult, SolveError> {
         let _ = pool;
         self.solve_with_required(instance, required, seed)

@@ -30,7 +30,8 @@ use waso_graph::NodeId;
 
 use crate::cbasnd::CbasNdConfig;
 use crate::engine::{StagedEngine, StartMode};
-use crate::exec::{ExecBackend, SolverPool};
+use crate::exec::{ExecBackend, SharedPool};
+use crate::spec::PoolMode;
 use crate::{SolveError, SolveResult, Solver};
 
 /// Parallel CBAS-ND with a fixed worker count.
@@ -38,6 +39,7 @@ use crate::{SolveError, SolveResult, Solver};
 pub struct ParallelCbasNd {
     config: CbasNdConfig,
     threads: usize,
+    pool: PoolMode,
 }
 
 impl ParallelCbasNd {
@@ -46,7 +48,16 @@ impl ParallelCbasNd {
         Self {
             config,
             threads: threads.max(1),
+            pool: PoolMode::default(),
         }
+    }
+
+    /// Selects where workers come from (`pool=shared` routes through the
+    /// session's [`SharedPool`], `pool=private` spawns a per-solve pool).
+    /// Scheduling only; the answer is identical.
+    pub fn pool_mode(mut self, pool: PoolMode) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Worker count.
@@ -105,17 +116,22 @@ impl Solver for ParallelCbasNd {
     }
 
     fn pool_threads(&self) -> Option<usize> {
-        Some(self.threads)
+        match self.pool {
+            // Private-pool solves spawn their own workers in solve_seeded.
+            PoolMode::Private => None,
+            PoolMode::Shared => Some(self.threads),
+        }
     }
 
-    /// Runs over a session-held pool — fresh and required-attendee solves
-    /// alike — amortizing worker spawns across the session's solves.
+    /// Runs as a job of a shared pool — fresh and required-attendee
+    /// solves alike — amortizing worker spawns across every job the pool
+    /// serves.
     fn solve_pooled(
         &mut self,
         instance: &Arc<WasoInstance>,
         required: &[NodeId],
         seed: u64,
-        pool: &mut SolverPool,
+        pool: &SharedPool,
     ) -> Result<SolveResult, SolveError> {
         if required.len() > instance.k() {
             return Err(SolveError::NoFeasibleGroup);
@@ -245,13 +261,13 @@ mod tests {
     #[test]
     fn session_pool_matches_per_solve_pool() {
         let inst = Arc::new(instance(60, 5, 11));
-        let mut pool = SolverPool::new(4);
+        let pool = SharedPool::new(4);
         let mut solver = ParallelCbasNd::new(config(90), 2);
         let direct = solver.solve_seeded(&inst, 6).unwrap();
-        // Two pooled solves over the same held pool: identical to the
+        // Two pooled solves over the same shared pool: identical to the
         // per-solve pool, and the pool stays serviceable between solves.
         for _ in 0..2 {
-            let held = solver.solve_pooled(&inst, &[], 6, &mut pool).unwrap();
+            let held = solver.solve_pooled(&inst, &[], 6, &pool).unwrap();
             assert_eq!(held.group, direct.group);
             assert_eq!(held.stats.samples_drawn, direct.stats.samples_drawn);
         }
@@ -259,7 +275,22 @@ mod tests {
         let serial = CbasNd::new(config(90))
             .solve_with_required(&inst, &required, 6)
             .unwrap();
-        let held = solver.solve_pooled(&inst, &required, 6, &mut pool).unwrap();
+        let held = solver.solve_pooled(&inst, &required, 6, &pool).unwrap();
         assert_eq!(held.group, serial.group);
+    }
+
+    #[test]
+    fn private_pool_mode_opts_out_of_the_shared_pool() {
+        let inst = instance(40, 4, 12);
+        let shared = ParallelCbasNd::new(config(60), 2);
+        assert_eq!(shared.pool_threads(), Some(2));
+        let mut private = shared.clone().pool_mode(PoolMode::Private);
+        assert_eq!(private.pool_threads(), None);
+        // Same answer either way — the knob is scheduling only.
+        let a = ParallelCbasNd::new(config(60), 2)
+            .solve_seeded(&inst, 3)
+            .unwrap();
+        let b = private.solve_seeded(&inst, 3).unwrap();
+        assert_eq!(a.group, b.group);
     }
 }

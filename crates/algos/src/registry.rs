@@ -260,7 +260,14 @@ impl SolverRegistry {
 
 const DGREEDY_KEYS: &[&str] = &["starts"];
 const RGREEDY_KEYS: &[&str] = &["budget", "start-nodes", "starts"];
-const CBAS_KEYS: &[&str] = &["budget", "stages", "start-nodes", "starts", "threads"];
+const CBAS_KEYS: &[&str] = &[
+    "budget",
+    "stages",
+    "start-nodes",
+    "starts",
+    "threads",
+    "pool",
+];
 
 fn build_dgreedy(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     spec.ensure_only("dgreedy", DGREEDY_KEYS)?;
@@ -278,9 +285,11 @@ fn build_rgreedy(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
 
 fn build_cbas(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     spec.ensure_only("cbas", CBAS_KEYS)?;
+    spec.ensure_pool_has_threads()?;
     let cfg = CbasConfig::from_spec(spec);
+    let pool = spec.pool.unwrap_or_default();
     Ok(Box::new(match spec.threads {
-        Some(t) => Cbas::with_threads(cfg, t),
+        Some(t) => Cbas::with_threads(cfg, t).pool_mode(pool),
         None => Cbas::new(cfg),
     }))
 }
@@ -291,6 +300,7 @@ const CBASND_KEYS: &[&str] = &[
     "start-nodes",
     "starts",
     "threads",
+    "pool",
     "rho",
     "smoothing",
     "backtrack",
@@ -299,9 +309,10 @@ const CBASND_KEYS: &[&str] = &[
 fn build_cbasnd(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     spec.ensure_only("cbas-nd", CBASND_KEYS)?;
     spec.ensure_ce_ranges()?;
+    spec.ensure_pool_has_threads()?;
     let cfg = CbasNdConfig::from_spec(spec);
     Ok(match spec.threads {
-        Some(t) => Box::new(ParallelCbasNd::new(cfg, t)),
+        Some(t) => Box::new(ParallelCbasNd::new(cfg, t).pool_mode(spec.pool.unwrap_or_default())),
         None => Box::new(CbasNd::new(cfg)),
     })
 }
@@ -309,9 +320,10 @@ fn build_cbasnd(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
 fn build_cbasnd_g(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     spec.ensure_only("cbas-nd-g", CBASND_KEYS)?;
     spec.ensure_ce_ranges()?;
+    spec.ensure_pool_has_threads()?;
     let cfg = CbasNdConfig::from_spec(spec).gaussian();
     Ok(match spec.threads {
-        Some(t) => Box::new(ParallelCbasNd::new(cfg, t)),
+        Some(t) => Box::new(ParallelCbasNd::new(cfg, t).pool_mode(spec.pool.unwrap_or_default())),
         None => Box::new(CbasNd::new(cfg)),
     })
 }
@@ -324,10 +336,10 @@ fn build_parallel(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
             .map(|c| c.get())
             .unwrap_or(1)
     });
-    Ok(Box::new(ParallelCbasNd::new(
-        CbasNdConfig::from_spec(spec),
-        threads,
-    )))
+    Ok(Box::new(
+        ParallelCbasNd::new(CbasNdConfig::from_spec(spec), threads)
+            .pool_mode(spec.pool.unwrap_or_default()),
+    ))
 }
 
 #[cfg(test)]
@@ -435,6 +447,65 @@ mod tests {
             assert_eq!(pooled.group, serial.group, "threads={threads}");
             assert_eq!(pooled.stats.samples_drawn, serial.stats.samples_drawn);
         }
+    }
+
+    #[test]
+    fn pool_knob_selects_private_pools_without_changing_answers() {
+        let registry = SolverRegistry::builtin();
+        let base = SolverSpec::cbas_nd().budget(80).stages(3).threads(2);
+        let shared = registry.build(&base).unwrap();
+        assert_eq!(shared.pool_threads(), Some(2));
+        let private = registry
+            .build(&base.clone().pool(crate::spec::PoolMode::Private))
+            .unwrap();
+        assert_eq!(
+            private.pool_threads(),
+            None,
+            "private solves skip the shared pool"
+        );
+        let a = registry
+            .build(&base)
+            .unwrap()
+            .solve_seeded(&figure1_instance(), 4)
+            .unwrap();
+        let b = registry
+            .build(&base.clone().pool(crate::spec::PoolMode::Private))
+            .unwrap()
+            .solve_seeded(&figure1_instance(), 4)
+            .unwrap();
+        assert_eq!(a.group, b.group);
+        // Solvers without the knob keep rejecting it.
+        let err = registry
+            .build(&SolverSpec::dgreedy().pool(crate::spec::PoolMode::Private))
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            SpecError::UnsupportedOption {
+                algorithm: "dgreedy",
+                key: "pool"
+            }
+        );
+        // pool= with no threads= would be silently inert — rejected
+        // instead, for every builder that doesn't default its threads.
+        for spec in [
+            SolverSpec::cbas().pool(crate::spec::PoolMode::Private),
+            SolverSpec::cbas_nd().pool(crate::spec::PoolMode::Shared),
+            SolverSpec::cbas_nd_g().pool(crate::spec::PoolMode::Private),
+        ] {
+            assert_eq!(
+                registry.build(&spec).err().unwrap(),
+                SpecError::RequiresOption {
+                    key: "pool",
+                    needs: "threads"
+                },
+                "{spec}"
+            );
+        }
+        // cbas-nd-par defaults its thread count, so bare pool= is fine.
+        assert!(registry
+            .build(&SolverSpec::new("cbas-nd-par").pool(crate::spec::PoolMode::Private))
+            .is_ok());
     }
 
     #[test]

@@ -125,11 +125,14 @@ fn main() -> ExitCode {
         // The engine-throughput sweep also emits the machine-readable perf
         // trajectory (BENCH_engine.json) alongside its tables; both come
         // from one measurement pass (experiments::engine::throughput_to).
-        let set = if id == "engine" {
+        // `--figure pool` regenerates the identical artifact — its
+        // private/shared/concurrent-batch comparison lives in the same
+        // JSON so one committed yardstick tracks all the engine records.
+        let set = if id == "engine" || id == "pool" {
             match waso_bench::experiments::engine::throughput_to(&ctx, &args.out) {
                 Ok(set) => {
                     eprintln!(
-                        "[engine] JSON written to {}",
+                        "[{id}] JSON written to {}",
                         args.out.join("BENCH_engine.json").display()
                     );
                     set

@@ -26,13 +26,15 @@
 //! not scaling) — regenerate it with
 //! `waso-experiments --figure engine --scale smoke`.
 
+use waso::algos::PoolMode;
 use waso::{SolverSpec, WasoSession};
 use waso_core::WasoInstance;
 use waso_datasets::synthetic;
 
 use crate::report::{BenchRecord, Cell, Table, TableSet};
 use crate::runner::{
-    measure_session_batch, measure_spec_avg, measure_spec_batch_baseline, ExperimentContext,
+    measure_session_batch, measure_session_each, measure_spec_avg, measure_spec_batch_baseline,
+    ExperimentContext,
 };
 
 use super::fig5::cbasnd_spec;
@@ -130,6 +132,99 @@ pub fn batch_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
         .collect()
 }
 
+/// The `--figure pool` comparison: the same `BATCH_SOLVES`-job workload
+/// run (a) with `pool=private` — every job spawns and tears down its own
+/// worker pool, the pre-SharedPool behaviour; (b) sequentially over one
+/// shared pool — amortized spawns, one job at a time; (c) as one
+/// concurrent `solve_batch` over the shared pool — the job-level
+/// scheduler keeping every worker busy across jobs. Three records whose
+/// `samples_per_sec` column is the private → shared → concurrent ladder;
+/// quality is identical across all three by the determinism contract.
+pub fn pool_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
+    let k = 10;
+    let graph = synthetic::facebook_like(ctx.scale, ctx.seed);
+    let n = graph.num_nodes();
+    let spec = SolverSpec::cbas_nd()
+        .budget(ctx.budget())
+        .stages(BATCH_STAGES)
+        .start_nodes(ctx.harness_m(n))
+        .threads(BATCH_THREADS);
+    let workload = format!("facebook-like/n={n}/k={k}/batch={BATCH_SOLVES}x{BATCH_STAGES}-stage");
+
+    let private_specs = vec![spec.clone().pool(PoolMode::Private); BATCH_SOLVES];
+    let shared_specs = vec![spec.clone(); BATCH_SOLVES];
+    // A fresh session per mode: no warm pool or cached instance leaks
+    // from one row into the next.
+    let rows = [
+        (
+            "private pool",
+            measure_session_each(
+                &WasoSession::new(graph.clone()).k(k).seed(ctx.seed),
+                &private_specs,
+            ),
+        ),
+        (
+            "shared pool",
+            measure_session_each(
+                &WasoSession::new(graph.clone()).k(k).seed(ctx.seed),
+                &shared_specs,
+            ),
+        ),
+        (
+            "concurrent batch",
+            measure_session_batch(&WasoSession::new(graph).k(k).seed(ctx.seed), &shared_specs),
+        ),
+    ];
+    rows.into_iter()
+        .map(|(mode, meas)| BenchRecord {
+            workload: workload.clone(),
+            solver: format!("{spec} ({mode})"),
+            threads: BATCH_THREADS,
+            mean_quality: meas.quality,
+            wall_seconds: meas.seconds,
+            samples_per_sec: meas.samples_per_sec,
+        })
+        .collect()
+}
+
+/// Renders the pool-mode records as a mode-keyed table.
+pub fn pool_table(records: &[BenchRecord]) -> Table {
+    let title = records
+        .first()
+        .map(|r| {
+            format!(
+                "private vs shared vs concurrent-batch pool ({})",
+                r.workload
+            )
+        })
+        .unwrap_or_else(|| "private vs shared vs concurrent-batch pool".to_string());
+    let mut t = Table::new(
+        "engine-pool",
+        title,
+        &["mode", "wall s/solve", "samples/s", "mean quality"],
+    );
+    for r in records {
+        let mode = ["private pool", "shared pool", "concurrent batch"]
+            .into_iter()
+            .find(|m| r.solver.ends_with(&format!("({m})")))
+            .unwrap_or("?");
+        t.push_row(vec![
+            Cell::from(mode),
+            Cell::from(r.wall_seconds),
+            Cell::from(r.samples_per_sec),
+            r.mean_quality.map(Cell::from).unwrap_or(Cell::Missing),
+        ]);
+    }
+    t
+}
+
+/// Tables-only entry point for the `pool` figure id.
+pub fn pool_comparison(ctx: &ExperimentContext) -> TableSet {
+    let mut set = TableSet::new();
+    set.push(pool_table(&pool_records(ctx)));
+    set
+}
+
 /// Renders the batch records as a mode-keyed table.
 pub fn batch_table(records: &[BenchRecord]) -> Table {
     let title = records
@@ -195,19 +290,24 @@ pub fn throughput(ctx: &ExperimentContext) -> TableSet {
 }
 
 /// Measures once, writes `<out_dir>/BENCH_engine.json` (backend sweep +
-/// batch records), and returns the tables — the
-/// `waso-experiments --figure engine` path.
+/// batch + pool-mode records), and returns the tables — the
+/// `waso-experiments --figure engine` / `--figure pool` path (both ids
+/// regenerate the same artifact; they differ only in which tables the
+/// caller highlights).
 pub fn throughput_to(
     ctx: &ExperimentContext,
     out_dir: &std::path::Path,
 ) -> std::io::Result<TableSet> {
     let sweep = throughput_records(ctx);
     let batch = batch_records(ctx);
+    let pool = pool_records(ctx);
     let mut records = sweep.clone();
     records.extend(batch.clone());
+    records.extend(pool.clone());
     crate::report::write_records_json(&records, &out_dir.join("BENCH_engine.json"))?;
     let mut tables = records_table(&sweep);
     tables.push(batch_table(&batch));
+    tables.push(pool_table(&pool));
     Ok(tables)
 }
 
@@ -236,6 +336,29 @@ mod tests {
         let tables = records_table(&records);
         assert_eq!(tables.tables.len(), 2);
         assert_eq!(tables.tables[0].rows.len(), 1 + THREAD_SWEEP.len());
+    }
+
+    #[test]
+    fn pool_records_cover_all_three_modes_with_identical_quality() {
+        let mut ctx = ExperimentContext::new(Scale::Smoke);
+        ctx.repeats = 1;
+        let records = pool_records(&ctx);
+        assert_eq!(records.len(), 3);
+        for (r, mode) in
+            records
+                .iter()
+                .zip(["(private pool)", "(shared pool)", "(concurrent batch)"])
+        {
+            assert!(r.solver.ends_with(mode), "{}", r.solver);
+            assert!(r.samples_per_sec > 0.0, "{}: no throughput", r.solver);
+            assert!(r.workload.contains("batch="));
+        }
+        // The determinism contract at bench level: every mode solves the
+        // identical workload, so mean quality matches exactly.
+        assert_eq!(records[0].mean_quality, records[1].mean_quality);
+        assert_eq!(records[1].mean_quality, records[2].mean_quality);
+        let table = pool_table(&records);
+        assert_eq!(table.rows.len(), 3);
     }
 
     #[test]

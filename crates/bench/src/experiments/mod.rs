@@ -18,14 +18,15 @@ use crate::runner::ExperimentContext;
 
 /// All known experiment ids, in paper order.
 pub const ALL_FIGURES: &[&str] = &[
-    "engine", "4a", "4bc", "4de", "4f", "5ab", "5c", "5d", "5ef", "5g", "5h", "5ij", "6a", "6b",
-    "7ab", "7cd", "7ef", "8ab", "9ab", "9cd",
+    "engine", "pool", "4a", "4bc", "4de", "4f", "5ab", "5c", "5d", "5ef", "5g", "5h", "5ij", "6a",
+    "6b", "7ab", "7cd", "7ef", "8ab", "9ab", "9cd",
 ];
 
 /// Runs one experiment by id. Returns `None` for unknown ids.
 pub fn run_figure(id: &str, ctx: &ExperimentContext) -> Option<TableSet> {
     let tables = match id {
         "engine" => engine::throughput(ctx),
+        "pool" => engine::pool_comparison(ctx),
         "4a" => fig4::lambda_histogram(ctx),
         "4bc" => fig4::quality_time_vs_n(ctx),
         "4de" => fig4::quality_time_vs_k(ctx),
@@ -76,7 +77,7 @@ mod tests {
         // Routing only — execution is covered by the per-figure tests.
         for id in ALL_FIGURES {
             assert!(
-                *id == "engine" || matches!(id.chars().next(), Some('4'..='9')),
+                *id == "engine" || *id == "pool" || matches!(id.chars().next(), Some('4'..='9')),
                 "odd id {id}"
             );
         }

@@ -217,19 +217,16 @@ pub fn measure_spec_batch_baseline(
     }
 }
 
-/// Runs `specs` through one [`waso::WasoSession::solve_batch`] — the
-/// instance validated and cloned once, every pooled job sharing the
-/// session-held worker pool — and measures the whole batch. Same
-/// aggregation semantics as [`measure_spec_batch_baseline`]. Spec-level
-/// failures are harness bugs and panic loudly; infeasible jobs are
-/// recorded, like [`measure`].
-pub fn measure_session_batch(session: &waso::WasoSession, specs: &[SolverSpec]) -> Measurement {
-    assert!(!specs.is_empty());
-    let t0 = Instant::now();
-    let outcomes = session
-        .solve_batch(specs)
-        .unwrap_or_else(|e| panic!("harness built an unusable batch session: {e}"));
-    let seconds = t0.elapsed().as_secs_f64();
+/// Aggregates a slice of per-job session outcomes measured over
+/// `seconds` of wall clock: quality mean over feasible jobs, `seconds`
+/// the mean per job, `samples_per_sec` the aggregate throughput.
+/// Spec-level failures are harness bugs and panic loudly; infeasible
+/// jobs are recorded, like [`measure`].
+fn aggregate_session_jobs(
+    specs: &[SolverSpec],
+    outcomes: Vec<Result<waso::algos::SolveResult, waso::SessionError>>,
+    seconds: f64,
+) -> Measurement {
     let mut q_sum = 0.0;
     let mut q_count = 0u32;
     let mut samples = 0u64;
@@ -253,6 +250,32 @@ pub fn measure_session_batch(session: &waso::WasoSession, specs: &[SolverSpec]) 
         truncated,
         samples_per_sec: throughput(samples, seconds),
     }
+}
+
+/// Runs `specs` through one [`waso::WasoSession::solve_batch`] — the
+/// instance validated and cloned once, every pooled job sharing the
+/// session's worker pool, independent jobs running **concurrently** over
+/// its scheduler — and measures the whole batch.
+pub fn measure_session_batch(session: &waso::WasoSession, specs: &[SolverSpec]) -> Measurement {
+    assert!(!specs.is_empty());
+    let t0 = Instant::now();
+    let outcomes = session
+        .solve_batch(specs)
+        .unwrap_or_else(|e| panic!("harness built an unusable batch session: {e}"));
+    let seconds = t0.elapsed().as_secs_f64();
+    aggregate_session_jobs(specs, outcomes, seconds)
+}
+
+/// Runs `specs` through one session **one job at a time** — the
+/// sequential counterpart of [`measure_session_batch`]: same shared
+/// instance and worker pool, no job-level concurrency. The gap between
+/// the two rows is what the concurrent scheduler buys.
+pub fn measure_session_each(session: &waso::WasoSession, specs: &[SolverSpec]) -> Measurement {
+    assert!(!specs.is_empty());
+    let t0 = Instant::now();
+    let outcomes: Vec<_> = specs.iter().map(|spec| session.solve(spec)).collect();
+    let seconds = t0.elapsed().as_secs_f64();
+    aggregate_session_jobs(specs, outcomes, seconds)
 }
 
 /// [`measure_spec`] averaged over `repeats` seeds.

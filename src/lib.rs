@@ -11,10 +11,13 @@
 //! The whole staged family (CBAS, CBAS-ND, CBAS-ND-G, the §5.3.1
 //! parallel runs) executes through **one** stage loop —
 //! [`waso_algos::engine::StagedEngine`] — whose budget-allocation policy,
-//! candidate distribution and execution backend (serial, or a persistent
-//! worker pool spawned once per solve) are orthogonal axes. Every solver
-//! is a pure function of `(instance, seed)`, bit-identical across thread
-//! counts; see the Architecture section of the README.
+//! candidate distribution and execution backend (serial, a per-solve
+//! worker pool, or a job of the process-wide self-healing
+//! [`waso_algos::SharedPool`] that any number of sessions share) are
+//! orthogonal axes. Every solver is a pure function of
+//! `(instance, seed)`, bit-identical across thread counts, deals,
+//! concurrent batches and even worker panics; see the Architecture
+//! section of the README.
 //!
 //! ## The unified solving API
 //!
@@ -88,9 +91,9 @@ pub use waso_algos::{SolverRegistry, SolverSpec};
 pub mod prelude {
     pub use crate::session::{registry, SessionError, WasoSession};
     pub use waso_algos::{
-        Capabilities, Cbas, CbasConfig, CbasNd, CbasNdConfig, DGreedy, OnlinePlanner,
-        ParallelCbasNd, RGreedy, RGreedyConfig, SolveError, SolveResult, Solver, SolverRegistry,
-        SolverSpec, SpecError,
+        Capabilities, Cbas, CbasConfig, CbasNd, CbasNdConfig, DGreedy, Deal, OnlinePlanner,
+        ParallelCbasNd, PoolMode, RGreedy, RGreedyConfig, SharedPool, SolveError, SolveResult,
+        Solver, SolverRegistry, SolverSpec, SpecError,
     };
     pub use waso_core::{scenario, willingness, Group, WasoInstance};
     pub use waso_graph::{GraphBuilder, NodeId, SocialGraph};

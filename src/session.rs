@@ -16,12 +16,14 @@
 //! reproducibility guarantee (same `(instance, spec, seed)` → same group)
 //! holds regardless of parallelism.
 //!
-//! Pooled solves share one **session-held** [`SolverPool`]: worker
-//! threads are spawned on first use and reused by every later solve, and
-//! the validated instance is cloned once and shared. For many solves in
-//! one go, [`WasoSession::solve_batch`] / [`WasoSession::solve_many`]
-//! run a slice of spec jobs over that shared state with per-job error
-//! reporting.
+//! Pooled solves share one [`SharedPool`]: worker threads are spawned on
+//! first use (or attached via [`WasoSession::attach_pool`], in which case
+//! any number of sessions share one process-wide pool) and reused by
+//! every later solve; the validated instance is cloned once and shared.
+//! For many solves in one go, [`WasoSession::solve_batch`] /
+//! [`WasoSession::solve_many`] run a slice of spec jobs **concurrently**
+//! over that shared state with per-job error reporting — bit-identical
+//! to solving each spec alone, in the slice's order.
 //!
 //! ```
 //! use waso::prelude::*;
@@ -40,9 +42,10 @@
 //! ```
 
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
-use waso_algos::{SolveError, SolveResult, SolverPool, SolverRegistry, SolverSpec, SpecError};
+use waso_algos::{SharedPool, SolveError, SolveResult, SolverRegistry, SolverSpec, SpecError};
 use waso_core::{CoreError, WasoInstance};
 use waso_graph::{NodeId, SocialGraph};
 
@@ -120,13 +123,17 @@ impl From<SolveError> for SessionError {
 ///   shared by every later one (and by every job of a
 ///   [`WasoSession::solve_batch`]), so the graph is validated and cloned
 ///   once per session instead of once per solve;
-/// * the **worker pool** ([`SolverPool`]) — spawned on the first solve
-///   whose spec asks for threads and reused by every pooled solve after
-///   it, amortizing thread creation across the session (§5.3.1 at
-///   serving scale). The determinism contract makes the pool size
-///   unobservable in results: solves are bit-identical for every worker
-///   count, so the session guarantee (same `(instance, spec, seed)` →
-///   same group) is unaffected.
+/// * the **worker pool** ([`SharedPool`]) — attached up front
+///   ([`WasoSession::attach_pool`], possibly shared with other sessions
+///   of the process) or spawned on the first solve whose spec asks for
+///   threads, and reused by every pooled solve after it, amortizing
+///   thread creation across the session (§5.3.1 at serving scale). The
+///   pool is self-healing (a panicked worker is respawned and its
+///   in-flight samples re-drawn) and its scheduler runs jobs from any
+///   number of sessions concurrently. The determinism contract makes all
+///   of that unobservable in results: solves are bit-identical for every
+///   worker count and tenant mix, so the session guarantee (same
+///   `(instance, spec, seed)` → same group) is unaffected.
 #[derive(Debug)]
 pub struct WasoSession {
     graph: SocialGraph,
@@ -136,13 +143,15 @@ pub struct WasoSession {
     lambda: Option<Vec<f64>>,
     seed: u64,
     registry: SolverRegistry,
-    /// Pinned worker count for the session pool; `None` sizes the pool
-    /// from the first pooled spec.
+    /// Pinned worker count for a lazily-spawned session pool; `None`
+    /// sizes it from the first pooled spec. Ignored once a pool is
+    /// attached.
     pool_threads: Option<usize>,
     /// The validated instance, built once per session configuration.
     instance_cache: Mutex<Option<Arc<WasoInstance>>>,
-    /// The session-held worker pool, spawned on first pooled use.
-    pool: Mutex<Option<SolverPool>>,
+    /// The worker pool every pooled solve of this session runs over —
+    /// attached, or spawned on first pooled use.
+    pool: Mutex<Option<Arc<SharedPool>>>,
 }
 
 impl WasoSession {
@@ -215,8 +224,19 @@ impl WasoSession {
     /// Pins the session pool's worker count. Without this, the pool is
     /// sized by the first pooled spec's `threads` value. Either way the
     /// answers are bit-identical — the count only affects wall-clock.
+    /// Ignored when a pool is [`WasoSession::attach_pool`]ed.
     pub fn pool_threads(mut self, threads: usize) -> Self {
         self.pool_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Attaches a (possibly process-wide) [`SharedPool`]: every pooled
+    /// solve of this session runs as a job of `pool` instead of a
+    /// session-private one. Hand clones of the same `Arc` to any number
+    /// of sessions — the pool's scheduler runs their jobs concurrently,
+    /// and results stay bit-identical to solving each alone.
+    pub fn attach_pool(mut self, pool: Arc<SharedPool>) -> Self {
+        *self.pool.get_mut().unwrap_or_else(PoisonError::into_inner) = Some(pool);
         self
     }
 
@@ -301,14 +321,15 @@ impl WasoSession {
 
         let mut solver = self.registry.build(spec)?;
         let result = match solver.pool_threads() {
-            // Pooled solve: borrow the session pool (spawning it on first
-            // use), so worker threads outlive — and are shared by — every
-            // pooled solve of this session.
+            // Pooled solve: run as a job of the session pool (attached,
+            // or spawned on first use), so worker threads outlive — and
+            // are shared by — every pooled solve, of this session and of
+            // any other session attached to the same pool. The lock
+            // guards only the Arc, never a solve: concurrent jobs
+            // proceed in parallel.
             Some(threads) => {
-                let mut guard = self.pool.lock().expect("unpoisoned pool");
-                let pool = guard
-                    .get_or_insert_with(|| SolverPool::new(self.pool_threads.unwrap_or(threads)));
-                solver.solve_pooled(instance, &required, self.seed, pool)?
+                let pool = self.session_pool(threads);
+                solver.solve_pooled(instance, &required, self.seed, &pool)?
             }
             None => solver.solve_with_required(instance, &required, self.seed)?,
         };
@@ -327,26 +348,55 @@ impl WasoSession {
         self.solve(&spec)
     }
 
+    /// The session's pool, spawning a private one sized
+    /// `pool_threads.unwrap_or(spec_threads)` on first pooled use.
+    fn session_pool(&self, spec_threads: usize) -> Arc<SharedPool> {
+        let mut guard = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(guard.get_or_insert_with(|| {
+            Arc::new(SharedPool::new(self.pool_threads.unwrap_or(spec_threads)))
+        }))
+    }
+
+    /// Spawns the lazily-sized session pool **before** a batch's jobs
+    /// fan out, so its worker count comes from the *first* pooled spec
+    /// in slice order — exactly as a sequential run would size it — and
+    /// never from whichever concurrent job happens to win the
+    /// `session_pool` race. Unbuildable specs are skipped here; their
+    /// own job slot reports the error.
+    fn prewarm_pool(&self, specs: &[SolverSpec]) {
+        for spec in specs {
+            if let Ok(solver) = self.registry.build(spec) {
+                if let Some(threads) = solver.pool_threads() {
+                    let _ = self.session_pool(threads);
+                    return;
+                }
+            }
+        }
+    }
+
     /// Runs a slice of solve jobs over the session's shared state: the
-    /// instance is validated and cloned **once**, and every pooled job
-    /// borrows the **same** session-held worker pool — no per-solve
-    /// thread spawns, no per-solve graph clones. Each job carries its own
-    /// constraints via [`SolverSpec::require`], merged with the session's
-    /// as in [`WasoSession::solve`].
+    /// instance is validated and cloned **once**, every pooled job runs
+    /// over the **same** shared worker pool — no per-solve thread
+    /// spawns, no per-solve graph clones — and independent jobs run
+    /// **concurrently** (the pool's scheduler deals their stages across
+    /// its workers, so a light job is never stuck behind a heavy one).
+    /// Each job carries its own constraints via [`SolverSpec::require`],
+    /// merged with the session's as in [`WasoSession::solve`].
     ///
     /// Per-job failures (unbuildable spec, infeasible constraints) land
     /// in that job's slot; an instance-level failure fails the batch.
-    /// Results are bit-identical to calling [`WasoSession::solve`] once
-    /// per spec.
+    /// Results are returned in spec order and are bit-identical to
+    /// calling [`WasoSession::solve`] once per spec — per-job RNG
+    /// streams make the concurrency unobservable.
     pub fn solve_batch(
         &self,
         specs: &[SolverSpec],
     ) -> Result<Vec<Result<SolveResult, SessionError>>, SessionError> {
         let instance = self.shared_instance()?;
-        Ok(specs
-            .iter()
-            .map(|spec| self.solve_on(&instance, spec))
-            .collect())
+        self.prewarm_pool(specs);
+        Ok(run_concurrently(specs.len(), |i| {
+            self.solve_on(&instance, &specs[i])
+        }))
     }
 
     /// [`WasoSession::solve_batch`] from spec strings; a string that does
@@ -356,14 +406,70 @@ impl WasoSession {
         specs: impl IntoIterator<Item = &'a str>,
     ) -> Result<Vec<Result<SolveResult, SessionError>>, SessionError> {
         let instance = self.shared_instance()?;
-        Ok(specs
-            .into_iter()
-            .map(|s| {
-                let spec = self.registry.parse(s)?;
-                self.solve_on(&instance, &spec)
-            })
-            .collect())
+        // Parse up front (cheap, deterministic order) so the pool can be
+        // pre-sized from the first pooled spec; parse failures keep
+        // their slots.
+        let specs: Vec<Result<SolverSpec, SpecError>> =
+            specs.into_iter().map(|s| self.registry.parse(s)).collect();
+        let parsed: Vec<SolverSpec> = specs.iter().filter_map(|s| s.clone().ok()).collect();
+        self.prewarm_pool(&parsed);
+        Ok(run_concurrently(specs.len(), |i| match &specs[i] {
+            Ok(spec) => self.solve_on(&instance, spec),
+            Err(e) => Err(e.clone().into()),
+        }))
     }
+}
+
+/// Runs `n` independent jobs over a small crew of coordinator threads and
+/// returns their outcomes in job order. The crew is sized
+/// `min(n, max(2, available_parallelism))` — at least two coordinators,
+/// so batch jobs overlap (and the concurrency equivalence tests mean
+/// something) even on a single-core box; each coordinator thread drives
+/// whole jobs, while the per-sample parallelism lives in the worker pool
+/// the jobs share. A panicking job propagates (after the crew drains, so
+/// no work is silently lost).
+fn run_concurrently<T, F>(n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let crew = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+        .max(2)
+        .min(n);
+    if n <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..crew)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return done;
+                        }
+                        done.push((i, job(i)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            let done = handle
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+            for (i, outcome) in done {
+                out[i] = Some(outcome);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|outcome| outcome.expect("every job index is claimed exactly once"))
+        .collect()
 }
 
 /// Bounds, duplicate and size checks for a required-attendee list.
@@ -610,6 +716,67 @@ mod tests {
             let fresh = WasoSession::new(g.clone()).k(4).seed(9);
             assert_eq!(a.group, fresh.solve(&spec_a).unwrap().group);
             assert_eq!(b.group, fresh.solve(&spec_b).unwrap().group);
+        }
+    }
+
+    #[test]
+    fn sessions_share_one_pool_across_different_graphs() {
+        // Two sessions over *different* instances attached to one
+        // process-wide pool: every solve matches a fresh private-pool
+        // session bit-for-bit, and no worker is ever respawned.
+        let pool = Arc::new(SharedPool::new(2));
+        let g1 = waso_datasets::synthetic::facebook_like_n(60, 3);
+        let g2 = waso_datasets::synthetic::facebook_like_n(90, 3);
+        let s1 = WasoSession::new(g1.clone())
+            .k(4)
+            .seed(5)
+            .attach_pool(Arc::clone(&pool));
+        let s2 = WasoSession::new(g2.clone())
+            .k(5)
+            .seed(6)
+            .attach_pool(Arc::clone(&pool));
+        let spec = SolverSpec::cbas_nd().budget(50).stages(2).threads(3);
+        for _ in 0..2 {
+            let a = s1.solve(&spec).unwrap();
+            let b = s2.solve(&spec).unwrap();
+            let fresh1 = WasoSession::new(g1.clone()).k(4).seed(5);
+            let fresh2 = WasoSession::new(g2.clone()).k(5).seed(6);
+            assert_eq!(a.group, fresh1.solve(&spec).unwrap().group);
+            assert_eq!(b.group, fresh2.solve(&spec).unwrap().group);
+        }
+        assert_eq!(pool.respawned_workers(), 0);
+        drop((s1, s2));
+        assert_eq!(Arc::strong_count(&pool), 1, "sessions release the pool");
+    }
+
+    #[test]
+    fn concurrent_batches_on_one_attached_pool_match_sequential_solves() {
+        let pool = Arc::new(SharedPool::new(3));
+        let g = waso_datasets::synthetic::facebook_like_n(80, 3);
+        let specs = vec![
+            SolverSpec::cbas_nd().budget(60).stages(3).threads(2),
+            SolverSpec::cbas().budget(60).stages(2).threads(4),
+            SolverSpec::dgreedy(),
+            SolverSpec::cbas_nd()
+                .budget(40)
+                .stages(2)
+                .threads(1)
+                .require([NodeId(0)]),
+        ];
+        let session = WasoSession::new(g.clone())
+            .k(5)
+            .seed(11)
+            .attach_pool(Arc::clone(&pool));
+        let batch = session.solve_batch(&specs).unwrap();
+        for (spec, outcome) in specs.iter().zip(&batch) {
+            let alone = WasoSession::new(g.clone())
+                .k(5)
+                .seed(11)
+                .solve(spec)
+                .unwrap();
+            let batched = outcome.as_ref().unwrap();
+            assert_eq!(batched.group, alone.group, "{spec}");
+            assert_eq!(batched.stats.samples_drawn, alone.stats.samples_drawn);
         }
     }
 

@@ -184,6 +184,121 @@ proptest! {
         }
     }
 
+    /// The SharedPool concurrency contract: random instances and specs
+    /// run as (a) sequential per-spec solves in fresh sessions, (b) one
+    /// concurrent shared-pool `solve_batch`, and (c) two sessions
+    /// attached to the same pool, each batching from its own OS thread —
+    /// all three bit-identical per job, for pool sizes 1–8.
+    #[test]
+    fn shared_pool_concurrency_is_bit_identical(
+        seed in 0u64..10_000,
+        n in 12usize..36,
+        extra in 0usize..25,
+        k in 2usize..6,
+        budget in 8u64..80,
+        pool_threads in 1usize..9,
+    ) {
+        use std::sync::Arc;
+        use waso::algos::SharedPool;
+
+        let inst = random_instance(seed, n, extra, k, true);
+        let graph = inst.graph().clone();
+        let specs = vec![
+            SolverSpec::cbas_nd().budget(budget).stages(3).threads(2),
+            SolverSpec::cbas().budget(budget).stages(2).threads(5),
+            SolverSpec::cbas_nd().budget(budget).stages(2).threads(1).require([NodeId(0)]),
+            SolverSpec::dgreedy(),
+        ];
+
+        // (a) the sequential baseline: each spec alone in a fresh session.
+        let alone: Vec<_> = specs
+            .iter()
+            .map(|s| WasoSession::new(graph.clone()).k(k).seed(seed).solve(s))
+            .collect();
+
+        let check = |batch: &[Result<waso::algos::SolveResult, SessionError>], tag: &str| {
+            for ((spec, a), b) in specs.iter().zip(&alone).zip(batch) {
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a.group, &b.group, "{}: {}", tag, spec);
+                        prop_assert_eq!(a.stats.samples_drawn, b.stats.samples_drawn);
+                        prop_assert_eq!(a.stats.backtracks, b.stats.backtracks);
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => prop_assert!(
+                        false,
+                        "{}: feasibility diverged for {}: alone ok={}, pooled ok={}",
+                        tag, spec, a.is_ok(), b.is_ok()
+                    ),
+                }
+            }
+        };
+
+        // (b) one concurrent batch over a shared pool.
+        let pool = Arc::new(SharedPool::new(pool_threads));
+        let session = WasoSession::new(graph.clone())
+            .k(k)
+            .seed(seed)
+            .attach_pool(Arc::clone(&pool));
+        check(&session.solve_batch(&specs).unwrap(), "batch");
+
+        // (c) two sessions sharing the pool, racing from two OS threads.
+        let s1 = WasoSession::new(graph.clone()).k(k).seed(seed).attach_pool(Arc::clone(&pool));
+        let s2 = WasoSession::new(graph.clone()).k(k).seed(seed).attach_pool(Arc::clone(&pool));
+        let (b1, b2) = std::thread::scope(|scope| {
+            let h1 = scope.spawn(|| s1.solve_batch(&specs).unwrap());
+            let h2 = scope.spawn(|| s2.solve_batch(&specs).unwrap());
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        check(&b1, "two-sessions/1");
+        check(&b2, "two-sessions/2");
+        // Healthy runs never respawn a worker.
+        prop_assert_eq!(pool.respawned_workers(), 0);
+    }
+
+    /// Round-robin vs chunked deals are pure scheduling choices: the same
+    /// solves over `Deal::Striped` and `Deal::Chunked` pools are
+    /// bit-identical (pinning the ROADMAP "work stealing / chunked
+    /// striping" item's determinism audit down in advance).
+    #[test]
+    fn chunked_deal_is_bit_identical_to_striped(
+        seed in 0u64..10_000,
+        n in 12usize..36,
+        extra in 0usize..25,
+        k in 2usize..6,
+        budget in 8u64..80,
+        stages in 1u32..5,
+        pool_threads in 1usize..9,
+    ) {
+        use std::sync::Arc;
+        use waso::algos::{Deal, SharedPool};
+
+        let inst = random_instance(seed, n, extra, k, true);
+        let graph = inst.graph().clone();
+        let spec = SolverSpec::cbas_nd().budget(budget).stages(stages).threads(3);
+        let serial = WasoSession::new(graph.clone()).k(k).seed(seed)
+            .solve(&SolverSpec::cbas_nd().budget(budget).stages(stages));
+        for deal in [Deal::Striped, Deal::Chunked] {
+            let pool = Arc::new(SharedPool::with_deal(pool_threads, deal));
+            let session = WasoSession::new(graph.clone()).k(k).seed(seed).attach_pool(pool);
+            let dealt = session.solve(&spec);
+            match (&serial, &dealt) {
+                (Ok(s), Ok(d)) => {
+                    prop_assert_eq!(&s.group, &d.group, "{:?}", deal);
+                    prop_assert_eq!(s.stats.samples_drawn, d.stats.samples_drawn);
+                    prop_assert_eq!(s.stats.backtracks, d.stats.backtracks);
+                    prop_assert_eq!(s.stats.pruned_start_nodes, d.stats.pruned_start_nodes);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                _ => prop_assert!(
+                    false,
+                    "feasibility diverged for {:?}: serial ok={}, dealt ok={}",
+                    deal, serial.is_ok(), dealt.is_ok()
+                ),
+            }
+        }
+    }
+
     #[test]
     fn branch_and_bound_is_never_beaten(
         seed in 0u64..10_000,
