@@ -49,6 +49,17 @@ pub struct CbasConfig {
     /// Nodes that may not appear in any solution (declined invitees,
     /// §4.4.1).
     pub blocked: Option<BitSet>,
+    /// Wall-clock deadline, measured from solve start. When it elapses
+    /// the engine stops dealing work at the next stage boundary and
+    /// returns the current incumbent tagged
+    /// [`crate::Termination::Deadline`]. `None` (the default) never
+    /// stops on time.
+    pub deadline: Option<std::time::Duration>,
+    /// Early-stop patience: after this many consecutive stages without an
+    /// incumbent improvement the engine stops (a convergence stop —
+    /// [`crate::Termination::Completed`] with `truncated` set). `None`
+    /// runs every stage.
+    pub patience: Option<u32>,
 }
 
 impl CbasConfig {
@@ -62,6 +73,8 @@ impl CbasConfig {
             p_b: 0.7,
             start_override: None,
             blocked: None,
+            deadline: None,
+            patience: None,
         }
     }
 
@@ -74,14 +87,16 @@ impl CbasConfig {
     }
 
     /// The staged-sampling settings a [`crate::SolverSpec`] carries
-    /// (budget, stages, start-node count, pinned starts); everything else
-    /// keeps the paper's defaults. Shared with
-    /// [`crate::CbasNdConfig::from_spec`].
+    /// (budget, stages, start-node count, pinned starts, the anytime
+    /// `deadline_ms=`/`patience=` knobs); everything else keeps the
+    /// paper's defaults. Shared with [`crate::CbasNdConfig::from_spec`].
     pub fn from_spec(spec: &crate::SolverSpec) -> Self {
         Self {
             stages: spec.stages,
             num_start_nodes: spec.start_nodes,
             start_override: spec.starts.clone(),
+            deadline: spec.deadline_ms.map(std::time::Duration::from_millis),
+            patience: spec.patience,
             ..Self::with_budget(spec.budget_or_default())
         }
     }
@@ -182,6 +197,7 @@ impl Solver for Cbas {
             // Instance-accurate: only a threads-configured CBAS actually
             // fans out (the registry entry advertises the knob itself).
             parallel: self.threads.is_some(),
+            anytime: true,
             ..crate::Capabilities::default()
         }
     }
@@ -217,6 +233,33 @@ impl Solver for Cbas {
         }
         self.engine()
             .solve_in_pool(pool, instance, StartMode::Fresh, seed)
+    }
+
+    /// Anytime CBAS: the engine checks `control` at every stage boundary
+    /// (cancel/deadline), honours `patience=`, and streams incumbents.
+    fn solve_controlled(
+        &mut self,
+        instance: &Arc<WasoInstance>,
+        required: &[NodeId],
+        seed: u64,
+        pool: Option<&SharedPool>,
+        control: &crate::JobControl,
+    ) -> Result<SolveResult, SolveError> {
+        if !required.is_empty() {
+            return Err(SolveError::RequiredUnsupported { solver: "cbas" });
+        }
+        match pool {
+            Some(pool) => self.engine().solve_in_pool_controlled(
+                pool,
+                instance,
+                StartMode::Fresh,
+                seed,
+                control,
+            ),
+            None => self
+                .engine()
+                .solve_controlled(instance, StartMode::Fresh, seed, control),
+        }
     }
 }
 

@@ -142,6 +142,7 @@ impl Solver for CbasNd {
         crate::Capabilities {
             required_attendees: true,
             randomized: true,
+            anytime: true,
             ..crate::Capabilities::default()
         }
     }
@@ -181,6 +182,30 @@ impl Solver for CbasNd {
         }
         self.engine()
             .solve(instance, StartMode::Partial(required), seed)
+    }
+
+    /// Anytime CBAS-ND: stage-boundary cancel/deadline checks,
+    /// `patience=` convergence stops and incumbent streaming, for fresh
+    /// and required-attendee solves alike. Serial — the (ignored) `pool`
+    /// is for solvers whose backend fans out.
+    fn solve_controlled(
+        &mut self,
+        instance: &std::sync::Arc<waso_core::WasoInstance>,
+        required: &[NodeId],
+        seed: u64,
+        _pool: Option<&crate::SharedPool>,
+        control: &crate::JobControl,
+    ) -> Result<SolveResult, SolveError> {
+        if required.len() > instance.k() {
+            return Err(SolveError::NoFeasibleGroup);
+        }
+        let mode = if required.is_empty() {
+            StartMode::Fresh
+        } else {
+            StartMode::Partial(required)
+        };
+        self.engine()
+            .solve_controlled(instance, mode, seed, control)
     }
 }
 

@@ -41,6 +41,21 @@
 //! samples actually drawn (historically the full stage allocation was
 //! charged), so `Σ spent == samples_drawn` holds for every solve — the
 //! engine debug-asserts it.
+//!
+//! ## Anytime control
+//!
+//! Every stage ends with a feasible incumbent, so the engine is an
+//! *anytime* algorithm. [`StagedEngine::solve_controlled`] /
+//! [`StagedEngine::solve_in_pool_controlled`] expose that through a
+//! [`crate::JobControl`]: cancellation and the `deadline=` wall-clock
+//! budget are checked at every **stage boundary** (a tripped control
+//! stops further work being dealt and returns the incumbent tagged with
+//! a typed [`crate::Termination`]), `patience=` stops after N
+//! consecutive non-improving stages, and progress plus each improving
+//! incumbent are published through the control after every stage. The
+//! control can only decide *how many stages run* — never what a stage
+//! computes — so an untripped control is bit-invisible, and the stages
+//! that ran before a stop are bit-identical prefixes of the full solve.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -55,6 +70,7 @@ use crate::exec::{
     ExecBackend, SerialExec, SharedPool, SolveCtx, StageExec, StageShared, WorkItem, WorkerPool,
 };
 use crate::gaussian::{allocate_stage_gaussian, Allocation, GaussStats};
+use crate::job::{JobControl, Termination};
 use crate::ocba::{allocate_stage, stage_budgets, uniform_split, StartStats};
 use crate::sampler::{Sample, Sampler};
 use crate::{SolveError, SolveResult, SolverStats};
@@ -153,7 +169,25 @@ impl StagedEngine {
         mode: StartMode<'_>,
         seed: u64,
     ) -> Result<SolveResult, SolveError> {
-        self.run(instance, mode, seed).map(|(result, _)| result)
+        self.solve_controlled(instance, mode, seed, &JobControl::new())
+    }
+
+    /// [`StagedEngine::solve`] under a [`JobControl`]: the engine checks
+    /// the control at every **stage boundary** — a cancel or an elapsed
+    /// deadline stops the solve there, returning the current incumbent
+    /// tagged with the [`Termination`] reason — and publishes progress
+    /// (stages done, samples spent, improving incumbents) after every
+    /// stage. A control that never trips is invisible: the result is
+    /// bit-identical to [`StagedEngine::solve`].
+    pub fn solve_controlled(
+        &self,
+        instance: &WasoInstance,
+        mode: StartMode<'_>,
+        seed: u64,
+        control: &JobControl,
+    ) -> Result<SolveResult, SolveError> {
+        self.run(instance, mode, seed, control)
+            .map(|(result, _)| result)
     }
 
     /// Solves as one **job** of a [`SharedPool`]: the solve is submitted
@@ -174,12 +208,31 @@ impl StagedEngine {
         mode: StartMode<'_>,
         seed: u64,
     ) -> Result<SolveResult, SolveError> {
+        self.solve_in_pool_controlled(pool, instance, mode, seed, &JobControl::new())
+    }
+
+    /// [`StagedEngine::solve_in_pool`] under a [`JobControl`] (see
+    /// [`StagedEngine::solve_controlled`]): a cancel or elapsed deadline
+    /// stops the job from dealing further chunks to the pool at the next
+    /// stage boundary — the pool itself keeps serving its other jobs
+    /// untouched.
+    pub fn solve_in_pool_controlled(
+        &self,
+        pool: &SharedPool,
+        instance: &Arc<WasoInstance>,
+        mode: StartMode<'_>,
+        seed: u64,
+        control: &JobControl,
+    ) -> Result<SolveResult, SolveError> {
         if self.backend == ExecBackend::Serial {
-            return self.solve(instance, mode, seed);
+            return self.solve_controlled(instance, mode, seed, control);
         }
         let t0 = Instant::now();
         self.validate()?;
-        let (starts, budgets, r, shared) = self.prepare(instance, mode)?;
+        if let Some(deadline) = self.base.deadline {
+            control.arm_deadline(deadline);
+        }
+        let (starts, budgets, shared) = self.prepare(instance, mode)?;
         let ctx = Arc::new(SolveCtx {
             instance: Arc::clone(instance),
             blocked: self.base.blocked.clone(),
@@ -192,9 +245,17 @@ impl StagedEngine {
         });
         let outcome = {
             let mut job = pool.submit(Arc::clone(&ctx));
-            self.stage_loop(instance, mode, &starts, &budgets, &ctx.shared, &mut job)
+            self.stage_loop(
+                instance,
+                mode,
+                &starts,
+                &budgets,
+                &ctx.shared,
+                &mut job,
+                control,
+            )
         };
-        self.finalize(instance, mode, t0, r, starts.len(), outcome)
+        self.finalize(instance, mode, t0, starts.len(), outcome)
             .map(|(result, _)| result)
     }
 
@@ -229,7 +290,7 @@ impl StagedEngine {
         &self,
         instance: &WasoInstance,
         mode: StartMode<'_>,
-    ) -> Result<(Vec<NodeId>, Vec<u64>, u32, StageShared), SolveError> {
+    ) -> Result<(Vec<NodeId>, Vec<u64>, StageShared), SolveError> {
         let g = instance.graph();
         let n = g.num_nodes();
         let k = instance.k();
@@ -248,8 +309,7 @@ impl StagedEngine {
             return Err(SolveError::NoFeasibleGroup);
         }
         let m = starts.len();
-        let r = self.base.resolve_stages(instance, m);
-        let budgets = stage_budgets(self.base.budget, r);
+        let budgets = stage_budgets(self.base.budget, self.base.resolve_stages(instance, m));
 
         let vectors: Vec<ProbabilityVector> = match self.distribution {
             Distribution::Uniform => Vec::new(),
@@ -258,7 +318,7 @@ impl StagedEngine {
                 .map(|&s| ProbabilityVector::uniform_for_start(n.max(2), k, s))
                 .collect(),
         };
-        Ok((starts, budgets, r, StageShared::new(vectors, m)))
+        Ok((starts, budgets, StageShared::new(vectors, m)))
     }
 
     /// The full solve, also returning the per-start-node statistics (test
@@ -268,10 +328,14 @@ impl StagedEngine {
         instance: &WasoInstance,
         mode: StartMode<'_>,
         seed: u64,
+        control: &JobControl,
     ) -> Result<(SolveResult, Vec<StartStats>), SolveError> {
         let t0 = Instant::now();
         self.validate()?;
-        let (starts, budgets, r, shared) = self.prepare(instance, mode)?;
+        if let Some(deadline) = self.base.deadline {
+            control.arm_deadline(deadline);
+        }
+        let (starts, budgets, shared) = self.prepare(instance, mode)?;
 
         // Partial-mode samples grow from the same seed set but are
         // independent draws, so every mode follows the configured backend.
@@ -296,6 +360,7 @@ impl StagedEngine {
                         seed,
                         partial,
                     },
+                    control,
                 )
             }
             ExecBackend::Pool { threads } => std::thread::scope(|scope| {
@@ -312,10 +377,12 @@ impl StagedEngine {
                     seed,
                     partial,
                 );
-                self.stage_loop(instance, mode, &starts, &budgets, &shared, &mut pool)
+                self.stage_loop(
+                    instance, mode, &starts, &budgets, &shared, &mut pool, control,
+                )
             }),
         };
-        self.finalize(instance, mode, t0, r, starts.len(), outcome)
+        self.finalize(instance, mode, t0, starts.len(), outcome)
     }
 
     /// Turns a stage loop's outcome into the validated result + stats.
@@ -324,12 +391,17 @@ impl StagedEngine {
         instance: &WasoInstance,
         mode: StartMode<'_>,
         t0: Instant,
-        r: u32,
         m: usize,
         outcome: (BestSolution, Vec<StartStats>, Counters),
     ) -> Result<(SolveResult, Vec<StartStats>), SolveError> {
         let (best, stats, counters) = outcome;
-        let (_, mut nodes) = best.ok_or(SolveError::NoFeasibleGroup)?;
+        let (_, mut nodes) = best.ok_or(match counters.termination {
+            // No incumbent after a full run: genuinely infeasible.
+            Termination::Completed => SolveError::NoFeasibleGroup,
+            // Stopped before the first feasible sample: say so instead of
+            // claiming infeasibility.
+            reason => SolveError::NoIncumbent { reason },
+        })?;
         if let StartMode::Partial(seeds) = mode {
             debug_assert!(seeds.iter().all(|s| nodes.contains(s)));
         }
@@ -344,11 +416,12 @@ impl StagedEngine {
             group,
             stats: SolverStats {
                 samples_drawn: counters.drawn,
-                stages: r,
+                stages: counters.stages_done,
                 start_nodes: m as u32,
                 pruned_start_nodes: counters.pruned,
                 backtracks: counters.backtracks,
-                truncated: false,
+                truncated: counters.stopped_early,
+                termination: counters.termination,
                 elapsed: t0.elapsed(),
             },
         };
@@ -356,8 +429,11 @@ impl StagedEngine {
     }
 
     /// The single stage loop every staged solver runs. Allocation, prune
-    /// accounting, execution, in-order merge, best tracking and the
-    /// cross-entropy update all live here — and only here.
+    /// accounting, execution, in-order merge, best tracking, the
+    /// cross-entropy update — and the anytime control (stage-boundary
+    /// cancel/deadline checks, patience stops, progress publishing) — all
+    /// live here, and only here.
+    #[allow(clippy::too_many_arguments)]
     fn stage_loop(
         &self,
         instance: &WasoInstance,
@@ -366,6 +442,7 @@ impl StagedEngine {
         budgets: &[u64],
         shared: &StageShared,
         exec: &mut dyn StageExec,
+        control: &JobControl,
     ) -> (BestSolution, Vec<StartStats>, Counters) {
         let g = instance.graph();
         let m = starts.len();
@@ -388,8 +465,19 @@ impl StagedEngine {
         // (and from there to the samplers — across the job channels for
         // pooled backends), so steady-state sampling allocates nothing.
         let mut slab: Vec<Vec<NodeId>> = Vec::new();
+        // Consecutive stages without an incumbent improvement (patience).
+        let mut non_improving = 0u32;
 
         for (stage, &stage_budget) in budgets.iter().enumerate() {
+            // The anytime boundary: a cancel or an elapsed deadline stops
+            // the solve *between* stages — no further work is dealt, and
+            // the incumbent of the stages that did run is the answer.
+            if let Some(reason) = control.stop_reason() {
+                counters.termination = reason;
+                counters.stopped_early = true;
+                break;
+            }
+            let best_before = best.as_ref().map(|(w, _)| *w);
             let alloc = if stage == 0 {
                 uniform_split(stage_budget, m, &stats)
             } else {
@@ -427,7 +515,12 @@ impl StagedEngine {
                 }
                 items.len()
             };
+            counters.stages_done += 1;
             if n_items == 0 {
+                // Vacuous stage (every remaining start pruned/stalled):
+                // nothing to deal, nothing to merge — but progress still
+                // advances.
+                control.publish_stage(counters.stages_done, counters.drawn, None);
                 continue;
             }
             results.clear();
@@ -519,6 +612,39 @@ impl StagedEngine {
                 // back into the slab for the next stage's draws.
                 slab.extend(stage_samples.drain(..).map(|s| s.nodes));
             }
+
+            // End-of-stage anytime bookkeeping: publish progress (and the
+            // incumbent, when this stage improved it), then apply the
+            // patience rule. None of this can change what any stage
+            // computes — only whether the next one runs.
+            let improved = match (best_before, &best) {
+                (None, Some(_)) => true,
+                (Some(before), Some((now, _))) => *now > before,
+                _ => false,
+            };
+            control.publish_stage(
+                counters.stages_done,
+                counters.drawn,
+                if improved {
+                    best.as_ref().map(|(w, nodes)| (*w, nodes.as_slice()))
+                } else {
+                    None
+                },
+            );
+            if let Some(patience) = self.base.patience {
+                if improved {
+                    non_improving = 0;
+                } else {
+                    non_improving += 1;
+                    if non_improving >= patience && stage + 1 < budgets.len() {
+                        // Convergence stop: the solve *completed* (its own
+                        // stopping rule fired), but the budget was not
+                        // fully spent — `truncated` records that.
+                        counters.stopped_early = true;
+                        break;
+                    }
+                }
+            }
         }
 
         (best, stats, counters)
@@ -532,6 +658,15 @@ struct Counters {
     drawn: u64,
     pruned: u32,
     backtracks: u32,
+    /// Stages entered (vacuous ones included) — what
+    /// [`SolverStats::stages`] reports.
+    stages_done: u32,
+    /// Why the loop ended; [`Termination::Completed`] unless a cancel or
+    /// deadline broke it.
+    termination: Termination,
+    /// Any early break (cancel, deadline, patience) — sets
+    /// [`SolverStats::truncated`].
+    stopped_early: bool,
 }
 
 #[cfg(test)]
@@ -584,7 +719,9 @@ mod tests {
             },
         ] {
             let eng = engine(60, 2, 3, dist);
-            let (result, stats) = eng.run(&stalled_instance(), StartMode::Fresh, 0).unwrap();
+            let (result, stats) = eng
+                .run(&stalled_instance(), StartMode::Fresh, 0, &JobControl::new())
+                .unwrap();
             let spent: u64 = stats.iter().map(|s| s.spent).sum();
             assert_eq!(spent, result.stats.samples_drawn, "{dist:?}");
             // The stalled start really was charged less than its stage-0
@@ -611,10 +748,12 @@ mod tests {
                 backtrack_threshold: None,
             },
         );
-        let (serial, s_stats) = eng.run(&stalled_instance(), StartMode::Fresh, 0).unwrap();
+        let (serial, s_stats) = eng
+            .run(&stalled_instance(), StartMode::Fresh, 0, &JobControl::new())
+            .unwrap();
         let pooled = eng.clone().backend(ExecBackend::Pool { threads: 4 });
         let (par, p_stats) = pooled
-            .run(&stalled_instance(), StartMode::Fresh, 0)
+            .run(&stalled_instance(), StartMode::Fresh, 0, &JobControl::new())
             .unwrap();
         assert_eq!(serial.group, par.group);
         assert_eq!(serial.stats.samples_drawn, par.stats.samples_drawn);
@@ -727,6 +866,169 @@ mod tests {
             assert_eq!(direct.group, pooled.group, "partial seed={seed}");
             assert_eq!(direct.stats.backtracks, pooled.stats.backtracks);
         }
+    }
+
+    #[test]
+    fn cancel_before_the_first_stage_returns_no_incumbent() {
+        let inst = random_instance(40, 4, 1);
+        for backend in [ExecBackend::Serial, ExecBackend::Pool { threads: 2 }] {
+            let eng = engine(200, 4, 3, Distribution::Uniform).backend(backend);
+            let control = JobControl::new();
+            control.cancel();
+            let err = eng
+                .solve_controlled(&inst, StartMode::Fresh, 0, &control)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                SolveError::NoIncumbent {
+                    reason: Termination::Cancelled
+                }
+            );
+            // Nothing was sampled: progress never moved.
+            assert_eq!(control.progress().samples_spent, 0);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_stops_before_sampling() {
+        let inst = random_instance(40, 4, 2);
+        let mut eng = engine(200, 4, 3, Distribution::Uniform);
+        eng.base.deadline = Some(std::time::Duration::ZERO);
+        let err = eng.solve(&inst, StartMode::Fresh, 0).unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::NoIncumbent {
+                reason: Termination::Deadline
+            }
+        );
+    }
+
+    #[test]
+    fn cancel_mid_solve_returns_the_current_incumbent_as_a_prefix() {
+        // Cancelling after stage s must return exactly what the first s
+        // stages of the uncancelled solve produced — the prefix property
+        // behind "handle results are bit-identical truncations".
+        // 40 stages of 1k samples each: the cancel (sent the moment the
+        // first incumbent arrives) lands tens of stages before the end.
+        let inst = random_instance(60, 5, 3);
+        let eng = engine(40_000, 40, 4, Distribution::Uniform);
+        let control = JobControl::new();
+        let rx = control.take_incumbents();
+        // Cancel as soon as the first incumbent lands: a racing watcher
+        // thread, like a serving cancel would be.
+        let cancelled = std::thread::scope(|scope| {
+            let control = &control;
+            scope.spawn(move || {
+                let _ = rx.recv(); // first improving stage completed
+                control.cancel();
+            });
+            eng.solve_controlled(&inst, StartMode::Fresh, 7, control)
+        })
+        .unwrap();
+        assert_eq!(cancelled.stats.termination, Termination::Cancelled);
+        assert!(cancelled.stats.truncated);
+        assert!(cancelled.stats.stages < 40, "stopped before every stage");
+        assert!(cancelled.stats.samples_drawn < 40_000, "budget not spent");
+        // The full solve's stage prefix agrees bit-for-bit: replay it
+        // with a patience-free engine and compare the incumbent after the
+        // same number of stages via the incumbent stream.
+        let full_control = JobControl::new();
+        let full_rx = full_control.take_incumbents();
+        let full = eng
+            .solve_controlled(&inst, StartMode::Fresh, 7, &full_control)
+            .unwrap();
+        assert_eq!(full.stats.samples_drawn, 40_000);
+        full_control.finish();
+        let best_at_stage: Vec<_> = full_rx.iter().collect();
+        let prefix_best = best_at_stage
+            .iter()
+            .rfind(|i| i.stage <= cancelled.stats.stages)
+            .expect("the cancelled run saw at least one incumbent");
+        let mut prefix_nodes = prefix_best.nodes.clone();
+        prefix_nodes.sort_unstable();
+        assert_eq!(
+            prefix_nodes,
+            cancelled.group.nodes(),
+            "cancelled incumbent != full run's incumbent at that stage"
+        );
+        assert_eq!(full.stats.termination, Termination::Completed);
+        assert!(!full.stats.truncated);
+    }
+
+    #[test]
+    fn patience_stops_after_consecutive_non_improving_stages() {
+        // A tiny path graph: the optimum is found in the first stages,
+        // after which nothing can improve — patience=2 must cut the
+        // remaining stages short.
+        let inst = stalled_instance(); // path of 6 + isolated hub, k = 3
+        let eng = {
+            let mut e = engine(400, 20, 2, Distribution::Uniform);
+            e.base.patience = Some(2);
+            e
+        };
+        let res = eng.solve(&inst, StartMode::Fresh, 1).unwrap();
+        assert_eq!(res.stats.termination, Termination::Completed);
+        assert!(res.stats.truncated, "patience stop is a truncation");
+        assert!(res.stats.stages < 20, "stopped early: {}", res.stats.stages);
+        assert!(res.stats.samples_drawn < 400);
+        // Quality matches the full run (nothing was improving anyway).
+        let full = engine(400, 20, 2, Distribution::Uniform)
+            .solve(&inst, StartMode::Fresh, 1)
+            .unwrap();
+        assert_eq!(res.group, full.group);
+    }
+
+    #[test]
+    fn untripped_control_is_bit_invisible() {
+        let inst = random_instance(50, 5, 4);
+        let ce = Distribution::CrossEntropy {
+            rho: 0.3,
+            smoothing: 0.9,
+            backtrack_threshold: Some(0.01),
+        };
+        let plain = engine(100, 4, 6, ce)
+            .solve(&inst, StartMode::Fresh, 9)
+            .unwrap();
+        let control = JobControl::new();
+        control.arm_deadline(std::time::Duration::from_secs(3600));
+        let watched = engine(100, 4, 6, ce)
+            .solve_controlled(&inst, StartMode::Fresh, 9, &control)
+            .unwrap();
+        assert_eq!(plain.group, watched.group);
+        assert_eq!(plain.stats.samples_drawn, watched.stats.samples_drawn);
+        assert_eq!(plain.stats.backtracks, watched.stats.backtracks);
+        assert_eq!(watched.stats.termination, Termination::Completed);
+        // Progress was published along the way. (The published incumbent
+        // value is the sampler's accumulated sum; `Group::willingness`
+        // recomputes it in sorted-node order — equal up to float
+        // associativity.)
+        let p = control.progress();
+        assert_eq!(p.stages_done, 4);
+        assert_eq!(p.samples_spent, 100);
+        let published = p.incumbent.expect("an incumbent was published");
+        assert!((published - watched.group.willingness()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incumbent_stream_is_strictly_improving_and_ends_at_the_answer() {
+        let inst = random_instance(60, 5, 5);
+        let control = JobControl::new();
+        let rx = control.take_incumbents();
+        let res = engine(120, 6, 5, Distribution::Uniform)
+            .solve_controlled(&inst, StartMode::Fresh, 3, &control)
+            .unwrap();
+        control.finish();
+        let stream: Vec<_> = rx.iter().collect();
+        assert!(!stream.is_empty());
+        for pair in stream.windows(2) {
+            assert!(pair[1].willingness > pair[0].willingness);
+            assert!(pair[1].stage > pair[0].stage);
+        }
+        let last = stream.last().unwrap();
+        assert!((last.willingness - res.group.willingness()).abs() < 1e-9);
+        let mut nodes = last.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, res.group.nodes());
     }
 
     #[test]

@@ -43,7 +43,7 @@
 
 mod shared;
 
-pub use shared::{Deal, SharedPool};
+pub use shared::{Deal, PoolStats, SharedPool, WorkerStats};
 
 /// Historical name of the owned worker pool. Since the SharedPool
 /// scheduler landed, a "session-held" pool is simply a [`SharedPool`]

@@ -36,7 +36,7 @@
 //! share the pool (`tests/properties.rs` pins this down; the
 //! failure-injection suite pins the healing path).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -172,16 +172,92 @@ struct Slot {
     handle: Option<JoinHandle<()>>,
 }
 
+/// Per-slot utilization gauge, shared between the pool (snapshot reads)
+/// and the slot's current worker thread (writes). The gauge belongs to
+/// the *slot*, not the thread: a respawned replacement inherits it, so
+/// `chunks_processed` counts the slot's lifetime work.
+#[derive(Debug, Default)]
+struct WorkerGauge {
+    /// `true` while the worker is drawing a chunk (between dequeue and
+    /// reply), `false` while parked on its inbox.
+    busy: AtomicBool,
+    /// Chunks the slot has fully processed over its lifetime.
+    chunks: AtomicU64,
+}
+
+/// A point-in-time utilization snapshot of one worker slot
+/// (see [`SharedPool::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Whether the worker was mid-chunk when the snapshot was taken.
+    pub busy: bool,
+    /// Chunks the slot has processed over the pool's lifetime.
+    pub chunks_processed: u64,
+}
+
+/// A point-in-time health snapshot of a [`SharedPool`] — the
+/// observability surface a serving deployment scrapes (and the
+/// `--figure pool` bench driver prints). All numbers are racy by nature:
+/// they describe the instant of the call, not a consistent cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker count (fixed at construction).
+    pub threads: usize,
+    /// Jobs currently attached (submitted, not yet finished/dropped).
+    pub active_jobs: usize,
+    /// Per-job queue depth: chunks dispatched to workers and not yet
+    /// collected, keyed by job id. A consistently deep entry is a job
+    /// whose coordinator is falling behind (or a saturated pool).
+    pub queued_chunks: Vec<(u64, u64)>,
+    /// Per-slot busy/idle flags and lifetime chunk counters.
+    pub workers: Vec<WorkerStats>,
+    /// Workers respawned after a panic ([`SharedPool::respawned_workers`]).
+    pub respawned_workers: u64,
+}
+
+impl PoolStats {
+    /// Total in-flight chunks across every active job.
+    pub fn total_queued(&self) -> u64 {
+        self.queued_chunks.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// Workers busy at snapshot time.
+    pub fn busy_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.busy).count()
+    }
+}
+
+impl std::fmt::Display for PoolStats {
+    /// One line for logs/benches: `3 workers (1 busy), 2 jobs, 5 queued
+    /// chunks, 0 respawns`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} workers ({} busy), {} jobs, {} queued chunks, {} respawns",
+            self.threads,
+            self.busy_workers(),
+            self.active_jobs,
+            self.total_queued(),
+            self.respawned_workers
+        )
+    }
+}
+
 /// The process-wide, self-healing worker pool. See the module docs for
 /// the scheduling and recovery model; construction is [`SharedPool::new`]
 /// (round-robin deal) or [`SharedPool::with_deal`]. Share one across
 /// sessions with `Arc<SharedPool>` — every method takes `&self`.
 pub struct SharedPool {
     slots: Vec<Mutex<Slot>>,
+    /// Slot-lifetime utilization gauges; replacements inherit their
+    /// slot's gauge.
+    gauges: Vec<Arc<WorkerGauge>>,
     threads: usize,
     deal: Deal,
     next_job: AtomicU64,
     respawns: AtomicU64,
+    /// In-flight chunk counts per active job (dispatched, not collected).
+    job_depths: Mutex<BTreeMap<u64, u64>>,
     fail: Arc<FailPoint>,
 }
 
@@ -195,11 +271,15 @@ impl std::fmt::Debug for SharedPool {
     }
 }
 
-fn spawn_worker(slot: usize, fail: Arc<FailPoint>) -> (Sender<WorkerMsg>, JoinHandle<()>) {
+fn spawn_worker(
+    slot: usize,
+    fail: Arc<FailPoint>,
+    gauge: Arc<WorkerGauge>,
+) -> (Sender<WorkerMsg>, JoinHandle<()>) {
     let (tx, rx) = channel::<WorkerMsg>();
     let handle = std::thread::Builder::new()
         .name(format!("waso-pool-{slot}"))
-        .spawn(move || worker_loop(slot, rx, fail))
+        .spawn(move || worker_loop(slot, rx, fail, gauge))
         .expect("spawning a shared-pool worker thread");
     (tx, handle)
 }
@@ -209,8 +289,16 @@ fn spawn_worker(slot: usize, fail: Arc<FailPoint>) -> (Sender<WorkerMsg>, JoinHa
 /// for an unknown job id is stale (the job detached or its coordinator
 /// died) and is dropped; a reply that cannot be delivered detaches the
 /// job explicitly — teardown never depends on channel-drop ordering.
-fn worker_loop(slot: usize, rx: Receiver<WorkerMsg>, fail: Arc<FailPoint>) {
+fn worker_loop(
+    slot: usize,
+    rx: Receiver<WorkerMsg>,
+    fail: Arc<FailPoint>,
+    gauge: Arc<WorkerGauge>,
+) {
     let mut jobs: HashMap<u64, WorkerJob> = HashMap::new();
+    // A replacement inherits its slot's gauge; clear the busy flag its
+    // panicked predecessor may have left set.
+    gauge.busy.store(false, Ordering::Relaxed);
     while let Ok(msg) = rx.recv() {
         match msg {
             WorkerMsg::Attach { job, ctx, reply } => {
@@ -235,8 +323,10 @@ fn worker_loop(slot: usize, rx: Receiver<WorkerMsg>, fail: Arc<FailPoint>) {
                 mut buf,
                 mut recycled,
             } => {
+                gauge.busy.store(true, Ordering::Relaxed);
                 fail.check(slot, stage);
                 let Some(entry) = jobs.get_mut(&job) else {
+                    gauge.busy.store(false, Ordering::Relaxed);
                     continue; // stale chunk of a detached job
                 };
                 buf.clear();
@@ -253,6 +343,11 @@ fn worker_loop(slot: usize, rx: Receiver<WorkerMsg>, fail: Arc<FailPoint>) {
                     span,
                     &mut buf,
                 );
+                // Gauge updates precede the reply send: the channel's
+                // synchronization publishes them, so a coordinator that
+                // has collected every reply observes an idle pool.
+                gauge.chunks.fetch_add(1, Ordering::Relaxed);
+                gauge.busy.store(false, Ordering::Relaxed);
                 let gone = entry
                     .reply
                     .send(ChunkReply {
@@ -280,9 +375,12 @@ impl SharedPool {
     pub fn with_deal(threads: usize, deal: Deal) -> Self {
         let threads = threads.max(1);
         let fail = Arc::new(FailPoint::default());
+        let gauges: Vec<Arc<WorkerGauge>> = (0..threads)
+            .map(|_| Arc::new(WorkerGauge::default()))
+            .collect();
         let slots = (0..threads)
             .map(|s| {
-                let (tx, handle) = spawn_worker(s, Arc::clone(&fail));
+                let (tx, handle) = spawn_worker(s, Arc::clone(&fail), Arc::clone(&gauges[s]));
                 Mutex::new(Slot {
                     generation: 0,
                     tx,
@@ -292,10 +390,12 @@ impl SharedPool {
             .collect();
         Self {
             slots,
+            gauges,
             threads,
             deal,
             next_job: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
+            job_depths: Mutex::new(BTreeMap::new()),
             fail,
         }
     }
@@ -317,6 +417,52 @@ impl SharedPool {
         self.respawns.load(Ordering::SeqCst)
     }
 
+    /// A point-in-time health snapshot: active jobs, per-job queue
+    /// depths (chunks dispatched but not yet collected), per-worker
+    /// busy/idle flags and lifetime chunk counters, and the respawn
+    /// count. Cheap — a handful of relaxed atomic loads plus one short
+    /// lock — so serving deployments can scrape it on every health poll.
+    pub fn stats(&self) -> PoolStats {
+        let queued_chunks: Vec<(u64, u64)> = self
+            .job_depths
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&job, &depth)| (job, depth))
+            .collect();
+        PoolStats {
+            threads: self.threads,
+            active_jobs: queued_chunks.len(),
+            queued_chunks,
+            workers: self
+                .gauges
+                .iter()
+                .map(|g| WorkerStats {
+                    busy: g.busy.load(Ordering::Relaxed),
+                    chunks_processed: g.chunks.load(Ordering::Relaxed),
+                })
+                .collect(),
+            respawned_workers: self.respawned_workers(),
+        }
+    }
+
+    /// Adjusts one job's in-flight chunk gauge (`None` removes the job).
+    fn track_depth(&self, job: u64, delta: Option<i64>) {
+        let mut depths = self
+            .job_depths
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match delta {
+            None => {
+                depths.remove(&job);
+            }
+            Some(d) => {
+                let slot = depths.entry(job).or_insert(0);
+                *slot = slot.saturating_add_signed(d);
+            }
+        }
+    }
+
     /// Test-only failure injection: the worker in `slot` panics on the
     /// next chunk it receives for stage `stage` (of any job). Fires once.
     /// The pool detects the death, respawns the worker and re-issues the
@@ -336,6 +482,7 @@ impl SharedPool {
     /// Dropping the handle detaches the job.
     pub(crate) fn submit(&self, ctx: Arc<SolveCtx>) -> PoolJob<'_> {
         let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        self.track_depth(id, Some(0)); // job is now visible in stats()
         let mut job = PoolJob {
             pool: self,
             ctx,
@@ -364,7 +511,8 @@ impl SharedPool {
                 // its Err payload, which the respawn supersedes.
                 let _ = handle.join();
             }
-            let (tx, handle) = spawn_worker(slot, Arc::clone(&self.fail));
+            let (tx, handle) =
+                spawn_worker(slot, Arc::clone(&self.fail), Arc::clone(&self.gauges[slot]));
             guard.tx = tx;
             guard.handle = Some(handle);
             guard.generation += 1;
@@ -473,7 +621,10 @@ impl PoolJob<'_> {
         };
         loop {
             match self.links[slot].tx.send(msg) {
-                Ok(()) => return,
+                Ok(()) => {
+                    self.pool.track_depth(self.id, Some(1));
+                    return;
+                }
                 Err(std::sync::mpsc::SendError(undelivered)) => {
                     // Dead worker noticed at dispatch: heal, then re-send
                     // the identical chunk. relink panics if replacements
@@ -497,6 +648,7 @@ impl PoolJob<'_> {
                     }
                     self.spares.bufs.push(buf);
                     self.spares.recycle_containers.push(empties);
+                    self.pool.track_depth(self.id, Some(-1));
                     return;
                 }
                 Err(_) => {
@@ -545,6 +697,7 @@ impl StageExec for PoolJob<'_> {
 
 impl Drop for PoolJob<'_> {
     fn drop(&mut self) {
+        self.pool.track_depth(self.id, None);
         for link in &self.links {
             // Explicit detach; a dead worker (send error) holds no state
             // for this job anyway, and replies still in flight are
@@ -708,6 +861,50 @@ mod tests {
         assert!(results.iter().any(|s| s.is_some()));
         assert_eq!(pool.respawned_workers(), 0);
         drop(pool); // must join cleanly — a hang fails the test by timeout
+    }
+
+    #[test]
+    fn stats_track_jobs_chunks_and_workers() {
+        let inst = instance(40, 4, 8);
+        let pool = SharedPool::new(2);
+        // Idle pool: no jobs, nothing queued, nobody busy, no work done.
+        let idle = pool.stats();
+        assert_eq!(idle.threads, 2);
+        assert_eq!(idle.active_jobs, 0);
+        assert_eq!(idle.total_queued(), 0);
+        assert_eq!(idle.busy_workers(), 0);
+        assert_eq!(idle.workers.len(), 2);
+
+        // A job with one dispatched, uncollected chunk shows up in the
+        // per-job queue depths.
+        let ctx = ctx_with_items(&inst, 8, 3);
+        let mut job = pool.submit(Arc::clone(&ctx));
+        let mut slab = Vec::new();
+        let mid = pool.stats();
+        assert_eq!(mid.active_jobs, 1);
+        job.dispatch(0, 0, Span::stripe(0, 2), &mut slab, 0);
+        let busy = pool.stats();
+        assert_eq!(busy.queued_chunks.len(), 1);
+        assert_eq!(busy.total_queued(), 1);
+        job.collect(0, 0, Span::stripe(0, 2), &mut vec![None; 8]);
+        let collected = pool.stats();
+        assert_eq!(collected.total_queued(), 0);
+        assert_eq!(collected.active_jobs, 1, "job still attached");
+        drop(job);
+
+        // After a full stage the job is gone and the workers have
+        // processed its chunks.
+        let _ = stage_results(&pool, &ctx_with_items(&inst, 8, 3), 8);
+        let done = pool.stats();
+        assert_eq!(done.active_jobs, 0);
+        assert_eq!(done.busy_workers(), 0);
+        let total: u64 = done.workers.iter().map(|w| w.chunks_processed).sum();
+        assert!(total >= 3, "both stages' chunks counted: {total}");
+        assert_eq!(done.respawned_workers, 0);
+        // The one-liner renders every gauge.
+        let line = done.to_string();
+        assert!(line.contains("2 workers"), "{line}");
+        assert!(line.contains("0 jobs"), "{line}");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod engine;
 pub mod exec;
 pub mod gaussian;
 pub mod greedy;
+pub mod job;
 pub mod ocba;
 pub mod online;
 pub mod parallel;
@@ -52,9 +53,10 @@ pub use cbas::{Cbas, CbasConfig};
 pub use cbasnd::{CbasNd, CbasNdConfig};
 pub use cross_entropy::ProbabilityVector;
 pub use engine::{Distribution, StagedEngine, StartMode};
-pub use exec::{Deal, ExecBackend, SharedPool, SolverPool};
+pub use exec::{Deal, ExecBackend, PoolStats, SharedPool, SolverPool, WorkerStats};
 pub use gaussian::Allocation;
 pub use greedy::DGreedy;
+pub use job::{Incumbent, JobControl, JobProgress, Termination};
 pub use online::OnlinePlanner;
 pub use parallel::ParallelCbasNd;
 pub use registry::{BuildFn, RegistryEntry, SolverRegistry};
@@ -89,6 +91,16 @@ pub enum SolveError {
         /// The accepted range, rendered (`"in (0, 1]"`).
         expected: &'static str,
     },
+    /// The solve was cancelled or its deadline elapsed **before any
+    /// feasible incumbent existed** (cancel before the first stage,
+    /// `deadline_ms=0`). Distinct from [`SolveError::NoFeasibleGroup`]:
+    /// the instance may well be feasible — the solve just never got to
+    /// look.
+    NoIncumbent {
+        /// Why the solve stopped ([`Termination::Deadline`] or
+        /// [`Termination::Cancelled`]; never `Completed`).
+        reason: Termination,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -114,6 +126,10 @@ impl std::fmt::Display for SolveError {
                 f,
                 "parameter {param}={value} is invalid (must be {expected})"
             ),
+            SolveError::NoIncumbent { reason } => write!(
+                f,
+                "solve stopped ({reason}) before finding any feasible incumbent"
+            ),
         }
     }
 }
@@ -135,8 +151,14 @@ pub struct SolverStats {
     pub backtracks: u32,
     /// `true` when a work cap cut the solve short, so the result is the
     /// best *found* rather than a completed run (the exact solver's
-    /// expansion cap; anytime modes generally).
+    /// expansion cap, a `patience=` early stop, a deadline or a
+    /// cancellation; anytime modes generally).
     pub truncated: bool,
+    /// Why the solve stopped: ran to completion (including `patience=`
+    /// convergence stops), hit its `deadline_ms=`, or was cancelled. Any
+    /// reason other than [`Termination::Completed`] also sets
+    /// [`SolverStats::truncated`].
+    pub termination: Termination,
     /// Wall-clock time of the solve call.
     pub elapsed: Duration,
 }
@@ -168,7 +190,12 @@ impl std::fmt::Display for SolverStats {
             self.pruned_start_nodes,
             self.backtracks,
             self.elapsed.as_secs_f64(),
-            if self.truncated { " (truncated)" } else { "" }
+            match (self.truncated, self.termination) {
+                (_, Termination::Deadline) => " (truncated: deadline)",
+                (_, Termination::Cancelled) => " (truncated: cancelled)",
+                (true, Termination::Completed) => " (truncated)",
+                (false, Termination::Completed) => "",
+            }
         )
     }
 }
@@ -277,6 +304,46 @@ pub trait Solver {
     ) -> Result<SolveResult, SolveError> {
         let _ = pool;
         self.solve_with_required(instance, required, seed)
+    }
+
+    /// The job-handle entry point: solve under a [`JobControl`] that can
+    /// cancel the run, bound it with a deadline, and observe its progress
+    /// and incumbents ([`Capabilities::anytime`]).
+    ///
+    /// The determinism contract extends here: a solve whose control never
+    /// trips is **bit-identical** to [`Solver::solve_with_required`] /
+    /// [`Solver::solve_pooled`] with the same arguments — the control only
+    /// ever decides *how many stages run*, never what a stage computes.
+    ///
+    /// The default is the right behaviour for single-pass solvers (greedy,
+    /// exact): honour a stop request that arrived before work started
+    /// (returning [`SolveError::NoIncumbent`]), run the blocking solve,
+    /// then publish the final result's progress. Staged solvers override
+    /// this to check the control at every stage boundary and stream
+    /// incumbents.
+    fn solve_controlled(
+        &mut self,
+        instance: &std::sync::Arc<WasoInstance>,
+        required: &[NodeId],
+        seed: u64,
+        pool: Option<&SharedPool>,
+        control: &JobControl,
+    ) -> Result<SolveResult, SolveError> {
+        if let Some(reason) = control.stop_reason() {
+            return Err(SolveError::NoIncumbent { reason });
+        }
+        let result = match pool {
+            Some(pool) => self.solve_pooled(instance, required, seed, pool),
+            None => self.solve_with_required(instance, required, seed),
+        };
+        if let Ok(res) = &result {
+            control.publish_stage(
+                res.stats.stages,
+                res.stats.samples_drawn,
+                Some((res.group.willingness(), res.group.nodes())),
+            );
+        }
+        result
     }
 }
 

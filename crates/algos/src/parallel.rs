@@ -82,6 +82,7 @@ impl Solver for ParallelCbasNd {
             required_attendees: true, // partial-mode growth, pooled too
             parallel: true,
             randomized: true,
+            anytime: true,
             ..crate::Capabilities::default()
         }
     }
@@ -142,6 +143,36 @@ impl Solver for ParallelCbasNd {
             StartMode::Partial(required)
         };
         self.engine().solve_in_pool(pool, instance, mode, seed)
+    }
+
+    /// Anytime parallel CBAS-ND: a cancel or elapsed deadline stops the
+    /// job from dealing further chunks at the next stage boundary — on
+    /// the shared pool (when one is given) or the private per-solve pool
+    /// alike; other jobs of a shared pool are untouched.
+    fn solve_controlled(
+        &mut self,
+        instance: &Arc<WasoInstance>,
+        required: &[NodeId],
+        seed: u64,
+        pool: Option<&SharedPool>,
+        control: &crate::JobControl,
+    ) -> Result<SolveResult, SolveError> {
+        if required.len() > instance.k() {
+            return Err(SolveError::NoFeasibleGroup);
+        }
+        let mode = if required.is_empty() {
+            StartMode::Fresh
+        } else {
+            StartMode::Partial(required)
+        };
+        match pool {
+            Some(pool) => self
+                .engine()
+                .solve_in_pool_controlled(pool, instance, mode, seed, control),
+            None => self
+                .engine()
+                .solve_controlled(instance, mode, seed, control),
+        }
     }
 }
 

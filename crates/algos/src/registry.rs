@@ -6,7 +6,7 @@
 //!
 //! * the **name space**: canonical names plus aliases, so `--algorithm`
 //!   validation and help text are derived, never hand-written;
-//! * the **construction path**: one `fn(&SolverSpec) -> Box<dyn Solver>`
+//! * the **construction path**: one `fn(&SolverSpec) -> Box<dyn Solver + Send>`
 //!   per entry, each of which *rejects* options the solver cannot honour
 //!   ([`SpecError::UnsupportedOption`]) instead of ignoring them;
 //! * the **metadata** other layers derive UI from: capability flags, the
@@ -27,7 +27,9 @@ use crate::{
 };
 
 /// Builds a solver from a spec, or explains why the spec is unusable.
-pub type BuildFn = fn(&SolverSpec) -> Result<Box<dyn Solver>, SpecError>;
+/// Built solvers are `Send` so sessions can run them on job threads
+/// (the submit/handle API).
+pub type BuildFn = fn(&SolverSpec) -> Result<Box<dyn Solver + Send>, SpecError>;
 
 /// One registered solver.
 pub struct RegistryEntry {
@@ -107,6 +109,7 @@ impl SolverRegistry {
             capabilities: Capabilities {
                 randomized: true,
                 parallel: true, // threads=N selects the pooled backend
+                anytime: true,
                 ..Capabilities::default()
             },
             roster_rank: Some(1),
@@ -137,6 +140,7 @@ impl SolverRegistry {
                 required_attendees: true,
                 parallel: true, // threads=N builds the parallel driver
                 randomized: true,
+                anytime: true,
                 ..Capabilities::default()
             },
             roster_rank: Some(3),
@@ -153,6 +157,7 @@ impl SolverRegistry {
                 required_attendees: true,
                 parallel: true,
                 randomized: true,
+                anytime: true,
                 ..Capabilities::default()
             },
             roster_rank: None,
@@ -169,6 +174,7 @@ impl SolverRegistry {
                 required_attendees: true, // honoured by routing to serial
                 parallel: true,
                 randomized: true,
+                anytime: true,
                 ..Capabilities::default()
             },
             roster_rank: None,
@@ -238,7 +244,7 @@ impl SolverRegistry {
     }
 
     /// Builds the solver a spec describes.
-    pub fn build(&self, spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
+    pub fn build(&self, spec: &SolverSpec) -> Result<Box<dyn Solver + Send>, SpecError> {
         (self.resolve(spec)?.build)(spec)
     }
 
@@ -267,9 +273,11 @@ const CBAS_KEYS: &[&str] = &[
     "starts",
     "threads",
     "pool",
+    "deadline_ms",
+    "patience",
 ];
 
-fn build_dgreedy(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
+fn build_dgreedy(spec: &SolverSpec) -> Result<Box<dyn Solver + Send>, SpecError> {
     spec.ensure_only("dgreedy", DGREEDY_KEYS)?;
     let solver = match spec.starts.as_ref().and_then(|s| s.first()) {
         Some(&v) => DGreedy::from_start(v),
@@ -278,12 +286,12 @@ fn build_dgreedy(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     Ok(Box::new(solver))
 }
 
-fn build_rgreedy(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
+fn build_rgreedy(spec: &SolverSpec) -> Result<Box<dyn Solver + Send>, SpecError> {
     spec.ensure_only("rgreedy", RGREEDY_KEYS)?;
     Ok(Box::new(RGreedy::new(RGreedyConfig::from_spec(spec))))
 }
 
-fn build_cbas(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
+fn build_cbas(spec: &SolverSpec) -> Result<Box<dyn Solver + Send>, SpecError> {
     spec.ensure_only("cbas", CBAS_KEYS)?;
     spec.ensure_pool_has_threads()?;
     let cfg = CbasConfig::from_spec(spec);
@@ -304,9 +312,11 @@ const CBASND_KEYS: &[&str] = &[
     "rho",
     "smoothing",
     "backtrack",
+    "deadline_ms",
+    "patience",
 ];
 
-fn build_cbasnd(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
+fn build_cbasnd(spec: &SolverSpec) -> Result<Box<dyn Solver + Send>, SpecError> {
     spec.ensure_only("cbas-nd", CBASND_KEYS)?;
     spec.ensure_ce_ranges()?;
     spec.ensure_pool_has_threads()?;
@@ -317,7 +327,7 @@ fn build_cbasnd(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     })
 }
 
-fn build_cbasnd_g(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
+fn build_cbasnd_g(spec: &SolverSpec) -> Result<Box<dyn Solver + Send>, SpecError> {
     spec.ensure_only("cbas-nd-g", CBASND_KEYS)?;
     spec.ensure_ce_ranges()?;
     spec.ensure_pool_has_threads()?;
@@ -328,7 +338,7 @@ fn build_cbasnd_g(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
     })
 }
 
-fn build_parallel(spec: &SolverSpec) -> Result<Box<dyn Solver>, SpecError> {
+fn build_parallel(spec: &SolverSpec) -> Result<Box<dyn Solver + Send>, SpecError> {
     spec.ensure_only("cbas-nd-par", CBASND_KEYS)?;
     spec.ensure_ce_ranges()?;
     let threads = spec.threads.unwrap_or_else(|| {
@@ -548,6 +558,51 @@ mod tests {
             .solve_seeded(&figure1_instance(), 9)
             .unwrap();
         assert_eq!(serial.group, par.group);
+    }
+
+    #[test]
+    fn anytime_knobs_are_registry_enforced_per_capability() {
+        let registry = SolverRegistry::builtin();
+        // Every anytime entry accepts them (and only anytime entries
+        // list them).
+        for entry in registry.entries() {
+            let lists = entry.options.contains(&"deadline_ms");
+            assert_eq!(
+                lists, entry.capabilities.anytime,
+                "{}: deadline_ms listing must match the anytime capability",
+                entry.name
+            );
+            assert_eq!(
+                entry.options.contains(&"patience"),
+                entry.capabilities.anytime
+            );
+        }
+        assert!(registry
+            .build(&SolverSpec::cbas().budget(50).deadline_ms(100).patience(2))
+            .is_ok());
+        // Non-anytime solvers reject them instead of silently ignoring.
+        let err = registry
+            .build(&SolverSpec::dgreedy().deadline_ms(5))
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            SpecError::UnsupportedOption {
+                algorithm: "dgreedy",
+                key: "deadline_ms"
+            }
+        );
+        let err = registry
+            .build(&SolverSpec::rgreedy().budget(10).patience(1))
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            SpecError::UnsupportedOption {
+                algorithm: "rgreedy",
+                key: "patience"
+            }
+        );
     }
 
     #[test]

@@ -16,13 +16,15 @@
 //! option     := key "=" value
 //! key        := budget | stages | start-nodes | starts | threads
 //!             | pool | require | rho | smoothing | backtrack | cap
+//!             | deadline_ms | patience
 //! value      := integer | float | "shared" | "private"
 //!             | id ("+" id)*                        (ids for starts/require)
 //! ```
 //!
 //! Examples: `dgreedy`, `cbas-nd:budget=2000,stages=10`,
 //! `cbas-nd:threads=8`, `cbas-nd:threads=8,pool=private`,
-//! `cbas-nd:require=3+17`, `exact:cap=1000000`.
+//! `cbas-nd:require=3+17`, `exact:cap=1000000`,
+//! `cbas-nd:budget=100000,stages=50,deadline_ms=250,patience=5`.
 //!
 //! Which names exist, and which options each solver honours, is owned by
 //! the [`crate::registry::SolverRegistry`]; parsing here is purely
@@ -80,6 +82,13 @@ pub struct Capabilities {
     pub randomized: bool,
     /// Honours a warm-start incumbent ([`crate::Solver::warm_start`]).
     pub warm_start: bool,
+    /// Anytime: maintains a feasible incumbent throughout the solve and
+    /// honours stage-granular control — `deadline_ms=`, `patience=`,
+    /// cancellation, and incumbent streaming through
+    /// [`crate::Solver::solve_controlled`] / [`crate::JobControl`].
+    /// Solvers without this flag reject the `deadline_ms`/`patience` spec
+    /// options at build time.
+    pub anytime: bool,
 }
 
 /// Why a spec string or a spec/solver combination was rejected.
@@ -211,6 +220,16 @@ pub struct SolverSpec {
     pub backtrack: Option<f64>,
     /// Search-tree expansion cap (exact branch-and-bound).
     pub cap: Option<u64>,
+    /// Wall-clock deadline in milliseconds, measured from solve start:
+    /// sampling stops at the next stage boundary once it elapses and the
+    /// current incumbent is returned with
+    /// [`crate::Termination::Deadline`] (anytime solvers).
+    pub deadline_ms: Option<u64>,
+    /// Early-stop patience: stop after this many consecutive
+    /// non-improving stages, returning the incumbent as a
+    /// [`crate::Termination::Completed`]-but-truncated result (anytime
+    /// solvers).
+    pub patience: Option<u32>,
 }
 
 impl SolverSpec {
@@ -229,6 +248,8 @@ impl SolverSpec {
             smoothing: None,
             backtrack: None,
             cap: None,
+            deadline_ms: None,
+            patience: None,
         }
     }
 
@@ -340,6 +361,18 @@ impl SolverSpec {
         self
     }
 
+    /// Sets the wall-clock deadline (milliseconds from solve start).
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets the early-stop patience (consecutive non-improving stages).
+    pub fn patience(mut self, stages: u32) -> Self {
+        self.patience = Some(stages);
+        self
+    }
+
     /// The budget, or the workspace default.
     pub fn budget_or_default(&self) -> u64 {
         self.budget.unwrap_or(DEFAULT_BUDGET)
@@ -409,6 +442,8 @@ impl SolverSpec {
             "smoothing" => self.smoothing = Some(num("smoothing", value)?),
             "backtrack" => self.backtrack = Some(num("backtrack", value)?),
             "cap" => self.cap = Some(num("cap", value)?),
+            "deadline_ms" => self.deadline_ms = Some(num("deadline_ms", value)?),
+            "patience" => self.patience = Some(num("patience", value)?),
             other => return Err(SpecError::UnknownOption(other.to_string())),
         }
         Ok(())
@@ -450,6 +485,12 @@ impl SolverSpec {
         }
         if self.cap.is_some() {
             keys.push("cap");
+        }
+        if self.deadline_ms.is_some() {
+            keys.push("deadline_ms");
+        }
+        if self.patience.is_some() {
+            keys.push("patience");
         }
         keys
     }
@@ -566,6 +607,12 @@ impl fmt::Display for SolverSpec {
         if let Some(c) = self.cap {
             emit(f, "cap", c.to_string())?;
         }
+        if let Some(ms) = self.deadline_ms {
+            emit(f, "deadline_ms", ms.to_string())?;
+        }
+        if let Some(p) = self.patience {
+            emit(f, "patience", p.to_string())?;
+        }
         Ok(())
     }
 }
@@ -595,10 +642,35 @@ mod tests {
             .rho(0.3)
             .smoothing(0.9)
             .backtrack(0.05)
-            .cap(1_000_000);
+            .cap(1_000_000)
+            .deadline_ms(250)
+            .patience(5);
         let text = spec.to_string();
         assert_eq!(SolverSpec::parse(&text).unwrap(), spec);
         assert!(text.starts_with("cbas-nd:budget=500,"), "{text}");
+        assert!(text.ends_with("deadline_ms=250,patience=5"), "{text}");
+    }
+
+    #[test]
+    fn anytime_knobs_parse_and_reject_garbage() {
+        let spec = SolverSpec::parse("cbas-nd:deadline_ms=0,patience=3").unwrap();
+        assert_eq!(spec.deadline_ms, Some(0));
+        assert_eq!(spec.patience, Some(3));
+        assert_eq!(spec.to_string(), "cbas-nd:deadline_ms=0,patience=3");
+        assert_eq!(
+            SolverSpec::parse("cbas-nd:deadline_ms=soon"),
+            Err(SpecError::BadValue {
+                key: "deadline_ms",
+                value: "soon".into()
+            })
+        );
+        assert_eq!(
+            SolverSpec::parse("cbas-nd:patience=-1"),
+            Err(SpecError::BadValue {
+                key: "patience",
+                value: "-1".into()
+            })
+        );
     }
 
     #[test]

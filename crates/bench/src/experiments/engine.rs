@@ -26,15 +26,15 @@
 //! not scaling) — regenerate it with
 //! `waso-experiments --figure engine --scale smoke`.
 
-use waso::algos::PoolMode;
+use waso::algos::{PoolMode, PoolStats, SharedPool};
 use waso::{SolverSpec, WasoSession};
 use waso_core::WasoInstance;
 use waso_datasets::synthetic;
 
 use crate::report::{BenchRecord, Cell, Table, TableSet};
 use crate::runner::{
-    measure_session_batch, measure_session_each, measure_spec_avg, measure_spec_batch_baseline,
-    ExperimentContext,
+    measure_session_batch, measure_session_each, measure_session_submit_wait, measure_spec_avg,
+    measure_spec_batch_baseline, ExperimentContext,
 };
 
 use super::fig5::cbasnd_spec;
@@ -132,6 +132,74 @@ pub fn batch_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
         .collect()
 }
 
+/// The `--figure engine` handle-overhead comparison: the same
+/// `BATCH_SOLVES` sequential solves run (a) through the blocking
+/// `WasoSession::solve` and (b) through explicit `submit` + `wait`
+/// handles. Since PR 5 the blocking call *is* submit+wait, so the two
+/// rows should coincide up to noise — the committed records pin that the
+/// handle plumbing (job thread, channels, control publishing) stays
+/// free, and would expose any future divergence between the paths.
+pub fn handle_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
+    let k = 10;
+    let graph = synthetic::facebook_like(ctx.scale, ctx.seed);
+    let n = graph.num_nodes();
+    // A serial spec isolates the per-job wrapper cost: no worker pool in
+    // either row, so the whole gap is the handle machinery.
+    let spec = SolverSpec::cbas_nd()
+        .budget(ctx.budget())
+        .stages(BATCH_STAGES)
+        .start_nodes(ctx.harness_m(n));
+    let specs = vec![spec.clone(); BATCH_SOLVES];
+    let workload = format!("facebook-like/n={n}/k={k}/batch={BATCH_SOLVES}x{BATCH_STAGES}-stage");
+
+    let rows = [
+        (
+            "blocking solve",
+            measure_session_each(&WasoSession::new(graph.clone()).k(k).seed(ctx.seed), &specs),
+        ),
+        (
+            "submit+wait",
+            measure_session_submit_wait(&WasoSession::new(graph).k(k).seed(ctx.seed), &specs),
+        ),
+    ];
+    rows.into_iter()
+        .map(|(mode, meas)| BenchRecord {
+            workload: workload.clone(),
+            solver: format!("{spec} ({mode})"),
+            threads: 0,
+            mean_quality: meas.quality,
+            wall_seconds: meas.seconds,
+            samples_per_sec: meas.samples_per_sec,
+        })
+        .collect()
+}
+
+/// Renders the handle-overhead records as a mode-keyed table.
+pub fn handle_table(records: &[BenchRecord]) -> Table {
+    let title = records
+        .first()
+        .map(|r| format!("blocking vs submit+wait overhead ({})", r.workload))
+        .unwrap_or_else(|| "blocking vs submit+wait overhead".to_string());
+    let mut t = Table::new(
+        "engine-handles",
+        title,
+        &["mode", "wall s/solve", "samples/s", "mean quality"],
+    );
+    for r in records {
+        let mode = ["blocking solve", "submit+wait"]
+            .into_iter()
+            .find(|m| r.solver.ends_with(&format!("({m})")))
+            .unwrap_or("?");
+        t.push_row(vec![
+            Cell::from(mode),
+            Cell::from(r.wall_seconds),
+            Cell::from(r.samples_per_sec),
+            r.mean_quality.map(Cell::from).unwrap_or(Cell::Missing),
+        ]);
+    }
+    t
+}
+
 /// The `--figure pool` comparison: the same `BATCH_SOLVES`-job workload
 /// run (a) with `pool=private` — every job spawns and tears down its own
 /// worker pool, the pre-SharedPool behaviour; (b) sequentially over one
@@ -218,10 +286,71 @@ pub fn pool_table(records: &[BenchRecord]) -> Table {
     t
 }
 
-/// Tables-only entry point for the `pool` figure id.
+/// Runs one concurrent batch over an explicitly attached [`SharedPool`]
+/// and snapshots its health gauges — the [`PoolStats`] surface a serving
+/// deployment scrapes (per-job queue depths, per-worker busy/idle and
+/// lifetime chunk counters, respawns). Returns the post-batch snapshot;
+/// the batch itself is a warm-up, not a measurement.
+pub fn pool_health_snapshot(ctx: &ExperimentContext) -> PoolStats {
+    let k = 10;
+    let graph = synthetic::facebook_like(ctx.scale, ctx.seed);
+    let n = graph.num_nodes();
+    let pool = std::sync::Arc::new(SharedPool::new(BATCH_THREADS));
+    let spec = SolverSpec::cbas_nd()
+        .budget(ctx.budget())
+        .stages(BATCH_STAGES)
+        .start_nodes(ctx.harness_m(n))
+        .threads(BATCH_THREADS);
+    let session = WasoSession::new(graph)
+        .k(k)
+        .seed(ctx.seed)
+        .attach_pool(std::sync::Arc::clone(&pool));
+    session
+        .solve_batch(&vec![spec; 4])
+        .expect("harness built an unusable pool-health batch");
+    pool.stats()
+}
+
+/// Renders a [`PoolStats`] snapshot as a gauge/value table.
+pub fn pool_health_table(stats: &PoolStats) -> Table {
+    let mut t = Table::new(
+        "pool-health",
+        format!("SharedPool health snapshot ({stats})"),
+        &["gauge", "value"],
+    );
+    t.push_row(vec![Cell::from("workers"), Cell::from(stats.threads)]);
+    t.push_row(vec![
+        Cell::from("busy workers"),
+        Cell::from(stats.busy_workers()),
+    ]);
+    t.push_row(vec![
+        Cell::from("active jobs"),
+        Cell::from(stats.active_jobs),
+    ]);
+    t.push_row(vec![
+        Cell::from("queued chunks"),
+        Cell::from(stats.total_queued()),
+    ]);
+    t.push_row(vec![
+        Cell::from("respawned workers"),
+        Cell::from(stats.respawned_workers),
+    ]);
+    for (slot, w) in stats.workers.iter().enumerate() {
+        t.push_row(vec![
+            Cell::from(format!("worker {slot} chunks processed")),
+            Cell::from(w.chunks_processed),
+        ]);
+    }
+    t
+}
+
+/// Tables-only entry point for the `pool` figure id: the
+/// private/shared/concurrent throughput ladder plus the pool health
+/// snapshot.
 pub fn pool_comparison(ctx: &ExperimentContext) -> TableSet {
     let mut set = TableSet::new();
     set.push(pool_table(&pool_records(ctx)));
+    set.push(pool_health_table(&pool_health_snapshot(ctx)));
     set
 }
 
@@ -286,6 +415,7 @@ pub fn records_table(records: &[BenchRecord]) -> TableSet {
 pub fn throughput(ctx: &ExperimentContext) -> TableSet {
     let mut tables = records_table(&throughput_records(ctx));
     tables.push(batch_table(&batch_records(ctx)));
+    tables.push(handle_table(&handle_records(ctx)));
     tables
 }
 
@@ -301,13 +431,17 @@ pub fn throughput_to(
     let sweep = throughput_records(ctx);
     let batch = batch_records(ctx);
     let pool = pool_records(ctx);
+    let handles = handle_records(ctx);
     let mut records = sweep.clone();
     records.extend(batch.clone());
     records.extend(pool.clone());
+    records.extend(handles.clone());
     crate::report::write_records_json(&records, &out_dir.join("BENCH_engine.json"))?;
     let mut tables = records_table(&sweep);
     tables.push(batch_table(&batch));
     tables.push(pool_table(&pool));
+    tables.push(handle_table(&handles));
+    tables.push(pool_health_table(&pool_health_snapshot(ctx)));
     Ok(tables)
 }
 
@@ -359,6 +493,39 @@ mod tests {
         assert_eq!(records[1].mean_quality, records[2].mean_quality);
         let table = pool_table(&records);
         assert_eq!(table.rows.len(), 3);
+    }
+
+    #[test]
+    fn handle_records_cover_both_modes_with_identical_quality() {
+        let mut ctx = ExperimentContext::new(Scale::Smoke);
+        ctx.repeats = 1;
+        let records = handle_records(&ctx);
+        assert_eq!(records.len(), 2);
+        assert!(records[0].solver.ends_with("(blocking solve)"));
+        assert!(records[1].solver.ends_with("(submit+wait)"));
+        for r in &records {
+            assert!(r.samples_per_sec > 0.0, "{}: no throughput", r.solver);
+        }
+        // `solve` IS submit+wait: the two rows run the identical path,
+        // so quality matches exactly.
+        assert_eq!(records[0].mean_quality, records[1].mean_quality);
+        let table = handle_table(&records);
+        assert_eq!(table.rows.len(), 2);
+    }
+
+    #[test]
+    fn pool_health_snapshot_reports_a_drained_pool() {
+        let mut ctx = ExperimentContext::new(Scale::Smoke);
+        ctx.repeats = 1;
+        let stats = pool_health_snapshot(&ctx);
+        assert_eq!(stats.threads, BATCH_THREADS);
+        assert_eq!(stats.active_jobs, 0, "batch finished: no jobs attached");
+        assert_eq!(stats.total_queued(), 0);
+        assert_eq!(stats.respawned_workers, 0);
+        let worked: u64 = stats.workers.iter().map(|w| w.chunks_processed).sum();
+        assert!(worked > 0, "the warm-up batch ran over the pool");
+        let table = pool_health_table(&stats);
+        assert!(table.rows.len() >= 5 + BATCH_THREADS);
     }
 
     #[test]

@@ -278,6 +278,27 @@ pub fn measure_session_each(session: &waso::WasoSession, specs: &[SolverSpec]) -
     aggregate_session_jobs(specs, outcomes, seconds)
 }
 
+/// Runs `specs` through explicit job handles, one at a time:
+/// `submit(spec)` + `wait()` per job. Since the blocking
+/// `WasoSession::solve` *is* submit+wait, the gap between this row and
+/// [`measure_session_each`] is pure noise — the record exists so a future
+/// divergence between the two paths (or a regression in the handle
+/// plumbing: thread spawn, channels, control publishing) shows up in the
+/// committed BENCH_engine.json trajectory.
+pub fn measure_session_submit_wait(
+    session: &waso::WasoSession,
+    specs: &[SolverSpec],
+) -> Measurement {
+    assert!(!specs.is_empty());
+    let t0 = Instant::now();
+    let outcomes: Vec<_> = specs
+        .iter()
+        .map(|spec| session.submit(spec).and_then(|handle| handle.wait()))
+        .collect();
+    let seconds = t0.elapsed().as_secs_f64();
+    aggregate_session_jobs(specs, outcomes, seconds)
+}
+
 /// [`measure_spec`] averaged over `repeats` seeds.
 pub fn measure_spec_avg(
     registry: &SolverRegistry,

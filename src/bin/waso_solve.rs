@@ -13,6 +13,12 @@
 //!                         (default 10 for staged solvers)
 //!   --start-nodes M       shorthand for the start-nodes= spec option
 //!   --threads N           shorthand for the threads= spec option
+//!   --deadline-ms MS      shorthand for the deadline_ms= spec option:
+//!                         stop at the next stage boundary once the
+//!                         wall-clock budget elapses, returning the best
+//!                         incumbent found so far (anytime solvers)
+//!   --patience N          shorthand for the patience= spec option: stop
+//!                         after N consecutive non-improving stages
 //!   --require ID          required attendee (repeatable; enforced for
 //!                         every solver or rejected loudly)
 //!   --lambda X            uniform interest/tightness weight in [0,1]
@@ -46,8 +52,8 @@ fn usage(registry: &SolverRegistry) -> String {
     format!(
         "usage: waso-solve --graph FILE --k N [--algorithm {}] \
          [--budget T] [--stages R] [--start-nodes M] [--threads N] \
-         [--require ID]... [--lambda X] [--disconnected] [--seed N] \
-         [--list-algorithms]",
+         [--deadline-ms MS] [--patience N] [--require ID]... \
+         [--lambda X] [--disconnected] [--seed N] [--list-algorithms]",
         registry.name_list()
     )
 }
@@ -60,6 +66,8 @@ fn parse_args(argv: &[String], registry: &SolverRegistry) -> Result<Args, String
     let mut stages: Option<u32> = None;
     let mut start_nodes: Option<usize> = None;
     let mut threads: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut patience: Option<u32> = None;
     let mut require: Vec<u32> = Vec::new();
     let mut lambda: Option<f64> = None;
     let mut disconnected = false;
@@ -88,6 +96,8 @@ fn parse_args(argv: &[String], registry: &SolverRegistry) -> Result<Args, String
                 start_nodes = Some(parse(value("--start-nodes")?, "start-nodes")? as usize)
             }
             "--threads" => threads = Some(parse(value("--threads")?, "threads")? as usize),
+            "--deadline-ms" => deadline_ms = Some(parse(value("--deadline-ms")?, "deadline-ms")?),
+            "--patience" => patience = Some(parse(value("--patience")?, "patience")? as u32),
             "--require" => require.push(parse(value("--require")?, "node id")? as u32),
             "--lambda" => {
                 let v = value("--lambda")?;
@@ -129,6 +139,12 @@ fn parse_args(argv: &[String], registry: &SolverRegistry) -> Result<Args, String
     if let Some(t) = threads {
         spec = spec.threads(t);
     }
+    if let Some(ms) = deadline_ms {
+        spec = spec.deadline_ms(ms);
+    }
+    if let Some(p) = patience {
+        spec = spec.patience(p);
+    }
 
     Ok(Args {
         graph: graph.ok_or_else(|| format!("--graph is required\n{}", usage()))?,
@@ -165,8 +181,15 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     let result = session.solve(&args.spec).map_err(|e| e.to_string())?;
-    if result.stats.truncated {
-        eprintln!("warning: work cap hit — result may be suboptimal");
+    match result.stats.termination {
+        waso::algos::Termination::Completed if result.stats.truncated => {
+            eprintln!("warning: work cap hit — result may be suboptimal")
+        }
+        waso::algos::Termination::Completed => {}
+        reason => eprintln!(
+            "warning: solve stopped early ({reason}) — best incumbent after {} stages",
+            result.stats.stages
+        ),
     }
     println!("group: {}", result.group);
     println!("members:");

@@ -59,6 +59,17 @@
 //! let exact = session.solve_str("exact").unwrap();
 //! assert_eq!(exact.group, result.group);
 //!
+//! // Serving-style: submit the solve as a job handle instead of
+//! // blocking. Handles poll, cancel, stream incumbents — and `wait()`
+//! // returns exactly what the blocking call would have (`solve` *is*
+//! // submit+wait). Spec knobs `deadline_ms=`/`patience=` bound latency.
+//! let handle = session
+//!     .submit(&SolverSpec::cbas_nd().budget(200).stages(4))
+//!     .unwrap();
+//! let job = handle.wait().unwrap();
+//! assert_eq!(job.group, result.group);
+//! assert_eq!(job.stats.termination, waso::algos::Termination::Completed);
+//!
 //! // Constraints are enforced uniformly: a solver that cannot guarantee
 //! // required attendees rejects the combination instead of ignoring it.
 //! let constrained = WasoSession::new(session.graph().clone()).k(2).require([a]);
@@ -84,16 +95,17 @@ pub use waso_stats as stats;
 
 pub mod session;
 
-pub use session::{registry, SessionError, WasoSession, DEFAULT_SEED};
+pub use session::{registry, SessionError, SolveHandle, WasoSession, DEFAULT_SEED};
 pub use waso_algos::{SolverRegistry, SolverSpec};
 
 /// One-line imports for the common build-graph → session → solve workflow.
 pub mod prelude {
-    pub use crate::session::{registry, SessionError, WasoSession};
+    pub use crate::session::{registry, SessionError, SolveHandle, WasoSession};
     pub use waso_algos::{
-        Capabilities, Cbas, CbasConfig, CbasNd, CbasNdConfig, DGreedy, Deal, OnlinePlanner,
-        ParallelCbasNd, PoolMode, RGreedy, RGreedyConfig, SharedPool, SolveError, SolveResult,
-        Solver, SolverRegistry, SolverSpec, SpecError,
+        Capabilities, Cbas, CbasConfig, CbasNd, CbasNdConfig, DGreedy, Deal, Incumbent, JobControl,
+        JobProgress, OnlinePlanner, ParallelCbasNd, PoolMode, PoolStats, RGreedy, RGreedyConfig,
+        SharedPool, SolveError, SolveResult, Solver, SolverRegistry, SolverSpec, SpecError,
+        Termination,
     };
     pub use waso_core::{scenario, willingness, Group, WasoInstance};
     pub use waso_graph::{GraphBuilder, NodeId, SocialGraph};

@@ -25,6 +25,17 @@
 //! over that shared state with per-job error reporting — bit-identical
 //! to solving each spec alone, in the slice's order.
 //!
+//! The solve surface itself is built on **job handles**:
+//! [`WasoSession::submit`] / [`WasoSession::submit_batch`] return
+//! [`SolveHandle`]s that poll ([`SolveHandle::try_result`]), block
+//! ([`SolveHandle::wait`]), cancel ([`SolveHandle::cancel`] — the job
+//! stops at its next stage boundary and returns its best-so-far group),
+//! report progress, and stream improving incumbents
+//! ([`SolveHandle::incumbents`]); the spec knobs `deadline_ms=` and
+//! `patience=` bound a job's latency declaratively. The blocking calls
+//! are thin wrappers (`solve` *is* submit+wait), so handle-based and
+//! blocking results are bit-identical by construction.
+//!
 //! ```
 //! use waso::prelude::*;
 //!
@@ -36,16 +47,36 @@
 //! b.add_edge_symmetric(c, d, 0.4).unwrap();
 //!
 //! let session = WasoSession::new(b.build()).k(2).seed(42);
-//! let result = session.solve(&SolverSpec::cbas_nd().budget(200).stages(4)).unwrap();
+//!
+//! // Blocking call…
+//! let spec = SolverSpec::cbas_nd().budget(200).stages(4);
+//! let result = session.solve(&spec).unwrap();
 //! assert_eq!(result.group.len(), 2);
 //! assert!((result.group.willingness() - 2.7).abs() < 1e-9);
+//!
+//! // …and the same solve as a job handle: submit, watch, wait.
+//! let handle = session.submit(&spec).unwrap();
+//! let _progress = handle.progress(); // stages done, samples, incumbent
+//! let handled = handle.wait().unwrap(); // bit-identical to `result`
+//! assert_eq!(handled.group, result.group);
+//!
+//! // Anytime serving: bound latency with a deadline and early-stop
+//! // patience; the result reports how the solve terminated.
+//! let bounded = session
+//!     .solve(&spec.clone().deadline_ms(10_000).patience(2))
+//!     .unwrap();
+//! assert!(bounded.group.willingness() > 0.0);
 //! ```
 
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 
-use waso_algos::{SharedPool, SolveError, SolveResult, SolverRegistry, SolverSpec, SpecError};
+use waso_algos::{
+    Incumbent, JobControl, JobProgress, SharedPool, SolveError, SolveResult, Solver,
+    SolverRegistry, SolverSpec, SpecError,
+};
 use waso_core::{CoreError, WasoInstance};
 use waso_graph::{NodeId, SocialGraph};
 
@@ -147,6 +178,10 @@ pub struct WasoSession {
     /// sizes it from the first pooled spec. Ignored once a pool is
     /// attached.
     pool_threads: Option<usize>,
+    /// Pinned coordinator-crew width for batch submissions; `None` falls
+    /// back to the `WASO_BATCH_WIDTH` env var, then to
+    /// `max(2, available_parallelism)`.
+    batch_width: Option<usize>,
     /// The validated instance, built once per session configuration.
     instance_cache: Mutex<Option<Arc<WasoInstance>>>,
     /// The worker pool every pooled solve of this session runs over —
@@ -167,6 +202,7 @@ impl WasoSession {
             seed: DEFAULT_SEED,
             registry: registry(),
             pool_threads: None,
+            batch_width: None,
             instance_cache: Mutex::new(None),
             pool: Mutex::new(None),
         }
@@ -230,6 +266,23 @@ impl WasoSession {
         self
     }
 
+    /// Pins the coordinator-crew width of [`WasoSession::submit_batch`] /
+    /// [`WasoSession::solve_batch`]: at most `n` jobs run concurrently
+    /// (each coordinator drives whole jobs; per-sample parallelism lives
+    /// in the worker pool the jobs share). Clamped to ≥ 1.
+    ///
+    /// Without this the width comes from the `WASO_BATCH_WIDTH`
+    /// environment variable, and failing that defaults to
+    /// `max(2, available_parallelism)` — **at least two** coordinators,
+    /// so batch jobs genuinely overlap even on a 1-core box (where
+    /// `available_parallelism` alone would serialize the batch and make
+    /// the concurrency-equivalence tests vacuous). The width is a pure
+    /// scheduling knob: results are bit-identical for every value.
+    pub fn batch_width(mut self, width: usize) -> Self {
+        self.batch_width = Some(width.max(1));
+        self
+    }
+
     /// Attaches a (possibly process-wide) [`SharedPool`]: every pooled
     /// solve of this session runs as a job of `pool` instead of a
     /// session-private one. Hand clones of the same `Arc` to any number
@@ -290,17 +343,139 @@ impl WasoSession {
     /// rejects spec/solver combinations that cannot honour them, and runs
     /// the solver under the session's seed policy — over the session-held
     /// worker pool when the spec asks for threads.
+    ///
+    /// A thin wrapper over [`WasoSession::submit`] + [`SolveHandle::wait`]
+    /// — the blocking and handle-based paths are one code path, so their
+    /// bit-identical results are structural, not coincidental.
     pub fn solve(&self, spec: &SolverSpec) -> Result<SolveResult, SessionError> {
-        let instance = self.shared_instance()?;
-        self.solve_on(&instance, spec)
+        self.submit(spec)?.wait()
     }
 
-    /// One job of a solve/batch against an already-validated instance.
-    fn solve_on(
+    /// [`WasoSession::solve`] from a spec string (`"cbas-nd:budget=500"`),
+    /// resolved and canonicalized against the session's registry.
+    pub fn solve_str(&self, spec: &str) -> Result<SolveResult, SessionError> {
+        let spec = self.registry.parse(spec)?;
+        self.solve(&spec)
+    }
+
+    /// Submits a solve as a background **job** and returns its
+    /// [`SolveHandle`] immediately. The handle can [`SolveHandle::wait`]
+    /// for the result, [`SolveHandle::try_result`] without blocking,
+    /// [`SolveHandle::cancel`] the job (it stops at the next stage
+    /// boundary, returning its current incumbent tagged
+    /// [`waso_algos::Termination::Cancelled`]), watch
+    /// [`SolveHandle::progress`], and stream each improving incumbent via
+    /// [`SolveHandle::incumbents`]. The spec's `deadline_ms=` /
+    /// `patience=` knobs bound the job's latency without any handle
+    /// interaction.
+    ///
+    /// Spec-level failures (unknown algorithm, unusable option,
+    /// unsatisfiable constraints) surface here, before any thread is
+    /// spawned. The job's result is **bit-identical** to
+    /// [`WasoSession::solve`] with the same spec — `solve` *is*
+    /// submit+wait.
+    pub fn submit(&self, spec: &SolverSpec) -> Result<SolveHandle, SessionError> {
+        let instance = self.shared_instance()?;
+        let (task, handle) = self.prepare_job(&instance, spec)?;
+        spawn_coordinators("waso-job", VecDeque::from([task]), 1);
+        Ok(handle)
+    }
+
+    /// Submits a slice of solve jobs and returns one [`SolveHandle`] per
+    /// spec, in spec order. The instance is validated and cloned
+    /// **once**; every pooled job runs over the **same** shared worker
+    /// pool (no per-solve thread spawns, no per-solve graph clones); and
+    /// up to [`WasoSession::batch_width`] jobs run concurrently — the
+    /// pool's scheduler deals their stages across its workers, so a light
+    /// job is never stuck behind a heavy one. Each job carries its own
+    /// constraints via [`SolverSpec::require`], merged with the
+    /// session's.
+    ///
+    /// Per-job failures (unbuildable spec, infeasible constraints) land
+    /// in that job's handle; an instance-level failure fails the whole
+    /// submission. Cancelling one handle never affects the others, and
+    /// dropping a handle without waiting cancels its job (workers are
+    /// pool-owned, so nothing leaks). A job's `deadline_ms=` clock starts
+    /// when a coordinator picks it up, not at submit time — arm
+    /// [`SolveHandle::control`] yourself to bound queue wait too.
+    pub fn submit_batch(&self, specs: &[SolverSpec]) -> Result<Vec<SolveHandle>, SessionError> {
+        let instance = self.shared_instance()?;
+        // Jobs are prepared in slice order on the caller's thread, so the
+        // lazily-sized session pool always takes its worker count from
+        // the *first* pooled spec — exactly as sequential solves would —
+        // and never from whichever concurrent job wins a race.
+        let mut queue = VecDeque::with_capacity(specs.len());
+        let mut handles = Vec::with_capacity(specs.len());
+        for spec in specs {
+            match self.prepare_job(&instance, spec) {
+                Ok((task, handle)) => {
+                    queue.push_back(task);
+                    handles.push(handle);
+                }
+                Err(e) => handles.push(SolveHandle::failed(e)),
+            }
+        }
+        let width = self.effective_batch_width(queue.len());
+        spawn_coordinators("waso-batch", queue, width);
+        Ok(handles)
+    }
+
+    /// Runs a slice of solve jobs to completion:
+    /// [`WasoSession::submit_batch`] + [`SolveHandle::wait`] per handle.
+    /// Results are returned in spec order and are bit-identical to
+    /// calling [`WasoSession::solve`] once per spec — per-job RNG streams
+    /// make the concurrency unobservable.
+    pub fn solve_batch(
+        &self,
+        specs: &[SolverSpec],
+    ) -> Result<Vec<Result<SolveResult, SessionError>>, SessionError> {
+        Ok(self
+            .submit_batch(specs)?
+            .into_iter()
+            .map(SolveHandle::wait)
+            .collect())
+    }
+
+    /// [`WasoSession::solve_batch`] from spec strings; a string that does
+    /// not parse fails its own slot, not the batch.
+    pub fn solve_many<'a>(
+        &self,
+        specs: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<Result<SolveResult, SessionError>>, SessionError> {
+        let instance = self.shared_instance()?;
+        // Parse up front (cheap, deterministic order); parse failures
+        // keep their slots, and job preparation still happens in slice
+        // order for deterministic pool sizing.
+        let mut queue = VecDeque::new();
+        let mut handles = Vec::new();
+        for spec in specs {
+            match self
+                .registry
+                .parse(spec)
+                .map_err(SessionError::from)
+                .and_then(|spec| self.prepare_job(&instance, &spec))
+            {
+                Ok((task, handle)) => {
+                    queue.push_back(task);
+                    handles.push(handle);
+                }
+                Err(e) => handles.push(SolveHandle::failed(e)),
+            }
+        }
+        let width = self.effective_batch_width(queue.len());
+        spawn_coordinators("waso-batch", queue, width);
+        Ok(handles.into_iter().map(SolveHandle::wait).collect())
+    }
+
+    /// Builds one ready-to-run job: merges and validates constraints,
+    /// resolves and builds the solver, binds the (lazily spawned) worker
+    /// pool, and wires up the control/result/incumbent plumbing shared
+    /// with the job's [`SolveHandle`].
+    fn prepare_job(
         &self,
         instance: &Arc<WasoInstance>,
         spec: &SolverSpec,
-    ) -> Result<SolveResult, SessionError> {
+    ) -> Result<(JobTask, SolveHandle), SessionError> {
         // Union of session-level and spec-level required attendees,
         // first-mention order. The merged set is re-validated: the spec
         // half never went through `instance()`.
@@ -319,33 +494,33 @@ impl WasoSession {
             return Err(SolveError::RequiredUnsupported { solver: entry.name }.into());
         }
 
-        let mut solver = self.registry.build(spec)?;
-        let result = match solver.pool_threads() {
-            // Pooled solve: run as a job of the session pool (attached,
-            // or spawned on first use), so worker threads outlive — and
-            // are shared by — every pooled solve, of this session and of
-            // any other session attached to the same pool. The lock
-            // guards only the Arc, never a solve: concurrent jobs
-            // proceed in parallel.
-            Some(threads) => {
-                let pool = self.session_pool(threads);
-                solver.solve_pooled(instance, &required, self.seed, &pool)?
-            }
-            None => solver.solve_with_required(instance, &required, self.seed)?,
-        };
-        debug_assert!(
-            required.iter().all(|&v| result.group.contains(v)),
-            "solver {} violated the required-attendee contract",
-            solver.name()
-        );
-        Ok(result)
-    }
+        let solver = self.registry.build(spec)?;
+        // Pooled solve: run as a job of the session pool (attached, or
+        // spawned on first use), so worker threads outlive — and are
+        // shared by — every pooled solve, of this session and of any
+        // other session attached to the same pool. The lock guards only
+        // the Arc, never a solve: concurrent jobs proceed in parallel.
+        let pool = solver.pool_threads().map(|t| self.session_pool(t));
 
-    /// [`WasoSession::solve`] from a spec string (`"cbas-nd:budget=500"`),
-    /// resolved and canonicalized against the session's registry.
-    pub fn solve_str(&self, spec: &str) -> Result<SolveResult, SessionError> {
-        let spec = self.registry.parse(spec)?;
-        self.solve(&spec)
+        let control = Arc::new(JobControl::new());
+        let incumbents = control.take_incumbents();
+        let (result_tx, result_rx) = channel();
+        let task = JobTask {
+            solver,
+            instance: Arc::clone(instance),
+            required,
+            seed: self.seed,
+            pool,
+            control: Arc::clone(&control),
+            result_tx,
+        };
+        let handle = SolveHandle {
+            control,
+            incumbents,
+            result_rx,
+            result: None,
+        };
+        Ok((task, handle))
     }
 
     /// The session's pool, spawning a private one sized
@@ -357,119 +532,245 @@ impl WasoSession {
         }))
     }
 
-    /// Spawns the lazily-sized session pool **before** a batch's jobs
-    /// fan out, so its worker count comes from the *first* pooled spec
-    /// in slice order — exactly as a sequential run would size it — and
-    /// never from whichever concurrent job happens to win the
-    /// `session_pool` race. Unbuildable specs are skipped here; their
-    /// own job slot reports the error.
-    fn prewarm_pool(&self, specs: &[SolverSpec]) {
-        for spec in specs {
-            if let Ok(solver) = self.registry.build(spec) {
-                if let Some(threads) = solver.pool_threads() {
-                    let _ = self.session_pool(threads);
-                    return;
-                }
-            }
-        }
+    /// A [`waso_algos::PoolStats`] health snapshot of the session's
+    /// worker pool (attached or lazily spawned), or `None` before any
+    /// pooled solve has needed one.
+    pub fn pool_stats(&self) -> Option<waso_algos::PoolStats> {
+        self.pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(|p| p.stats())
     }
 
-    /// Runs a slice of solve jobs over the session's shared state: the
-    /// instance is validated and cloned **once**, every pooled job runs
-    /// over the **same** shared worker pool — no per-solve thread
-    /// spawns, no per-solve graph clones — and independent jobs run
-    /// **concurrently** (the pool's scheduler deals their stages across
-    /// its workers, so a light job is never stuck behind a heavy one).
-    /// Each job carries its own constraints via [`SolverSpec::require`],
-    /// merged with the session's as in [`WasoSession::solve`].
-    ///
-    /// Per-job failures (unbuildable spec, infeasible constraints) land
-    /// in that job's slot; an instance-level failure fails the batch.
-    /// Results are returned in spec order and are bit-identical to
-    /// calling [`WasoSession::solve`] once per spec — per-job RNG
-    /// streams make the concurrency unobservable.
-    pub fn solve_batch(
-        &self,
-        specs: &[SolverSpec],
-    ) -> Result<Vec<Result<SolveResult, SessionError>>, SessionError> {
-        let instance = self.shared_instance()?;
-        self.prewarm_pool(specs);
-        Ok(run_concurrently(specs.len(), |i| {
-            self.solve_on(&instance, &specs[i])
-        }))
-    }
-
-    /// [`WasoSession::solve_batch`] from spec strings; a string that does
-    /// not parse fails its own slot, not the batch.
-    pub fn solve_many<'a>(
-        &self,
-        specs: impl IntoIterator<Item = &'a str>,
-    ) -> Result<Vec<Result<SolveResult, SessionError>>, SessionError> {
-        let instance = self.shared_instance()?;
-        // Parse up front (cheap, deterministic order) so the pool can be
-        // pre-sized from the first pooled spec; parse failures keep
-        // their slots.
-        let specs: Vec<Result<SolverSpec, SpecError>> =
-            specs.into_iter().map(|s| self.registry.parse(s)).collect();
-        let parsed: Vec<SolverSpec> = specs.iter().filter_map(|s| s.clone().ok()).collect();
-        self.prewarm_pool(&parsed);
-        Ok(run_concurrently(specs.len(), |i| match &specs[i] {
-            Ok(spec) => self.solve_on(&instance, spec),
-            Err(e) => Err(e.clone().into()),
-        }))
+    /// The coordinator-crew width for a batch of `jobs` jobs: the
+    /// [`WasoSession::batch_width`] pin, else `WASO_BATCH_WIDTH`, else
+    /// `max(2, available_parallelism)` — capped by the job count.
+    fn effective_batch_width(&self, jobs: usize) -> usize {
+        let width = self
+            .batch_width
+            .or_else(|| {
+                std::env::var("WASO_BATCH_WIDTH")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .map(|w: usize| w.max(1))
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|c| c.get())
+                    .unwrap_or(1)
+                    .max(2)
+            });
+        width.min(jobs).max(1)
     }
 }
 
-/// Runs `n` independent jobs over a small crew of coordinator threads and
-/// returns their outcomes in job order. The crew is sized
-/// `min(n, max(2, available_parallelism))` — at least two coordinators,
-/// so batch jobs overlap (and the concurrency equivalence tests mean
-/// something) even on a single-core box; each coordinator thread drives
-/// whole jobs, while the per-sample parallelism lives in the worker pool
-/// the jobs share. A panicking job propagates (after the crew drains, so
-/// no work is silently lost).
-fn run_concurrently<T, F>(n: usize, job: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let crew = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1)
-        .max(2)
-        .min(n);
-    if n <= 1 {
-        return (0..n).map(job).collect();
+/// One prepared solve job: everything its coordinator thread needs, fully
+/// owned (the thread outlives the `submit` call's borrows).
+struct JobTask {
+    solver: Box<dyn Solver + Send>,
+    instance: Arc<WasoInstance>,
+    required: Vec<NodeId>,
+    seed: u64,
+    /// The shared pool the solve runs over, when its spec asks for one.
+    pool: Option<Arc<SharedPool>>,
+    control: Arc<JobControl>,
+    result_tx: Sender<Result<SolveResult, SessionError>>,
+}
+
+impl JobTask {
+    /// Runs the solve and reports through the job's channels. Never
+    /// panics past itself: the control is marked finished and the result
+    /// sent (or the sender dropped) no matter how the solve ends.
+    fn run(mut self) {
+        let outcome = self
+            .solver
+            .solve_controlled(
+                &self.instance,
+                &self.required,
+                self.seed,
+                self.pool.as_deref(),
+                &self.control,
+            )
+            .map_err(SessionError::from);
+        if let Ok(result) = &outcome {
+            debug_assert!(
+                self.required.iter().all(|&v| result.group.contains(v)),
+                "solver {} violated the required-attendee contract",
+                self.solver.name()
+            );
+        }
+        // Release the job's resources — above all its pool Arc — BEFORE
+        // publishing the result: a caller that has observed the outcome
+        // must also observe the job's references gone (e.g. a session
+        // dropped right after a batch asserts the pool was released).
+        self.pool = None;
+        drop(self.solver);
+        self.control.finish();
+        let _ = self.result_tx.send(outcome);
     }
-    let next = AtomicUsize::new(0);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..crew)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            return done;
+}
+
+/// Spawns `width` detached coordinator threads draining `queue` in FIFO
+/// order. Each coordinator drives whole jobs; per-sample parallelism
+/// lives in the worker pool the jobs share. A panicking job (a solver
+/// bug) is contained: its waiter sees the death through the dropped
+/// result sender, and the coordinator moves on to the next queued job —
+/// one bad job cannot starve the rest of a batch.
+fn spawn_coordinators(name: &str, queue: VecDeque<JobTask>, width: usize) {
+    if queue.is_empty() {
+        return;
+    }
+    let queue = Arc::new(Mutex::new(queue));
+    for c in 0..width.max(1) {
+        let queue = Arc::clone(&queue);
+        std::thread::Builder::new()
+            .name(format!("{name}-{c}"))
+            .spawn(move || loop {
+                let task = queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .pop_front();
+                match task {
+                    Some(task) => {
+                        // Contain a panicking solve to its own job: the
+                        // unwind payload dies here, the job's waiter sees
+                        // a dropped sender, and this coordinator keeps
+                        // draining the queue. The control must still be
+                        // finished on the unwind path, or incumbents()
+                        // iterators would block forever and progress()
+                        // would report the dead job as running.
+                        let control = Arc::clone(&task.control);
+                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run()))
+                            .is_err()
+                        {
+                            control.finish();
                         }
-                        done.push((i, job(i)));
                     }
-                })
+                    None => return,
+                }
             })
-            .collect();
-        for handle in handles {
-            let done = handle
-                .join()
-                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
-            for (i, outcome) in done {
-                out[i] = Some(outcome);
+            .expect("spawning a solve coordinator thread");
+    }
+}
+
+/// A submitted solve job: the caller's half of the submit/poll/cancel
+/// surface (see [`WasoSession::submit`]).
+///
+/// Dropping a handle without waiting **cancels** its job — a handle is
+/// the only way to receive the result, so an abandoned job would be pure
+/// waste (the serving analogy: the client hung up). The cancel stops the
+/// job at its next stage boundary; worker threads belong to the session's
+/// pool and are never leaked either way.
+#[derive(Debug)]
+pub struct SolveHandle {
+    control: Arc<JobControl>,
+    incumbents: Receiver<Incumbent>,
+    result_rx: Receiver<Result<SolveResult, SessionError>>,
+    /// The received outcome, cached so `try_result` + `wait` compose.
+    result: Option<Result<SolveResult, SessionError>>,
+}
+
+impl SolveHandle {
+    /// A handle whose job failed before it could start (spec-level batch
+    /// errors): the result is pre-loaded, the control already finished.
+    fn failed(error: SessionError) -> Self {
+        let control = Arc::new(JobControl::new());
+        let incumbents = control.take_incumbents();
+        control.finish();
+        let (result_tx, result_rx) = channel();
+        let _ = result_tx.send(Err(error));
+        Self {
+            control,
+            incumbents,
+            result_rx,
+            result: None,
+        }
+    }
+
+    /// Blocks until the job finishes and returns its result. Bit-identical
+    /// to what the blocking [`WasoSession::solve`] returns — `solve` *is*
+    /// this call.
+    ///
+    /// # Panics
+    ///
+    /// If the job's coordinator thread died without reporting (a solver
+    /// panic) — the same loud failure the blocking call would have been.
+    pub fn wait(mut self) -> Result<SolveResult, SessionError> {
+        if self.result.is_none() {
+            match self.result_rx.recv() {
+                Ok(outcome) => self.result = Some(outcome),
+                Err(_) => panic!("solve job died without reporting a result"),
             }
         }
-    });
-    out.into_iter()
-        .map(|outcome| outcome.expect("every job index is claimed exactly once"))
-        .collect()
+        self.result.take().expect("result cached above")
+    }
+
+    /// Non-blocking poll: the job's result if it has finished, `None`
+    /// while it is still running. Repeatable; composes with a later
+    /// [`SolveHandle::wait`].
+    ///
+    /// # Panics
+    ///
+    /// If the job's coordinator thread died without reporting (a solver
+    /// panic) — the same loud failure [`SolveHandle::wait`] raises, so a
+    /// poll-only client cannot mistake a dead job for a running one.
+    pub fn try_result(&mut self) -> Option<Result<SolveResult, SessionError>> {
+        if self.result.is_none() {
+            match self.result_rx.try_recv() {
+                Ok(outcome) => self.result = Some(outcome),
+                Err(std::sync::mpsc::TryRecvError::Empty) => {}
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    panic!("solve job died without reporting a result")
+                }
+            }
+        }
+        self.result.clone()
+    }
+
+    /// Requests cancellation: the job stops dealing work at its next
+    /// stage boundary and its result becomes the current incumbent,
+    /// tagged [`waso_algos::Termination::Cancelled`] (or
+    /// [`SolveError::NoIncumbent`] if no stage had completed).
+    /// Idempotent; a no-op once the job finished.
+    pub fn cancel(&self) {
+        self.control.cancel();
+    }
+
+    /// A point-in-time progress snapshot: stages done, samples spent,
+    /// current incumbent willingness, finished flag.
+    pub fn progress(&self) -> JobProgress {
+        self.control.progress()
+    }
+
+    /// The job's [`JobControl`] — for arming an extra deadline
+    /// ([`JobControl::arm_deadline`] covers queue wait too, unlike the
+    /// spec's `deadline_ms=`, whose clock starts at solve start) or for
+    /// sharing cancellation with other owners.
+    pub fn control(&self) -> &Arc<JobControl> {
+        &self.control
+    }
+
+    /// Streams the job's improving incumbents: one [`Incumbent`] per
+    /// stage that raised the best-so-far willingness, strictly
+    /// increasing. The iterator **blocks** between stages and ends when
+    /// the job finishes — drain it from the thread that watches the
+    /// solve, and call [`SolveHandle::wait`] afterwards for the final
+    /// result.
+    pub fn incumbents(&self) -> std::sync::mpsc::Iter<'_, Incumbent> {
+        self.incumbents.iter()
+    }
+}
+
+impl Drop for SolveHandle {
+    /// Abandoning a handle cancels its job (see the type docs). A
+    /// finished job — including one just consumed by
+    /// [`SolveHandle::wait`] — is left untouched.
+    fn drop(&mut self) {
+        if !self.control.progress().finished {
+            self.control.cancel();
+        }
+    }
 }
 
 /// Bounds, duplicate and size checks for a required-attendee list.

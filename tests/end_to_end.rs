@@ -11,7 +11,7 @@ use waso_datasets::synthetic::{self, Scale};
 /// Every registered sampling/greedy solver at end-to-end test settings
 /// (the exact solver is exercised separately — it cannot run on the
 /// larger smoke graphs).
-fn solvers(budget: u64) -> Vec<Box<dyn Solver>> {
+fn solvers(budget: u64) -> Vec<Box<dyn Solver + Send>> {
     let registry = waso::registry();
     registry
         .entries()

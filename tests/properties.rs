@@ -299,6 +299,122 @@ proptest! {
         }
     }
 
+    /// The tentpole determinism pin: `submit` + `wait` is bit-identical
+    /// to the blocking `solve` — and both to a direct registry-built
+    /// solver run with no session machinery at all — for random
+    /// instances, thread counts 1–8, and both pool modes (shared pool
+    /// jobs and private per-solve pools). The handle plumbing (job
+    /// thread, channels, control) must be invisible in results.
+    #[test]
+    fn submit_wait_is_bit_identical_to_blocking_solve(
+        seed in 0u64..10_000,
+        n in 12usize..40,
+        extra in 0usize..30,
+        k in 2usize..6,
+        budget in 8u64..100,
+        threads in 1usize..9,
+        private_pool: bool,
+    ) {
+        use std::sync::Arc;
+
+        let inst = random_instance(seed, n, extra, k, true);
+        let graph = inst.graph().clone();
+        let mut spec = SolverSpec::cbas_nd().budget(budget).stages(3).threads(threads);
+        if private_pool {
+            spec = spec.pool(PoolMode::Private);
+        }
+
+        // Ground truth: the raw solver, no session, no threads spawned
+        // by the harness.
+        let registry = waso::registry();
+        let direct = registry.build(&spec).unwrap()
+            .solve_with_required(&Arc::new(inst), &[], seed);
+
+        let blocking = WasoSession::new(graph.clone()).k(k).seed(seed).solve(&spec);
+        let handled = WasoSession::new(graph).k(k).seed(seed)
+            .submit(&spec)
+            .and_then(SolveHandle::wait);
+        match (&direct, &blocking, &handled) {
+            (Ok(d), Ok(b), Ok(h)) => {
+                prop_assert_eq!(&d.group, &b.group, "direct vs blocking");
+                prop_assert_eq!(&b.group, &h.group, "blocking vs submit+wait");
+                prop_assert_eq!(d.stats.samples_drawn, b.stats.samples_drawn);
+                prop_assert_eq!(b.stats.samples_drawn, h.stats.samples_drawn);
+                prop_assert_eq!(b.stats.backtracks, h.stats.backtracks);
+                prop_assert_eq!(h.stats.termination, waso::algos::Termination::Completed);
+                prop_assert!(!h.stats.truncated);
+            }
+            (Err(_), Err(_), Err(_)) => {}
+            _ => prop_assert!(
+                false,
+                "feasibility diverged: direct ok={}, blocking ok={}, handle ok={}",
+                direct.is_ok(), blocking.is_ok(), handled.is_ok()
+            ),
+        }
+    }
+
+    /// The anytime contract under early termination: a cancelled or
+    /// deadline-stopped solve returns a **valid feasible incumbent**
+    /// tagged with the correct `Termination` reason, and a cancel
+    /// observably stops sampling (strictly below budget on a long
+    /// solve). Cancel-before-incumbent surfaces as the typed
+    /// `NoIncumbent` error, never as a bogus "infeasible".
+    #[test]
+    fn early_termination_returns_a_valid_incumbent_with_the_right_reason(
+        seed in 0u64..10_000,
+        n in 16usize..40,
+        extra in 0usize..30,
+        k in 2usize..6,
+        threads in 0usize..5,
+        by_deadline: bool,
+    ) {
+        use waso::algos::{SolveError, Termination};
+
+        let inst = random_instance(seed, n, extra, k, true);
+        let graph = inst.graph().clone();
+        // Long solve: many cheap stages, so the stop lands mid-run.
+        let mut spec = SolverSpec::cbas_nd().budget(40_000).stages(80);
+        if threads > 0 {
+            spec = spec.threads(threads);
+        }
+        let expect = if by_deadline { Termination::Deadline } else { Termination::Cancelled };
+        let session = WasoSession::new(graph).k(k).seed(seed);
+        let outcome = if by_deadline {
+            session.solve(&spec.deadline_ms(2))
+        } else {
+            let handle = session.submit(&spec).expect("spec is buildable");
+            // Cancel the moment the first incumbent lands (or, rarely,
+            // right after the job finished — both must be handled).
+            let _ = handle.incumbents().next();
+            handle.cancel();
+            handle.wait()
+        };
+        match outcome {
+            Ok(res) => {
+                if res.stats.termination == Termination::Completed {
+                    // The stop raced the solve's natural end and lost —
+                    // legal, but then the budget must be fully spent.
+                    prop_assert_eq!(res.stats.samples_drawn, 40_000);
+                } else {
+                    prop_assert_eq!(res.stats.termination, expect);
+                    prop_assert!(res.stats.truncated);
+                    prop_assert!(res.stats.samples_drawn < 40_000,
+                        "stop must leave budget unspent (drew {})", res.stats.samples_drawn);
+                }
+                prop_assert!(res.group.validate(&inst).is_ok(), "incumbent must be feasible");
+            }
+            // Stopped before any incumbent existed — typed, not
+            // mislabelled as infeasible.
+            Err(SessionError::Solve(SolveError::NoIncumbent { reason })) => {
+                prop_assert_eq!(reason, expect);
+            }
+            // The instance has a spanning path and n ≥ k: always
+            // feasible, so "no feasible group" is never a correct answer
+            // here — and neither is any other error.
+            Err(e) => prop_assert!(false, "unexpected error: {}", e),
+        }
+    }
+
     #[test]
     fn branch_and_bound_is_never_beaten(
         seed in 0u64..10_000,
