@@ -48,14 +48,18 @@
 //! *anytime* algorithm. [`StagedEngine::solve_controlled`] /
 //! [`StagedEngine::solve_in_pool_controlled`] expose that through a
 //! [`crate::JobControl`]: cancellation and the `deadline=` wall-clock
-//! budget are checked at every **stage boundary** (a tripped control
-//! stops further work being dealt and returns the incumbent tagged with
-//! a typed [`crate::Termination`]), `patience=` stops after N
-//! consecutive non-improving stages, and progress plus each improving
-//! incumbent are published through the control after every stage. The
-//! control can only decide *how many stages run* — never what a stage
-//! computes — so an untripped control is bit-invisible, and the stages
-//! that ran before a stop are bit-identical prefixes of the full solve.
+//! budget are checked at every stage boundary **and between samples
+//! inside every executor** (a tripped control stops further draws
+//! mid-chunk, abandons the in-flight stage, and returns the incumbent of
+//! the last completed stage tagged with a typed [`crate::Termination`]),
+//! `patience=` stops after N consecutive non-improving stages, and
+//! progress plus each improving incumbent are published through the
+//! control after every stage. The control can only decide *how many
+//! stages run* — never what a stage computes: an abandoned stage is
+//! discarded wholesale, never merged, so stopping mid-stage is
+//! indistinguishable from stopping at the previous stage boundary. An
+//! untripped control is bit-invisible, and the stages that ran before a
+//! stop are bit-identical prefixes of the full solve.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -173,12 +177,13 @@ impl StagedEngine {
     }
 
     /// [`StagedEngine::solve`] under a [`JobControl`]: the engine checks
-    /// the control at every **stage boundary** — a cancel or an elapsed
-    /// deadline stops the solve there, returning the current incumbent
-    /// tagged with the [`Termination`] reason — and publishes progress
-    /// (stages done, samples spent, improving incumbents) after every
-    /// stage. A control that never trips is invisible: the result is
-    /// bit-identical to [`StagedEngine::solve`].
+    /// the control at every stage boundary *and between samples* — a
+    /// cancel or an elapsed deadline abandons the in-flight stage and
+    /// returns the incumbent of the last completed stage, tagged with the
+    /// [`Termination`] reason — and publishes progress (stages done,
+    /// samples spent, improving incumbents) after every stage. A control
+    /// that never trips is invisible: the result is bit-identical to
+    /// [`StagedEngine::solve`].
     pub fn solve_controlled(
         &self,
         instance: &WasoInstance,
@@ -213,9 +218,9 @@ impl StagedEngine {
 
     /// [`StagedEngine::solve_in_pool`] under a [`JobControl`] (see
     /// [`StagedEngine::solve_controlled`]): a cancel or elapsed deadline
-    /// stops the job from dealing further chunks to the pool at the next
-    /// stage boundary — the pool itself keeps serving its other jobs
-    /// untouched.
+    /// makes the pool's workers abandon this job's in-flight chunks
+    /// between samples and stops the job from dealing further ones — the
+    /// pool itself keeps serving its other jobs untouched.
     pub fn solve_in_pool_controlled(
         &self,
         pool: &SharedPool,
@@ -242,6 +247,7 @@ impl StagedEngine {
                 StartMode::Partial(seeds) => Some(seeds.to_vec()),
                 StartMode::Fresh => None,
             },
+            stop: Some(control.stop_state()),
         });
         let outcome = {
             let mut job = pool.submit(Arc::clone(&ctx));
@@ -359,6 +365,7 @@ impl StagedEngine {
                         sampler,
                         seed,
                         partial,
+                        stop: Some(control.stop_state()),
                     },
                     control,
                 )
@@ -376,6 +383,7 @@ impl StagedEngine {
                     &shared,
                     seed,
                     partial,
+                    Some(control.stop_state()),
                 );
                 self.stage_loop(
                     instance, mode, &starts, &budgets, &shared, &mut pool, control,
@@ -525,7 +533,22 @@ impl StagedEngine {
             }
             results.clear();
             results.resize(n_items, None);
-            exec.run_stage(stage as u64, &mut results, &mut slab);
+            if !exec.run_stage(stage as u64, &mut results, &mut slab) {
+                // The stop signal tripped mid-stage and the executor quit
+                // early: some result slots were never drawn. Abandon the
+                // stage wholesale — nothing merges, no stats move, the
+                // stage counter rolls back — so the outcome is exactly
+                // the solve that stopped at the previous stage boundary
+                // (the bit-identical-prefix contract), just reached with
+                // a far tighter overshoot bound than riding the stage
+                // out. (Stall flags set during the abandoned stage are
+                // harmless: a stall is a deterministic property of a
+                // start node, and no further stage runs to see them.)
+                counters.stages_done -= 1;
+                counters.termination = control.stop_reason().unwrap_or(Termination::Cancelled);
+                counters.stopped_early = true;
+                break;
+            }
 
             // Merge in (start node, sample) order — identical for every
             // backend, including the stop-at-first-stall accounting (a
@@ -901,6 +924,68 @@ mod tests {
                 reason: Termination::Deadline
             }
         );
+    }
+
+    #[test]
+    fn deadline_mid_stage_abandons_the_stage_instead_of_riding_it_out() {
+        // One enormous stage: a deadline that trips mid-stage must make
+        // the executors quit between samples (chunk-granular checks), the
+        // engine abandon the stage, and the whole solve return in roughly
+        // deadline time — not after millions of further draws. The solve
+        // stopped "before its first completed stage", so the typed
+        // NoIncumbent error carries the deadline reason.
+        let inst = random_instance(120, 6, 6);
+        for backend in [ExecBackend::Serial, ExecBackend::Pool { threads: 3 }] {
+            let eng = engine(3_000_000, 1, 4, Distribution::Uniform).backend(backend);
+            let control = JobControl::new();
+            control.arm_deadline(std::time::Duration::from_millis(40));
+            let t0 = Instant::now();
+            let err = eng
+                .solve_controlled(&inst, StartMode::Fresh, 1, &control)
+                .unwrap_err();
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(5),
+                "{backend:?}: deadline overshoot was not bounded mid-stage"
+            );
+            assert_eq!(
+                err,
+                SolveError::NoIncumbent {
+                    reason: Termination::Deadline
+                },
+                "{backend:?}"
+            );
+            // The abandoned stage never merged: no samples were charged.
+            assert_eq!(control.progress().samples_spent, 0, "{backend:?}");
+        }
+        // Same contract as a job of a SharedPool: the workers abandon the
+        // job's chunks between samples; the pool stays serviceable.
+        let pool = SharedPool::new(2);
+        let inst = Arc::new(inst);
+        let eng = engine(3_000_000, 1, 4, Distribution::Uniform)
+            .backend(ExecBackend::Pool { threads: 2 });
+        let control = JobControl::new();
+        control.arm_deadline(std::time::Duration::from_millis(40));
+        let t0 = Instant::now();
+        let err = eng
+            .solve_in_pool_controlled(&pool, &inst, StartMode::Fresh, 1, &control)
+            .unwrap_err();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "shared pool"
+        );
+        assert_eq!(
+            err,
+            SolveError::NoIncumbent {
+                reason: Termination::Deadline
+            }
+        );
+        // The pool keeps serving jobs after the abandoned one.
+        let small =
+            engine(200, 2, 4, Distribution::Uniform).backend(ExecBackend::Pool { threads: 2 });
+        let res = small
+            .solve_in_pool(&pool, &inst, StartMode::Fresh, 2)
+            .unwrap();
+        assert_eq!(res.stats.samples_drawn, 200);
     }
 
     #[test]

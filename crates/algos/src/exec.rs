@@ -60,6 +60,7 @@ use waso_core::WasoInstance;
 use waso_graph::{BitSet, NodeId};
 
 use crate::cross_entropy::ProbabilityVector;
+use crate::job::StopState;
 use crate::sampler::{Sample, Sampler};
 
 /// How a [`crate::engine::StagedEngine`] executes a stage's samples.
@@ -170,6 +171,10 @@ pub(crate) struct SolveCtx {
     /// [`crate::engine::StartMode::Partial`] seed set; `None` for fresh
     /// solves.
     pub partial: Option<Vec<NodeId>>,
+    /// The job's cancel/deadline signal, checked between samples so a
+    /// trip abandons the in-flight chunk instead of riding the stage out.
+    /// `None` for uncontrolled solves (no check, no overhead).
+    pub stop: Option<Arc<StopState>>,
 }
 
 /// Draws one work item with the given sampler. `vectors` is empty for the
@@ -227,6 +232,12 @@ impl Span {
 /// Draws one span of the current stage into `buf`. Shared verbatim by the
 /// scoped per-solve workers and the shared-pool workers so the two can
 /// never drift behaviourally.
+///
+/// Returns `false` when `stop` tripped before the span finished: the
+/// partial draws in `buf` belong to a stage the engine will abandon
+/// wholesale (stopping "at the previous stage boundary"), so an early
+/// exit here can never change a merged result — it only bounds how long
+/// a cancel or deadline overshoots.
 #[allow(clippy::too_many_arguments)]
 fn draw_span(
     sampler: &mut Sampler,
@@ -236,13 +247,17 @@ fn draw_span(
     stage: u64,
     seed: u64,
     span: Span,
+    stop: Option<&StopState>,
     buf: &mut Vec<(usize, Option<Sample>)>,
-) {
+) -> bool {
     let items = shared.read_items();
     let vectors = shared.read_vectors();
     let mut j = span.offset;
     let mut left = span.limit;
     while j < items.len() && left > 0 {
+        if stop.is_some_and(|s| s.stop_requested()) {
+            return false;
+        }
         let item = items[j];
         if !shared.is_stalled(item.start_index) {
             let s = draw_item(sampler, instance, item, &vectors, stage, seed, partial);
@@ -256,19 +271,24 @@ fn draw_span(
         j += span.stride;
         left -= 1;
     }
+    true
 }
 
 /// A stage executor: fills `results[j]` with the outcome of item `j`.
 /// `slab` carries the node buffers of already-consumed samples *into* the
 /// call (the executor hands them to its samplers for reuse); executors
 /// take what they need and leave the rest.
+///
+/// Returns whether the stage ran to completion: `false` means the job's
+/// stop signal tripped mid-stage, some result slots were never drawn,
+/// and the engine must abandon the stage unmerged.
 pub(crate) trait StageExec {
     fn run_stage(
         &mut self,
         stage: u64,
         results: &mut [Option<Sample>],
         slab: &mut Vec<Vec<NodeId>>,
-    );
+    ) -> bool;
 }
 
 /// The calling-thread executor: one sampler, items drawn in order.
@@ -280,6 +300,9 @@ pub(crate) struct SerialExec<'a> {
     /// Online-replanning / required-attendee mode: grow every sample from
     /// this partial solution instead of the item's start node (§4.4.1).
     pub partial: Option<&'a [NodeId]>,
+    /// The job's stop signal, checked between samples like the pooled
+    /// executors do.
+    pub stop: Option<Arc<StopState>>,
 }
 
 impl StageExec for SerialExec<'_> {
@@ -288,13 +311,16 @@ impl StageExec for SerialExec<'_> {
         stage: u64,
         results: &mut [Option<Sample>],
         slab: &mut Vec<Vec<NodeId>>,
-    ) {
+    ) -> bool {
         for buf in slab.drain(..) {
             self.sampler.recycle(buf);
         }
         let items = self.shared.read_items();
         let vectors = self.shared.read_vectors();
         for (j, &item) in items.iter().enumerate() {
+            if self.stop.as_deref().is_some_and(StopState::stop_requested) {
+                return false;
+            }
             if self.shared.is_stalled(item.start_index) {
                 continue; // slot stays None, as a draw would produce
             }
@@ -311,6 +337,7 @@ impl StageExec for SerialExec<'_> {
                 self.shared.mark_stalled(item.start_index);
             }
         }
+        true
     }
 }
 
@@ -329,6 +356,9 @@ struct Job {
 struct SpanResult {
     buf: Vec<(usize, Option<Sample>)>,
     empties: Vec<Vec<NodeId>>,
+    /// Whether the span was drawn in full (`false`: the job's stop signal
+    /// tripped mid-span and the stage must be abandoned).
+    complete: bool,
 }
 
 /// Splits up to `per_worker` node buffers off `slab` into a recycled
@@ -372,6 +402,7 @@ fn work_stage(
     partial: Option<&[NodeId]>,
     seed: u64,
     span: Span,
+    stop: Option<&StopState>,
     job: Job,
     result_tx: &Sender<SpanResult>,
 ) -> bool {
@@ -384,13 +415,14 @@ fn work_stage(
     for spent in recycled.drain(..) {
         sampler.recycle(spent);
     }
-    draw_span(
-        sampler, instance, shared, partial, stage, seed, span, &mut buf,
+    let complete = draw_span(
+        sampler, instance, shared, partial, stage, seed, span, stop, &mut buf,
     );
     result_tx
         .send(SpanResult {
             buf,
             empties: recycled,
+            complete,
         })
         .is_ok()
 }
@@ -411,6 +443,7 @@ impl WorkerPool {
     /// items and vectors → draw its stripe (items `w, w+T, w+2T, …`) →
     /// send the batch back. Workers exit when the pool (and with it the
     /// job senders) is dropped.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn<'scope, 'env: 'scope>(
         scope: &'scope std::thread::Scope<'scope, 'env>,
         threads: usize,
@@ -419,12 +452,14 @@ impl WorkerPool {
         shared: &'env StageShared,
         seed: u64,
         partial: Option<&'env [NodeId]>,
+        stop: Option<Arc<StopState>>,
     ) -> Self {
         let threads = threads.max(1);
         let mut workers = Vec::with_capacity(threads);
         for w in 0..threads {
             let (job_tx, job_rx) = channel::<Job>();
             let (result_tx, result_rx) = channel();
+            let stop = stop.clone();
             workers.push(WorkerHandle { job_tx, result_rx });
             scope.spawn(move || {
                 let mut sampler = Sampler::for_instance(instance);
@@ -438,6 +473,7 @@ impl WorkerPool {
                         partial,
                         seed,
                         span,
+                        stop.as_deref(),
                         job,
                         &result_tx,
                     ) {
@@ -465,7 +501,7 @@ impl StageExec for WorkerPool {
         stage: u64,
         results: &mut [Option<Sample>],
         slab: &mut Vec<Vec<NodeId>>,
-    ) {
+    ) -> bool {
         let per_worker = slab.len().div_ceil(self.workers.len().max(1));
         for worker in &self.workers {
             let buf = self.spares.bufs.pop().unwrap_or_default();
@@ -479,16 +515,23 @@ impl StageExec for WorkerPool {
                 })
                 .expect("per-solve pool worker panicked");
         }
+        let mut all_complete = true;
         for worker in &self.workers {
-            let SpanResult { mut buf, empties } = worker
+            let SpanResult {
+                mut buf,
+                empties,
+                complete,
+            } = worker
                 .result_rx
                 .recv()
                 .expect("per-solve pool worker panicked");
+            all_complete &= complete;
             for (j, s) in buf.drain(..) {
                 results[j] = s;
             }
             self.spares.bufs.push(buf);
             self.spares.recycle_containers.push(empties);
         }
+        all_complete
     }
 }

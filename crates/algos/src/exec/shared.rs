@@ -124,6 +124,9 @@ enum WorkerMsg {
 struct ChunkReply {
     buf: Vec<(usize, Option<Sample>)>,
     empties: Vec<Vec<NodeId>>,
+    /// Whether the span was drawn in full (`false`: the job's stop signal
+    /// tripped mid-span; the engine abandons the stage).
+    complete: bool,
 }
 
 /// Worker-side state for one attached job.
@@ -333,7 +336,7 @@ fn worker_loop(
                 for spent in recycled.drain(..) {
                     entry.sampler.recycle(spent);
                 }
-                draw_span(
+                let complete = draw_span(
                     &mut entry.sampler,
                     &entry.ctx.instance,
                     &entry.ctx.shared,
@@ -341,6 +344,7 @@ fn worker_loop(
                     stage,
                     entry.ctx.seed,
                     span,
+                    entry.ctx.stop.as_deref(),
                     &mut buf,
                 );
                 // Gauge updates precede the reply send: the channel's
@@ -353,6 +357,7 @@ fn worker_loop(
                     .send(ChunkReply {
                         buf,
                         empties: recycled,
+                        complete,
                     })
                     .is_err();
                 if gone {
@@ -639,17 +644,29 @@ impl PoolJob<'_> {
 
     /// Collects `slot`'s reply for the given chunk, healing and
     /// re-issuing the chunk when the worker died with it in flight.
-    fn collect(&mut self, slot: usize, stage: u64, span: Span, results: &mut [Option<Sample>]) {
+    /// Returns whether the chunk was drawn in full (`false`: the job's
+    /// stop signal tripped mid-span).
+    fn collect(
+        &mut self,
+        slot: usize,
+        stage: u64,
+        span: Span,
+        results: &mut [Option<Sample>],
+    ) -> bool {
         for _ in 0..MAX_HEALS_PER_CHUNK {
             match self.links[slot].reply_rx.recv() {
-                Ok(ChunkReply { mut buf, empties }) => {
+                Ok(ChunkReply {
+                    mut buf,
+                    empties,
+                    complete,
+                }) => {
                     for (j, s) in buf.drain(..) {
                         results[j] = s;
                     }
                     self.spares.bufs.push(buf);
                     self.spares.recycle_containers.push(empties);
                     self.pool.track_depth(self.id, Some(-1));
-                    return;
+                    return complete;
                 }
                 Err(_) => {
                     // The worker died before answering: its in-flight
@@ -683,15 +700,20 @@ impl StageExec for PoolJob<'_> {
         stage: u64,
         results: &mut [Option<Sample>],
         slab: &mut Vec<Vec<NodeId>>,
-    ) {
+    ) -> bool {
         let spans = deal_spans(self.pool.deal, results.len(), self.links.len());
         let per_worker = slab.len().div_ceil(spans.len().max(1));
         for &(slot, span) in &spans {
             self.dispatch(slot, stage, span, slab, per_worker);
         }
+        // Every dispatched chunk is collected even after one comes back
+        // incomplete — workers answer in order, and leaving a reply in
+        // flight would corrupt the next stage.
+        let mut all_complete = true;
         for &(slot, span) in &spans {
-            self.collect(slot, stage, span, results);
+            all_complete &= self.collect(slot, stage, span, results);
         }
+        all_complete
     }
 }
 
@@ -742,6 +764,7 @@ mod tests {
             shared,
             seed,
             partial: None,
+            stop: None,
         })
     }
 

@@ -26,7 +26,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use waso_graph::NodeId;
@@ -42,12 +42,13 @@ pub enum Termination {
     /// latter also sets [`crate::SolverStats::truncated`]).
     #[default]
     Completed,
-    /// The `deadline_ms=` wall-clock budget elapsed; sampling stopped at
-    /// the next stage boundary.
+    /// The `deadline_ms=` (or `deadline_from_submit=`) wall-clock budget
+    /// elapsed; pool workers abandon the in-flight stage mid-chunk and
+    /// the result is the incumbent of the last *completed* stage.
     Deadline,
     /// [`JobControl::cancel`] was called (directly, or by dropping an
-    /// unawaited `SolveHandle`); sampling stopped at the next stage
-    /// boundary.
+    /// unawaited `SolveHandle`); like a deadline, sampling stops
+    /// mid-chunk and the in-flight stage is abandoned.
     Cancelled,
 }
 
@@ -95,6 +96,51 @@ pub struct JobProgress {
 /// atomic incumbent-value cell.
 const NO_INCUMBENT: u64 = u64::MAX;
 
+/// "No deadline armed" sentinel in [`StopState::deadline_nanos`].
+const UNARMED: u64 = u64::MAX;
+
+/// The lock-free stop signal a [`JobControl`] shares with the workers
+/// executing its solve: a cancel flag plus the armed deadline, stored as
+/// nanoseconds since the control's creation so checking costs two relaxed
+/// atomic loads (plus one `Instant::now()` only while a deadline is
+/// armed). Pool workers consult this between *samples*, so a trip bounds
+/// overshoot far tighter than a stage boundary would.
+#[derive(Debug)]
+pub(crate) struct StopState {
+    cancelled: AtomicBool,
+    /// Armed deadline as nanoseconds after `epoch`, or [`UNARMED`]. The
+    /// earliest armed value wins (`fetch_min`).
+    deadline_nanos: AtomicU64,
+    epoch: Instant,
+}
+
+impl StopState {
+    fn new() -> Self {
+        Self {
+            cancelled: AtomicBool::new(false),
+            deadline_nanos: AtomicU64::new(UNARMED),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn arm_at(&self, at: Instant) {
+        let nanos = at.saturating_duration_since(self.epoch).as_nanos();
+        let nanos = u64::try_from(nanos).unwrap_or(UNARMED - 1).min(UNARMED - 1);
+        self.deadline_nanos.fetch_min(nanos, Ordering::AcqRel);
+    }
+
+    fn deadline_elapsed(&self) -> bool {
+        let armed = self.deadline_nanos.load(Ordering::Relaxed);
+        armed != UNARMED && self.epoch.elapsed().as_nanos() as u64 >= armed
+    }
+
+    /// Whether the job must stop (cancelled or past its deadline). The
+    /// hot-path check workers run between samples.
+    pub(crate) fn stop_requested(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed) || self.deadline_elapsed()
+    }
+}
+
 /// The shared control block between a solve and whoever is watching it.
 ///
 /// Construction is [`JobControl::new`]; hand an `Arc<JobControl>` to
@@ -103,13 +149,11 @@ const NO_INCUMBENT: u64 = u64::MAX;
 /// `Arc` to cancel, poll progress, or stream incumbents. All methods take
 /// `&self` and are safe to call from any thread at any time — including
 /// after the solve finished, when they become no-ops.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct JobControl {
-    cancelled: AtomicBool,
-    /// Armed by the engine at solve start from the spec's `deadline_ms=`
-    /// (or earlier by a caller via [`JobControl::arm_deadline_at`]); the
-    /// first armed deadline wins.
-    deadline: Mutex<Option<Instant>>,
+    /// The cancel/deadline signal, `Arc`'d so pool workers can hold a
+    /// clone and check it between samples.
+    stop: Arc<StopState>,
     stages_done: AtomicU32,
     samples_spent: AtomicU64,
     /// The incumbent willingness as `f64::to_bits`, or [`NO_INCUMBENT`].
@@ -118,39 +162,56 @@ pub struct JobControl {
     /// Incumbent stream; dropped (closing the receiver's iterator) when
     /// the job finishes.
     incumbent_tx: Mutex<Option<Sender<Incumbent>>>,
+    /// Latest-only copy of the newest incumbent, overwritten on every
+    /// improvement — the watch view behind `SolveHandle::latest_incumbent`.
+    latest: Mutex<Option<Incumbent>>,
+}
+
+impl Default for JobControl {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl JobControl {
     /// A fresh control: not cancelled, no deadline, nothing published.
     pub fn new() -> Self {
         Self {
+            stop: Arc::new(StopState::new()),
+            stages_done: AtomicU32::new(0),
+            samples_spent: AtomicU64::new(0),
             incumbent_bits: AtomicU64::new(NO_INCUMBENT),
-            ..Self::default()
+            finished: AtomicBool::new(false),
+            incumbent_tx: Mutex::new(None),
+            latest: Mutex::new(None),
         }
     }
 
-    /// Requests cancellation: the solve stops dealing work at its next
-    /// stage boundary and returns its current incumbent with
+    /// The shared stop signal, for execution backends that check it
+    /// between samples.
+    pub(crate) fn stop_state(&self) -> Arc<StopState> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Requests cancellation: workers abandon the in-flight stage
+    /// mid-chunk and the solve returns its current incumbent with
     /// [`Termination::Cancelled`]. Idempotent; a no-op on finished jobs.
     pub fn cancel(&self) {
-        self.cancelled.store(true, Ordering::SeqCst);
+        self.stop.cancelled.store(true, Ordering::SeqCst);
     }
 
     /// Whether [`JobControl::cancel`] has been called.
     pub fn is_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::SeqCst)
+        self.stop.cancelled.load(Ordering::SeqCst)
     }
 
     /// Arms an absolute deadline. The engine calls this at solve start
     /// when the spec carries `deadline_ms=`; callers may arm one earlier
-    /// (e.g. at submit time, to bound queue wait too). The earliest armed
+    /// (e.g. at submit time, to bound queue wait too — the session does
+    /// exactly that for `deadline_from_submit=`). The earliest armed
     /// deadline wins — arming never extends an existing one.
     pub fn arm_deadline_at(&self, at: Instant) {
-        let mut slot = self.deadline.lock().unwrap_or_else(PoisonError::into_inner);
-        match *slot {
-            Some(existing) if existing <= at => {}
-            _ => *slot = Some(at),
-        }
+        self.stop.arm_at(at);
     }
 
     /// [`JobControl::arm_deadline_at`] relative to now.
@@ -160,16 +221,27 @@ impl JobControl {
 
     /// The reason this job must stop, if any. Cancellation dominates an
     /// elapsed deadline (it is the more specific signal). Checked by the
-    /// engine at every stage boundary.
+    /// engine at every stage boundary, and by pool workers between
+    /// samples via the shared [`StopState`].
     pub fn stop_reason(&self) -> Option<Termination> {
         if self.is_cancelled() {
             return Some(Termination::Cancelled);
         }
-        let deadline = *self.deadline.lock().unwrap_or_else(PoisonError::into_inner);
-        match deadline {
-            Some(at) if Instant::now() >= at => Some(Termination::Deadline),
-            _ => None,
+        if self.stop.deadline_elapsed() {
+            return Some(Termination::Deadline);
         }
+        None
+    }
+
+    /// The newest streamed incumbent, or `None` before the first feasible
+    /// one. A *latest-only* watch view over the incumbent stream: reading
+    /// never consumes anything and a slow reader never backs anything up
+    /// — improvements simply overwrite the cell.
+    pub fn latest_incumbent(&self) -> Option<Incumbent> {
+        self.latest
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// A snapshot of the job's progress.
@@ -213,18 +285,20 @@ impl JobControl {
         if let Some((willingness, nodes)) = improved {
             self.incumbent_bits
                 .store(willingness.to_bits(), Ordering::Release);
+            let incumbent = Incumbent {
+                stage: stages_done,
+                samples_drawn: samples_spent,
+                willingness,
+                nodes: nodes.to_vec(),
+            };
+            *self.latest.lock().unwrap_or_else(PoisonError::into_inner) = Some(incumbent.clone());
             let tx = self
                 .incumbent_tx
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
             if let Some(tx) = tx.as_ref() {
                 // A gone receiver just means nobody is listening.
-                let _ = tx.send(Incumbent {
-                    stage: stages_done,
-                    samples_drawn: samples_spent,
-                    willingness,
-                    nodes: nodes.to_vec(),
-                });
+                let _ = tx.send(incumbent);
             }
         }
     }
@@ -294,6 +368,36 @@ mod tests {
         assert_eq!(p.samples_spent, 30);
         assert_eq!(p.incumbent, Some(3.5));
         assert!(p.finished);
+    }
+
+    #[test]
+    fn latest_incumbent_is_a_lossy_watch_view() {
+        let c = JobControl::new();
+        assert!(c.latest_incumbent().is_none());
+        c.publish_stage(1, 10, Some((2.5, &[NodeId(0)])));
+        c.publish_stage(3, 30, Some((3.5, &[NodeId(0), NodeId(2)])));
+        // Reading twice returns the same newest value: nothing consumed.
+        for _ in 0..2 {
+            let latest = c.latest_incumbent().expect("an incumbent was published");
+            assert_eq!(latest.stage, 3);
+            assert_eq!(latest.willingness, 3.5);
+            assert_eq!(latest.nodes, vec![NodeId(0), NodeId(2)]);
+        }
+    }
+
+    #[test]
+    fn stop_state_trips_on_cancel_and_deadline() {
+        let c = JobControl::new();
+        let stop = c.stop_state();
+        assert!(!stop.stop_requested());
+        c.arm_deadline(Duration::from_secs(3600));
+        assert!(!stop.stop_requested());
+        c.arm_deadline(Duration::from_millis(0));
+        assert!(stop.stop_requested(), "elapsed deadline must trip");
+        let c2 = JobControl::new();
+        let stop2 = c2.stop_state();
+        c2.cancel();
+        assert!(stop2.stop_requested(), "cancel must trip");
     }
 
     #[test]

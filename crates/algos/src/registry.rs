@@ -274,6 +274,7 @@ const CBAS_KEYS: &[&str] = &[
     "threads",
     "pool",
     "deadline_ms",
+    "deadline_from_submit",
     "patience",
 ];
 
@@ -313,6 +314,7 @@ const CBASND_KEYS: &[&str] = &[
     "smoothing",
     "backtrack",
     "deadline_ms",
+    "deadline_from_submit",
     "patience",
 ];
 
@@ -575,6 +577,12 @@ mod tests {
             assert_eq!(
                 entry.options.contains(&"patience"),
                 entry.capabilities.anytime
+            );
+            assert_eq!(
+                entry.options.contains(&"deadline_from_submit"),
+                entry.capabilities.anytime,
+                "{}: deadline_from_submit listing must match the anytime capability",
+                entry.name
             );
         }
         assert!(registry

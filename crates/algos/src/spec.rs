@@ -16,7 +16,7 @@
 //! option     := key "=" value
 //! key        := budget | stages | start-nodes | starts | threads
 //!             | pool | require | rho | smoothing | backtrack | cap
-//!             | deadline_ms | patience
+//!             | deadline_ms | deadline_from_submit | patience
 //! value      := integer | float | "shared" | "private"
 //!             | id ("+" id)*                        (ids for starts/require)
 //! ```
@@ -221,10 +221,17 @@ pub struct SolverSpec {
     /// Search-tree expansion cap (exact branch-and-bound).
     pub cap: Option<u64>,
     /// Wall-clock deadline in milliseconds, measured from solve start:
-    /// sampling stops at the next stage boundary once it elapses and the
-    /// current incumbent is returned with
+    /// sampling stops (mid-chunk; the in-flight stage is abandoned) once
+    /// it elapses and the current incumbent is returned with
     /// [`crate::Termination::Deadline`] (anytime solvers).
     pub deadline_ms: Option<u64>,
+    /// Wall-clock deadline in milliseconds measured from **submission**
+    /// rather than solve start, so time spent queued (behind a batch, a
+    /// coordinator, or a serving tenant queue) counts against the SLA.
+    /// The session facade arms it the moment `submit` accepts the job;
+    /// for a plain blocking solve the two clocks coincide. Combines with
+    /// `deadline_ms` by earliest-deadline-wins (anytime solvers).
+    pub deadline_from_submit: Option<u64>,
     /// Early-stop patience: stop after this many consecutive
     /// non-improving stages, returning the incumbent as a
     /// [`crate::Termination::Completed`]-but-truncated result (anytime
@@ -249,6 +256,7 @@ impl SolverSpec {
             backtrack: None,
             cap: None,
             deadline_ms: None,
+            deadline_from_submit: None,
             patience: None,
         }
     }
@@ -367,6 +375,13 @@ impl SolverSpec {
         self
     }
 
+    /// Sets the submission-relative wall-clock deadline (milliseconds
+    /// from `submit`; queue wait counts).
+    pub fn deadline_from_submit(mut self, ms: u64) -> Self {
+        self.deadline_from_submit = Some(ms);
+        self
+    }
+
     /// Sets the early-stop patience (consecutive non-improving stages).
     pub fn patience(mut self, stages: u32) -> Self {
         self.patience = Some(stages);
@@ -443,6 +458,9 @@ impl SolverSpec {
             "backtrack" => self.backtrack = Some(num("backtrack", value)?),
             "cap" => self.cap = Some(num("cap", value)?),
             "deadline_ms" => self.deadline_ms = Some(num("deadline_ms", value)?),
+            "deadline_from_submit" => {
+                self.deadline_from_submit = Some(num("deadline_from_submit", value)?)
+            }
             "patience" => self.patience = Some(num("patience", value)?),
             other => return Err(SpecError::UnknownOption(other.to_string())),
         }
@@ -488,6 +506,9 @@ impl SolverSpec {
         }
         if self.deadline_ms.is_some() {
             keys.push("deadline_ms");
+        }
+        if self.deadline_from_submit.is_some() {
+            keys.push("deadline_from_submit");
         }
         if self.patience.is_some() {
             keys.push("patience");
@@ -610,6 +631,9 @@ impl fmt::Display for SolverSpec {
         if let Some(ms) = self.deadline_ms {
             emit(f, "deadline_ms", ms.to_string())?;
         }
+        if let Some(ms) = self.deadline_from_submit {
+            emit(f, "deadline_from_submit", ms.to_string())?;
+        }
         if let Some(p) = self.patience {
             emit(f, "patience", p.to_string())?;
         }
@@ -644,11 +668,15 @@ mod tests {
             .backtrack(0.05)
             .cap(1_000_000)
             .deadline_ms(250)
+            .deadline_from_submit(400)
             .patience(5);
         let text = spec.to_string();
         assert_eq!(SolverSpec::parse(&text).unwrap(), spec);
         assert!(text.starts_with("cbas-nd:budget=500,"), "{text}");
-        assert!(text.ends_with("deadline_ms=250,patience=5"), "{text}");
+        assert!(
+            text.ends_with("deadline_ms=250,deadline_from_submit=400,patience=5"),
+            "{text}"
+        );
     }
 
     #[test]

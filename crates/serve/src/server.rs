@@ -1,0 +1,622 @@
+//! The serving front door: admission control, fair dispatch, and the
+//! thread-per-connection TCP loop.
+//!
+//! A [`Server`] multiplexes many tenants onto **one** [`WasoSession`]
+//! (and therefore one process-wide `SharedPool`). Its lifecycle:
+//!
+//! 1. **Admission** ([`Server::handle`] on a `SUBMIT`): the tenant must
+//!    be configured (`ERR UNKNOWN_TENANT`), the spec must build
+//!    (`ERR BAD_SPEC`), the server must not be load-shedding
+//!    (`ERR SHED`), and the tenant must be under its inflight quota
+//!    (`ERR QUOTA`). Admitted jobs get an id, a **submit timestamp**,
+//!    and a slot in the tenant's FIFO.
+//! 2. **Dispatch** (the dispatcher thread): whenever fewer than
+//!    `max_running` jobs are running, the next job is picked
+//!    **round-robin across tenants** — a flooding tenant cannot starve
+//!    the others — and submitted to the session. A spec carrying
+//!    `deadline_from_submit=` has its deadline re-armed against the
+//!    *admission* timestamp, so time spent queued behind other tenants
+//!    counts against the SLA.
+//! 3. **Completion** (one waiter thread per running job): the result is
+//!    parked in the job table for `POLL`/`WAIT`, the tenant's quota slot
+//!    frees, and the dispatcher wakes.
+//!
+//! Load shedding is admission-time: a `SUBMIT` is refused with
+//! `ERR SHED` when the server-wide queue reaches
+//! [`ServeConfig::shed_queued_jobs`], or when the shared pool's
+//! in-flight chunk backlog exceeds [`ServeConfig::shed_pool_depth`] —
+//! the queue bound is the deterministic signal, the pool bound the
+//! saturation backstop.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use waso::prelude::*;
+
+use crate::protocol::{read_frame, write_frame, ErrCode, Request, Response, StatsReply};
+use crate::tenant::{FairQueue, TenantConfig};
+
+/// Server-side policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The tenants `SUBMIT` will accept, each with its inflight quota.
+    pub tenants: Vec<TenantConfig>,
+    /// Dispatch width: at most this many jobs run concurrently; the rest
+    /// wait in the fair queue. Clamped to ≥ 1.
+    pub max_running: usize,
+    /// Load-shed bound: refuse `SUBMIT`s while this many jobs are
+    /// already queued (waiting for a dispatch slot). Clamped to ≥ 1.
+    pub shed_queued_jobs: usize,
+    /// Optional second load-shed signal: refuse `SUBMIT`s while the
+    /// shared pool's in-flight chunk backlog exceeds this.
+    pub shed_pool_depth: Option<u64>,
+}
+
+impl ServeConfig {
+    pub fn new(tenants: Vec<TenantConfig>) -> Self {
+        Self {
+            tenants,
+            max_running: 2,
+            shed_queued_jobs: 16,
+            shed_pool_depth: None,
+        }
+    }
+
+    pub fn max_running(mut self, n: usize) -> Self {
+        self.max_running = n.max(1);
+        self
+    }
+
+    pub fn shed_queued_jobs(mut self, n: usize) -> Self {
+        self.shed_queued_jobs = n.max(1);
+        self
+    }
+
+    pub fn shed_pool_depth(mut self, depth: u64) -> Self {
+        self.shed_pool_depth = Some(depth);
+        self
+    }
+}
+
+/// Where a job is in its lifecycle.
+enum JobState {
+    /// Admitted, waiting for a dispatch slot.
+    Queued,
+    /// Dispatched; the control is the live progress/cancel surface.
+    Running(Arc<JobControl>),
+    /// Terminal; the parked response answers every later `POLL`/`WAIT`.
+    Finished(Response),
+}
+
+struct JobEntry {
+    tenant: usize,
+    spec: SolverSpec,
+    /// Admission time — the anchor `deadline_from_submit=` is re-armed
+    /// against at dispatch, so queue wait counts against the SLA.
+    submitted_at: Instant,
+    state: JobState,
+}
+
+/// Everything the mutex guards.
+struct State {
+    jobs: HashMap<u64, JobEntry>,
+    queue: FairQueue,
+    /// Per-tenant inflight (queued + running) job counts, indexed like
+    /// `config.tenants`.
+    inflight: Vec<usize>,
+    running: usize,
+    finished: u64,
+    shed: u64,
+    next_job: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    session: WasoSession,
+    config: ServeConfig,
+    state: Mutex<State>,
+    /// Notified on admission (dispatcher), slot-freeing completion
+    /// (dispatcher + `WAIT`ers), and shutdown (everyone).
+    wake: Condvar,
+}
+
+/// The multi-tenant serving front door. See the module docs for the
+/// request lifecycle; construct with [`Server::start`], expose over TCP
+/// with [`Server::listen`], or drive in-process via [`Server::handle`].
+pub struct Server {
+    inner: Arc<Inner>,
+    dispatcher: Option<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+    addr: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Starts the dispatcher over `session`. The session's graph, group
+    /// size, seed, and attached pool are fixed for the server's lifetime
+    /// — every tenant solves the same instance, so identical
+    /// `(spec, seed)` submissions return identical groups no matter how
+    /// they interleave.
+    pub fn start(session: WasoSession, config: ServeConfig) -> Self {
+        let tenants = config.tenants.len();
+        let inner = Arc::new(Inner {
+            session,
+            config,
+            state: Mutex::new(State {
+                jobs: HashMap::new(),
+                queue: FairQueue::new(tenants),
+                inflight: vec![0; tenants],
+                running: 0,
+                finished: 0,
+                shed: 0,
+                next_job: 1,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("waso-serve-dispatch".into())
+                .spawn(move || inner.dispatch_loop())
+                .expect("spawning the dispatcher thread")
+        };
+        Self {
+            inner,
+            dispatcher: Some(dispatcher),
+            acceptor: None,
+            addr: None,
+        }
+    }
+
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// thread-per-connection accept loop. Returns the bound address.
+    pub fn listen(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::clone(&self.inner);
+        let acceptor = std::thread::Builder::new()
+            .name("waso-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if inner.locked().shutdown {
+                        return;
+                    }
+                    if let Ok(stream) = stream {
+                        let inner = Arc::clone(&inner);
+                        let _ = std::thread::Builder::new()
+                            .name("waso-serve-conn".into())
+                            .spawn(move || serve_connection(&inner, stream));
+                    }
+                }
+            })?;
+        self.acceptor = Some(acceptor);
+        self.addr = Some(local);
+        Ok(local)
+    }
+
+    /// The bound address, once [`Server::listen`] has been called.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Handles one request in-process — the same entry point the TCP
+    /// loop uses, so in-process and over-the-wire behavior cannot drift.
+    pub fn handle(&self, request: Request) -> Response {
+        self.inner.handle(request)
+    }
+
+    /// Stops accepting, cancels every live job, and joins the server's
+    /// own threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.inner.locked();
+            if st.shutdown {
+                return;
+            }
+            st.shutdown = true;
+            for entry in st.jobs.values() {
+                if let JobState::Running(control) = &entry.state {
+                    control.cancel();
+                }
+            }
+        }
+        self.inner.wake.notify_all();
+        // Unblock the accept loop: it only re-checks the shutdown flag
+        // when a connection arrives.
+        if let Some(addr) = self.addr {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    fn locked(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Submit { tenant, spec } => self.submit(&tenant, &spec),
+            Request::Poll { job } => self.poll(job),
+            Request::Wait { job } => self.wait(job),
+            Request::Cancel { job } => self.cancel(job),
+            Request::Stats => Response::Stats(self.stats()),
+        }
+    }
+
+    fn submit(&self, tenant: &str, spec: &str) -> Response {
+        let Some(tidx) = self.config.tenants.iter().position(|t| t.name == tenant) else {
+            return err(
+                ErrCode::UnknownTenant,
+                format!("tenant {tenant:?} is not configured on this server"),
+            );
+        };
+        // Resolve the spec before taking the lock — parse + registry
+        // lookup needs no server state. A build dry-run catches the
+        // per-solver key checks (e.g. `dgreedy:budget=` is a parseable
+        // spec that no solver accepts), so invalid work is refused at
+        // admission instead of failing asynchronously after dispatch.
+        let spec = match self.session.registry().parse(spec) {
+            Ok(spec) => spec,
+            Err(e) => return err(ErrCode::BadSpec, e.to_string()),
+        };
+        if let Err(e) = self.session.registry().build(&spec) {
+            return err(ErrCode::BadSpec, e.to_string());
+        }
+        let mut st = self.locked();
+        if st.shutdown {
+            return err(ErrCode::Failed, "server is shutting down".to_string());
+        }
+        if st.queue.len() >= self.config.shed_queued_jobs {
+            st.shed += 1;
+            return err(
+                ErrCode::Shed,
+                format!(
+                    "{} jobs queued (bound {})",
+                    st.queue.len(),
+                    self.config.shed_queued_jobs
+                ),
+            );
+        }
+        if let Some(bound) = self.config.shed_pool_depth {
+            let depth = self.session.pool_stats().map_or(0, |s| s.total_queued());
+            if depth > bound {
+                st.shed += 1;
+                return err(
+                    ErrCode::Shed,
+                    format!("pool backlog {depth} chunks (bound {bound})"),
+                );
+            }
+        }
+        let quota = self.config.tenants[tidx].max_inflight;
+        if st.inflight[tidx] >= quota {
+            return err(
+                ErrCode::Quota,
+                format!("tenant {tenant:?} is at its quota of {quota} inflight jobs"),
+            );
+        }
+        let job = st.next_job;
+        st.next_job += 1;
+        st.jobs.insert(
+            job,
+            JobEntry {
+                tenant: tidx,
+                spec,
+                submitted_at: Instant::now(),
+                state: JobState::Queued,
+            },
+        );
+        st.queue.push(tidx, job);
+        st.inflight[tidx] += 1;
+        drop(st);
+        self.wake.notify_all();
+        Response::Job(job)
+    }
+
+    fn poll(&self, job: u64) -> Response {
+        let st = self.locked();
+        match st.jobs.get(&job) {
+            None => unknown_job(job),
+            Some(entry) => match &entry.state {
+                JobState::Queued => Response::Queued,
+                JobState::Running(control) => {
+                    let progress = control.progress();
+                    Response::Running {
+                        stages: progress.stages_done,
+                        samples: progress.samples_spent,
+                        // The latest-only watch view: reading it can
+                        // neither block the solve nor miss the newest
+                        // value, no matter how rarely clients poll.
+                        incumbent: control
+                            .latest_incumbent()
+                            .map(|i| (i.willingness, node_ids(&i.nodes))),
+                    }
+                }
+                JobState::Finished(response) => response.clone(),
+            },
+        }
+    }
+
+    fn wait(&self, job: u64) -> Response {
+        let mut st = self.locked();
+        loop {
+            match st.jobs.get(&job) {
+                None => return unknown_job(job),
+                Some(entry) => match &entry.state {
+                    JobState::Finished(response) => return response.clone(),
+                    _ if st.shutdown => {
+                        return err(ErrCode::Failed, "server is shutting down".to_string())
+                    }
+                    _ => {}
+                },
+            }
+            st = self.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn cancel(&self, job: u64) -> Response {
+        let mut st = self.locked();
+        let Some(entry) = st.jobs.get(&job) else {
+            return unknown_job(job);
+        };
+        match &entry.state {
+            JobState::Queued => {
+                let tenant = entry.tenant;
+                st.queue.remove(job);
+                st.jobs
+                    .get_mut(&job)
+                    .expect("entry exists — just read it")
+                    .state = JobState::Finished(Response::Cancelled);
+                st.inflight[tenant] -= 1;
+                st.finished += 1;
+                drop(st);
+                // A WAITer of this job is parked on the condvar.
+                self.wake.notify_all();
+            }
+            // The solve stops at its next per-sample stop check; the
+            // waiter thread parks the (cancelled) outcome as usual.
+            JobState::Running(control) => control.cancel(),
+            JobState::Finished(_) => {}
+        }
+        Response::Cancelled
+    }
+
+    fn stats(&self) -> StatsReply {
+        let pool = self.session.pool_stats();
+        let st = self.locked();
+        StatsReply {
+            queued: st.queue.len() as u64,
+            running: st.running as u64,
+            finished: st.finished,
+            shed: st.shed,
+            tenants: self.config.tenants.len() as u64,
+            pool_queued: pool.as_ref().map_or(0, PoolStats::total_queued),
+            pool_workers: pool.as_ref().map_or(0, |p| p.threads as u64),
+        }
+    }
+
+    /// The dispatcher: picks queued jobs round-robin across tenants
+    /// whenever a running slot is free, submits them to the session, and
+    /// leaves one waiter thread parking each result.
+    fn dispatch_loop(self: Arc<Self>) {
+        loop {
+            let (job, spec, submitted_at) = {
+                let mut st = self.locked();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.running < self.config.max_running && !st.queue.is_empty() {
+                        break;
+                    }
+                    st = self.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                let job = st.queue.pop().expect("queue checked non-empty");
+                let entry = st.jobs.get(&job).expect("queued jobs stay in the table");
+                let spec = entry.spec.clone();
+                let submitted_at = entry.submitted_at;
+                st.running += 1;
+                (job, spec, submitted_at)
+            };
+            // Solver construction and thread spawning happen outside the
+            // lock; POLL/SUBMIT stay responsive under dispatch.
+            match self.session.submit(&spec) {
+                Ok(handle) => {
+                    if let Some(ms) = spec.deadline_from_submit {
+                        // Re-arm against the admission timestamp: the
+                        // session armed dispatch-relative (all it can
+                        // see), and deadlines combine earliest-wins, so
+                        // this strictly tightens it to submit-relative.
+                        handle
+                            .control()
+                            .arm_deadline_at(submitted_at + Duration::from_millis(ms));
+                    }
+                    {
+                        self.locked()
+                            .jobs
+                            .get_mut(&job)
+                            .expect("dispatched jobs stay in the table")
+                            .state = JobState::Running(Arc::clone(handle.control()));
+                    }
+                    let inner = Arc::clone(&self);
+                    let _ = std::thread::Builder::new()
+                        .name("waso-serve-wait".into())
+                        .spawn(move || {
+                            // `wait` panics if the job's coordinator died
+                            // (a solver bug); contain it to this job.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    handle.wait()
+                                }));
+                            let response = match outcome {
+                                Ok(Ok(result)) => done_response(&result),
+                                Ok(Err(e)) => solve_error_response(&e),
+                                Err(_) => err(ErrCode::Failed, "solver panicked".to_string()),
+                            };
+                            inner.finish_dispatched(job, response);
+                        });
+                }
+                // Build failures (e.g. a constraint the solver cannot
+                // honour) surface as this job's terminal state.
+                Err(e) => self.finish_dispatched(job, solve_error_response(&e)),
+            }
+        }
+    }
+
+    /// Parks a dispatched job's terminal response and frees its slots.
+    fn finish_dispatched(&self, job: u64, response: Response) {
+        {
+            let mut st = self.locked();
+            let entry = st
+                .jobs
+                .get_mut(&job)
+                .expect("dispatched jobs stay in the table");
+            let tenant = entry.tenant;
+            entry.state = JobState::Finished(response);
+            st.inflight[tenant] -= 1;
+            st.running -= 1;
+            st.finished += 1;
+        }
+        self.wake.notify_all();
+    }
+}
+
+fn err(code: ErrCode, message: String) -> Response {
+    Response::Error { code, message }
+}
+
+fn unknown_job(job: u64) -> Response {
+    err(ErrCode::UnknownJob, format!("no job {job} on this server"))
+}
+
+/// Sorted ids — a canonical encoding, so clients can compare groups
+/// across responses (and against direct solves) bytewise.
+fn node_ids(nodes: &[NodeId]) -> Vec<u32> {
+    let mut ids: Vec<u32> = nodes.iter().map(|v| v.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn done_response(result: &SolveResult) -> Response {
+    Response::Done {
+        termination: result.stats.termination,
+        willingness: result.group.willingness(),
+        nodes: node_ids(result.group.nodes()),
+        samples: result.stats.samples_drawn,
+    }
+}
+
+/// A cancelled job with no incumbent reports `CANCELLED`; every other
+/// solve failure is an `ERR FAILED` carrying the session's message.
+fn solve_error_response(error: &SessionError) -> Response {
+    if let SessionError::Solve(SolveError::NoIncumbent {
+        reason: Termination::Cancelled,
+    }) = error
+    {
+        return Response::Cancelled;
+    }
+    err(ErrCode::Failed, error.to_string())
+}
+
+/// One connection: read a frame, handle, reply, repeat. An undecodable
+/// frame gets `ERR BAD_FRAME` and the connection closes (the stream
+/// cannot be resynced); a malformed request gets `ERR BAD_REQUEST` and
+/// the connection lives on.
+fn serve_connection(inner: &Inner, stream: TcpStream) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(None) | Err(_) => return,
+            Ok(Some(Ok(payload))) => {
+                let response = match Request::parse(&payload) {
+                    Ok(request) => inner.handle(request),
+                    Err(message) => err(ErrCode::BadRequest, message),
+                };
+                if write_frame(&mut writer, &response.to_string()).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(Err(frame_error))) => {
+                let response = err(ErrCode::BadFrame, frame_error.to_string());
+                let _ = write_frame(&mut writer, &response.to_string());
+                return;
+            }
+        }
+    }
+}
+
+/// A blocking client for the `waso-serve` protocol — used by the tests,
+/// the CI smoke script, and `waso-solve --server`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// One request/response round trip. Protocol-level refusals come
+    /// back as [`Response::Error`]; an `Err` here is transport failure.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &request.to_string())?;
+        match read_frame(&mut self.reader)? {
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Some(Err(e)) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            Some(Ok(payload)) => {
+                Response::parse(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            }
+        }
+    }
+
+    pub fn submit(&mut self, tenant: &str, spec: &str) -> io::Result<Response> {
+        self.call(&Request::Submit {
+            tenant: tenant.to_string(),
+            spec: spec.to_string(),
+        })
+    }
+
+    pub fn poll(&mut self, job: u64) -> io::Result<Response> {
+        self.call(&Request::Poll { job })
+    }
+
+    pub fn wait(&mut self, job: u64) -> io::Result<Response> {
+        self.call(&Request::Wait { job })
+    }
+
+    pub fn cancel(&mut self, job: u64) -> io::Result<Response> {
+        self.call(&Request::Cancel { job })
+    }
+
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.call(&Request::Stats)
+    }
+}

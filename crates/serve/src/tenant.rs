@@ -1,0 +1,155 @@
+//! Tenant configuration and the fair dispatch queue.
+
+use std::collections::VecDeque;
+
+/// One tenant the server will accept `SUBMIT`s from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// The name clients put on the `SUBMIT` line. A single
+    /// whitespace-free token (the protocol grammar cannot carry more).
+    pub name: String,
+    /// Admission quota: the tenant may have at most this many jobs
+    /// **inflight** (queued + running) at once; further `SUBMIT`s are
+    /// refused with `ERR QUOTA` until one finishes. Clamped to ≥ 1.
+    pub max_inflight: usize,
+}
+
+impl TenantConfig {
+    pub fn new(name: impl Into<String>, max_inflight: usize) -> Self {
+        Self {
+            name: name.into(),
+            max_inflight: max_inflight.max(1),
+        }
+    }
+
+    /// Parses the CLI's `NAME=QUOTA` form (`alice=4`).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (name, quota) = text
+            .split_once('=')
+            .ok_or_else(|| format!("tenant {text:?} is not NAME=QUOTA"))?;
+        if name.is_empty() || name.chars().any(char::is_whitespace) {
+            return Err(format!("bad tenant name {name:?}"));
+        }
+        let quota: usize = quota
+            .parse()
+            .map_err(|_| format!("bad tenant quota {quota:?}"))?;
+        if quota == 0 {
+            return Err(format!("tenant {name:?} quota must be ≥ 1"));
+        }
+        Ok(Self::new(name, quota))
+    }
+}
+
+/// Round-robin dispatch across per-tenant FIFO queues.
+///
+/// Each tenant owns one queue; a rotating cursor picks the next
+/// non-empty queue, so a tenant that floods its quota's worth of jobs
+/// cannot starve the others — with `t` tenants waiting, each gets every
+/// `t`-th dispatch slot, while jobs *within* a tenant keep submission
+/// order.
+#[derive(Debug)]
+pub(crate) struct FairQueue {
+    /// One FIFO of job ids per tenant, indexed by tenant id
+    /// (configuration order).
+    queues: Vec<VecDeque<u64>>,
+    /// The tenant the next dispatch looks at first.
+    cursor: usize,
+    len: usize,
+}
+
+impl FairQueue {
+    pub fn new(tenants: usize) -> Self {
+        Self {
+            queues: (0..tenants).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Total queued jobs across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn push(&mut self, tenant: usize, job: u64) {
+        self.queues[tenant].push_back(job);
+        self.len += 1;
+    }
+
+    /// The next job in round-robin order, advancing the cursor **past**
+    /// the tenant served so its remaining jobs wait their next turn.
+    pub fn pop(&mut self) -> Option<u64> {
+        let t = self.queues.len();
+        for i in 0..t {
+            let idx = (self.cursor + i) % t;
+            if let Some(job) = self.queues[idx].pop_front() {
+                self.cursor = (idx + 1) % t;
+                self.len -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Removes a queued job wherever it sits (cancellation). Returns
+    /// whether it was present.
+    pub fn remove(&mut self, job: u64) -> bool {
+        for queue in &mut self.queues {
+            if let Some(pos) = queue.iter().position(|&j| j == job) {
+                queue.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_interleaves_tenants() {
+        let mut q = FairQueue::new(3);
+        // Tenant 0 floods; tenants 1 and 2 submit one job each, later.
+        for job in 0..4 {
+            q.push(0, job);
+        }
+        q.push(1, 10);
+        q.push(2, 20);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).collect();
+        // One slot per waiting tenant per round, FIFO within a tenant.
+        assert_eq!(order, vec![0, 10, 20, 1, 2, 3]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn remove_unlinks_queued_jobs() {
+        let mut q = FairQueue::new(2);
+        q.push(0, 1);
+        q.push(0, 2);
+        q.push(1, 3);
+        assert!(q.remove(2));
+        assert!(!q.remove(2), "already gone");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn tenant_configs_parse_the_cli_form() {
+        assert_eq!(
+            TenantConfig::parse("alice=4").unwrap(),
+            TenantConfig::new("alice", 4)
+        );
+        for bad in ["alice", "=4", "alice=0", "alice=x", "a b=1"] {
+            assert!(TenantConfig::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+}

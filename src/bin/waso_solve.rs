@@ -25,12 +25,24 @@
 //!   --disconnected        drop the connectivity constraint (WASO-dis)
 //!   --seed N              RNG seed (default 42)
 //!   --list-algorithms     print the registered solvers and exit
+//!
+//!   --server ADDR         submit to a running `waso-serve` instead of
+//!                         solving locally (the server holds the graph,
+//!                         k, and seed; --graph/--k do not apply)
+//!   --tenant NAME         the tenant to submit as (required with
+//!                         --server)
 //! ```
 //!
 //! Everything algorithm-shaped is derived from the [`waso::registry`]:
 //! `--algorithm` validation, the name list in the usage string, and the
 //! `--list-algorithms` help text. Adding a solver to the registry makes it
 //! reachable here with zero CLI changes.
+//!
+//! In `--server` mode the spec (with all shorthand flags folded in) is
+//! sent as one `SUBMIT`, followed by a blocking `WAIT`; the result is
+//! printed in the same shape as a local solve. The wire client is a
+//! self-contained ~40 lines of the `waso-serve` framing protocol, kept
+//! inline so this binary needs no serve-crate dependency.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,8 +51,7 @@ use waso::prelude::*;
 
 #[derive(Debug)]
 struct Args {
-    graph: PathBuf,
-    k: usize,
+    mode: Mode,
     spec: SolverSpec,
     require: Vec<u32>,
     lambda: Option<f64>,
@@ -48,12 +59,21 @@ struct Args {
     seed: u64,
 }
 
+#[derive(Debug)]
+enum Mode {
+    /// Load the graph and solve in-process.
+    Local { graph: PathBuf, k: usize },
+    /// Submit the spec to a running `waso-serve`.
+    Remote { server: String, tenant: String },
+}
+
 fn usage(registry: &SolverRegistry) -> String {
     format!(
         "usage: waso-solve --graph FILE --k N [--algorithm {}] \
          [--budget T] [--stages R] [--start-nodes M] [--threads N] \
          [--deadline-ms MS] [--patience N] [--require ID]... \
-         [--lambda X] [--disconnected] [--seed N] [--list-algorithms]",
+         [--lambda X] [--disconnected] [--seed N] [--list-algorithms] \
+         [--server ADDR --tenant NAME]",
         registry.name_list()
     )
 }
@@ -72,6 +92,8 @@ fn parse_args(argv: &[String], registry: &SolverRegistry) -> Result<Args, String
     let mut lambda: Option<f64> = None;
     let mut disconnected = false;
     let mut seed: u64 = 42;
+    let mut server: Option<String> = None;
+    let mut tenant: Option<String> = None;
 
     let usage = || usage(registry);
     let mut i = 0;
@@ -105,6 +127,8 @@ fn parse_args(argv: &[String], registry: &SolverRegistry) -> Result<Args, String
             }
             "--disconnected" => disconnected = true,
             "--seed" => seed = parse(value("--seed")?, "seed")?,
+            "--server" => server = Some(value("--server")?),
+            "--tenant" => tenant = Some(value("--tenant")?),
             "--list-algorithms" => {
                 return Err(format!("registered solvers:\n{}", registry.help_text()))
             }
@@ -146,9 +170,36 @@ fn parse_args(argv: &[String], registry: &SolverRegistry) -> Result<Args, String
         spec = spec.patience(p);
     }
 
+    let mode = match server {
+        Some(server) => {
+            // The server holds the instance: graph, k, seed, and any
+            // instance transforms are its deployment configuration.
+            if graph.is_some() || k.is_some() || !require.is_empty() || lambda.is_some() {
+                return Err(format!(
+                    "--graph/--k/--require/--lambda are the server's configuration \
+                     in --server mode\n{}",
+                    usage()
+                ));
+            }
+            Mode::Remote {
+                server,
+                tenant: tenant
+                    .ok_or_else(|| format!("--server requires --tenant NAME\n{}", usage()))?,
+            }
+        }
+        None => {
+            if tenant.is_some() {
+                return Err(format!("--tenant only applies with --server\n{}", usage()));
+            }
+            Mode::Local {
+                graph: graph.ok_or_else(|| format!("--graph is required\n{}", usage()))?,
+                k: k.ok_or_else(|| format!("--k is required\n{}", usage()))?,
+            }
+        }
+    };
+
     Ok(Args {
-        graph: graph.ok_or_else(|| format!("--graph is required\n{}", usage()))?,
-        k: k.ok_or_else(|| format!("--k is required\n{}", usage()))?,
+        mode,
         spec,
         require,
         lambda,
@@ -158,18 +209,25 @@ fn parse_args(argv: &[String], registry: &SolverRegistry) -> Result<Args, String
 }
 
 fn run(args: &Args) -> Result<(), String> {
-    let text = std::fs::read_to_string(&args.graph)
-        .map_err(|e| format!("cannot read {}: {e}", args.graph.display()))?;
-    let graph = waso::graph::io::from_str(&text).map_err(|e| format!("parse error: {e}"))?;
+    match &args.mode {
+        Mode::Local { graph, k } => run_local(graph, *k, args),
+        Mode::Remote { server, tenant } => run_remote(server, tenant, &args.spec),
+    }
+}
+
+fn run_local(graph: &PathBuf, k: usize, args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(graph)
+        .map_err(|e| format!("cannot read {}: {e}", graph.display()))?;
+    let parsed = waso::graph::io::from_str(&text).map_err(|e| format!("parse error: {e}"))?;
     eprintln!(
         "loaded {} nodes, {} edges from {}",
-        graph.num_nodes(),
-        graph.num_edges(),
-        args.graph.display()
+        parsed.num_nodes(),
+        parsed.num_edges(),
+        graph.display()
     );
 
-    let mut session = WasoSession::new(graph)
-        .k(args.k)
+    let mut session = WasoSession::new(parsed)
+        .k(k)
         .seed(args.seed)
         .require(args.require.iter().map(|&v| NodeId(v)));
     if let Some(l) = args.lambda {
@@ -199,6 +257,62 @@ fn run(args: &Args) -> Result<(), String> {
     println!("willingness: {}", result.group.willingness());
     eprintln!("solved with {}: {}", args.spec, result.stats);
     Ok(())
+}
+
+/// One `SUBMIT` + blocking `WAIT` against a running `waso-serve`,
+/// speaking its length-prefixed frame protocol directly (see the
+/// `waso-serve` crate docs for the grammar).
+fn run_remote(server: &str, tenant: &str, spec: &SolverSpec) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let stream = std::net::TcpStream::connect(server)
+        .map_err(|e| format!("cannot connect to {server}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut call = move |payload: String| -> Result<String, String> {
+        write!(writer, "{}\n{payload}", payload.len()).map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        let len: usize = line
+            .trim_end_matches('\n')
+            .parse()
+            .map_err(|_| format!("bad frame length {line:?} from server"))?;
+        let mut buf = vec![0u8; len];
+        reader.read_exact(&mut buf).map_err(|e| e.to_string())?;
+        String::from_utf8(buf).map_err(|_| "non-UTF-8 reply from server".to_string())
+    };
+
+    let reply = call(format!("SUBMIT {tenant} {spec}"))?;
+    let job = match reply.split_once(' ') {
+        Some(("JOB", id)) => id
+            .parse::<u64>()
+            .map_err(|_| format!("bad job id in {reply:?}"))?,
+        _ => return Err(format!("submission refused: {reply}")),
+    };
+    eprintln!("job {job} accepted by {server} for tenant {tenant}");
+
+    let reply = call(format!("WAIT {job}"))?;
+    let fields: Vec<&str> = reply.split(' ').collect();
+    match fields.as_slice() {
+        // DONE <termination> <willingness> <node,node,...> <samples>
+        ["DONE", termination, willingness, nodes, samples] => {
+            if *termination != "completed" {
+                eprintln!("warning: solve stopped early ({termination}) — best incumbent");
+            }
+            println!("members:");
+            for id in nodes.split(',').filter(|n| *n != "-") {
+                println!("  {id}");
+            }
+            println!("willingness: {willingness}");
+            eprintln!("solved remotely with {spec}: {samples} samples ({termination})");
+            Ok(())
+        }
+        ["CANCELLED"] => Err("job was cancelled before producing a group".to_string()),
+        _ => Err(format!("solve failed: {reply}")),
+    }
 }
 
 fn main() -> ExitCode {

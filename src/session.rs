@@ -396,8 +396,10 @@ impl WasoSession {
     /// submission. Cancelling one handle never affects the others, and
     /// dropping a handle without waiting cancels its job (workers are
     /// pool-owned, so nothing leaks). A job's `deadline_ms=` clock starts
-    /// when a coordinator picks it up, not at submit time — arm
-    /// [`SolveHandle::control`] yourself to bound queue wait too.
+    /// when a coordinator picks it up, not at submit time — use
+    /// `deadline_from_submit=`, which this call arms the moment it
+    /// accepts the job (so queue wait counts against the SLA), or arm
+    /// [`SolveHandle::control`] yourself.
     pub fn submit_batch(&self, specs: &[SolverSpec]) -> Result<Vec<SolveHandle>, SessionError> {
         let instance = self.shared_instance()?;
         // Jobs are prepared in slice order on the caller's thread, so the
@@ -503,6 +505,15 @@ impl WasoSession {
         let pool = solver.pool_threads().map(|t| self.session_pool(t));
 
         let control = Arc::new(JobControl::new());
+        // `deadline_from_submit=` is armed *here*, the moment the job is
+        // accepted — time spent queued behind other jobs counts against
+        // it, unlike `deadline_ms=`, whose clock starts at solve start.
+        // (The builder also folds the knob into the solver's own deadline
+        // by earliest-wins, so direct `registry.build` users get it too;
+        // this earlier arming strictly tightens that.)
+        if let Some(ms) = spec.deadline_from_submit {
+            control.arm_deadline(std::time::Duration::from_millis(ms));
+        }
         let incumbents = control.take_incumbents();
         let (result_tx, result_rx) = channel();
         let task = JobTask {
@@ -759,6 +770,17 @@ impl SolveHandle {
     /// result.
     pub fn incumbents(&self) -> std::sync::mpsc::Iter<'_, Incumbent> {
         self.incumbents.iter()
+    }
+
+    /// The best incumbent published so far — a **latest-only watch
+    /// view**. Unlike [`SolveHandle::incumbents`], which queues every
+    /// improvement until someone drains it, this is a single overwritten
+    /// cell: a slow poller (a serving front door relaying progress to a
+    /// remote client) always reads the current best and can never back
+    /// the job up or miss the final value. `None` until the first stage
+    /// completes with a feasible group.
+    pub fn latest_incumbent(&self) -> Option<Incumbent> {
+        self.control.latest_incumbent()
     }
 }
 
@@ -1079,6 +1101,57 @@ mod tests {
             assert_eq!(batched.group, alone.group, "{spec}");
             assert_eq!(batched.stats.samples_drawn, alone.stats.samples_drawn);
         }
+    }
+
+    #[test]
+    fn deadline_from_submit_is_armed_at_submit_and_bounds_the_job() {
+        // A solve whose budget would take far longer than the deadline:
+        // the submit-anchored clock must stop it well before the budget
+        // is spent, even though no handle interaction ever happens.
+        let g = waso_datasets::synthetic::facebook_like_n(150, 3);
+        let session = WasoSession::new(g).k(6);
+        let spec = SolverSpec::cbas_nd()
+            .budget(3_000_000)
+            .stages(1)
+            .deadline_from_submit(40);
+        let t0 = std::time::Instant::now();
+        let outcome = session.solve(&spec);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "deadline_from_submit did not bound the solve ({:?})",
+            t0.elapsed()
+        );
+        // A 40 ms deadline on a 3M-sample stage trips mid-stage; the
+        // abandoned stage never merges, so there is no incumbent.
+        match outcome {
+            Err(SessionError::Solve(SolveError::NoIncumbent { reason })) => {
+                assert_eq!(reason, waso_algos::Termination::Deadline)
+            }
+            other => panic!("expected a deadline stop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latest_incumbent_is_readable_without_draining_the_stream() {
+        let g = waso_datasets::synthetic::facebook_like_n(100, 3);
+        let session = WasoSession::new(g).k(5).seed(3);
+        let mut handle = session
+            .submit(&SolverSpec::cbas_nd().budget(400).stages(4))
+            .unwrap();
+        // Never touch `incumbents()` — the queue fills, the watch view
+        // must still hold the final best.
+        let result = loop {
+            if let Some(outcome) = handle.try_result() {
+                break outcome.unwrap();
+            }
+            std::thread::yield_now();
+        };
+        let latest = handle.latest_incumbent().expect("stages published");
+        // The incumbent carries the engine's running score; the group
+        // recomputes from scratch — equal up to summation order.
+        assert!((latest.willingness - result.group.willingness()).abs() < 1e-9);
+        assert_eq!(latest.nodes.len(), result.group.len());
+        assert!(latest.nodes.iter().all(|&v| result.group.contains(v)));
     }
 
     #[test]

@@ -178,12 +178,25 @@ fn deadline_of_zero_returns_the_typed_error_not_infeasibility() {
 fn short_deadline_returns_a_feasible_incumbent_tagged_deadline() {
     let session = WasoSession::new(graph(120)).k(6).seed(8);
     // A deadline that trips mid-run: enough for some stages of a huge
-    // budget, nowhere near all of them.
-    let spec = SolverSpec::cbas_nd()
-        .budget(5_000_000)
-        .stages(2000)
-        .deadline_ms(50);
-    let result = session.solve(&spec).unwrap();
+    // budget, nowhere near all of them. Deadlines are checked per
+    // *chunk*, so on a loaded box a short one can legally stop the
+    // solve before its first stage completes — that's the typed
+    // NoIncumbent, pinned elsewhere; here we escalate until the solve
+    // gets far enough to have an incumbent when the deadline lands.
+    let mut deadline_ms = 50;
+    let result = loop {
+        let spec = SolverSpec::cbas_nd()
+            .budget(5_000_000)
+            .stages(2000)
+            .deadline_ms(deadline_ms);
+        match session.solve(&spec) {
+            Ok(result) => break result,
+            Err(SessionError::Solve(SolveError::NoIncumbent {
+                reason: Termination::Deadline,
+            })) if deadline_ms < 1_000 => deadline_ms *= 2,
+            Err(e) => panic!("unexpected solve error: {e}"),
+        }
+    };
     assert_eq!(result.stats.termination, Termination::Deadline);
     assert!(result.stats.truncated);
     assert!(result.stats.samples_drawn < 5_000_000);
