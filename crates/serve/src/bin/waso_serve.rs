@@ -92,6 +92,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if tenants.is_empty() {
         return Err(format!("at least one --tenant is required\n{USAGE}"));
     }
+    for (i, tenant) in tenants.iter().enumerate() {
+        if tenants[..i].iter().any(|t| t.name == tenant.name) {
+            return Err(format!(
+                "duplicate --tenant {:?}: each tenant may be configured once",
+                tenant.name
+            ));
+        }
+    }
     let mut config = ServeConfig::new(tenants);
     if let Some(n) = max_running {
         config = config.max_running(n);

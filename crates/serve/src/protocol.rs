@@ -44,7 +44,7 @@
 //! in `tests/protocol_props.rs`.
 
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 use waso::algos::Termination;
 
@@ -88,13 +88,23 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
     w.flush()
 }
 
+/// Hard cap on the length *prefix* line. A valid prefix is at most the
+/// digits of [`MAX_FRAME`] plus the newline; anything longer is garbage,
+/// and without this bound a client streaming bytes that never contain a
+/// newline would make the reader buffer them without limit.
+const MAX_LEN_LINE: u64 = 32;
+
 /// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer closed
 /// between frames); an EOF *inside* a frame is an
 /// [`io::ErrorKind::UnexpectedEof`] error.
 pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Result<String, FrameError>>> {
     let mut line = String::new();
-    if r.read_line(&mut line)? == 0 {
+    let n = Read::take(&mut *r, MAX_LEN_LINE).read_line(&mut line)?;
+    if n == 0 {
         return Ok(None);
+    }
+    if !line.ends_with('\n') && n as u64 == MAX_LEN_LINE {
+        return Ok(Some(Err(FrameError::BadLength(line))));
     }
     let trimmed = line.trim_end_matches('\n');
     let len: usize = match trimmed.parse() {
@@ -534,6 +544,18 @@ mod tests {
             read_frame(&mut r).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
         );
+    }
+
+    #[test]
+    fn newline_free_length_prefix_is_rejected_without_buffering_it() {
+        // A peer streaming digits with no newline must hit BadLength at
+        // the prefix bound, not make the reader buffer the whole stream.
+        let garbage = vec![b'1'; 1 << 20];
+        let mut r = io::BufReader::new(&garbage[..]);
+        match read_frame(&mut r).unwrap().unwrap().unwrap_err() {
+            FrameError::BadLength(line) => assert!(line.len() <= 32, "buffered {}", line.len()),
+            other => panic!("expected BadLength, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!    counts against the SLA.
 //! 3. **Completion** (one waiter thread per running job): the result is
 //!    parked in the job table for `POLL`/`WAIT`, the tenant's quota slot
-//!    frees, and the dispatcher wakes.
+//!    frees, and the dispatcher wakes. The table retains the newest
+//!    [`ServeConfig::retain_finished`] terminal responses; older ones
+//!    are evicted and answer `ERR UNKNOWN_JOB`, so a long-running
+//!    server's memory is bounded by its retention cap, not by the total
+//!    jobs it has ever served.
 //!
 //! Load shedding is admission-time: a `SUBMIT` is refused with
 //! `ERR SHED` when the server-wide queue reaches
@@ -28,7 +32,7 @@
 //! the queue bound is the deterministic signal, the pool bound the
 //! saturation backstop.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -54,15 +58,34 @@ pub struct ServeConfig {
     /// Optional second load-shed signal: refuse `SUBMIT`s while the
     /// shared pool's in-flight chunk backlog exceeds this.
     pub shed_pool_depth: Option<u64>,
+    /// Finished-job retention: the server keeps at most this many
+    /// terminal jobs' responses around for later `POLL`/`WAIT`; beyond
+    /// it the oldest are evicted and answer `ERR UNKNOWN_JOB`. Bounds
+    /// the job table on a long-running server. Clamped to ≥ 1.
+    pub retain_finished: usize,
 }
 
 impl ServeConfig {
+    /// Builds a config over `tenants` with default policy knobs.
+    ///
+    /// # Panics
+    ///
+    /// If two tenants share a name: `SUBMIT` resolves tenants by name,
+    /// so a duplicate's quota would be silently dead configuration.
     pub fn new(tenants: Vec<TenantConfig>) -> Self {
+        for (i, tenant) in tenants.iter().enumerate() {
+            assert!(
+                !tenants[..i].iter().any(|t| t.name == tenant.name),
+                "duplicate tenant {:?}: tenants are resolved by name, so each may be configured once",
+                tenant.name
+            );
+        }
         Self {
             tenants,
             max_running: 2,
             shed_queued_jobs: 16,
             shed_pool_depth: None,
+            retain_finished: 1024,
         }
     }
 
@@ -78,6 +101,11 @@ impl ServeConfig {
 
     pub fn shed_pool_depth(mut self, depth: u64) -> Self {
         self.shed_pool_depth = Some(depth);
+        self
+    }
+
+    pub fn retain_finished(mut self, n: usize) -> Self {
+        self.retain_finished = n.max(1);
         self
     }
 }
@@ -99,6 +127,10 @@ struct JobEntry {
     /// against at dispatch, so queue wait counts against the SLA.
     submitted_at: Instant,
     state: JobState,
+    /// A `CANCEL` landed in the dispatch window — after the dispatcher
+    /// popped the job off the queue but before it was marked `Running`.
+    /// The dispatcher applies it right after arming the control.
+    cancel_requested: bool,
 }
 
 /// Everything the mutex guards.
@@ -108,11 +140,32 @@ struct State {
     /// Per-tenant inflight (queued + running) job counts, indexed like
     /// `config.tenants`.
     inflight: Vec<usize>,
+    /// Terminal jobs, oldest first — the eviction order once the table
+    /// holds more than `retain_finished` of them.
+    finished_order: VecDeque<u64>,
     running: usize,
     finished: u64,
     shed: u64,
     next_job: u64,
     shutdown: bool,
+}
+
+impl State {
+    /// Marks `job` terminal with `response`, then evicts the oldest
+    /// finished entries past the retention cap so the table stays
+    /// bounded however long the server runs.
+    fn park_finished(&mut self, job: u64, response: Response, retain: usize) {
+        self.jobs
+            .get_mut(&job)
+            .expect("finishing jobs stay in the table")
+            .state = JobState::Finished(response);
+        self.finished += 1;
+        self.finished_order.push_back(job);
+        while self.finished_order.len() > retain {
+            let evicted = self.finished_order.pop_front().expect("len checked > cap");
+            self.jobs.remove(&evicted);
+        }
+    }
 }
 
 struct Inner {
@@ -149,6 +202,7 @@ impl Server {
                 jobs: HashMap::new(),
                 queue: FairQueue::new(tenants),
                 inflight: vec![0; tenants],
+                finished_order: VecDeque::new(),
                 running: 0,
                 finished: 0,
                 shed: 0,
@@ -320,6 +374,7 @@ impl Inner {
                 spec,
                 submitted_at: Instant::now(),
                 state: JobState::Queued,
+                cancel_requested: false,
             },
         );
         st.queue.push(tidx, job);
@@ -376,18 +431,28 @@ impl Inner {
             return unknown_job(job);
         };
         match &entry.state {
+            // `Queued` alone is not proof the job is still ours to
+            // finalize: the dispatcher pops a job and briefly releases
+            // the lock before marking it `Running`. Unlinking it from
+            // the queue is the arbiter — if that fails, the dispatcher
+            // owns the job, so leave it a pending cancel (applied right
+            // after the control exists) instead of finalizing here,
+            // which would double-free its quota and running slots.
             JobState::Queued => {
                 let tenant = entry.tenant;
-                st.queue.remove(job);
-                st.jobs
-                    .get_mut(&job)
-                    .expect("entry exists — just read it")
-                    .state = JobState::Finished(Response::Cancelled);
-                st.inflight[tenant] -= 1;
-                st.finished += 1;
-                drop(st);
-                // A WAITer of this job is parked on the condvar.
-                self.wake.notify_all();
+                if st.queue.remove(job) {
+                    let retain = self.config.retain_finished;
+                    st.park_finished(job, Response::Cancelled, retain);
+                    st.inflight[tenant] -= 1;
+                    drop(st);
+                    // A WAITer of this job is parked on the condvar.
+                    self.wake.notify_all();
+                } else {
+                    st.jobs
+                        .get_mut(&job)
+                        .expect("entry exists — just read it")
+                        .cancel_requested = true;
+                }
             }
             // The solve stops at its next per-sample stop check; the
             // waiter thread parks the (cancelled) outcome as usual.
@@ -447,12 +512,20 @@ impl Inner {
                             .control()
                             .arm_deadline_at(submitted_at + Duration::from_millis(ms));
                     }
-                    {
-                        self.locked()
+                    let cancel_requested = {
+                        let mut st = self.locked();
+                        let entry = st
                             .jobs
                             .get_mut(&job)
-                            .expect("dispatched jobs stay in the table")
-                            .state = JobState::Running(Arc::clone(handle.control()));
+                            .expect("dispatched jobs stay in the table");
+                        entry.state = JobState::Running(Arc::clone(handle.control()));
+                        entry.cancel_requested
+                    };
+                    if cancel_requested {
+                        // A CANCEL landed while we were mid-dispatch;
+                        // honour it now that the control exists. The
+                        // waiter below parks the cancelled outcome.
+                        handle.control().cancel();
                     }
                     let inner = Arc::clone(&self);
                     let _ = std::thread::Builder::new()
@@ -483,15 +556,14 @@ impl Inner {
     fn finish_dispatched(&self, job: u64, response: Response) {
         {
             let mut st = self.locked();
-            let entry = st
+            let tenant = st
                 .jobs
-                .get_mut(&job)
-                .expect("dispatched jobs stay in the table");
-            let tenant = entry.tenant;
-            entry.state = JobState::Finished(response);
+                .get(&job)
+                .expect("dispatched jobs stay in the table")
+                .tenant;
+            st.park_finished(job, response, self.config.retain_finished);
             st.inflight[tenant] -= 1;
             st.running -= 1;
-            st.finished += 1;
         }
         self.wake.notify_all();
     }

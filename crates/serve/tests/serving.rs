@@ -456,6 +456,97 @@ fn protocol_errors_carry_distinct_codes_over_tcp() {
 }
 
 // ---------------------------------------------------------------------
+// Configuration validation
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "duplicate tenant")]
+fn duplicate_tenant_names_are_rejected() {
+    // SUBMIT resolves tenants by name: a second "alice" could never be
+    // addressed, so her quota would be silently dead configuration.
+    let _ = ServeConfig::new(vec![
+        TenantConfig::new("alice", 2),
+        TenantConfig::new("alice", 5),
+    ]);
+}
+
+// ---------------------------------------------------------------------
+// Finished-job retention
+// ---------------------------------------------------------------------
+
+#[test]
+fn finished_jobs_are_evicted_past_the_retention_cap() {
+    let pool = Arc::new(SharedPool::new(2));
+    let config = ServeConfig::new(vec![TenantConfig::new("alice", 4)]).retain_finished(2);
+    let server = Server::start(session(60, 4, 3, &pool), config);
+
+    // Four jobs run to completion one at a time, so their terminal
+    // order (and therefore eviction order) is the submission order.
+    let jobs: Vec<u64> = (0..4)
+        .map(|_| {
+            let job = job_id(submit(&server, "alice", "dgreedy"));
+            match server.handle(Request::Wait { job }) {
+                Response::Done { .. } => job,
+                other => panic!("job {job}: expected DONE, got {other}"),
+            }
+        })
+        .collect();
+
+    // The oldest two fell off the retention window...
+    for &job in &jobs[..2] {
+        match server.handle(Request::Poll { job }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrCode::UnknownJob),
+            other => panic!("evicted job {job}: expected ERR UNKNOWN_JOB, got {other}"),
+        }
+    }
+    // ...the newest two still answer, and the counter saw all four.
+    for &job in &jobs[2..] {
+        match server.handle(Request::Poll { job }) {
+            Response::Done { .. } => {}
+            other => panic!("retained job {job}: expected DONE, got {other}"),
+        }
+    }
+    match server.handle(Request::Stats) {
+        Response::Stats(stats) => assert_eq!(stats.finished, 4),
+        other => panic!("expected STATS, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cancel racing the dispatch window
+// ---------------------------------------------------------------------
+
+#[test]
+fn cancel_racing_dispatch_never_corrupts_the_accounting() {
+    // Submit-then-immediately-cancel repeatedly: with an empty queue and
+    // a free slot the dispatcher pops the job at once, so many cancels
+    // land in the window between the pop and the Running transition.
+    // Quota 1 makes any accounting corruption observable: a leaked
+    // inflight slot (or an underflowed one) turns the next SUBMIT into
+    // ERR QUOTA, failing `job_id`.
+    let pool = Arc::new(SharedPool::new(2));
+    let config = ServeConfig::new(vec![TenantConfig::new("alice", 1)]).max_running(1);
+    let server = Server::start(session(60, 4, 3, &pool), config);
+
+    for round in 0..50 {
+        let job = job_id(submit(&server, "alice", "cbas-nd:budget=60,stages=2"));
+        server.handle(Request::Cancel { job });
+        match server.handle(Request::Wait { job }) {
+            Response::Done { .. } | Response::Cancelled => {}
+            other => panic!("round {round}: expected a terminal state, got {other}"),
+        }
+    }
+    match server.handle(Request::Stats) {
+        Response::Stats(stats) => {
+            assert_eq!(stats.queued, 0);
+            assert_eq!(stats.running, 0);
+            assert_eq!(stats.finished, 50);
+        }
+        other => panic!("expected STATS, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------
 // Cancel + latest-incumbent watch view through the wire
 // ---------------------------------------------------------------------
 
