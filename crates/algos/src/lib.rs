@@ -14,6 +14,7 @@
 //! | [`cross_entropy`] | §4.2–4.3 | sparse node-selection probability vectors, elite updates, smoothing |
 //! | [`cbasnd`] | §4 | `CbasNd` — the engine with cross-entropy neighbour differentiation |
 //! | [`gaussian`] | Appendix A | Gaussian budget allocation (`CBAS-ND-G`) |
+//! | [`decomp`] | §5.3 scaling | `Decomp` — community-partitioned solves with boundary repair |
 //! | [`online`] | §4.4.1 | replanning after declines, keeping confirmed attendees |
 //! | [`parallel`] | §5.3.1 | `ParallelCbasNd` — the engine on the pooled backend (Fig 5(d)) |
 //! | [`theory`] | §3.2, §4.3 | the approximation-ratio and `P_b` formulas of Theorems 3–5 |
@@ -30,6 +31,7 @@
 pub mod cbas;
 pub mod cbasnd;
 pub mod cross_entropy;
+pub mod decomp;
 pub mod engine;
 pub mod exec;
 pub mod gaussian;
@@ -52,6 +54,7 @@ use waso_graph::NodeId;
 pub use cbas::{Cbas, CbasConfig};
 pub use cbasnd::{CbasNd, CbasNdConfig};
 pub use cross_entropy::ProbabilityVector;
+pub use decomp::Decomp;
 pub use engine::{Distribution, StagedEngine, StartMode};
 pub use exec::{Deal, ExecBackend, PoolStats, SharedPool, SolverPool, WorkerStats};
 pub use gaussian::Allocation;

@@ -166,6 +166,23 @@ impl SolverRegistry {
             build: build_cbasnd_g,
         });
         r.register(RegistryEntry {
+            name: "decomp",
+            aliases: &["decompose"],
+            label: "Decomp",
+            summary: "community-partitioned solve: label propagation, top communities via inner=, boundary repair",
+            capabilities: Capabilities {
+                required_attendees: true,
+                parallel: true,
+                randomized: true,
+                anytime: true,
+                ..Capabilities::default()
+            },
+            roster_rank: None,
+            costly: false,
+            options: DECOMP_KEYS,
+            build: build_decomp,
+        });
+        r.register(RegistryEntry {
             name: "cbas-nd-par",
             aliases: &["parallel"],
             label: "CBAS-ND (parallel)",
@@ -338,6 +355,28 @@ fn build_cbasnd_g(spec: &SolverSpec) -> Result<Box<dyn Solver + Send>, SpecError
         Some(t) => Box::new(ParallelCbasNd::new(cfg, t).pool_mode(spec.pool.unwrap_or_default())),
         None => Box::new(CbasNd::new(cfg)),
     })
+}
+
+const DECOMP_KEYS: &[&str] = &[
+    "budget",
+    "stages",
+    "start-nodes",
+    "threads",
+    "pool",
+    "rho",
+    "smoothing",
+    "backtrack",
+    "inner",
+    "communities",
+    "top",
+    "deadline_ms",
+    "deadline_from_submit",
+    "patience",
+];
+
+fn build_decomp(spec: &SolverSpec) -> Result<Box<dyn Solver + Send>, SpecError> {
+    spec.ensure_only("decomp", DECOMP_KEYS)?;
+    Ok(Box::new(crate::Decomp::from_spec(spec)?))
 }
 
 fn build_parallel(spec: &SolverSpec) -> Result<Box<dyn Solver + Send>, SpecError> {

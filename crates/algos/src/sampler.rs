@@ -50,8 +50,18 @@ impl Sampler {
     /// buffers for groups of `k` so the first samples of a pooled worker
     /// do not pay reallocation either ([`GrowthWorkspace::reserve`]).
     pub fn for_instance(instance: &WasoInstance) -> Self {
-        let mut s = Self::new(instance.graph().num_nodes());
-        s.ws.reserve(instance.k(), instance.graph().max_degree());
+        let g = instance.graph();
+        let mut s = Self::new(g.num_nodes());
+        s.ws.reserve(instance.k(), g.max_degree());
+        // The cumulative-weight buffer grows to the frontier size, which is
+        // bounded by both k·max_degree (every member contributes at most its
+        // neighbourhood) and n. Reserving it here keeps the first weighted
+        // draws of a fresh pooled worker reallocation-free too.
+        let max_frontier = instance
+            .k()
+            .saturating_mul(g.max_degree())
+            .min(g.num_nodes());
+        s.weights.reserve(max_frontier);
         s
     }
 

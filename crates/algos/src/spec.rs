@@ -16,15 +16,19 @@
 //! option     := key "=" value
 //! key        := budget | stages | start-nodes | starts | threads
 //!             | pool | require | rho | smoothing | backtrack | cap
+//!             | inner | communities | top
 //!             | deadline_ms | deadline_from_submit | patience
 //! value      := integer | float | "shared" | "private"
+//!             | name                                 (solver name for inner)
+//!             | "auto"                               (communities)
 //!             | id ("+" id)*                        (ids for starts/require)
 //! ```
 //!
 //! Examples: `dgreedy`, `cbas-nd:budget=2000,stages=10`,
 //! `cbas-nd:threads=8`, `cbas-nd:threads=8,pool=private`,
 //! `cbas-nd:require=3+17`, `exact:cap=1000000`,
-//! `cbas-nd:budget=100000,stages=50,deadline_ms=250,patience=5`.
+//! `cbas-nd:budget=100000,stages=50,deadline_ms=250,patience=5`,
+//! `decomp:inner=cbas-nd,communities=auto,top=4`.
 //!
 //! Which names exist, and which options each solver honours, is owned by
 //! the [`crate::registry::SolverRegistry`]; parsing here is purely
@@ -220,6 +224,16 @@ pub struct SolverSpec {
     pub backtrack: Option<f64>,
     /// Search-tree expansion cap (exact branch-and-bound).
     pub cap: Option<u64>,
+    /// Inner solver name for composite solvers (`decomp:inner=cbas-nd`).
+    /// A bare solver name — the grammar has no nesting, so the inner
+    /// solver inherits its knobs (budget share, stages, …) from this spec.
+    pub inner: Option<String>,
+    /// Community count for the decomposition solver: `Some(0)` (spelled
+    /// `communities=auto`) lets label propagation decide, any other value
+    /// coarsens the partition to at most that many communities.
+    pub communities: Option<usize>,
+    /// How many top-scored communities the decomposition solver solves.
+    pub top: Option<usize>,
     /// Wall-clock deadline in milliseconds, measured from solve start:
     /// sampling stops (mid-chunk; the in-flight stage is abandoned) once
     /// it elapses and the current incumbent is returned with
@@ -255,6 +269,9 @@ impl SolverSpec {
             smoothing: None,
             backtrack: None,
             cap: None,
+            inner: None,
+            communities: None,
+            top: None,
             deadline_ms: None,
             deadline_from_submit: None,
             patience: None,
@@ -369,6 +386,24 @@ impl SolverSpec {
         self
     }
 
+    /// Sets the inner solver of a composite solver (`decomp`).
+    pub fn inner(mut self, name: impl Into<String>) -> Self {
+        self.inner = Some(name.into());
+        self
+    }
+
+    /// Sets the decomposition community target (0 = `auto`).
+    pub fn communities(mut self, c: usize) -> Self {
+        self.communities = Some(c);
+        self
+    }
+
+    /// Sets how many top-scored communities the decomposition solves.
+    pub fn top(mut self, t: usize) -> Self {
+        self.top = Some(t);
+        self
+    }
+
     /// Sets the wall-clock deadline (milliseconds from solve start).
     pub fn deadline_ms(mut self, ms: u64) -> Self {
         self.deadline_ms = Some(ms);
@@ -457,6 +492,23 @@ impl SolverSpec {
             "smoothing" => self.smoothing = Some(num("smoothing", value)?),
             "backtrack" => self.backtrack = Some(num("backtrack", value)?),
             "cap" => self.cap = Some(num("cap", value)?),
+            "inner" => {
+                if value.is_empty() {
+                    return Err(SpecError::BadValue {
+                        key: "inner",
+                        value: value.to_string(),
+                    });
+                }
+                self.inner = Some(value.to_string());
+            }
+            "communities" => {
+                self.communities = Some(if value == "auto" {
+                    0
+                } else {
+                    num("communities", value)?
+                })
+            }
+            "top" => self.top = Some(num("top", value)?),
             "deadline_ms" => self.deadline_ms = Some(num("deadline_ms", value)?),
             "deadline_from_submit" => {
                 self.deadline_from_submit = Some(num("deadline_from_submit", value)?)
@@ -503,6 +555,15 @@ impl SolverSpec {
         }
         if self.cap.is_some() {
             keys.push("cap");
+        }
+        if self.inner.is_some() {
+            keys.push("inner");
+        }
+        if self.communities.is_some() {
+            keys.push("communities");
+        }
+        if self.top.is_some() {
+            keys.push("top");
         }
         if self.deadline_ms.is_some() {
             keys.push("deadline_ms");
@@ -628,6 +689,20 @@ impl fmt::Display for SolverSpec {
         if let Some(c) = self.cap {
             emit(f, "cap", c.to_string())?;
         }
+        if let Some(name) = &self.inner {
+            emit(f, "inner", name.clone())?;
+        }
+        if let Some(c) = self.communities {
+            let rendered = if c == 0 {
+                "auto".to_string()
+            } else {
+                c.to_string()
+            };
+            emit(f, "communities", rendered)?;
+        }
+        if let Some(t) = self.top {
+            emit(f, "top", t.to_string())?;
+        }
         if let Some(ms) = self.deadline_ms {
             emit(f, "deadline_ms", ms.to_string())?;
         }
@@ -667,6 +742,9 @@ mod tests {
             .smoothing(0.9)
             .backtrack(0.05)
             .cap(1_000_000)
+            .inner("cbas-nd")
+            .communities(0)
+            .top(4)
             .deadline_ms(250)
             .deadline_from_submit(400)
             .patience(5);
@@ -676,6 +754,42 @@ mod tests {
         assert!(
             text.ends_with("deadline_ms=250,deadline_from_submit=400,patience=5"),
             "{text}"
+        );
+        // communities=0 is the `auto` sentinel and must print as such.
+        assert!(
+            text.contains("inner=cbas-nd,communities=auto,top=4"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn decomp_keys_parse_and_round_trip() {
+        let spec = SolverSpec::parse("decomp:inner=cbas-nd,communities=auto,top=4").unwrap();
+        assert_eq!(spec.inner.as_deref(), Some("cbas-nd"));
+        assert_eq!(spec.communities, Some(0));
+        assert_eq!(spec.top, Some(4));
+        assert_eq!(
+            spec.to_string(),
+            "decomp:inner=cbas-nd,communities=auto,top=4"
+        );
+
+        let explicit = SolverSpec::parse("decomp:communities=8").unwrap();
+        assert_eq!(explicit.communities, Some(8));
+        assert_eq!(explicit.to_string(), "decomp:communities=8");
+
+        assert_eq!(
+            SolverSpec::parse("decomp:communities=lots"),
+            Err(SpecError::BadValue {
+                key: "communities",
+                value: "lots".into()
+            })
+        );
+        assert_eq!(
+            SolverSpec::parse("decomp:inner="),
+            Err(SpecError::BadValue {
+                key: "inner",
+                value: String::new()
+            })
         );
     }
 

@@ -120,34 +120,38 @@ fn main() -> ExitCode {
         ctx.scale, ctx.seed, ctx.repeats
     );
 
+    // Record-emitting figures (engine/pool backend sweeps, the decomp
+    // ladder) accumulate machine-readable BenchRecords across the whole
+    // invocation; one BENCH_engine.json is written at the end so a single
+    // run can regenerate the complete committed yardstick.
+    let mut bench_records = Vec::new();
+    let mut engine_collected = false;
     for id in ids {
         let t0 = std::time::Instant::now();
-        // The engine-throughput sweep also emits the machine-readable perf
-        // trajectory (BENCH_engine.json) alongside its tables; both come
-        // from one measurement pass (experiments::engine::throughput_to).
-        // `--figure pool` regenerates the identical artifact — its
-        // private/shared/concurrent-batch comparison lives in the same
-        // JSON so one committed yardstick tracks all the engine records.
-        let set = if id == "engine" || id == "pool" {
-            match waso_bench::experiments::engine::throughput_to(&ctx, &args.out) {
-                Ok(set) => {
-                    eprintln!(
-                        "[{id}] JSON written to {}",
-                        args.out.join("BENCH_engine.json").display()
-                    );
-                    set
+        let set = match id {
+            // `engine` and `pool` measure once for tables + records; the
+            // two ids differ only in which tables the caller highlights,
+            // so a run naming both contributes the records only once.
+            "engine" | "pool" => {
+                let (set, records) = waso_bench::experiments::engine::throughput_collect(&ctx);
+                if !engine_collected {
+                    bench_records.extend(records);
+                    engine_collected = true;
                 }
-                Err(e) => {
-                    eprintln!("failed to write BENCH_engine.json: {e}");
-                    return ExitCode::FAILURE;
-                }
+                set
             }
-        } else {
-            let Some(set) = run_figure(id, &ctx) else {
-                eprintln!("unknown figure id '{id}'\n{}", usage());
-                return ExitCode::from(2);
-            };
-            set
+            "decomp" => {
+                let (set, records) = waso_bench::experiments::decomp::ladder_collect(&ctx);
+                bench_records.extend(records);
+                set
+            }
+            _ => {
+                let Some(set) = run_figure(id, &ctx) else {
+                    eprintln!("unknown figure id '{id}'\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                set
+            }
         };
         println!("{}", set.to_markdown());
         if let Err(e) = set.write_csvs(&args.out) {
@@ -155,6 +159,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("[{id}] finished in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if !bench_records.is_empty() {
+        let path = args.out.join("BENCH_engine.json");
+        if let Err(e) = waso_bench::report::write_records_json(&bench_records, &path) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("JSON written to {}", path.display());
     }
     println!("CSVs written to {}/", args.out.display());
     ExitCode::SUCCESS

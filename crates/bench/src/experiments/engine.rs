@@ -96,7 +96,33 @@ pub fn throughput_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
             });
         }
     }
+
+    // One serial large-n planted-partition record: a whole-graph anchor
+    // in the regime the `decomp` ladder targets, so the committed JSON
+    // tracks baseline per-sample cost at scale, not just the small sweeps.
+    let n = large_n(ctx.scale);
+    let graph = synthetic::planted_partition_like_n(n, ctx.seed);
+    let inst = WasoInstance::new(graph, k).expect("large-n workload has n >= k");
+    let spec = cbasnd_spec(budget, Some(ctx.harness_m(n)));
+    let meas = measure_spec_avg(&registry, &spec, &inst, ctx.seed, ctx.repeats);
+    records.push(BenchRecord {
+        workload: format!("planted-partition/n={n}/k={k}/large"),
+        solver: spec.to_string(),
+        threads: 0,
+        mean_quality: meas.quality,
+        wall_seconds: meas.seconds,
+        samples_per_sec: meas.samples_per_sec,
+    });
     records
+}
+
+/// Size of the serial large-n anchor record per scale.
+pub fn large_n(scale: waso_datasets::Scale) -> usize {
+    match scale {
+        waso_datasets::Scale::Smoke => 20_000,
+        waso_datasets::Scale::Small => 50_000,
+        waso_datasets::Scale::Paper => 200_000,
+    }
 }
 
 /// Measures the batch workload: `BATCH_SOLVES` identical 20-stage pooled
@@ -419,15 +445,13 @@ pub fn throughput(ctx: &ExperimentContext) -> TableSet {
     tables
 }
 
-/// Measures once, writes `<out_dir>/BENCH_engine.json` (backend sweep +
-/// batch + pool-mode records), and returns the tables — the
-/// `waso-experiments --figure engine` / `--figure pool` path (both ids
-/// regenerate the same artifact; they differ only in which tables the
-/// caller highlights).
-pub fn throughput_to(
-    ctx: &ExperimentContext,
-    out_dir: &std::path::Path,
-) -> std::io::Result<TableSet> {
+/// Measures once, returning the tables and the machine-readable records
+/// (backend sweep + batch + pool-mode + handle rows) — the
+/// `waso-experiments --figure engine` / `--figure pool` path. The binary
+/// folds these records, together with any other record-emitting figures
+/// run in the same invocation (`--figure decomp`), into one
+/// `BENCH_engine.json`.
+pub fn throughput_collect(ctx: &ExperimentContext) -> (TableSet, Vec<BenchRecord>) {
     let sweep = throughput_records(ctx);
     let batch = batch_records(ctx);
     let pool = pool_records(ctx);
@@ -436,12 +460,23 @@ pub fn throughput_to(
     records.extend(batch.clone());
     records.extend(pool.clone());
     records.extend(handles.clone());
-    crate::report::write_records_json(&records, &out_dir.join("BENCH_engine.json"))?;
     let mut tables = records_table(&sweep);
     tables.push(batch_table(&batch));
     tables.push(pool_table(&pool));
     tables.push(handle_table(&handles));
     tables.push(pool_health_table(&pool_health_snapshot(ctx)));
+    (tables, records)
+}
+
+/// Measures once, writes `<out_dir>/BENCH_engine.json`, and returns the
+/// tables — [`throughput_collect`] plus the JSON side effect, for callers
+/// that regenerate the engine artifact alone.
+pub fn throughput_to(
+    ctx: &ExperimentContext,
+    out_dir: &std::path::Path,
+) -> std::io::Result<TableSet> {
+    let (tables, records) = throughput_collect(ctx);
+    crate::report::write_records_json(&records, &out_dir.join("BENCH_engine.json"))?;
     Ok(tables)
 }
 
@@ -457,18 +492,22 @@ mod tests {
         // smoke budget.
         ctx.repeats = 1;
         let records = throughput_records(&ctx);
-        // 2 workloads × (serial + 4 thread counts).
-        assert_eq!(records.len(), 2 * (1 + THREAD_SWEEP.len()));
+        // 2 workloads × (serial + 4 thread counts) + the large-n anchor.
+        assert_eq!(records.len(), 2 * (1 + THREAD_SWEEP.len()) + 1);
         assert!(records.iter().any(|r| r.workload.starts_with("facebook")));
         assert!(records
             .iter()
             .any(|r| r.workload.starts_with("planted-partition")));
+        assert!(
+            records.last().unwrap().workload.ends_with("/large"),
+            "large-n anchor record missing"
+        );
         for r in &records {
             assert!(r.samples_per_sec > 0.0, "{}: no throughput", r.solver);
             assert!(r.mean_quality.is_some(), "{}: infeasible", r.solver);
         }
         let tables = records_table(&records);
-        assert_eq!(tables.tables.len(), 2);
+        assert_eq!(tables.tables.len(), 3, "two sweeps + the large-n anchor");
         assert_eq!(tables.tables[0].rows.len(), 1 + THREAD_SWEEP.len());
     }
 

@@ -5,6 +5,7 @@
 //! [`crate::ExperimentContext`] and return [`crate::TableSet`]s; the
 //! `waso-experiments` binary routes CLI requests here.
 
+pub mod decomp;
 pub mod engine;
 pub mod fig4;
 pub mod fig5;
@@ -18,8 +19,8 @@ use crate::runner::ExperimentContext;
 
 /// All known experiment ids, in paper order.
 pub const ALL_FIGURES: &[&str] = &[
-    "engine", "pool", "4a", "4bc", "4de", "4f", "5ab", "5c", "5d", "5ef", "5g", "5h", "5ij", "6a",
-    "6b", "7ab", "7cd", "7ef", "8ab", "9ab", "9cd",
+    "engine", "pool", "decomp", "4a", "4bc", "4de", "4f", "5ab", "5c", "5d", "5ef", "5g", "5h",
+    "5ij", "6a", "6b", "7ab", "7cd", "7ef", "8ab", "9ab", "9cd",
 ];
 
 /// Runs one experiment by id. Returns `None` for unknown ids.
@@ -27,6 +28,7 @@ pub fn run_figure(id: &str, ctx: &ExperimentContext) -> Option<TableSet> {
     let tables = match id {
         "engine" => engine::throughput(ctx),
         "pool" => engine::pool_comparison(ctx),
+        "decomp" => decomp::ladder(ctx),
         "4a" => fig4::lambda_histogram(ctx),
         "4bc" => fig4::quality_time_vs_n(ctx),
         "4de" => fig4::quality_time_vs_k(ctx),
@@ -77,7 +79,10 @@ mod tests {
         // Routing only — execution is covered by the per-figure tests.
         for id in ALL_FIGURES {
             assert!(
-                *id == "engine" || *id == "pool" || matches!(id.chars().next(), Some('4'..='9')),
+                *id == "engine"
+                    || *id == "pool"
+                    || *id == "decomp"
+                    || matches!(id.chars().next(), Some('4'..='9')),
                 "odd id {id}"
             );
         }

@@ -57,6 +57,8 @@ pub struct SocialGraph {
     pair_weight: Vec<f64>,
     /// Interest score `η_i` per node.
     interest: Vec<f64>,
+    /// Largest degree, computed once at build time.
+    max_degree: u32,
 }
 
 impl SocialGraph {
@@ -72,12 +74,14 @@ impl SocialGraph {
         debug_assert_eq!(offsets.len(), interest.len() + 1);
         debug_assert_eq!(neighbors.len(), tightness.len());
         debug_assert_eq!(neighbors.len(), pair_weight.len());
+        let max_degree = offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
         Self {
             offsets,
             neighbors,
             tightness,
             pair_weight,
             interest,
+            max_degree,
         }
     }
 
@@ -100,15 +104,11 @@ impl SocialGraph {
         (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
-    /// Largest degree in the graph (0 for an empty graph). O(n) scan —
-    /// callers that need it per solve (growth-buffer sizing) compute it
-    /// once, not per sample.
+    /// Largest degree in the graph (0 for an empty graph). Cached at build
+    /// time, so per-sampler growth-buffer sizing is O(1).
+    #[inline]
     pub fn max_degree(&self) -> usize {
-        self.offsets
-            .windows(2)
-            .map(|w| (w[1] - w[0]) as usize)
-            .max()
-            .unwrap_or(0)
+        self.max_degree as usize
     }
 
     /// Interest score `η_v`.
@@ -309,6 +309,21 @@ mod tests {
                 assert_eq!(g.pair_weight(u, v), Some(pw));
             }
         }
+    }
+
+    #[test]
+    fn max_degree_is_cached_correctly() {
+        let g = triangle();
+        assert_eq!(g.max_degree(), 2);
+        let empty = GraphBuilder::new().build();
+        assert_eq!(empty.max_degree(), 0);
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(0.0);
+        let leaves: Vec<_> = (0..5).map(|_| b.add_node(0.0)).collect();
+        for &l in &leaves {
+            b.add_edge_symmetric(hub, l, 1.0).unwrap();
+        }
+        assert_eq!(b.build().max_degree(), 5);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`scores`] — the paper's §5.1 score models: power-law interests
 //!   (β = 2.5, Clauset et al. \[5\]) and common-neighbour tightness
 //!   (Chaoji et al. \[3\]);
+//! * [`partition`] — seeded label-propagation community detection (the
+//!   decomposition stage of scale-adaptive solving);
 //! * [`traversal`], [`subgraph`], [`metrics`], [`io`] — BFS/components,
 //!   induced subgraphs and ego networks, degree/clustering statistics, and
 //!   a plain-text interchange format;
@@ -32,6 +34,7 @@ pub mod csr;
 pub mod generate;
 pub mod io;
 pub mod metrics;
+pub mod partition;
 pub mod scores;
 pub mod subgraph;
 pub mod traversal;
@@ -40,4 +43,5 @@ pub use bitset::BitSet;
 pub use builder::{GraphBuilder, GraphError};
 pub use csr::{NodeId, SocialGraph};
 pub use generate::GraphTopology;
+pub use partition::{label_propagation, Partition};
 pub use scores::{InterestModel, ScoreModel, TightnessModel};

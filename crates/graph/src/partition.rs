@@ -1,0 +1,375 @@
+//! Deterministic community detection for scale-adaptive decomposition.
+//!
+//! The paper's sequel (*Scale-Adaptive Group Optimization for Social
+//! Activity Planning*) reaches 10^5–10^6-node graphs by partitioning the
+//! network into communities, solving per community, and stitching at the
+//! boundaries. This module provides the partitioning stage: a **seeded
+//! label-propagation** pass over the weighted graph (each node repeatedly
+//! adopts the label with the largest incident pair-weight), plus a
+//! deterministic coarsening step that merges communities down to a target
+//! count.
+//!
+//! Determinism contract: [`label_propagation`] is a pure function of
+//! `(graph, seed, max_rounds)` — the visit order is a seeded shuffle, all
+//! tie-breaks go to the smaller label, and the final labels are
+//! canonicalized by first occurrence in node-id order. Rerunning with the
+//! same arguments yields the identical [`Partition`].
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::csr::{NodeId, SocialGraph};
+
+/// A disjoint partition of a graph's nodes into communities.
+///
+/// Community ids are dense (`0..num_communities`) and canonical: community
+/// 0 is the one containing the smallest node id, community 1 the one
+/// containing the smallest node id not in community 0, and so on. Member
+/// lists are sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `labels[v]` = community id of node `v`.
+    labels: Vec<u32>,
+    /// Members per community, sorted ascending.
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Canonicalizes raw per-node labels into a dense partition:
+    /// communities are renumbered by the order their first member appears
+    /// in node-id order. Labels must be `< raw.len()` (label propagation
+    /// uses node ids as labels; explicit partitions should too).
+    pub fn from_raw_labels(raw: &[u32]) -> Self {
+        let mut dense = vec![u32::MAX; raw.len()];
+        let mut labels = Vec::with_capacity(raw.len());
+        let mut members: Vec<Vec<NodeId>> = Vec::new();
+        for (v, &l) in raw.iter().enumerate() {
+            let d = if dense[l as usize] == u32::MAX {
+                let id = members.len() as u32;
+                dense[l as usize] = id;
+                members.push(Vec::new());
+                id
+            } else {
+                dense[l as usize]
+            };
+            labels.push(d);
+            members[d as usize].push(NodeId(v as u32));
+        }
+        Self { labels, members }
+    }
+
+    /// Number of communities.
+    pub fn num_communities(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The community id of node `v`.
+    #[inline]
+    pub fn community_of(&self, v: NodeId) -> usize {
+        self.labels[v.index()] as usize
+    }
+
+    /// Per-node community ids.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Members of community `c`, sorted ascending.
+    pub fn members(&self, c: usize) -> &[NodeId] {
+        &self.members[c]
+    }
+
+    /// Iterates `(community id, members)` pairs.
+    pub fn communities(&self) -> impl Iterator<Item = (usize, &[NodeId])> {
+        self.members.iter().enumerate().map(|(c, m)| (c, &m[..]))
+    }
+
+    /// `true` when `u` and `v` are in the same community.
+    pub fn same_community(&self, u: NodeId, v: NodeId) -> bool {
+        self.labels[u.index()] == self.labels[v.index()]
+    }
+
+    /// Merges communities until at most `target` remain, or returns `self`
+    /// unchanged if already within the target. Deterministic: at each step
+    /// the smallest community (ties to the smaller id) is merged into the
+    /// neighbouring community with the largest total cross pair-weight
+    /// (ties to the smaller id; a community with no cross edges merges
+    /// into the smallest-id other community).
+    pub fn coarsen(self, g: &SocialGraph, target: usize) -> Partition {
+        let target = target.max(1);
+        if self.num_communities() <= target {
+            return self;
+        }
+        let n_comm = self.num_communities();
+        // Aggregated community graph: per-community cross pair-weights.
+        // BTreeMaps keep iteration (and therefore merging) deterministic.
+        let mut cross: Vec<std::collections::BTreeMap<u32, f64>> = vec![Default::default(); n_comm];
+        for u in g.node_ids() {
+            let cu = self.labels[u.index()];
+            for (v, _, pw) in g.neighbor_entries(u) {
+                let cv = self.labels[v.index()];
+                if cu < cv {
+                    *cross[cu as usize].entry(cv).or_insert(0.0) += pw;
+                    *cross[cv as usize].entry(cu).or_insert(0.0) += pw;
+                }
+            }
+        }
+        let mut size: Vec<usize> = self.members.iter().map(Vec::len).collect();
+        // `parent[c]` tracks where community c ended up (union-find-lite,
+        // path-compressed on lookup since merges are few).
+        let mut alive: Vec<bool> = vec![true; n_comm];
+        let mut parent: Vec<u32> = (0..n_comm as u32).collect();
+        let mut remaining = n_comm;
+        while remaining > target {
+            // Smallest live community (tie: smaller id).
+            let (src, _) = (0..n_comm)
+                .filter(|&c| alive[c])
+                .map(|c| (c, size[c]))
+                .min_by_key(|&(c, s)| (s, c))
+                .expect("at least one live community");
+            // Strongest cross-weight neighbour (tie: smaller id).
+            let dst = cross[src]
+                .iter()
+                .filter(|(&c, _)| alive[c as usize])
+                .max_by(|(ca, wa), (cb, wb)| {
+                    wa.partial_cmp(wb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| cb.cmp(ca))
+                })
+                .map(|(&c, _)| c as usize)
+                .unwrap_or_else(|| {
+                    (0..n_comm)
+                        .find(|&c| alive[c] && c != src)
+                        .expect("more than target communities remain")
+                });
+            // Fold src's cross row into dst and retarget third parties.
+            let row = std::mem::take(&mut cross[src]);
+            for (c, w) in row {
+                let c = c as usize;
+                cross[c].remove(&(src as u32));
+                if c != dst {
+                    *cross[dst].entry(c as u32).or_insert(0.0) += w;
+                    *cross[c].entry(dst as u32).or_insert(0.0) += w;
+                }
+            }
+            size[dst] += size[src];
+            alive[src] = false;
+            parent[src] = dst as u32;
+            remaining -= 1;
+        }
+        let resolve = |mut c: u32| {
+            while parent[c as usize] != c {
+                c = parent[c as usize];
+            }
+            c
+        };
+        let raw: Vec<u32> = self.labels.iter().map(|&l| resolve(l)).collect();
+        Partition::from_raw_labels(&raw)
+    }
+}
+
+/// Seeded weighted label propagation.
+///
+/// Every node starts in its own community; each round visits the nodes in
+/// a seeded shuffled order and moves each node to the label carrying the
+/// largest total incident pair-weight (`τ_{u,v} + τ_{v,u}` summed per
+/// label; ties to the smaller label, and a node keeps its current label
+/// unless a strictly better one exists). Updates are asynchronous (later
+/// visits in a round see earlier moves), which is what makes plain label
+/// propagation converge. Stops after a full round without changes or
+/// after `max_rounds`.
+///
+/// Isolated nodes end up in singleton communities. `O(max_rounds · m)`.
+pub fn label_propagation(g: &SocialGraph, seed: u64, max_rounds: usize) -> Partition {
+    let n = g.num_nodes();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    if n == 0 {
+        return Partition::from_raw_labels(&labels);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    // Scratch: per-label accumulated weight, plus the touched labels to
+    // undo it in O(degree) instead of O(n).
+    let mut weight = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for _ in 0..max_rounds {
+        // Fisher–Yates reshuffle per round, all from the one seeded stream.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut changed = false;
+        for &v in &order {
+            let v = NodeId(v);
+            touched.clear();
+            for (u, _, pw) in g.neighbor_entries(v) {
+                let l = labels[u.index()];
+                if weight[l as usize] == 0.0 {
+                    touched.push(l);
+                }
+                weight[l as usize] += pw;
+            }
+            if touched.is_empty() {
+                continue; // isolated node keeps its own label
+            }
+            let current = labels[v.index()];
+            let mut best = current;
+            let mut best_w = if touched.contains(&current) {
+                weight[current as usize]
+            } else {
+                0.0
+            };
+            for &l in &touched {
+                let w = weight[l as usize];
+                // Strictly heavier wins; equal weight only wins with a
+                // smaller label than the incumbent choice.
+                if w > best_w || (w == best_w && l < best) {
+                    best = l;
+                    best_w = w;
+                }
+            }
+            for &l in &touched {
+                weight[l as usize] = 0.0;
+            }
+            if best != current {
+                labels[v.index()] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Partition::from_raw_labels(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    const ROUNDS: usize = 16;
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = crate::GraphBuilder::new().build();
+        assert_eq!(label_propagation(&g, 0, ROUNDS).num_communities(), 0);
+        let mut b = crate::GraphBuilder::new();
+        b.add_node(1.0);
+        let p = label_propagation(&b.build(), 0, ROUNDS);
+        assert_eq!(p.num_communities(), 1);
+        assert_eq!(p.members(0), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn isolated_nodes_stay_singletons() {
+        let mut b = crate::GraphBuilder::new();
+        for _ in 0..4 {
+            b.add_node(1.0);
+        }
+        let p = label_propagation(&b.build(), 7, ROUNDS);
+        assert_eq!(p.num_communities(), 4);
+        for c in 0..4 {
+            assert_eq!(p.members(c).len(), 1);
+        }
+    }
+
+    #[test]
+    fn two_cliques_with_a_bridge_split_cleanly() {
+        // Two 5-cliques joined by one weak edge.
+        let mut b = crate::GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..10).map(|_| b.add_node(1.0)).collect();
+        for block in [&ids[..5], &ids[5..]] {
+            for i in 0..block.len() {
+                for j in (i + 1)..block.len() {
+                    b.add_edge_symmetric(block[i], block[j], 1.0).unwrap();
+                }
+            }
+        }
+        b.add_edge_symmetric(ids[4], ids[5], 0.1).unwrap();
+        let p = label_propagation(&b.build(), 42, ROUNDS);
+        assert_eq!(p.num_communities(), 2);
+        assert_eq!(p.members(0).len(), 5);
+        assert!(p.members(0).iter().all(|v| v.0 < 5));
+        assert!(p.members(1).iter().all(|v| v.0 >= 5));
+    }
+
+    #[test]
+    fn planted_partition_is_recovered() {
+        // High p_in / low p_out ⇒ the planted blocks (node v belongs to
+        // block v / block_size) are recovered exactly.
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let topo = generate::planted_partition(200, 4, 0.4, 0.002, &mut rng);
+        let g = topo.into_unit_graph();
+        let p = label_propagation(&g, 17, ROUNDS);
+        assert_eq!(p.num_communities(), 4, "planted communities recovered");
+        for v in g.node_ids() {
+            let block = v.index() / 50;
+            assert_eq!(
+                p.community_of(v),
+                p.community_of(NodeId((block * 50) as u32)),
+                "{v} must share its block's community"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_per_seed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generate::planted_partition(120, 3, 0.3, 0.01, &mut rng).into_unit_graph();
+        let a = label_propagation(&g, 5, ROUNDS);
+        let b = label_propagation(&g, 5, ROUNDS);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_and_members_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generate::planted_partition(90, 3, 0.35, 0.01, &mut rng).into_unit_graph();
+        let p = label_propagation(&g, 9, ROUNDS);
+        let mut seen = 0usize;
+        for (c, members) in p.communities() {
+            assert!(!members.is_empty());
+            assert!(members.windows(2).all(|w| w[0] < w[1]), "sorted members");
+            for &v in members {
+                assert_eq!(p.community_of(v), c);
+            }
+            seen += members.len();
+        }
+        assert_eq!(seen, g.num_nodes());
+        // Canonical numbering: community c's smallest member is smaller
+        // than community c+1's smallest member.
+        let firsts: Vec<NodeId> = (0..p.num_communities()).map(|c| p.members(c)[0]).collect();
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn coarsen_reaches_the_target_deterministically() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generate::planted_partition(200, 8, 0.4, 0.004, &mut rng).into_unit_graph();
+        let p = label_propagation(&g, 11, ROUNDS);
+        assert!(p.num_communities() >= 4);
+        let c3 = p.clone().coarsen(&g, 3);
+        assert_eq!(c3.num_communities(), 3);
+        assert_eq!(c3, p.clone().coarsen(&g, 3), "coarsen is deterministic");
+        // Already within target: unchanged.
+        let same = p.clone().coarsen(&g, p.num_communities());
+        assert_eq!(same, p);
+        // Collapse to one community.
+        assert_eq!(p.coarsen(&g, 1).num_communities(), 1);
+    }
+
+    #[test]
+    fn coarsen_merges_disconnected_singletons_too() {
+        let mut b = crate::GraphBuilder::new();
+        for _ in 0..5 {
+            b.add_node(1.0);
+        }
+        let g = b.build();
+        let p = label_propagation(&g, 0, ROUNDS);
+        assert_eq!(p.num_communities(), 5);
+        assert_eq!(p.coarsen(&g, 2).num_communities(), 2);
+    }
+}

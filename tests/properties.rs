@@ -475,3 +475,94 @@ proptest! {
         prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
     }
 }
+
+/// A planted-partition instance with strong intra-community density and a
+/// sprinkling of cross edges — the workload the decomposition solver is
+/// built for.
+fn clustered_instance(seed: u64, blocks: usize, size: usize, k: usize) -> WasoInstance {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = generate::planted_partition(blocks * size, blocks, 0.7, 0.02, &mut rng);
+    let g = ScoreModel::paper_default().realize(&topo, &mut rng);
+    WasoInstance::new(g, k).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The decomposition solver's determinism contract: a fixed
+    /// `(spec, seed)` yields one answer — the serial no-pool composition
+    /// and a shared-pool session are bit-identical at every pool width
+    /// 1–8 — and every answer is feasible.
+    #[test]
+    fn decomp_is_bit_identical_across_pool_widths(
+        seed in 0u64..10_000,
+        blocks in 2usize..5,
+        size in 6usize..13,
+        k in 2usize..6,
+        budget in 20u64..120,
+    ) {
+        use std::sync::Arc;
+        use waso::algos::SharedPool;
+
+        let inst = clustered_instance(seed, blocks, size, k);
+        let graph = inst.graph().clone();
+        let spec = SolverSpec::new("decomp")
+            .budget(budget)
+            .stages(2)
+            .threads(2)
+            .top(3);
+
+        // Serial composition: no pool attached, communities solved in turn.
+        let base = WasoSession::new(graph.clone()).k(k).seed(seed).solve(&spec);
+        if let Ok(res) = &base {
+            prop_assert!(res.group.validate(&inst).is_ok(), "infeasible decomp group");
+        }
+        for width in 1usize..=8 {
+            let pool = Arc::new(SharedPool::new(width));
+            let pooled = WasoSession::new(graph.clone())
+                .k(k)
+                .seed(seed)
+                .attach_pool(pool)
+                .solve(&spec);
+            match (&base, &pooled) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.group, &b.group, "pool width {}", width);
+                    prop_assert_eq!(a.stats.samples_drawn, b.stats.samples_drawn);
+                }
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(
+                    false,
+                    "feasibility diverged at pool width {}: serial ok={}, pooled ok={}",
+                    width, base.is_ok(), pooled.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// Required attendees survive decomposition end to end: whether they
+    /// land inside one community (decomposed path) or straddle a boundary
+    /// (whole-graph fallback), the answer contains them or the solve
+    /// fails loudly.
+    #[test]
+    fn decomp_honours_required_attendees(
+        seed in 0u64..10_000,
+        blocks in 2usize..4,
+        size in 6usize..12,
+        k in 3usize..6,
+        pick in 0usize..1000,
+    ) {
+        let inst = clustered_instance(seed, blocks, size, k);
+        let n = inst.graph().num_nodes();
+        let a = NodeId((pick % n) as u32);
+        let b = NodeId(((pick * 7 + 1) % n) as u32);
+        let b = if a == b { NodeId((b.0 + 1) % n as u32) } else { b };
+        let spec = SolverSpec::new("decomp").budget(60).stages(2).require([a, b]);
+        let session = WasoSession::new(inst.graph().clone()).k(k).seed(seed);
+        if let Ok(res) = session.solve(&spec) {
+            prop_assert!(res.group.contains(a) && res.group.contains(b));
+            prop_assert!(res.group.validate(&inst).is_ok());
+        }
+    }
+}

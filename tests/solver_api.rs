@@ -44,6 +44,7 @@ fn registry_is_complete_every_spec_solves_the_quickstart_graph() {
         "cbas-nd",
         "cbas-nd-g",
         "cbas-nd-par",
+        "decomp",
         "exact",
     ] {
         assert!(names.contains(&expected), "{expected} not registered");
@@ -109,6 +110,8 @@ fn spec_strings_round_trip_through_parse_and_display() {
         "cbas-nd-par:budget=400,threads=4",
         "cbas-nd:require=1+2+5",
         "exact:cap=1000000",
+        "decomp:inner=cbas-nd,communities=auto,top=4",
+        "decomp:budget=800,threads=2,communities=8",
     ];
     for text in specs {
         let spec = registry.parse(text).expect(text);
