@@ -196,7 +196,7 @@ impl Decomp {
         pool: Option<&SharedPool>,
         control: &JobControl,
     ) -> Result<SolveResult, SolveError> {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // audit:allow(D2): wall-clock feeds SolverStats timing only — never sampling or group choice
         if let Some(reason) = control.stop_reason() {
             return Err(SolveError::NoIncumbent { reason });
         }

@@ -232,7 +232,7 @@ impl StagedEngine {
         if self.backend == ExecBackend::Serial {
             return self.solve_controlled(instance, mode, seed, control);
         }
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // audit:allow(D2): wall-clock feeds SolverStats timing only — never sampling or group choice
         self.validate()?;
         if let Some(deadline) = self.base.deadline {
             control.arm_deadline(deadline);
@@ -336,7 +336,7 @@ impl StagedEngine {
         seed: u64,
         control: &JobControl,
     ) -> Result<(SolveResult, Vec<StartStats>), SolveError> {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // audit:allow(D2): wall-clock feeds SolverStats timing only — never sampling or group choice
         self.validate()?;
         if let Some(deadline) = self.base.deadline {
             control.arm_deadline(deadline);

@@ -36,7 +36,7 @@
 //! share the pool (`tests/properties.rs` pins this down; the
 //! failure-injection suite pins the healing path).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -298,7 +298,7 @@ fn worker_loop(
     fail: Arc<FailPoint>,
     gauge: Arc<WorkerGauge>,
 ) {
-    let mut jobs: HashMap<u64, WorkerJob> = HashMap::new();
+    let mut jobs: BTreeMap<u64, WorkerJob> = BTreeMap::new();
     // A replacement inherits its slot's gauge; clear the busy flag its
     // panicked predecessor may have left set.
     gauge.busy.store(false, Ordering::Relaxed);

@@ -91,7 +91,7 @@ impl Solver for DGreedy {
         instance: &WasoInstance,
         _seed: u64,
     ) -> Result<SolveResult, SolveError> {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // audit:allow(D2): wall-clock feeds SolverStats timing only — never sampling or group choice
         let g = instance.graph();
         let start = self.pick_start(instance)?;
 

@@ -119,7 +119,7 @@ impl StopState {
         Self {
             cancelled: AtomicBool::new(false),
             deadline_nanos: AtomicU64::new(UNARMED),
-            epoch: Instant::now(),
+            epoch: Instant::now(), // audit:allow(D2): the StopState deadline plumbing is the sanctioned clock source
         }
     }
 
@@ -216,7 +216,7 @@ impl JobControl {
 
     /// [`JobControl::arm_deadline_at`] relative to now.
     pub fn arm_deadline(&self, after: Duration) {
-        self.arm_deadline_at(Instant::now() + after);
+        self.arm_deadline_at(Instant::now() + after); // audit:allow(D2): the StopState deadline plumbing is the sanctioned clock source
     }
 
     /// The reason this job must stop, if any. Cancellation dominates an

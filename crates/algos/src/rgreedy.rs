@@ -98,7 +98,7 @@ impl Solver for RGreedy {
         instance: &WasoInstance,
         seed: u64,
     ) -> Result<SolveResult, SolveError> {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // audit:allow(D2): wall-clock feeds SolverStats timing only — never sampling or group choice
         let g = instance.graph();
         let n = g.num_nodes();
         let k = instance.k();

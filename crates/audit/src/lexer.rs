@@ -1,0 +1,380 @@
+//! A minimal token-level lexer for Rust source.
+//!
+//! The auditor's rules are lexical: they match identifier patterns
+//! (`HashMap`, `unwrap`, `Instant::now`) that must never appear in code
+//! positions of the scoped files. All the lexer has to get right is the
+//! boundary between *code* and *non-code* — comments, string literals,
+//! char literals and lifetimes — so that `// a HashMap would break this`
+//! or `"panic!"` in a protocol message never trips a rule. It produces a
+//! flat token stream with line numbers plus the comment text (with
+//! lines), which the suppression parser consumes separately.
+//!
+//! Not a full Rust lexer by design: numeric literal classification,
+//! float-vs-range disambiguation beyond `1.0` vs `0..n`, and non-ASCII
+//! identifiers are handled just well enough never to misattribute a
+//! code/non-code boundary.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident(String),
+    /// A single punctuation byte (`.`, `(`, `#`, `!`, …). Multi-byte
+    /// operators arrive as consecutive tokens (`::` is `:`, `:`).
+    Punct(u8),
+    /// A string/char/number literal, contents discarded.
+    Literal,
+    /// A lifetime (`'a`, `'static`), name discarded.
+    Lifetime,
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub line: u32,
+    pub tok: Tok,
+}
+
+/// The lexer's output: the code token stream and every comment (line
+/// where the comment starts, full text including the `//`/`/*` markers).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<(u32, String)>,
+}
+
+impl Lexed {
+    /// The identifier text of token `idx`, if it is one.
+    pub fn ident(&self, idx: usize) -> Option<&str> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether token `idx` is the punctuation byte `p`.
+    pub fn punct(&self, idx: usize) -> Option<u8> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(&Tok::Punct(p)) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Lexes `src`, splitting code tokens from comment text.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push((line, src[start..i].to_string()));
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                i += 2;
+                let mut depth = 1usize;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push((start_line, src[start..i].to_string()));
+            }
+            b'"' => {
+                let tline = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Token {
+                    line: tline,
+                    tok: Tok::Literal,
+                });
+            }
+            b'\'' => {
+                let tline = line;
+                i = char_or_lifetime(b, i, &mut line, &mut out, tline);
+            }
+            b'r' | b'b' if raw_or_byte_literal(b, i).is_some() => {
+                let tline = line;
+                i = raw_or_byte_literal(b, i).map_or(i + 1, |kind| match kind {
+                    LitStart::Raw(prefix) => skip_raw_string(b, i + prefix, &mut line),
+                    LitStart::ByteStr => skip_string(b, i + 1, &mut line),
+                    LitStart::ByteChar => skip_char(b, i + 1, &mut line),
+                });
+                out.tokens.push(Token {
+                    line: tline,
+                    tok: Tok::Literal,
+                });
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Ident(src[start..i].to_string()),
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                // Consume the number; a `.` joins only when a digit
+                // follows, so `0..n` stays three tokens while `1.5`
+                // stays one.
+                while i < b.len()
+                    && (b[i] == b'_'
+                        || b[i].is_ascii_alphanumeric()
+                        || (b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Literal,
+                });
+            }
+            _ if c.is_ascii() => {
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Punct(c),
+                });
+                i += 1;
+            }
+            // Non-ASCII outside comments/strings: skip the byte. (The
+            // audited sources only use non-ASCII in comments.)
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+enum LitStart {
+    /// `r"`, `r#"`, `br"`, `br#"` — the payload is the prefix length up
+    /// to (not including) the opening `#`*n*`"` sequence handled by
+    /// [`skip_raw_string`].
+    Raw(usize),
+    /// `b"`.
+    ByteStr,
+    /// `b'`.
+    ByteChar,
+}
+
+/// Is position `i` (at an `r`/`b`) the start of a raw/byte literal?
+fn raw_or_byte_literal(b: &[u8], i: usize) -> Option<LitStart> {
+    let rest = &b[i..];
+    match rest {
+        [b'r', b'"', ..] | [b'r', b'#', ..] => Some(LitStart::Raw(1)),
+        [b'b', b'r', b'"', ..] | [b'b', b'r', b'#', ..] => Some(LitStart::Raw(2)),
+        [b'b', b'"', ..] => Some(LitStart::ByteStr),
+        [b'b', b'\'', ..] => Some(LitStart::ByteChar),
+        _ => None,
+    }
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// past the closing quote.
+fn skip_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string whose `#` hashes start at `start` (just past the
+/// `r`/`br` prefix); returns the index past the closing delimiter.
+fn skip_raw_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start;
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return i; // not actually a raw string; resynchronize
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' && b[i + 1..].iter().take_while(|&&h| h == b'#').count() >= hashes {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a `'…'` char literal starting at the quote; returns the index
+/// past the closing quote.
+fn skip_char(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) at a `'`.
+fn char_or_lifetime(b: &[u8], i: usize, line: &mut u32, out: &mut Lexed, tline: u32) -> usize {
+    let next = b.get(i + 1).copied();
+    let is_lifetime = match next {
+        Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+            // `'a'` closes immediately after one ident char; a lifetime
+            // keeps going (or ends at a non-quote).
+            let mut j = i + 2;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            b.get(j) != Some(&b'\'')
+        }
+        Some(b'\\') => false,
+        _ => false,
+    };
+    if is_lifetime {
+        let mut j = i + 1;
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        out.tokens.push(Token {
+            line: tline,
+            tok: Tok::Lifetime,
+        });
+        j
+    } else {
+        let end = skip_char(b, i, line);
+        out.tokens.push(Token {
+            line: tline,
+            tok: Tok::Literal,
+        });
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = r####"
+            // a HashMap in a comment
+            /* unwrap() in a block /* nested */ comment */
+            let s = "panic!(HashMap)";
+            let r = r#"expect("HashSet")"#;
+            let c = 'x';
+            let lt: &'static str = "y";
+            real_ident();
+        "####;
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            vec![
+                "let",
+                "s",
+                "let",
+                "r",
+                "let",
+                "c",
+                "let",
+                "lt",
+                "str",
+                "real_ident"
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nfoo();\n/* c\nc */\nbar();";
+        let lexed = lex(src);
+        let foo = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("foo".into()))
+            .unwrap();
+        assert_eq!(foo.line, 3);
+        let bar = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("bar".into()))
+            .unwrap();
+        assert_eq!(bar.line, 6);
+    }
+
+    #[test]
+    fn comment_text_and_lines_are_captured() {
+        let src = "code();\n// audit:allow(D1): fine\nmore();";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].0, 2);
+        assert!(lexed.comments[0].1.contains("audit:allow(D1)"));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let toks = lex("for i in 0..n { x[i] = 1.5; }").tokens;
+        let dots = toks.iter().filter(|t| t.tok == Tok::Punct(b'.')).count();
+        assert_eq!(dots, 2, "0..n keeps both dots, 1.5 keeps neither");
+    }
+
+    #[test]
+    fn byte_and_raw_literals_lex_as_literals() {
+        let src = "let a = b\"bytes\"; let b = b'x'; let c = br#\"raw\"#;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c"]);
+    }
+}

@@ -1,0 +1,197 @@
+//! `waso-audit` — the workspace's static invariant auditor.
+//!
+//! The determinism contract (CBAS/CBAS-ND solves are bit-identical
+//! across serial, pool widths 1–8, striped/chunked deals, and the
+//! decomposition composite) and the serving no-panic contract ("never a
+//! hang, typed errors keep the connection") are enforced dynamically by
+//! the proptest suites — which sample a sliver of the code per run. This
+//! crate is the static half: a token-level pass over the workspace's own
+//! sources that rejects the *patterns* that break those contracts, with
+//! named rules, `file:line` diagnostics, and justified opt-outs.
+//!
+//! See [`rules`] for the rule table and suppression grammar. Scoping is
+//! by path ([`SCOPES`]): determinism rules bind the solver hot-path
+//! crates, the no-panic rule binds the serving crate, the lock-order
+//! rule binds the shared-pool executor.
+//!
+//! ```no_run
+//! let report = waso_audit::audit_workspace(std::path::Path::new(".")).unwrap();
+//! for d in &report.diagnostics {
+//!     println!("{d}");
+//! }
+//! assert!(report.diagnostics.is_empty(), "invariant violations");
+//! ```
+
+pub mod lexer;
+pub mod rules;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{audit_source, Diagnostic, RuleId};
+
+/// Where each rule applies, as workspace-relative path prefixes (a
+/// prefix naming a directory covers every `.rs` file under it).
+///
+/// * `D1`/`D2` bind the solver hot-path crates: order-dependent
+///   accumulation or ambient entropy anywhere in `algos`/`core`/`graph`
+///   can silently break bit-identity.
+/// * `P1` binds the serving crate: connection handling and dispatch must
+///   answer typed errors, never panic.
+/// * `L1` binds the shared-pool executor, where the slot/stage lock
+///   family lives.
+pub const SCOPES: &[(RuleId, &[&str])] = &[
+    (
+        RuleId::D1,
+        &["crates/algos/src", "crates/core/src", "crates/graph/src"],
+    ),
+    (
+        RuleId::D2,
+        &["crates/algos/src", "crates/core/src", "crates/graph/src"],
+    ),
+    (RuleId::P1, &["crates/serve/src"]),
+    (
+        RuleId::L1,
+        &["crates/algos/src/exec.rs", "crates/algos/src/exec"],
+    ),
+];
+
+/// The rules whose scope covers `rel_path` (workspace-relative, forward
+/// slashes), in declaration order.
+pub fn rules_for(rel_path: &str) -> Vec<RuleId> {
+    let mut out = Vec::new();
+    for &(rule, prefixes) in SCOPES {
+        let hit = prefixes.iter().any(|p| {
+            rel_path == *p || rel_path.strip_prefix(p).is_some_and(|r| r.starts_with('/'))
+        });
+        if hit && !out.contains(&rule) {
+            out.push(rule);
+        }
+    }
+    out
+}
+
+/// The outcome of a workspace audit.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Violations, sorted by (file, line, rule). Empty means clean.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were audited (scope union).
+    pub files_audited: usize,
+}
+
+/// Audits every file in scope under `root` (the workspace root). Rules
+/// are assigned per file via [`SCOPES`]; `restrict` (if non-empty)
+/// intersects with that assignment, so `--rule D1` audits only D1 even
+/// where other rules would also apply.
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    audit_workspace_rules(root, &[])
+}
+
+/// [`audit_workspace`] with a rule restriction (empty = all rules).
+pub fn audit_workspace_rules(root: &Path, restrict: &[RuleId]) -> io::Result<AuditReport> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for &(_, prefixes) in SCOPES {
+        for prefix in prefixes {
+            let path = root.join(prefix);
+            if path.is_dir() {
+                collect_rs_files(&path, &mut files)?;
+            } else if path.is_file() {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut report = AuditReport::default();
+    for file in &files {
+        let rel = relative_label(root, file);
+        let mut rules = rules_for(&rel);
+        if !restrict.is_empty() {
+            rules.retain(|r| restrict.contains(r));
+        }
+        if rules.is_empty() {
+            continue;
+        }
+        let src = std::fs::read_to_string(file)?;
+        report.files_audited += 1;
+        report.diagnostics.extend(audit_source(&rel, &src, &rules));
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files, sorted so the audit (like
+/// everything else here) is a pure function of the tree.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `file` relative to `root`, with forward slashes — the label
+/// diagnostics carry and scope prefixes match against.
+fn relative_label(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]` — how the binary finds the tree to audit when
+/// invoked from a subdirectory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_assignment_matches_prefixes() {
+        assert_eq!(
+            rules_for("crates/algos/src/engine.rs"),
+            vec![RuleId::D1, RuleId::D2]
+        );
+        assert_eq!(
+            rules_for("crates/algos/src/exec/shared.rs"),
+            vec![RuleId::D1, RuleId::D2, RuleId::L1]
+        );
+        assert_eq!(
+            rules_for("crates/algos/src/exec.rs"),
+            vec![RuleId::D1, RuleId::D2, RuleId::L1]
+        );
+        assert_eq!(rules_for("crates/serve/src/server.rs"), vec![RuleId::P1]);
+        assert_eq!(rules_for("crates/bench/src/lib.rs"), Vec::<RuleId>::new());
+        // A sibling file must not match a directory prefix by accident.
+        assert_eq!(
+            rules_for("crates/algos/src/execution.rs"),
+            vec![RuleId::D1, RuleId::D2]
+        );
+    }
+}

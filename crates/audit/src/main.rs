@@ -1,0 +1,157 @@
+//! The `waso-audit` binary: the CI gate and local pre-commit check.
+//!
+//! ```text
+//! waso-audit --workspace [--root DIR] [--rule ID]...
+//! waso-audit [--rule ID]... FILE...
+//! waso-audit --list-rules
+//! ```
+//!
+//! `--workspace` audits every file the rule scopes cover (finding the
+//! workspace root upward from the current directory, or from `--root`).
+//! Explicit `FILE` arguments are audited under *all* rules (restricted
+//! by `--rule`), regardless of scope — handy for fixtures and editors.
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use waso_audit::{audit_source, audit_workspace_rules, find_workspace_root, RuleId, SCOPES};
+
+struct Args {
+    workspace: bool,
+    root: Option<PathBuf>,
+    rules: Vec<RuleId>,
+    list_rules: bool,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: waso-audit --workspace [--root DIR] [--rule ID]...\n\
+     \u{20}      waso-audit [--rule ID]... FILE...\n\
+     \u{20}      waso-audit --list-rules\n\
+     rules: D1 D2 P1 L1 (SUP always runs); see --list-rules"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: None,
+        rules: Vec::new(),
+        list_rules: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory argument")?;
+                args.root = Some(PathBuf::from(dir));
+            }
+            "--rule" => {
+                let id = it.next().ok_or("--rule needs a rule id argument")?;
+                let rule = RuleId::parse(&id).ok_or_else(|| format!("unknown rule `{id}`"))?;
+                args.rules.push(rule);
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    if !args.list_rules && !args.workspace && args.files.is_empty() {
+        return Err("nothing to audit: pass --workspace or files".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("waso-audit: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in RuleId::CHECKABLE.into_iter().chain([RuleId::Sup]) {
+            let scope: Vec<&str> = SCOPES
+                .iter()
+                .filter(|(r, _)| *r == rule)
+                .flat_map(|(_, p)| p.iter().copied())
+                .collect();
+            let scope = if scope.is_empty() {
+                "(always on)".to_string()
+            } else {
+                scope.join(", ")
+            };
+            println!("{rule}  {}\n    scope: {scope}", rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut diagnostics = Vec::new();
+    let mut files_audited = 0usize;
+
+    if args.workspace {
+        let root = match args.root.clone().or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|d| find_workspace_root(&d))
+        }) {
+            Some(r) => r,
+            None => {
+                eprintln!("waso-audit: no workspace root found (try --root)");
+                return ExitCode::from(2);
+            }
+        };
+        match audit_workspace_rules(&root, &args.rules) {
+            Ok(report) => {
+                diagnostics.extend(report.diagnostics);
+                files_audited += report.files_audited;
+            }
+            Err(e) => {
+                eprintln!("waso-audit: {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for file in &args.files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("waso-audit: {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rules: Vec<RuleId> = if args.rules.is_empty() {
+            RuleId::CHECKABLE.to_vec()
+        } else {
+            args.rules.clone()
+        };
+        files_audited += 1;
+        diagnostics.extend(audit_source(&file.display().to_string(), &src, &rules));
+    }
+
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "waso-audit: {} violation(s) across {} file(s) audited",
+        diagnostics.len(),
+        files_audited
+    );
+    if diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,688 @@
+//! The audited invariants: rule definitions, the suppression grammar,
+//! and the per-file audit pass.
+//!
+//! | Rule | Contract |
+//! |------|----------|
+//! | `D1` | No unordered `HashMap`/`HashSet` in determinism-scoped crates — iteration order leaks into accumulation order and breaks bit-identity. |
+//! | `D2` | No entropy/clock sources (`thread_rng`, `from_entropy`, `SystemTime`, `Instant::now`) — randomness flows from seeded `mix_seed` streams, time from the `StopState` deadline plumbing. |
+//! | `P1` | No `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` in serving paths — every fallible path answers with a typed protocol error. |
+//! | `L1` | Lock-acquisition order must be consistent across functions — two functions taking the same pair of locks in opposite order is a deadlock in waiting. |
+//! | `SUP` | The suppression grammar itself: every `audit:allow` must name known rules, carry a written reason, and actually suppress something. |
+//!
+//! Suppressions: `// audit:allow(D1): reason` covers its own line and
+//! the next; `// audit:allow-file(D2): reason` covers the whole file.
+//! `#[cfg(test)]` items and `#[test]` functions are skipped wholesale —
+//! the contracts bind shipping code, and tests assert panics on purpose.
+
+use std::fmt;
+
+use crate::lexer::{lex, Lexed, Tok};
+
+/// A rule's identity, as printed in diagnostics and named in
+/// suppressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Determinism: no unordered hash containers.
+    D1,
+    /// Determinism: no ambient entropy or clock sources.
+    D2,
+    /// No-panic: no panic-class calls in serving paths.
+    P1,
+    /// Lock discipline: consistent acquisition order.
+    L1,
+    /// Suppression hygiene (always on; not user-selectable as a scope).
+    Sup,
+}
+
+impl RuleId {
+    /// Every scope-assignable rule (excludes `SUP`, which always runs).
+    pub const CHECKABLE: [RuleId; 4] = [RuleId::D1, RuleId::D2, RuleId::P1, RuleId::L1];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::P1 => "P1",
+            RuleId::L1 => "L1",
+            RuleId::Sup => "SUP",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "P1" => Some(RuleId::P1),
+            "L1" => Some(RuleId::L1),
+            "SUP" => Some(RuleId::Sup),
+            _ => None,
+        }
+    }
+
+    /// One-line description for `--list-rules` and the README table.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::D1 => {
+                "no unordered HashMap/HashSet in determinism-scoped crates \
+                 (use BTreeMap/BTreeSet or a sorted Vec)"
+            }
+            RuleId::D2 => {
+                "no entropy/clock sources (thread_rng, from_entropy, SystemTime, \
+                 Instant::now) — seed randomness via mix_seed, time via StopState"
+            }
+            RuleId::P1 => {
+                "no unwrap/expect/panic!/todo! in serving paths — \
+                 return typed protocol errors"
+            }
+            RuleId::L1 => "lock-acquisition order must be consistent across functions",
+            RuleId::Sup => "suppressions must name known rules, give a reason, and be used",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One violation (or suppression-hygiene problem) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `audit:allow` comment.
+#[derive(Debug)]
+struct Suppression {
+    line: u32,
+    rules: Vec<RuleId>,
+    file_wide: bool,
+    used: bool,
+}
+
+/// Audits one file's source under the given rules (plus `SUP`, always).
+/// `file` is the label diagnostics carry; the caller decides scoping.
+pub fn audit_source(file: &str, src: &str, rules: &[RuleId]) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let skip = test_skip_mask(&lexed);
+    let (mut sups, mut diags) = parse_suppressions(file, &lexed);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for &rule in rules {
+        match rule {
+            RuleId::D1 => d1_hash_containers(file, &lexed, &skip, &mut raw),
+            RuleId::D2 => d2_entropy_clocks(file, &lexed, &skip, &mut raw),
+            RuleId::P1 => p1_panic_paths(file, &lexed, &skip, &mut raw),
+            RuleId::L1 => l1_lock_order(file, &lexed, &skip, &mut raw),
+            RuleId::Sup => {}
+        }
+    }
+
+    // Apply suppressions: a line suppression covers its own line and the
+    // next, a file suppression the whole file.
+    for d in raw {
+        let mut suppressed = false;
+        for sup in sups.iter_mut() {
+            let covers = sup.file_wide || sup.line == d.line || sup.line + 1 == d.line;
+            if covers && sup.rules.contains(&d.rule) {
+                sup.used = true;
+                suppressed = true;
+                // Keep scanning: overlapping suppressions all count as
+                // used rather than racing for the first match.
+            }
+        }
+        if !suppressed {
+            diags.push(d);
+        }
+    }
+
+    // Hygiene: a suppression that suppressed nothing is stale — unless
+    // it names rules we were not asked to run, in which case we cannot
+    // tell and stay quiet.
+    for sup in &sups {
+        if !sup.used && sup.rules.iter().all(|r| rules.contains(r)) {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: sup.line,
+                rule: RuleId::Sup,
+                message: format!(
+                    "unused suppression for {} — nothing on this or the next line trips it; remove it",
+                    sup.rules
+                        .iter()
+                        .map(|r| r.as_str())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            });
+        }
+    }
+
+    diags.sort_by_key(|d| (d.line, d.rule));
+    diags
+}
+
+/// Parses every `audit:allow` comment; malformed ones become `SUP`
+/// diagnostics immediately.
+fn parse_suppressions(file: &str, lexed: &Lexed) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    let sup_diag = |line: u32, message: String| Diagnostic {
+        file: file.to_string(),
+        line,
+        rule: RuleId::Sup,
+        message,
+    };
+    for &(line, ref text) in &lexed.comments {
+        let Some(pos) = text.find("audit:allow") else {
+            continue;
+        };
+        let rest = &text[pos + "audit:allow".len()..];
+        let (file_wide, rest) = match rest.strip_prefix("-file") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let Some(rest) = rest.strip_prefix('(') else {
+            diags.push(sup_diag(
+                line,
+                "malformed suppression: expected `audit:allow(RULE, …): reason`".to_string(),
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            diags.push(sup_diag(
+                line,
+                "malformed suppression: missing `)` after the rule list".to_string(),
+            ));
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for name in rest[..close].split(',') {
+            let name = name.trim();
+            match RuleId::parse(name) {
+                Some(RuleId::Sup) | None => {
+                    diags.push(sup_diag(
+                        line,
+                        format!("unknown rule `{name}` in suppression"),
+                    ));
+                    bad = true;
+                }
+                Some(r) => rules.push(r),
+            }
+        }
+        if bad {
+            continue;
+        }
+        let after = &rest[close + 1..];
+        let reason = after.strip_prefix(':').map(str::trim);
+        match reason {
+            Some(r) if !r.is_empty() => sups.push(Suppression {
+                line,
+                rules,
+                file_wide,
+                used: false,
+            }),
+            _ => diags.push(sup_diag(
+                line,
+                "suppression without a written reason: every `audit:allow` must \
+                 justify itself as `audit:allow(RULE): reason`"
+                    .to_string(),
+            )),
+        }
+    }
+    (sups, diags)
+}
+
+/// Marks every token inside a `#[test]` or `#[cfg(test)]`-gated item.
+/// Heuristic: an attribute whose token list contains the identifier
+/// `test` but not `not` gates the following item (`#[cfg(not(test))]`
+/// stays audited). The item extends to its closing `}` or `;`.
+fn test_skip_mask(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let mut skip = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if lexed.punct(i) != Some(b'#') || lexed.punct(i + 1) != Some(b'[') {
+            i += 1;
+            continue;
+        }
+        // Find the attribute's closing `]`.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut close = None;
+        while j < toks.len() {
+            match lexed.punct(j) {
+                Some(b'[') => depth += 1,
+                Some(b']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(close) = close else { break };
+        let attr = &toks[i + 2..close];
+        let has = |name: &str| {
+            attr.iter()
+                .any(|t| matches!(&t.tok, Tok::Ident(s) if s == name))
+        };
+        if !has("test") || has("not") {
+            i = close + 1;
+            continue;
+        }
+        // Skip from the attribute through the gated item: forward to the
+        // first `{` (then its match) or `;`, whichever comes first.
+        let mut k = close + 1;
+        let mut end = toks.len();
+        while k < toks.len() {
+            match lexed.punct(k) {
+                Some(b';') => {
+                    end = k + 1;
+                    break;
+                }
+                Some(b'{') => {
+                    let mut braces = 0usize;
+                    while k < toks.len() {
+                        match lexed.punct(k) {
+                            Some(b'{') => braces += 1,
+                            Some(b'}') => {
+                                braces -= 1;
+                                if braces == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    end = (k + 1).min(toks.len());
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        for s in skip.iter_mut().take(end).skip(i) {
+            *s = true;
+        }
+        i = end;
+    }
+    skip
+}
+
+fn push(raw: &mut Vec<Diagnostic>, file: &str, line: u32, rule: RuleId, message: String) {
+    raw.push(Diagnostic {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+    });
+}
+
+/// D1: any `HashMap`/`HashSet` identifier in code position. Conservative
+/// on purpose — a lookup-only map is flagged too, because the next edit
+/// that iterates it will not be; provably lookup-only uses opt out with
+/// a justified suppression, everything else moves to ordered containers.
+fn d1_hash_containers(file: &str, lexed: &Lexed, skip: &[bool], raw: &mut Vec<Diagnostic>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if skip[i] {
+            continue;
+        }
+        if let Tok::Ident(s) = &t.tok {
+            if s == "HashMap" || s == "HashSet" {
+                push(
+                    raw,
+                    file,
+                    t.line,
+                    RuleId::D1,
+                    format!(
+                        "`{s}` iterates in instance-randomized order, which breaks the \
+                         bit-identity contract; use BTree{}/a sorted Vec, or justify with \
+                         `audit:allow(D1)`",
+                        &s[4..]
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// D2: ambient entropy/clock sources. `Instant::now` matches as the
+/// token triple; the other names are single identifiers.
+fn d2_entropy_clocks(file: &str, lexed: &Lexed, skip: &[bool], raw: &mut Vec<Diagnostic>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if skip[i] {
+            continue;
+        }
+        let Tok::Ident(s) = &t.tok else { continue };
+        let name: &str = match s.as_str() {
+            "thread_rng" | "from_entropy" | "SystemTime" => s,
+            "Instant"
+                if lexed.punct(i + 1) == Some(b':')
+                    && lexed.punct(i + 2) == Some(b':')
+                    && lexed.ident(i + 3) == Some("now") =>
+            {
+                "Instant::now"
+            }
+            _ => continue,
+        };
+        push(
+            raw,
+            file,
+            t.line,
+            RuleId::D2,
+            format!(
+                "`{name}` is an ambient entropy/clock source; randomness must flow from \
+                 seeded mix_seed streams and time from the StopState deadline plumbing"
+            ),
+        );
+    }
+}
+
+/// P1: panic-class calls — `.unwrap()`, `.expect(…)`, and the
+/// `panic!`-family macros.
+fn p1_panic_paths(file: &str, lexed: &Lexed, skip: &[bool], raw: &mut Vec<Diagnostic>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if skip[i] {
+            continue;
+        }
+        let Tok::Ident(s) = &t.tok else { continue };
+        let method = (s == "unwrap" || s == "expect")
+            && i > 0
+            && lexed.punct(i - 1) == Some(b'.')
+            && lexed.punct(i + 1) == Some(b'(');
+        let mac = matches!(
+            s.as_str(),
+            "panic" | "todo" | "unimplemented" | "unreachable"
+        ) && lexed.punct(i + 1) == Some(b'!');
+        if method {
+            push(
+                raw,
+                file,
+                t.line,
+                RuleId::P1,
+                format!(
+                    "`.{s}()` can panic the serving path; handle the None/Err and answer \
+                     a typed protocol error instead"
+                ),
+            );
+        } else if mac {
+            push(
+                raw,
+                file,
+                t.line,
+                RuleId::P1,
+                format!(
+                    "`{s}!` aborts the serving path; every fallible path must return a \
+                     typed protocol error"
+                ),
+            );
+        }
+    }
+}
+
+/// L1: extracts each function's sequence of lock acquisitions — a
+/// `path.lock()`, `path.read()`, or `path.write()` with an *empty*
+/// argument list (which is what distinguishes sync primitives from
+/// `io::Read::read(&mut buf)`) — and flags any pair of locks two
+/// functions acquire in opposite orders.
+fn l1_lock_order(file: &str, lexed: &Lexed, skip: &[bool], raw: &mut Vec<Diagnostic>) {
+    let toks = &lexed.tokens;
+    // (function name, [(lock path, line of first acquisition)]).
+    let mut functions: Vec<(String, Vec<(String, u32)>)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if skip[i] || lexed.ident(i) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = lexed.ident(i + 1) else {
+            i += 1;
+            continue;
+        };
+        let name = name.to_string();
+        // The body: first `{` after the signature (a `;` first means a
+        // trait method declaration — no body).
+        let mut j = i + 2;
+        let mut body_start = None;
+        while j < toks.len() {
+            match lexed.punct(j) {
+                Some(b'{') => {
+                    body_start = Some(j);
+                    break;
+                }
+                Some(b';') => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(start) = body_start else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut k = start;
+        while k < toks.len() {
+            match lexed.punct(k) {
+                Some(b'{') => depth += 1,
+                Some(b'}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let mut acquisitions: Vec<(String, u32)> = Vec::new();
+        for (idx, tok) in toks.iter().enumerate().take(k.min(toks.len())).skip(start) {
+            let Some(kind) = lexed.ident(idx) else {
+                continue;
+            };
+            if !matches!(kind, "lock" | "read" | "write") {
+                continue;
+            }
+            if lexed.punct(idx.wrapping_sub(1)) != Some(b'.')
+                || lexed.punct(idx + 1) != Some(b'(')
+                || lexed.punct(idx + 2) != Some(b')')
+            {
+                continue;
+            }
+            let path = lock_path(lexed, idx - 1);
+            if path.is_empty() {
+                continue;
+            }
+            if !acquisitions.iter().any(|(p, _)| *p == path) {
+                acquisitions.push((path, tok.line));
+            }
+        }
+        functions.push((name, acquisitions));
+        i = k + 1;
+    }
+
+    // Pairwise order consistency across all functions of the file.
+    // first_seen[(a, b)] = (fn, line) where a was acquired before b.
+    let mut first_seen: std::collections::BTreeMap<(String, String), (String, u32)> =
+        std::collections::BTreeMap::new();
+    for (fn_name, acqs) in &functions {
+        for (ai, (a, _)) in acqs.iter().enumerate() {
+            for (b, b_line) in &acqs[ai + 1..] {
+                if let Some((other_fn, other_line)) = first_seen.get(&(b.clone(), a.clone())) {
+                    push(
+                        raw,
+                        file,
+                        *b_line,
+                        RuleId::L1,
+                        format!(
+                            "lock order conflict: `{fn_name}` acquires `{a}` then `{b}`, \
+                             but `{other_fn}` (line {other_line}) acquires `{b}` then `{a}`"
+                        ),
+                    );
+                } else {
+                    first_seen
+                        .entry((a.clone(), b.clone()))
+                        .or_insert_with(|| (fn_name.clone(), *b_line));
+                }
+            }
+        }
+    }
+}
+
+/// Reconstructs the receiver path of a lock call, walking backwards from
+/// the `.` before `lock`/`read`/`write`. Index expressions normalize to
+/// `[_]` so `self.slots[i]` and `self.slots[j]` are the same lock family.
+fn lock_path(lexed: &Lexed, dot: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut j = dot; // at the `.`
+    loop {
+        if j == 0 {
+            break;
+        }
+        j -= 1;
+        match &lexed.tokens[j].tok {
+            Tok::Ident(s) => {
+                parts.push(s.clone());
+                // A `::`, `.` or `[` may continue the path to the left.
+                if j >= 2 && lexed.punct(j - 1) == Some(b':') && lexed.punct(j - 2) == Some(b':') {
+                    parts.push("::".to_string());
+                    j -= 2;
+                } else if j >= 1 && lexed.punct(j - 1) == Some(b'.') {
+                    parts.push(".".to_string());
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            Tok::Punct(b']') => {
+                // Walk back over the index expression to its `[`.
+                let mut depth = 0usize;
+                loop {
+                    match lexed.punct(j) {
+                        Some(b']') => depth += 1,
+                        Some(b'[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                parts.push("[_]".to_string());
+                if j == 0 {
+                    break;
+                }
+                // The `[` must follow the indexed expression directly.
+                match lexed.tokens[j - 1].tok {
+                    Tok::Ident(_) | Tok::Punct(b']') => {}
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    parts.reverse();
+    parts.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, rules: &[RuleId]) -> Vec<Diagnostic> {
+        audit_source("test.rs", src, rules)
+    }
+
+    #[test]
+    fn d1_flags_hash_containers_and_honours_suppressions() {
+        let src = "use std::collections::HashMap;\n\
+                   // audit:allow(D1): membership-only, never iterated\n\
+                   fn f(m: HashMap<u32, u32>) {}\n";
+        let diags = run(src, &[RuleId::D1]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!((diags[0].line, diags[0].rule), (1, RuleId::D1));
+    }
+
+    #[test]
+    fn p1_ignores_non_panicking_cousins() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n\
+                   fn g(x: Option<u32>) -> u32 { x.unwrap_or(1) }\n";
+        assert!(run(src, &[RuleId::P1]).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped_but_not_cfg_not_test() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}\n\
+                   #[cfg(not(test))]\nfn g() { y.unwrap(); }\n";
+        let diags = run(src, &[RuleId::P1]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 6);
+    }
+
+    #[test]
+    fn unused_and_unreasoned_suppressions_are_flagged() {
+        let src = "// audit:allow(D1): nothing here trips D1\nfn f() {}\n\
+                   // audit:allow(P1)\nfn g() { x.unwrap(); }\n";
+        let diags = run(src, &[RuleId::D1, RuleId::P1]);
+        let rules: Vec<_> = diags.iter().map(|d| (d.line, d.rule)).collect();
+        // Line 1: unused D1 suppression. Line 3: reasonless suppression
+        // (which therefore does not suppress line 4's unwrap).
+        assert_eq!(
+            rules,
+            vec![(1, RuleId::Sup), (3, RuleId::Sup), (4, RuleId::P1)]
+        );
+    }
+
+    #[test]
+    fn l1_flags_opposite_orders_only() {
+        let consistent = "fn a(&self) { let _x = self.m1.lock(); let _y = self.m2.lock(); }\n\
+                          fn b(&self) { let _x = self.m1.lock(); let _y = self.m2.lock(); }\n";
+        assert!(run(consistent, &[RuleId::L1]).is_empty());
+        let conflicting = "fn a(&self) { let _x = self.m1.lock(); let _y = self.m2.lock(); }\n\
+                           fn b(&self) { let _y = self.m2.lock(); let _x = self.m1.lock(); }\n";
+        let diags = run(conflicting, &[RuleId::L1]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::L1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn l1_normalizes_indexed_locks_and_skips_io_read() {
+        let src = "fn a(&self) { let _g = self.slots[i].lock(); }\n\
+                   fn b(&self, f: &mut File) { f.read(&mut buf); }\n";
+        // Neither trips anything: one lock family, and `read` with
+        // arguments is io::Read, not RwLock.
+        assert!(run(src, &[RuleId::L1]).is_empty());
+    }
+
+    #[test]
+    fn file_wide_suppression_covers_everything() {
+        let src = "// audit:allow-file(D1): generator crate, all sets sorted before use\n\
+                   use std::collections::HashSet;\nfn f(s: HashSet<u32>) {}\n";
+        assert!(run(src, &[RuleId::D1]).is_empty());
+    }
+}

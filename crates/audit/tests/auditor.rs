@@ -1,0 +1,176 @@
+//! Integration tests: each rule against a known-bad and known-clean
+//! fixture (exact rule ids and line numbers), the suppression grammar's
+//! accept and reject paths, the binary's exit-code contract, and the
+//! meta-test that the auditor runs clean on the workspace it ships in.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use waso_audit::{audit_source, audit_workspace, RuleId};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Audits a fixture and reduces each diagnostic to `(line, rule)` — the
+/// shape every expectation below asserts exactly.
+fn audit_fixture(name: &str, rules: &[RuleId]) -> Vec<(u32, RuleId)> {
+    let path = fixture_path(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    audit_source(name, &src, rules)
+        .into_iter()
+        .map(|d| (d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn d1_bad_fixture_flags_every_hash_container() {
+    assert_eq!(
+        audit_fixture("d1_bad.rs", &[RuleId::D1]),
+        vec![
+            (1, RuleId::D1), // HashMap in the use list
+            (1, RuleId::D1), // HashSet in the use list
+            (4, RuleId::D1), // HashMap type annotation
+            (4, RuleId::D1), // HashMap::new()
+            (5, RuleId::D1), // HashSet::new()
+        ]
+    );
+}
+
+#[test]
+fn d1_clean_fixture_passes() {
+    assert_eq!(audit_fixture("d1_clean.rs", &[RuleId::D1]), vec![]);
+}
+
+#[test]
+fn d2_bad_fixture_flags_clocks_and_entropy() {
+    assert_eq!(
+        audit_fixture("d2_bad.rs", &[RuleId::D2]),
+        vec![
+            (1, RuleId::D2),  // SystemTime in the use list
+            (4, RuleId::D2),  // Instant::now()
+            (5, RuleId::D2),  // SystemTime::now()
+            (10, RuleId::D2), // thread_rng()
+        ]
+    );
+}
+
+#[test]
+fn d2_does_not_flag_bare_instant() {
+    // `Instant` alone (line 1 of the fixture, and the `t0.elapsed()`
+    // call) is fine — only the `Instant::now` path is a clock source.
+    let diags = audit_fixture("d2_bad.rs", &[RuleId::D2]);
+    assert_eq!(diags.iter().filter(|(line, _)| *line == 6).count(), 0);
+}
+
+#[test]
+fn d2_clean_fixture_passes() {
+    assert_eq!(audit_fixture("d2_clean.rs", &[RuleId::D2]), vec![]);
+}
+
+#[test]
+fn p1_bad_fixture_flags_each_panic_class() {
+    assert_eq!(
+        audit_fixture("p1_bad.rs", &[RuleId::P1]),
+        vec![
+            (2, RuleId::P1),  // .unwrap()
+            (6, RuleId::P1),  // .expect(…)
+            (10, RuleId::P1), // panic!
+            (14, RuleId::P1), // todo!
+        ]
+    );
+}
+
+#[test]
+fn p1_clean_fixture_passes_including_test_module() {
+    // The clean fixture deliberately unwraps and panics inside a
+    // `#[cfg(test)]` module — the skip mask must cover it.
+    assert_eq!(audit_fixture("p1_clean.rs", &[RuleId::P1]), vec![]);
+}
+
+#[test]
+fn l1_bad_fixture_flags_the_inverted_acquisition() {
+    // `drain` takes plan → slots[_]; `heal` takes slots[_] → plan. The
+    // diagnostic lands on heal's second acquisition.
+    assert_eq!(
+        audit_fixture("l1_bad.rs", &[RuleId::L1]),
+        vec![(11, RuleId::L1)]
+    );
+}
+
+#[test]
+fn l1_clean_fixture_passes_and_io_read_is_not_a_lock() {
+    assert_eq!(audit_fixture("l1_clean.rs", &[RuleId::L1]), vec![]);
+}
+
+#[test]
+fn justified_suppressions_silence_their_rules() {
+    assert_eq!(
+        audit_fixture("suppress.rs", &[RuleId::D1, RuleId::D2]),
+        vec![]
+    );
+}
+
+#[test]
+fn suppression_hygiene_is_itself_audited() {
+    assert_eq!(
+        audit_fixture("sup_bad.rs", &[RuleId::D1, RuleId::P1]),
+        vec![
+            (1, RuleId::Sup), // reasonless
+            (4, RuleId::Sup), // unknown rule id
+            (7, RuleId::Sup), // suppresses nothing
+        ]
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_bad_fixture_and_names_the_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_waso-audit"))
+        .arg(fixture_path("d1_bad.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running waso-audit: {e}"));
+    assert_eq!(out.status.code(), Some(1), "bad fixture must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("D1"), "diagnostics name the rule: {stdout}");
+    assert!(
+        stdout.contains("d1_bad.rs:1"),
+        "diagnostics carry file:line: {stdout}"
+    );
+}
+
+#[test]
+fn binary_exits_zero_on_clean_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_waso-audit"))
+        .arg(fixture_path("d1_clean.rs"))
+        .output()
+        .unwrap_or_else(|e| panic!("running waso-audit: {e}"));
+    assert_eq!(out.status.code(), Some(0), "clean fixture must exit 0");
+}
+
+/// The auditor's reason to exist: the workspace it ships in holds its
+/// own invariants. Any reintroduced HashMap in a solver crate or
+/// unwrap in a serving path fails this test before it reaches CI.
+#[test]
+fn workspace_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| panic!("crates/audit has a workspace two levels up"));
+    let report =
+        audit_workspace(&root).unwrap_or_else(|e| panic!("auditing {}: {e}", root.display()));
+    assert!(
+        report.files_audited > 20,
+        "scope collapsed — only {} files audited",
+        report.files_audited
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(ToString::to_string).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace invariant violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -1,0 +1,11 @@
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    let mut seen = HashSet::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+        seen.insert(x);
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,11 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut seen = BTreeSet::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+        seen.insert(x);
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,12 @@
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_nanos() -> u128 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn ambient_seed() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,7 @@
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+pub fn deadline_left(deadline_nanos: u64, elapsed_nanos: u64) -> u64 {
+    deadline_nanos.saturating_sub(elapsed_nanos)
+}

@@ -1,0 +1,13 @@
+pub struct Pool;
+
+impl Pool {
+    fn drain(&self) {
+        let _plan = self.plan.lock();
+        let _slot = self.slots[0].lock();
+    }
+
+    fn heal(&self) {
+        let _slot = self.slots[1].lock();
+        let _plan = self.plan.lock();
+    }
+}

@@ -1,0 +1,18 @@
+pub struct Pool;
+
+impl Pool {
+    fn drain(&self) {
+        let _plan = self.plan.lock();
+        let _slot = self.slots[0].lock();
+    }
+
+    fn heal(&self) {
+        let _plan = self.plan.lock();
+        let _slot = self.slots[7].lock();
+    }
+
+    fn copy_from(&self, src: &mut impl std::io::Read) {
+        let mut buf = [0u8; 16];
+        let _ = src.read(&mut buf);
+    }
+}

@@ -1,0 +1,15 @@
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn must(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn boom() {
+    panic!("no");
+}
+
+pub fn later() -> u32 {
+    todo!()
+}

@@ -1,0 +1,17 @@
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+pub fn must(x: Option<u32>) -> u32 {
+    x.unwrap_or_else(|| 7)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_on_purpose() {
+        let x: Option<u32> = None;
+        let _ = x.unwrap();
+        panic!("asserting a panic is fine in tests");
+    }
+}

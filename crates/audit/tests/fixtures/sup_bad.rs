@@ -1,0 +1,8 @@
+// audit:allow(D1)
+fn reasonless() {}
+
+// audit:allow(Z9): no such rule exists
+fn unknown_rule() {}
+
+// audit:allow(P1): nothing on this or the next line can panic
+fn unused() {}

@@ -1,0 +1,9 @@
+// audit:allow-file(D2): fixture demonstrating a justified file-wide opt-out
+use std::time::SystemTime;
+
+pub fn wall() -> SystemTime {
+    // audit:allow(D1): membership-only table, never iterated
+    let set: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let _ = set;
+    SystemTime::now()
+}

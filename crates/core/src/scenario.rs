@@ -85,8 +85,9 @@ pub fn merge_couple(g: &SocialGraph, a: NodeId, b: NodeId) -> Result<CoupleMerge
     }
 
     // Accumulate directed tightness between new ids (summing parallel edges
-    // created by the merge), then emit each unordered pair once.
-    let mut acc: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
+    // created by the merge), then emit each unordered pair once. A BTreeMap
+    // keeps the emission order a pure function of the input (rule D1).
+    let mut acc: std::collections::BTreeMap<(u32, u32), f64> = std::collections::BTreeMap::new();
     for (u, v, tau_uv, tau_vu) in g.undirected_edges() {
         let (nu, nv) = (new_id[u.index()], new_id[v.index()]);
         if nu == nv {
@@ -95,8 +96,7 @@ pub fn merge_couple(g: &SocialGraph, a: NodeId, b: NodeId) -> Result<CoupleMerge
         *acc.entry((nu, nv)).or_insert(0.0) += tau_uv;
         *acc.entry((nv, nu)).or_insert(0.0) += tau_vu;
     }
-    let mut pairs: Vec<(u32, u32)> = acc.keys().filter(|&&(x, y)| x < y).copied().collect();
-    pairs.sort_unstable();
+    let pairs: Vec<(u32, u32)> = acc.keys().filter(|&&(x, y)| x < y).copied().collect();
     for (x, y) in pairs {
         let fwd = acc[&(x, y)];
         let back = acc[&(y, x)];

@@ -8,7 +8,7 @@
 //! [`crate::scores`].
 
 use rand::{Rng, RngExt};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::builder::GraphBuilder;
 use crate::csr::{NodeId, SocialGraph};
@@ -27,7 +27,7 @@ impl GraphTopology {
     /// Creates a topology from a raw edge list, normalizing order and
     /// dropping duplicates and self-loops.
     pub fn new(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
-        let mut set = HashSet::new();
+        let mut set = BTreeSet::new();
         let mut out = Vec::new();
         for (a, b) in edges {
             if a == b {
@@ -102,7 +102,7 @@ pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
         m <= max_edges,
         "G(n={n}) has at most {max_edges} edges, asked for {m}"
     );
-    let mut set = HashSet::with_capacity(m);
+    let mut set = BTreeSet::new();
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {
         let u = rng.random_range(0..n as u32);
@@ -177,21 +177,16 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) 
         }
     }
 
-    let mut chosen = HashSet::with_capacity(m_attach);
-    let mut chosen_sorted = Vec::with_capacity(m_attach);
+    // A BTreeSet iterates ascending, so the edge list (and everything
+    // downstream of it) is a pure function of the RNG seed (rule D1).
+    let mut chosen = BTreeSet::new();
     for new in (m_attach + 1)..n {
         chosen.clear();
         while chosen.len() < m_attach {
             let pick = endpoints[rng.random_range(0..endpoints.len())];
             chosen.insert(pick);
         }
-        // HashSet iteration order is instance-randomized; sort so the edge
-        // list (and everything downstream of it) is a pure function of the
-        // RNG seed.
-        chosen_sorted.clear();
-        chosen_sorted.extend(chosen.iter().copied());
-        chosen_sorted.sort_unstable();
-        for &t in &chosen_sorted {
+        for &t in &chosen {
             edges.push((t.min(new as u32), t.max(new as u32)));
             endpoints.push(t);
             endpoints.push(new as u32);
@@ -210,7 +205,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
 ) -> GraphTopology {
     assert!(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n (n={n}, k={k})");
     assert!((0.0..=1.0).contains(&beta));
-    let mut set = HashSet::new();
+    let mut set = BTreeSet::new();
     let key = |u: u32, v: u32| {
         let (u, v) = if u < v { (u, v) } else { (v, u) };
         ((u as u64) << 32) | v as u64
@@ -223,9 +218,9 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
         }
     }
     // Rewire each lattice edge's far endpoint with probability beta.
-    // Sorted: HashSet order would otherwise leak into the RNG stream.
-    let mut lattice: Vec<u64> = set.iter().copied().collect();
-    lattice.sort_unstable();
+    // Snapshotted because the loop mutates `set`; BTreeSet iteration is
+    // ascending, so the RNG stream is a pure function of the seed.
+    let lattice: Vec<u64> = set.iter().copied().collect();
     for e in lattice {
         if rng.random::<f64>() >= beta {
             continue;
@@ -246,14 +241,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
             }
         }
     }
-    let mut final_edges: Vec<u64> = set.into_iter().collect();
-    final_edges.sort_unstable();
-    GraphTopology::new(
-        n,
-        final_edges
-            .into_iter()
-            .map(|e| ((e >> 32) as u32, e as u32)),
-    )
+    GraphTopology::new(n, set.into_iter().map(|e| ((e >> 32) as u32, e as u32)))
 }
 
 /// Planted community structure: `communities` equal-size groups, expected
@@ -268,9 +256,9 @@ pub fn planted_communities<R: Rng + ?Sized>(
 ) -> GraphTopology {
     assert!(communities >= 1 && communities <= n.max(1));
     let size = n.div_ceil(communities);
-    let mut set = HashSet::new();
+    let mut set = BTreeSet::new();
     let mut edges = Vec::new();
-    let push = |set: &mut HashSet<u64>, edges: &mut Vec<(u32, u32)>, a: u32, b: u32| {
+    let push = |set: &mut BTreeSet<u64>, edges: &mut Vec<(u32, u32)>, a: u32, b: u32| {
         if a == b {
             return;
         }
@@ -413,7 +401,7 @@ pub fn community_ba<R: Rng + ?Sized>(
     }
 
     // Weak ties across communities.
-    let mut set: HashSet<u64> = edges
+    let mut set: BTreeSet<u64> = edges
         .iter()
         .map(|&(u, v)| ((u as u64) << 32) | v as u64)
         .collect();
@@ -501,7 +489,7 @@ mod tests {
         assert_eq!(t.n, 50);
         assert_eq!(t.num_edges(), 120);
         // All edges distinct and in range.
-        let set: HashSet<_> = t.edges.iter().collect();
+        let set: BTreeSet<_> = t.edges.iter().collect();
         assert_eq!(set.len(), 120);
         assert!(t.edges.iter().all(|&(u, v)| u < v && (v as usize) < 50));
     }

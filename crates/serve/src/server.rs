@@ -155,16 +155,37 @@ impl State {
     /// finished entries past the retention cap so the table stays
     /// bounded however long the server runs.
     fn park_finished(&mut self, job: u64, response: Response, retain: usize) {
-        self.jobs
-            .get_mut(&job)
-            .expect("finishing jobs stay in the table")
-            .state = JobState::Finished(response);
-        self.finished += 1;
-        self.finished_order.push_back(job);
-        while self.finished_order.len() > retain {
-            let evicted = self.finished_order.pop_front().expect("len checked > cap");
-            self.jobs.remove(&evicted);
+        // The entry can be gone if the job was already evicted past the
+        // retention cap; parking is then a no-op rather than a panic
+        // that would poison every connection sharing this mutex.
+        if let Some(entry) = self.jobs.get_mut(&job) {
+            entry.state = JobState::Finished(response);
+            self.finished += 1;
+            self.finished_order.push_back(job);
         }
+        while self.finished_order.len() > retain {
+            match self.finished_order.pop_front() {
+                Some(evicted) => {
+                    self.jobs.remove(&evicted);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Pops the next job that still has a table entry, claiming a
+    /// running slot for it. Queue ids whose entry has vanished are
+    /// drained and skipped — an orphaned id must not consume a slot.
+    fn pop_dispatchable(&mut self) -> Option<(u64, SolverSpec, Instant)> {
+        while let Some(job) = self.queue.pop() {
+            if let Some(entry) = self.jobs.get(&job) {
+                let spec = entry.spec.clone();
+                let submitted_at = entry.submitted_at;
+                self.running += 1;
+                return Some((job, spec, submitted_at));
+            }
+        }
+        None
     }
 }
 
@@ -216,6 +237,7 @@ impl Server {
             std::thread::Builder::new()
                 .name("waso-serve-dispatch".into())
                 .spawn(move || inner.dispatch_loop())
+                // audit:allow(P1): startup-time, before any connection exists — a server without its dispatcher can serve nothing, so fail fast
                 .expect("spawning the dispatcher thread")
         };
         Self {
@@ -447,11 +469,8 @@ impl Inner {
                     drop(st);
                     // A WAITer of this job is parked on the condvar.
                     self.wake.notify_all();
-                } else {
-                    st.jobs
-                        .get_mut(&job)
-                        .expect("entry exists — just read it")
-                        .cancel_requested = true;
+                } else if let Some(entry) = st.jobs.get_mut(&job) {
+                    entry.cancel_requested = true;
                 }
             }
             // The solve stops at its next per-sample stop check; the
@@ -487,17 +506,13 @@ impl Inner {
                     if st.shutdown {
                         return;
                     }
-                    if st.running < self.config.max_running && !st.queue.is_empty() {
-                        break;
+                    if st.running < self.config.max_running {
+                        if let Some(popped) = st.pop_dispatchable() {
+                            break popped;
+                        }
                     }
                     st = self.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
                 }
-                let job = st.queue.pop().expect("queue checked non-empty");
-                let entry = st.jobs.get(&job).expect("queued jobs stay in the table");
-                let spec = entry.spec.clone();
-                let submitted_at = entry.submitted_at;
-                st.running += 1;
-                (job, spec, submitted_at)
             };
             // Solver construction and thread spawning happen outside the
             // lock; POLL/SUBMIT stay responsive under dispatch.
@@ -514,12 +529,16 @@ impl Inner {
                     }
                     let cancel_requested = {
                         let mut st = self.locked();
-                        let entry = st
-                            .jobs
-                            .get_mut(&job)
-                            .expect("dispatched jobs stay in the table");
-                        entry.state = JobState::Running(Arc::clone(handle.control()));
-                        entry.cancel_requested
+                        match st.jobs.get_mut(&job) {
+                            Some(entry) => {
+                                entry.state = JobState::Running(Arc::clone(handle.control()));
+                                entry.cancel_requested
+                            }
+                            // The entry vanished mid-dispatch: nothing
+                            // can observe this job any more, so stop the
+                            // solve rather than burn the slot on it.
+                            None => true,
+                        }
                     };
                     if cancel_requested {
                         // A CANCEL landed while we were mid-dispatch;
@@ -556,13 +575,13 @@ impl Inner {
     fn finish_dispatched(&self, job: u64, response: Response) {
         {
             let mut st = self.locked();
-            let tenant = st
-                .jobs
-                .get(&job)
-                .expect("dispatched jobs stay in the table")
-                .tenant;
-            st.park_finished(job, response, self.config.retain_finished);
-            st.inflight[tenant] -= 1;
+            if let Some(entry) = st.jobs.get(&job) {
+                let tenant = entry.tenant;
+                st.park_finished(job, response, self.config.retain_finished);
+                st.inflight[tenant] -= 1;
+            }
+            // The slot frees even if the entry is gone — a leaked slot
+            // would quietly shrink dispatch width forever.
             st.running -= 1;
         }
         self.wake.notify_all();

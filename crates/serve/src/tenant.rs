@@ -71,10 +71,6 @@ impl FairQueue {
         self.len
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
     pub fn push(&mut self, tenant: usize, job: u64) {
         self.queues[tenant].push_back(job);
         self.len += 1;

@@ -606,3 +606,43 @@ fn polls_expose_the_latest_incumbent_and_cancel_returns_best_so_far() {
         other => panic!("expected DONE or CANCELLED, got {other}"),
     }
 }
+
+// ---------------------------------------------------------------------
+// Regression: a job that passes admission but fails at dispatch must
+// answer a typed error — never panic the dispatcher or kill the
+// connection — and the server must keep dispatching afterwards.
+// ---------------------------------------------------------------------
+
+#[test]
+fn dispatch_time_failure_answers_typed_error_and_server_lives_on() {
+    let pool = Arc::new(SharedPool::new(2));
+    let config = ServeConfig::new(vec![TenantConfig::new("alice", 4)]).max_running(1);
+    // The session requires attendee 0; `cbas` cannot guarantee required
+    // attendees, and admission's build dry-run cannot see session-level
+    // constraints — so the job is admitted and fails at dispatch.
+    let session = session(80, 4, 3, &pool).require([NodeId(0)]);
+    let mut server = Server::start(session, config);
+    let addr = server.listen("127.0.0.1:0").unwrap();
+    let mut client = Client::connect(addr).unwrap();
+
+    let job = job_id(client.submit("alice", "cbas:budget=200,stages=2").unwrap());
+    match client.wait(job).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrCode::Failed);
+            assert!(!message.is_empty(), "the failure carries its cause");
+        }
+        other => panic!("expected ERR FAILED, got {other}"),
+    }
+
+    // Same wire, and with max_running=1 the next dispatch only happens
+    // if the failed job released its running slot: a capable solver
+    // completes end-to-end.
+    let job = job_id(client.submit("alice", "dgreedy").unwrap());
+    match client.wait(job).unwrap() {
+        Response::Done { nodes, .. } => {
+            assert!(nodes.contains(&0), "required attendee in the answer")
+        }
+        other => panic!("expected DONE, got {other}"),
+    }
+    server.shutdown();
+}
