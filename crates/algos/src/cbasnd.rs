@@ -100,12 +100,18 @@ impl CbasNdConfig {
 #[derive(Debug, Clone)]
 pub struct CbasNd {
     config: CbasNdConfig,
+    /// Incumbent offered via [`Solver::warm_start`], forwarded to the
+    /// engine so the best-so-far starts from it instead of from nothing.
+    incumbent: Option<Vec<NodeId>>,
 }
 
 impl CbasNd {
     /// Creates the solver.
     pub fn new(config: CbasNdConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            incumbent: None,
+        }
     }
 
     /// The configuration in use.
@@ -126,7 +132,11 @@ impl CbasNd {
     }
 
     fn engine(&self) -> StagedEngine {
-        StagedEngine::from_cbasnd(&self.config)
+        let engine = StagedEngine::from_cbasnd(&self.config);
+        match &self.incumbent {
+            Some(nodes) => engine.warm_start(nodes.clone()),
+            None => engine,
+        }
     }
 }
 
@@ -143,8 +153,18 @@ impl Solver for CbasNd {
             required_attendees: true,
             randomized: true,
             anytime: true,
+            warm_start: true,
             ..crate::Capabilities::default()
         }
+    }
+
+    /// Stores the incumbent; every subsequent solve seeds its
+    /// best-so-far from it (when feasible — see
+    /// [`StagedEngine::warm_start`]). The sample stream is untouched, so
+    /// a warm-started solve is a pure function of
+    /// (instance, config, seed, incumbent).
+    fn warm_start(&mut self, incumbent: &waso_core::Group) {
+        self.incumbent = Some(incumbent.nodes().to_vec());
     }
 
     fn solve_seeded(

@@ -120,6 +120,10 @@ pub struct StagedEngine {
     distribution: Distribution,
     allocation: Allocation,
     backend: ExecBackend,
+    /// An incumbent group offered via [`StagedEngine::warm_start`]; if it
+    /// is feasible for the solved instance it seeds the best-so-far
+    /// before the first sample is drawn.
+    warm: Option<Vec<NodeId>>,
 }
 
 impl StagedEngine {
@@ -131,6 +135,7 @@ impl StagedEngine {
             distribution,
             allocation: Allocation::UniformOcba,
             backend: ExecBackend::Serial,
+            warm: None,
         }
     }
 
@@ -146,6 +151,7 @@ impl StagedEngine {
             },
             allocation: cfg.allocation,
             backend: ExecBackend::Serial,
+            warm: None,
         }
     }
 
@@ -158,6 +164,21 @@ impl StagedEngine {
     /// Overrides the execution backend.
     pub fn backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Offers an incumbent group to seed the best-so-far. If the
+    /// incumbent is feasible for the instance being solved (right size,
+    /// valid and distinct members, not blocked, contains the partial-mode
+    /// seeds, connected when required) the solve starts from its
+    /// willingness instead of from nothing — samples then only replace it
+    /// by strictly improving on it. An infeasible incumbent is ignored: a
+    /// warm start is an optimization hint, never a constraint.
+    ///
+    /// Determinism: the sample stream is untouched — a warm-started solve
+    /// is a pure function of (instance, config, seed, incumbent).
+    pub fn warm_start(mut self, incumbent: Vec<NodeId>) -> Self {
+        self.warm = Some(incumbent);
         self
     }
 
@@ -436,6 +457,33 @@ impl StagedEngine {
         Ok((result, stats))
     }
 
+    /// Validates the offered incumbent (if any) against this solve's
+    /// instance, mode and blocked set, returning it as the initial
+    /// best-so-far. Infeasible incumbents — wrong size, unknown or
+    /// duplicate members, missing partial-mode seeds, blocked nodes,
+    /// disconnected where connectivity is required — are silently
+    /// dropped: the solve then cold-starts exactly as without the hint.
+    fn warm_seed(&self, instance: &WasoInstance, mode: StartMode<'_>) -> BestSolution {
+        let warm = self.warm.as_ref()?;
+        if warm.len() != instance.k() {
+            return None;
+        }
+        if let StartMode::Partial(seeds) = mode {
+            if !seeds.iter().all(|s| warm.contains(s)) {
+                return None;
+            }
+        }
+        // Validates bounds, distinctness and (when required)
+        // connectivity, and computes the incumbent's willingness.
+        let group = Group::new(instance, warm.clone()).ok()?;
+        if let Some(blocked) = &self.base.blocked {
+            if group.nodes().iter().any(|v| blocked.contains(v.index())) {
+                return None;
+            }
+        }
+        Some((group.willingness(), group.nodes().to_vec()))
+    }
+
     /// The single stage loop every staged solver runs. Allocation, prune
     /// accounting, execution, in-order merge, best tracking, the
     /// cross-entropy update — and the anytime control (stage-boundary
@@ -463,7 +511,7 @@ impl StagedEngine {
             Vec::new()
         };
         let mut gammas = vec![f64::NEG_INFINITY; m];
-        let mut best: BestSolution = None;
+        let mut best: BestSolution = self.warm_seed(instance, mode);
         let mut counters = Counters::default();
         // Reused across stages: the flattened work list lives in `shared`
         // (workers read it), results and the per-start sample buffer here.

@@ -9,7 +9,7 @@
 //! confirmed set seeded and the declined set blocked.
 
 use waso_core::{Group, WasoInstance};
-use waso_graph::{BitSet, NodeId};
+use waso_graph::{BitSet, DeltaError, GraphDelta, NodeId};
 
 use crate::cbasnd::{CbasNd, CbasNdConfig};
 use crate::{SolveError, SolveResult, Solver};
@@ -60,6 +60,8 @@ pub enum OnlineError {
     Conflict(u32),
     /// More confirmations than the group size `k`.
     TooManyConfirmed,
+    /// A [`GraphDelta`] could not be applied to the planner's graph.
+    Delta(DeltaError),
 }
 
 impl std::fmt::Display for OnlineError {
@@ -69,6 +71,7 @@ impl std::fmt::Display for OnlineError {
             OnlineError::Unknown(v) => write!(f, "response from unknown node v{v}"),
             OnlineError::Conflict(v) => write!(f, "conflicting responses from v{v}"),
             OnlineError::TooManyConfirmed => write!(f, "more confirmations than group slots"),
+            OnlineError::Delta(e) => write!(f, "graph delta rejected: {e}"),
         }
     }
 }
@@ -78,6 +81,12 @@ impl std::error::Error for OnlineError {}
 impl From<SolveError> for OnlineError {
     fn from(e: SolveError) -> Self {
         OnlineError::Solve(e)
+    }
+}
+
+impl From<DeltaError> for OnlineError {
+    fn from(e: DeltaError) -> Self {
+        OnlineError::Delta(e)
     }
 }
 
@@ -193,6 +202,48 @@ impl OnlinePlanner {
         // Commit only on success.
         self.current = result?.group;
         self.declined = declined;
+        self.replans += 1;
+        Ok(&self.current)
+    }
+
+    /// Applies a [`GraphDelta`] (a score update or an edge change learned
+    /// mid-campaign) and replans **from the current plan**: the old
+    /// recommendation warm-starts the solver as the incumbent to beat,
+    /// the confirmed set still seeds every sample, and declined nodes
+    /// stay blocked. Node identity never changes, so confirmations and
+    /// declines carry over verbatim.
+    ///
+    /// Transactional like [`OnlinePlanner::decline`]: a rejected delta or
+    /// a failed replan leaves the planner — graph included — exactly as
+    /// it was. Returns the new recommendation.
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<&Group, OnlineError> {
+        let graph = delta.apply(self.instance.graph())?;
+        let instance = if self.instance.requires_connectivity() {
+            WasoInstance::new(graph, self.instance.k())
+        } else {
+            WasoInstance::without_connectivity(graph, self.instance.k())
+        }
+        .map_err(|e| OnlineError::Solve(SolveError::Invalid(e)))?;
+
+        let mut config = self.config.clone();
+        config.base.blocked = Some(self.declined.clone());
+        let mut solver = CbasNd::new(config);
+        // The pre-delta plan is a *hint*: if the delta kept it feasible
+        // it becomes the incumbent to beat, otherwise it is dropped (the
+        // engine re-validates it against the delta'd instance).
+        if let Ok(incumbent) = Group::new(&instance, self.current.nodes().to_vec()) {
+            solver.warm_start(&incumbent);
+        }
+        let seed = self.seed.wrapping_add(self.replans + 1);
+
+        let result: Result<SolveResult, SolveError> = if self.confirmed.is_empty() {
+            solver.solve_seeded(&instance, seed)
+        } else {
+            solver.solve_with_seeds(&instance, &self.confirmed.clone(), seed)
+        };
+        // Commit only on success.
+        self.current = result?.group;
+        self.instance = instance;
         self.replans += 1;
         Ok(&self.current)
     }
@@ -383,6 +434,63 @@ mod tests {
         // The un-applied decline is really gone: the same seed replays to
         // the same (full) plan, and the node can still be confirmed.
         planner.confirm(&[ids[1]]).unwrap();
+    }
+
+    #[test]
+    fn deltas_replan_and_preserve_responses() {
+        let mut planner = OnlinePlanner::new(instance(40, 5, 13), fast_config(), 8).unwrap();
+        let members = planner.current().nodes().to_vec();
+        planner.confirm(&members[..2]).unwrap();
+        let outsider = members[4];
+        planner.decline(&[outsider]).unwrap();
+
+        // Crater a current member's interest: the replan keeps the
+        // confirmed seeds and the declined block, and its willingness is
+        // computed on the *delta'd* graph.
+        let delta = GraphDelta::SetInterest {
+            v: members[0],
+            interest: 0.0,
+        };
+        let plan = planner.apply(&delta).unwrap().clone();
+        assert_eq!(plan.len(), 5);
+        assert!(plan.contains(members[0]) && plan.contains(members[1]));
+        assert!(!plan.contains(outsider));
+        assert_eq!(planner.replans(), 2);
+        let recomputed = Group::new(&planner.instance, plan.nodes().to_vec()).unwrap();
+        assert_eq!(plan.willingness().to_bits(), recomputed.willingness().to_bits());
+    }
+
+    #[test]
+    fn rejected_delta_leaves_state_untouched() {
+        let mut planner = OnlinePlanner::new(instance(30, 4, 14), fast_config(), 9).unwrap();
+        let before = snapshot(&planner);
+        let bad = GraphDelta::SetInterest {
+            v: NodeId(999),
+            interest: 1.0,
+        };
+        assert!(matches!(
+            planner.apply(&bad).unwrap_err(),
+            OnlineError::Delta(DeltaError::UnknownNode(999))
+        ));
+        assert_eq!(snapshot(&planner), before);
+        // The graph really is untouched: a follow-up decline still works
+        // against the original instance.
+        let victim = planner.current().nodes()[0];
+        planner.decline(&[victim]).unwrap();
+    }
+
+    #[test]
+    fn delta_replans_are_deterministic() {
+        let make = || {
+            let mut p = OnlinePlanner::new(instance(40, 5, 15), fast_config(), 10).unwrap();
+            let v = p.current().nodes()[0];
+            p.apply(&GraphDelta::SetInterest { v, interest: 0.01 })
+                .unwrap()
+                .clone()
+        };
+        let (a, b) = (make(), make());
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.willingness().to_bits(), b.willingness().to_bits());
     }
 
     #[test]

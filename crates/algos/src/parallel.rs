@@ -40,6 +40,10 @@ pub struct ParallelCbasNd {
     config: CbasNdConfig,
     threads: usize,
     pool: PoolMode,
+    /// Incumbent offered via [`Solver::warm_start`]; seeds the engine's
+    /// best-so-far. The warm seed is validated before any sample is
+    /// drawn, so it is identical across thread counts and pool shapes.
+    incumbent: Option<Vec<NodeId>>,
 }
 
 impl ParallelCbasNd {
@@ -49,6 +53,7 @@ impl ParallelCbasNd {
             config,
             threads: threads.max(1),
             pool: PoolMode::default(),
+            incumbent: None,
         }
     }
 
@@ -66,9 +71,13 @@ impl ParallelCbasNd {
     }
 
     fn engine(&self) -> StagedEngine {
-        StagedEngine::from_cbasnd(&self.config).backend(ExecBackend::Pool {
+        let engine = StagedEngine::from_cbasnd(&self.config).backend(ExecBackend::Pool {
             threads: self.threads,
-        })
+        });
+        match &self.incumbent {
+            Some(nodes) => engine.warm_start(nodes.clone()),
+            None => engine,
+        }
     }
 }
 
@@ -83,8 +92,17 @@ impl Solver for ParallelCbasNd {
             parallel: true,
             randomized: true,
             anytime: true,
+            warm_start: true,
             ..crate::Capabilities::default()
         }
+    }
+
+    /// Stores the incumbent; every subsequent solve seeds its
+    /// best-so-far from it (when feasible). Identical across thread
+    /// counts and pool shapes — the warm seed never touches the sample
+    /// stream.
+    fn warm_start(&mut self, incumbent: &waso_core::Group) {
+        self.incumbent = Some(incumbent.nodes().to_vec());
     }
 
     /// Required-attendee solves run the engine's partial-solution growth

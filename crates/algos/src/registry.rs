@@ -141,6 +141,7 @@ impl SolverRegistry {
                 parallel: true, // threads=N builds the parallel driver
                 randomized: true,
                 anytime: true,
+                warm_start: true,
                 ..Capabilities::default()
             },
             roster_rank: Some(3),
@@ -158,6 +159,7 @@ impl SolverRegistry {
                 parallel: true,
                 randomized: true,
                 anytime: true,
+                warm_start: true,
                 ..Capabilities::default()
             },
             roster_rank: None,
@@ -192,6 +194,7 @@ impl SolverRegistry {
                 parallel: true,
                 randomized: true,
                 anytime: true,
+                warm_start: true,
                 ..Capabilities::default()
             },
             roster_rank: None,

@@ -36,8 +36,9 @@ pub use rules::{audit_source, Diagnostic, RuleId};
 /// * `D1`/`D2` bind the solver hot-path crates: order-dependent
 ///   accumulation or ambient entropy anywhere in `algos`/`core`/`graph`
 ///   can silently break bit-identity.
-/// * `P1` binds the serving crate: connection handling and dispatch must
-///   answer typed errors, never panic.
+/// * `P1` binds the serving crate — connection handling and dispatch
+///   must answer typed errors, never panic — and the graph I/O module,
+///   whose read/write paths serve user-supplied files.
 /// * `L1` binds the shared-pool executor, where the slot/stage lock
 ///   family lives.
 pub const SCOPES: &[(RuleId, &[&str])] = &[
@@ -49,7 +50,7 @@ pub const SCOPES: &[(RuleId, &[&str])] = &[
         RuleId::D2,
         &["crates/algos/src", "crates/core/src", "crates/graph/src"],
     ),
-    (RuleId::P1, &["crates/serve/src"]),
+    (RuleId::P1, &["crates/serve/src", "crates/graph/src/io.rs"]),
     (
         RuleId::L1,
         &["crates/algos/src/exec.rs", "crates/algos/src/exec"],
@@ -187,6 +188,11 @@ mod tests {
             vec![RuleId::D1, RuleId::D2, RuleId::L1]
         );
         assert_eq!(rules_for("crates/serve/src/server.rs"), vec![RuleId::P1]);
+        // The graph I/O module is additionally under the no-panic rule.
+        assert_eq!(
+            rules_for("crates/graph/src/io.rs"),
+            vec![RuleId::D1, RuleId::D2, RuleId::P1]
+        );
         assert_eq!(rules_for("crates/bench/src/lib.rs"), Vec::<RuleId>::new());
         // A sibling file must not match a directory prefix by accident.
         assert_eq!(

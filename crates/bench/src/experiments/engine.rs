@@ -226,6 +226,106 @@ pub fn handle_table(records: &[BenchRecord]) -> Table {
     t
 }
 
+/// The `--figure engine` warm-vs-cold comparison: solve once, apply a
+/// [`waso::graph::GraphDelta`] that touches the winning group (so the
+/// memo entry is invalidated and its group stashed as an incumbent),
+/// then time three re-solve paths on the identical delta'd instance:
+///
+/// * **cold start** — a fresh session, no memo, no incumbent (the
+///   pre-delta-layer behaviour: every replan pays full price);
+/// * **warm start** — the session's next solve, seeded with the
+///   invalidated entry's group as the incumbent to beat;
+/// * **memo hit** — the solve after that, answered from the memo in
+///   O(1) without running a solver.
+///
+/// Warm-start quality is ≥ cold by construction (the incumbent only
+/// tightens the best-so-far); the rows pin both that and the wall-clock
+/// ladder in the committed `BENCH_engine.json`.
+pub fn memo_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
+    use std::time::Instant;
+    use waso::graph::GraphDelta;
+
+    let k = 10;
+    let graph = synthetic::facebook_like(ctx.scale, ctx.seed);
+    let n = graph.num_nodes();
+    let spec = SolverSpec::cbas_nd()
+        .budget(ctx.budget())
+        .stages(BATCH_STAGES)
+        .start_nodes(ctx.harness_m(n));
+    let workload = format!("facebook-like/n={n}/k={k}/delta-resolve");
+
+    let mut session = WasoSession::new(graph.clone()).k(k).seed(ctx.seed);
+    let first = session.solve(&spec).expect("harness workload is feasible");
+    let delta = GraphDelta::SetInterest {
+        v: first.group.nodes()[0],
+        interest: 0.0,
+    };
+    session.apply(&delta).expect("delta endpoint is a solved node");
+
+    let t0 = Instant::now();
+    let warm = session.solve(&spec).expect("delta'd workload is feasible");
+    let warm_s = t0.elapsed().as_secs_f64();
+
+    let cold_session = WasoSession::new(delta.apply(&graph).expect("same delta, same graph"))
+        .k(k)
+        .seed(ctx.seed);
+    let t0 = Instant::now();
+    let cold = cold_session
+        .solve(&spec)
+        .expect("delta'd workload is feasible");
+    let cold_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let hit = session.solve(&spec).expect("memo hit replays the result");
+    let hit_s = t0.elapsed().as_secs_f64();
+
+    [
+        ("cold start", cold, cold_s),
+        ("warm start", warm, warm_s),
+        ("memo hit", hit, hit_s),
+    ]
+    .into_iter()
+    .map(|(mode, result, seconds)| BenchRecord {
+        workload: workload.clone(),
+        solver: format!("{spec} ({mode})"),
+        threads: 0,
+        mean_quality: Some(result.group.willingness()),
+        wall_seconds: seconds,
+        samples_per_sec: if seconds > 0.0 && result.stats.samples_drawn > 0 {
+            result.stats.samples_drawn as f64 / seconds
+        } else {
+            0.0
+        },
+    })
+    .collect()
+}
+
+/// Renders the warm-vs-cold records as a mode-keyed table.
+pub fn memo_table(records: &[BenchRecord]) -> Table {
+    let title = records
+        .first()
+        .map(|r| format!("post-delta re-solve: cold vs warm vs memo hit ({})", r.workload))
+        .unwrap_or_else(|| "post-delta re-solve: cold vs warm vs memo hit".to_string());
+    let mut t = Table::new(
+        "engine-memo",
+        title,
+        &["mode", "wall s", "samples/s", "mean quality"],
+    );
+    for r in records {
+        let mode = ["cold start", "warm start", "memo hit"]
+            .into_iter()
+            .find(|m| r.solver.ends_with(&format!("({m})")))
+            .unwrap_or("?");
+        t.push_row(vec![
+            Cell::from(mode),
+            Cell::from(r.wall_seconds),
+            Cell::from(r.samples_per_sec),
+            r.mean_quality.map(Cell::from).unwrap_or(Cell::Missing),
+        ]);
+    }
+    t
+}
+
 /// The `--figure pool` comparison: the same `BATCH_SOLVES`-job workload
 /// run (a) with `pool=private` — every job spawns and tears down its own
 /// worker pool, the pre-SharedPool behaviour; (b) sequentially over one
@@ -442,11 +542,12 @@ pub fn throughput(ctx: &ExperimentContext) -> TableSet {
     let mut tables = records_table(&throughput_records(ctx));
     tables.push(batch_table(&batch_records(ctx)));
     tables.push(handle_table(&handle_records(ctx)));
+    tables.push(memo_table(&memo_records(ctx)));
     tables
 }
 
 /// Measures once, returning the tables and the machine-readable records
-/// (backend sweep + batch + pool-mode + handle rows) — the
+/// (backend sweep + batch + pool-mode + handle + warm-vs-cold rows) — the
 /// `waso-experiments --figure engine` / `--figure pool` path. The binary
 /// folds these records, together with any other record-emitting figures
 /// run in the same invocation (`--figure decomp`), into one
@@ -456,14 +557,17 @@ pub fn throughput_collect(ctx: &ExperimentContext) -> (TableSet, Vec<BenchRecord
     let batch = batch_records(ctx);
     let pool = pool_records(ctx);
     let handles = handle_records(ctx);
+    let memo = memo_records(ctx);
     let mut records = sweep.clone();
     records.extend(batch.clone());
     records.extend(pool.clone());
     records.extend(handles.clone());
+    records.extend(memo.clone());
     let mut tables = records_table(&sweep);
     tables.push(batch_table(&batch));
     tables.push(pool_table(&pool));
     tables.push(handle_table(&handles));
+    tables.push(memo_table(&memo));
     tables.push(pool_health_table(&pool_health_snapshot(ctx)));
     (tables, records)
 }
@@ -550,6 +654,29 @@ mod tests {
         assert_eq!(records[0].mean_quality, records[1].mean_quality);
         let table = handle_table(&records);
         assert_eq!(table.rows.len(), 2);
+    }
+
+    #[test]
+    fn memo_records_cover_the_resolve_ladder() {
+        let mut ctx = ExperimentContext::new(Scale::Smoke);
+        ctx.repeats = 1;
+        let records = memo_records(&ctx);
+        assert_eq!(records.len(), 3);
+        assert!(records[0].solver.ends_with("(cold start)"));
+        assert!(records[1].solver.ends_with("(warm start)"));
+        assert!(records[2].solver.ends_with("(memo hit)"));
+        for r in &records {
+            assert!(r.samples_per_sec > 0.0, "{}: no throughput", r.solver);
+            assert!(r.mean_quality.is_some(), "{}: infeasible", r.solver);
+            assert!(r.workload.contains("delta-resolve"));
+        }
+        // Warm-starting only tightens the incumbent: quality on the
+        // identical delta'd instance is >= the cold solve's.
+        assert!(records[1].mean_quality >= records[0].mean_quality);
+        // The memo hit replays the warm solve bit-identically.
+        assert_eq!(records[2].mean_quality, records[1].mean_quality);
+        let table = memo_table(&records);
+        assert_eq!(table.rows.len(), 3);
     }
 
     #[test]

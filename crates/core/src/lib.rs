@@ -8,6 +8,8 @@
 //! * [`willingness()`] — the objective `W(F) = Σ_i (η_i + Σ_j τ_{i,j})`
 //!   (Eq. 1), in full and incremental (marginal-gain) form;
 //! * [`Group`] — a validated solution with its willingness;
+//! * [`fingerprint`] — incrementally-updatable structural digests of an
+//!   instance, the key half of session-level solve memoization;
 //! * [`frontier`] — the `VS`/`VA` growth machinery shared by every solver:
 //!   a partial solution plus the candidate set of nodes neighbouring it,
 //!   with O(1) uniform sampling and running willingness;
@@ -19,6 +21,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod error;
+pub mod fingerprint;
 pub mod frontier;
 pub mod instance;
 pub mod scenario;
@@ -26,6 +29,7 @@ pub mod solution;
 pub mod willingness;
 
 pub use error::CoreError;
+pub use fingerprint::InstanceFingerprint;
 pub use frontier::{Frontier, GrowthWorkspace};
 pub use instance::WasoInstance;
 pub use solution::Group;

@@ -19,6 +19,9 @@
 //!   (Chaoji et al. \[3\]);
 //! * [`partition`] — seeded label-propagation community detection (the
 //!   decomposition stage of scale-adaptive solving);
+//! * [`delta`] — incremental mutations ([`GraphDelta`]): edges appear or
+//!   disappear, tightness and interest scores drift, node ids stay
+//!   stable — the substrate of session-level memo invalidation;
 //! * [`traversal`], [`subgraph`], [`metrics`], [`io`] — BFS/components,
 //!   induced subgraphs and ego networks, degree/clustering statistics, and
 //!   a plain-text interchange format;
@@ -31,6 +34,7 @@
 pub mod bitset;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod generate;
 pub mod io;
 pub mod metrics;
@@ -42,6 +46,7 @@ pub mod traversal;
 pub use bitset::BitSet;
 pub use builder::{GraphBuilder, GraphError};
 pub use csr::{NodeId, SocialGraph};
+pub use delta::{DeltaError, GraphDelta};
 pub use generate::GraphTopology;
 pub use partition::{label_propagation, Partition};
 pub use scores::{InterestModel, ScoreModel, TightnessModel};

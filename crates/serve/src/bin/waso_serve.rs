@@ -42,6 +42,14 @@ const USAGE: &str = "usage: waso-serve --graph FILE --k N --tenant NAME=QUOTA...
      [--listen ADDR] [--seed N] [--pool-threads N] [--max-running N] \
      [--shed-queued N] [--shed-pool-depth N]";
 
+/// Parses a numeric flag **at its native type**: a negative or
+/// overflowing value is the usual typed usage error, never a silent
+/// two's-complement wrap (`--k -1` used to become k = 2^64 - 1 via an
+/// `as usize` cast).
+fn parse_num<T: std::str::FromStr>(v: String, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad {what} '{v}'"))
+}
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut graph = None;
     let mut k = None;
@@ -62,26 +70,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .cloned()
                 .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
         };
-        let parse = |v: String, what: &str| -> Result<u64, String> {
-            v.parse().map_err(|_| format!("bad {what} '{v}'"))
-        };
         match arg.as_str() {
             "--graph" | "-g" => graph = Some(std::path::PathBuf::from(value("--graph")?)),
-            "--k" | "-k" => k = Some(parse(value("--k")?, "k")? as usize),
+            "--k" | "-k" => k = Some(parse_num(value("--k")?, "k")?),
             "--listen" => listen = value("--listen")?,
-            "--seed" => seed = parse(value("--seed")?, "seed")?,
+            "--seed" => seed = parse_num(value("--seed")?, "seed")?,
             "--pool-threads" => {
-                pool_threads = Some(parse(value("--pool-threads")?, "pool-threads")? as usize)
+                pool_threads = Some(parse_num(value("--pool-threads")?, "pool-threads")?)
             }
             "--tenant" => tenants.push(TenantConfig::parse(&value("--tenant")?)?),
             "--max-running" => {
-                max_running = Some(parse(value("--max-running")?, "max-running")? as usize)
+                max_running = Some(parse_num(value("--max-running")?, "max-running")?)
             }
             "--shed-queued" => {
-                shed_queued = Some(parse(value("--shed-queued")?, "shed-queued")? as usize)
+                shed_queued = Some(parse_num(value("--shed-queued")?, "shed-queued")?)
             }
             "--shed-pool-depth" => {
-                shed_pool_depth = Some(parse(value("--shed-pool-depth")?, "shed-pool-depth")?)
+                shed_pool_depth = Some(parse_num(value("--shed-pool-depth")?, "shed-pool-depth")?)
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
@@ -176,5 +181,67 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn numeric_flags_parse_at_native_types() {
+        let args = parse_args(&argv(&[
+            "--graph",
+            "g.waso",
+            "--k",
+            "4",
+            "--tenant",
+            "acme=2",
+            "--pool-threads",
+            "3",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(args.k, 4);
+        assert_eq!(args.pool_threads, Some(3));
+        assert_eq!(args.seed, 9);
+    }
+
+    #[test]
+    fn negative_values_are_typed_errors_not_wraps() {
+        // `--k -1` used to wrap to 2^64 - 1 via `parse::<u64>() as usize`.
+        for (flag, what) in [
+            ("--k", "k"),
+            ("--pool-threads", "pool-threads"),
+            ("--max-running", "max-running"),
+            ("--shed-queued", "shed-queued"),
+        ] {
+            let err = parse_args(&argv(&[
+                "--graph", "g.waso", "--k", "4", "--tenant", "acme=2", flag, "-1",
+            ]))
+            .err()
+            .unwrap();
+            assert_eq!(err, format!("bad {what} '-1'"), "flag {flag}");
+        }
+    }
+
+    #[test]
+    fn overflowing_values_are_typed_errors_not_truncations() {
+        let err = parse_args(&argv(&[
+            "--graph",
+            "g.waso",
+            "--k",
+            "99999999999999999999",
+            "--tenant",
+            "acme=2",
+        ]))
+        .err()
+        .unwrap();
+        assert_eq!(err, "bad k '99999999999999999999'");
     }
 }

@@ -35,7 +35,7 @@
 //! RUNNING <stages> <samples> [<willingness> <node,node,...>]
 //! DONE <termination> <willingness> <node,node,...> <samples>
 //! CANCELLED
-//! STATS queued=N running=N finished=N shed=N tenants=N pool_queued=N pool_workers=N
+//! STATS queued=N running=N finished=N shed=N tenants=N pool_queued=N pool_workers=N memo_hits=N memo_misses=N memo_invalidated=N
 //! ERR <CODE> [<message>]
 //! ```
 //!
@@ -279,6 +279,12 @@ pub struct StatsReply {
     pub pool_queued: u64,
     /// The shared pool's worker count.
     pub pool_workers: u64,
+    /// Solves the session answered from its memo (no solver ran).
+    pub memo_hits: u64,
+    /// Cacheable solves that had to run.
+    pub memo_misses: u64,
+    /// Memo entries invalidated by graph deltas.
+    pub memo_invalidated: u64,
 }
 
 /// A server → client message.
@@ -429,6 +435,9 @@ impl Response {
                         "tenants" => stats.tenants = value,
                         "pool_queued" => stats.pool_queued = value,
                         "pool_workers" => stats.pool_workers = value,
+                        "memo_hits" => stats.memo_hits = value,
+                        "memo_misses" => stats.memo_misses = value,
+                        "memo_invalidated" => stats.memo_invalidated = value,
                         other => return Err(format!("unknown stats key {other:?}")),
                     }
                 }
@@ -483,8 +492,18 @@ impl fmt::Display for Response {
             Response::Stats(s) => write!(
                 f,
                 "STATS queued={} running={} finished={} shed={} tenants={} \
-                 pool_queued={} pool_workers={}",
-                s.queued, s.running, s.finished, s.shed, s.tenants, s.pool_queued, s.pool_workers
+                 pool_queued={} pool_workers={} memo_hits={} memo_misses={} \
+                 memo_invalidated={}",
+                s.queued,
+                s.running,
+                s.finished,
+                s.shed,
+                s.tenants,
+                s.pool_queued,
+                s.pool_workers,
+                s.memo_hits,
+                s.memo_misses,
+                s.memo_invalidated
             ),
             Response::Error { code, message } => {
                 if message.is_empty() {

@@ -483,6 +483,7 @@ impl Inner {
 
     fn stats(&self) -> StatsReply {
         let pool = self.session.pool_stats();
+        let memo = self.session.memo_stats();
         let st = self.locked();
         StatsReply {
             queued: st.queue.len() as u64,
@@ -492,6 +493,9 @@ impl Inner {
             tenants: self.config.tenants.len() as u64,
             pool_queued: pool.as_ref().map_or(0, PoolStats::total_queued),
             pool_workers: pool.as_ref().map_or(0, |p| p.threads as u64),
+            memo_hits: memo.hits,
+            memo_misses: memo.misses,
+            memo_invalidated: memo.invalidated,
         }
     }
 

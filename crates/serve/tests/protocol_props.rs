@@ -82,7 +82,7 @@ proptest! {
         willingness in -1.0e15..1.0e15f64,
         nodes in collection::vec(0u32..2_000_000, 0..12),
         has_incumbent: bool,
-        counters in collection::vec(0u64..10_000_000, 7),
+        counters in collection::vec(0u64..10_000_000, 10),
         code_pick in 0u8..8,
         msg_seed in collection::vec(0u8..=255, 0..48),
         term_pick in 0u8..3,
@@ -110,6 +110,9 @@ proptest! {
                 tenants: counters[4],
                 pool_queued: counters[5],
                 pool_workers: counters[6],
+                memo_hits: counters[7],
+                memo_misses: counters[8],
+                memo_invalidated: counters[9],
             }),
             _ => Response::Error {
                 code: CODES[code_pick as usize],

@@ -78,6 +78,14 @@ fn usage(registry: &SolverRegistry) -> String {
     )
 }
 
+/// Parses a numeric flag **at its native type**: a negative or
+/// overflowing value is the usual typed usage error, never a silent
+/// two's-complement wrap (`--k -1` used to become k = 2^64 - 1 via an
+/// `as usize` cast).
+fn parse_num<T: std::str::FromStr>(v: String, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad {what} '{v}'"))
+}
+
 fn parse_args(argv: &[String], registry: &SolverRegistry) -> Result<Args, String> {
     let mut graph: Option<PathBuf> = None;
     let mut k: Option<usize> = None;
@@ -105,28 +113,27 @@ fn parse_args(argv: &[String], registry: &SolverRegistry) -> Result<Args, String
                 .cloned()
                 .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
         };
-        let parse = |v: String, what: &str| -> Result<u64, String> {
-            v.parse().map_err(|_| format!("bad {what} '{v}'"))
-        };
         match arg.as_str() {
             "--graph" | "-g" => graph = Some(PathBuf::from(value("--graph")?)),
-            "--k" | "-k" => k = Some(parse(value("--k")?, "k")? as usize),
+            "--k" | "-k" => k = Some(parse_num(value("--k")?, "k")?),
             "--algorithm" | "-a" => algorithm = value("--algorithm")?,
-            "--budget" | "-T" => budget = Some(parse(value("--budget")?, "budget")?),
-            "--stages" | "-r" => stages = Some(parse(value("--stages")?, "stages")? as u32),
+            "--budget" | "-T" => budget = Some(parse_num(value("--budget")?, "budget")?),
+            "--stages" | "-r" => stages = Some(parse_num(value("--stages")?, "stages")?),
             "--start-nodes" | "-m" => {
-                start_nodes = Some(parse(value("--start-nodes")?, "start-nodes")? as usize)
+                start_nodes = Some(parse_num(value("--start-nodes")?, "start-nodes")?)
             }
-            "--threads" => threads = Some(parse(value("--threads")?, "threads")? as usize),
-            "--deadline-ms" => deadline_ms = Some(parse(value("--deadline-ms")?, "deadline-ms")?),
-            "--patience" => patience = Some(parse(value("--patience")?, "patience")? as u32),
-            "--require" => require.push(parse(value("--require")?, "node id")? as u32),
+            "--threads" => threads = Some(parse_num(value("--threads")?, "threads")?),
+            "--deadline-ms" => {
+                deadline_ms = Some(parse_num(value("--deadline-ms")?, "deadline-ms")?)
+            }
+            "--patience" => patience = Some(parse_num(value("--patience")?, "patience")?),
+            "--require" => require.push(parse_num(value("--require")?, "node id")?),
             "--lambda" => {
                 let v = value("--lambda")?;
                 lambda = Some(v.parse().map_err(|_| format!("bad lambda '{v}'"))?);
             }
             "--disconnected" => disconnected = true,
-            "--seed" => seed = parse(value("--seed")?, "seed")?,
+            "--seed" => seed = parse_num(value("--seed")?, "seed")?,
             "--server" => server = Some(value("--server")?),
             "--tenant" => tenant = Some(value("--tenant")?),
             "--list-algorithms" => {
@@ -331,5 +338,72 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn numeric_flags_parse_at_native_types() {
+        let registry = waso::registry();
+        let args = parse_args(
+            &argv(&[
+                "--graph", "g.waso", "--k", "5", "--stages", "7", "--threads", "3", "--require",
+                "9", "--seed", "11",
+            ]),
+            &registry,
+        )
+        .unwrap();
+        assert!(matches!(args.mode, Mode::Local { k: 5, .. }));
+        assert_eq!(args.spec.stages, Some(7));
+        assert_eq!(args.spec.threads, Some(3));
+        assert_eq!(args.require, vec![9]);
+        assert_eq!(args.seed, 11);
+    }
+
+    #[test]
+    fn negative_values_are_typed_errors_not_wraps() {
+        let registry = waso::registry();
+        // `--k -1` used to wrap to 2^64 - 1 via `parse::<u64>() as usize`.
+        for (flag, what) in [
+            ("--k", "k"),
+            ("--stages", "stages"),
+            ("--start-nodes", "start-nodes"),
+            ("--threads", "threads"),
+            ("--patience", "patience"),
+            ("--require", "node id"),
+        ] {
+            let err = parse_args(
+                &argv(&["--graph", "g.waso", "--k", "3", flag, "-1"]),
+                &registry,
+            )
+            .unwrap_err();
+            assert_eq!(err, format!("bad {what} '-1'"), "flag {flag}");
+        }
+    }
+
+    #[test]
+    fn overflowing_values_are_typed_errors_not_truncations() {
+        let registry = waso::registry();
+        // Larger than u32::MAX: would have truncated through `as u32`.
+        let err = parse_args(
+            &argv(&["--graph", "g.waso", "--k", "3", "--stages", "4294967296"]),
+            &registry,
+        )
+        .unwrap_err();
+        assert_eq!(err, "bad stages '4294967296'");
+        // Larger than u64::MAX: rejected for u64-typed flags too.
+        let err = parse_args(
+            &argv(&["--graph", "g.waso", "--k", "3", "--budget", "99999999999999999999"]),
+            &registry,
+        )
+        .unwrap_err();
+        assert_eq!(err, "bad budget '99999999999999999999'");
     }
 }

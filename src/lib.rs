@@ -95,12 +95,12 @@ pub use waso_stats as stats;
 
 pub mod session;
 
-pub use session::{registry, SessionError, SolveHandle, WasoSession, DEFAULT_SEED};
+pub use session::{registry, MemoStats, SessionError, SolveHandle, WasoSession, DEFAULT_SEED};
 pub use waso_algos::{SolverRegistry, SolverSpec};
 
 /// One-line imports for the common build-graph → session → solve workflow.
 pub mod prelude {
-    pub use crate::session::{registry, SessionError, SolveHandle, WasoSession};
+    pub use crate::session::{registry, MemoStats, SessionError, SolveHandle, WasoSession};
     pub use waso_algos::{
         Capabilities, Cbas, CbasConfig, CbasNd, CbasNdConfig, DGreedy, Deal, Incumbent, JobControl,
         JobProgress, OnlinePlanner, ParallelCbasNd, PoolMode, PoolStats, RGreedy, RGreedyConfig,

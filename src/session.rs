@@ -68,17 +68,17 @@
 //! assert!(bounded.group.willingness() > 0.0);
 //! ```
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use waso_algos::{
     Incumbent, JobControl, JobProgress, SharedPool, SolveError, SolveResult, Solver,
-    SolverRegistry, SolverSpec, SpecError,
+    SolverRegistry, SolverSpec, SpecError, Termination,
 };
-use waso_core::{CoreError, WasoInstance};
-use waso_graph::{NodeId, SocialGraph};
+use waso_core::{CoreError, Group, InstanceFingerprint, WasoInstance};
+use waso_graph::{DeltaError, GraphDelta, NodeId, SocialGraph};
 
 /// The session's default seed — solves are reproducible out of the box,
 /// and explicitly seeded when exploration is wanted.
@@ -107,6 +107,10 @@ pub enum SessionError {
     /// The solver ran and failed (infeasible, or a constraint it cannot
     /// honour).
     Solve(SolveError),
+    /// A [`GraphDelta`] could not be applied to the session's graph
+    /// (unknown node, self-loop, adding an existing edge, removing a
+    /// missing one).
+    Delta(DeltaError),
 }
 
 impl fmt::Display for SessionError {
@@ -121,6 +125,7 @@ impl fmt::Display for SessionError {
             SessionError::Core(e) => write!(f, "invalid instance: {e}"),
             SessionError::Spec(e) => write!(f, "unusable solver spec: {e}"),
             SessionError::Solve(e) => write!(f, "solve failed: {e}"),
+            SessionError::Delta(e) => write!(f, "delta rejected: {e}"),
         }
     }
 }
@@ -143,6 +148,80 @@ impl From<SolveError> for SessionError {
     fn from(e: SolveError) -> Self {
         SessionError::Solve(e)
     }
+}
+
+impl From<DeltaError> for SessionError {
+    fn from(e: DeltaError) -> Self {
+        SessionError::Delta(e)
+    }
+}
+
+/// Counters of the session's solve memo (see
+/// [`WasoSession::memo_stats`]). Monotone over the session's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Solves answered from the memo — no solver ran, the cached
+    /// [`SolveResult`] was returned bit-identically in O(1).
+    pub hits: u64,
+    /// Cacheable solves that had to run (and, when they completed,
+    /// populated the memo). Wall-clock-bounded specs (`deadline_ms=`,
+    /// `deadline_from_submit=`) bypass the memo and count as neither.
+    pub misses: u64,
+    /// Cached entries dropped by [`WasoSession::apply`] because a delta
+    /// touched their group or its one-hop frontier. Each stashes its
+    /// group as a warm-start incumbent for the next matching solve.
+    pub invalidated: u64,
+}
+
+/// Memo key: everything a cached result's bits depend on — the instance
+/// fingerprint digest, the canonical spec rendering, the merged
+/// (session ∪ spec) required-attendee set, and the session seed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MemoKey {
+    digest: u64,
+    spec: String,
+    required: Vec<u32>,
+    seed: u64,
+}
+
+/// Warm-start key: a [`MemoKey`] minus the fingerprint — the incumbent
+/// of an invalidated entry applies to the *post-delta* instance,
+/// whatever its digest.
+type WarmKey = (String, Vec<u32>, u64);
+
+/// One cached solve.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    result: SolveResult,
+    /// The group's members plus their one-hop frontier, sorted. A delta
+    /// whose endpoints avoid this set cannot change the group's
+    /// willingness or feasibility, so the entry survives it.
+    touch: Vec<u32>,
+}
+
+/// The session's solve memo: completed results keyed by
+/// ([`InstanceFingerprint`], spec, constraints, seed), plus the
+/// warm-start incumbents of delta-invalidated entries. Shared (`Arc`)
+/// with job coordinators so finished solves insert their results.
+#[derive(Debug, Default)]
+struct SolveMemo {
+    entries: BTreeMap<MemoKey, MemoEntry>,
+    warm: BTreeMap<WarmKey, Vec<NodeId>>,
+    stats: MemoStats,
+}
+
+/// The sorted touch set of a cached result: the group's members plus
+/// their one-hop neighbourhood in the *solved* (λ-applied) graph.
+fn touch_set(instance: &WasoInstance, nodes: &[NodeId]) -> Vec<u32> {
+    let g = instance.graph();
+    let mut touch: Vec<u32> = Vec::new();
+    for &v in nodes {
+        touch.push(v.0);
+        touch.extend(g.neighbors(v).iter().copied());
+    }
+    touch.sort_unstable();
+    touch.dedup();
+    touch
 }
 
 /// A configured solving context: graph + constraints + seed policy +
@@ -187,6 +266,12 @@ pub struct WasoSession {
     /// The worker pool every pooled solve of this session runs over —
     /// attached, or spawned on first pooled use.
     pool: Mutex<Option<Arc<SharedPool>>>,
+    /// The solve memo. `Arc`-shared with job coordinators so completed
+    /// solves insert their results after `submit` has returned.
+    memo: Arc<Mutex<SolveMemo>>,
+    /// The instance fingerprint, computed once per configuration and
+    /// updated *incrementally* by [`WasoSession::apply`].
+    fingerprint_cache: Mutex<Option<InstanceFingerprint>>,
 }
 
 impl WasoSession {
@@ -205,12 +290,18 @@ impl WasoSession {
             batch_width: None,
             instance_cache: Mutex::new(None),
             pool: Mutex::new(None),
+            memo: Arc::new(Mutex::new(SolveMemo::default())),
+            fingerprint_cache: Mutex::new(None),
         }
     }
 
-    /// Forgets the cached instance after a configuration change.
+    /// Forgets the cached instance (and its fingerprint) after a
+    /// configuration change. The memo itself survives: entries are keyed
+    /// by fingerprint, so a changed configuration simply stops matching
+    /// them — and matches them again if it is changed back.
     fn invalidate_instance(&mut self) {
         *self.instance_cache.get_mut().expect("unpoisoned cache") = None;
+        *self.fingerprint_cache.get_mut().expect("unpoisoned cache") = None;
     }
 
     /// Sets the group size `k` (mandatory).
@@ -377,7 +468,9 @@ impl WasoSession {
     pub fn submit(&self, spec: &SolverSpec) -> Result<SolveHandle, SessionError> {
         let instance = self.shared_instance()?;
         let (task, handle) = self.prepare_job(&instance, spec)?;
-        spawn_coordinators("waso-job", VecDeque::from([task]), 1);
+        if let Some(task) = task {
+            spawn_coordinators("waso-job", VecDeque::from([task]), 1);
+        }
         Ok(handle)
     }
 
@@ -411,7 +504,10 @@ impl WasoSession {
         for spec in specs {
             match self.prepare_job(&instance, spec) {
                 Ok((task, handle)) => {
-                    queue.push_back(task);
+                    // A memo hit yields no task: the handle is pre-loaded.
+                    if let Some(task) = task {
+                        queue.push_back(task);
+                    }
                     handles.push(handle);
                 }
                 Err(e) => handles.push(SolveHandle::failed(e)),
@@ -458,7 +554,9 @@ impl WasoSession {
                 .and_then(|spec| self.prepare_job(&instance, &spec))
             {
                 Ok((task, handle)) => {
-                    queue.push_back(task);
+                    if let Some(task) = task {
+                        queue.push_back(task);
+                    }
                     handles.push(handle);
                 }
                 Err(e) => handles.push(SolveHandle::failed(e)),
@@ -473,11 +571,15 @@ impl WasoSession {
     /// resolves and builds the solver, binds the (lazily spawned) worker
     /// pool, and wires up the control/result/incumbent plumbing shared
     /// with the job's [`SolveHandle`].
+    ///
+    /// A memo hit short-circuits everything after validation: the
+    /// returned task is `None` and the handle is pre-loaded with the
+    /// cached result — bit-identical to the solve that produced it.
     fn prepare_job(
         &self,
         instance: &Arc<WasoInstance>,
         spec: &SolverSpec,
-    ) -> Result<(JobTask, SolveHandle), SessionError> {
+    ) -> Result<(Option<JobTask>, SolveHandle), SessionError> {
         // Union of session-level and spec-level required attendees,
         // first-mention order. The merged set is re-validated: the spec
         // half never went through `instance()`.
@@ -496,7 +598,40 @@ impl WasoSession {
             return Err(SolveError::RequiredUnsupported { solver: entry.name }.into());
         }
 
-        let solver = self.registry.build(spec)?;
+        // Memo consult — after spec resolution (an entry can only exist
+        // for a spec that once built, but the cheap capability checks
+        // should fail loudly either way), before solver construction.
+        let memo_key = self.memo_key(instance, spec, &required);
+        if let Some(key) = &memo_key {
+            let mut memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(result) = memo.entries.get(key).map(|e| e.result.clone()) {
+                memo.stats.hits += 1;
+                drop(memo);
+                return Ok((None, SolveHandle::cached(result)));
+            }
+            memo.stats.misses += 1;
+        }
+
+        let mut solver = self.registry.build(spec)?;
+        // Warm start: if a delta invalidated a cached entry for exactly
+        // this (spec, constraints, seed), its old group seeds the solver
+        // as the incumbent to beat (consumed once; solvers without
+        // warm-start support ignore it). The incumbent is re-validated
+        // against the *current* instance — a group the delta made
+        // infeasible is dropped, it was only ever a hint.
+        if let Some(key) = &memo_key {
+            let stashed = self
+                .memo
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .warm
+                .remove(&(key.spec.clone(), key.required.clone(), key.seed));
+            if let Some(nodes) = stashed {
+                if let Ok(group) = Group::new(instance, nodes) {
+                    solver.warm_start(&group);
+                }
+            }
+        }
         // Pooled solve: run as a job of the session pool (attached, or
         // spawned on first use), so worker threads outlive — and are
         // shared by — every pooled solve, of this session and of any
@@ -524,6 +659,7 @@ impl WasoSession {
             pool,
             control: Arc::clone(&control),
             result_tx,
+            memo: memo_key.map(|key| (Arc::clone(&self.memo), key)),
         };
         let handle = SolveHandle {
             control,
@@ -531,7 +667,125 @@ impl WasoSession {
             result_rx,
             result: None,
         };
-        Ok((task, handle))
+        Ok((Some(task), handle))
+    }
+
+    /// The memo key for a solve, or `None` when the solve is not
+    /// cacheable: wall-clock-bounded specs (`deadline_ms=`,
+    /// `deadline_from_submit=`) can stop anywhere, so their results are
+    /// not a pure function of the key.
+    fn memo_key(
+        &self,
+        instance: &WasoInstance,
+        spec: &SolverSpec,
+        required: &[NodeId],
+    ) -> Option<MemoKey> {
+        if spec.deadline_ms.is_some() || spec.deadline_from_submit.is_some() {
+            return None;
+        }
+        let digest = {
+            let mut cache = self
+                .fingerprint_cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            cache
+                .get_or_insert_with(|| InstanceFingerprint::of(instance))
+                .digest()
+        };
+        let mut req: Vec<u32> = required.iter().map(|v| v.0).collect();
+        req.sort_unstable();
+        Some(MemoKey {
+            digest,
+            spec: spec.to_string(),
+            required: req,
+            seed: self.seed,
+        })
+    }
+
+    /// A snapshot of the session's memo counters (hits, misses,
+    /// delta invalidations).
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.lock().unwrap_or_else(PoisonError::into_inner).stats
+    }
+
+    /// Applies a [`GraphDelta`] to the session's graph **in place**:
+    /// re-fingerprints incrementally (only the delta's endpoints are
+    /// re-hashed), and sweeps the memo — entries whose group or one-hop
+    /// frontier touches the delta are invalidated (their groups stashed
+    /// as warm-start incumbents for the next matching solve), every
+    /// other entry survives, re-keyed to the new fingerprint.
+    ///
+    /// The delta is validated first and a rejected delta
+    /// ([`SessionError::Delta`]) changes nothing. Node count and
+    /// identity never change: a cached group means the same attendees
+    /// before and after any number of deltas.
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<(), SessionError> {
+        let new_graph = delta.apply(&self.graph)?;
+
+        // The pre-delta fingerprint, cached or recomputed — the memo
+        // generation to sweep. Unavailable only when the session cannot
+        // build an instance at all (`k` unset, bad λ): then no solve has
+        // run under this configuration and there is nothing to sweep.
+        let old_fp = match self
+            .fingerprint_cache
+            .get_mut()
+            .expect("unpoisoned cache")
+            .take()
+        {
+            Some(fp) => Some(fp),
+            None => self.instance().ok().map(|i| InstanceFingerprint::of(&i)),
+        };
+
+        self.graph = new_graph;
+        self.invalidate_instance();
+
+        let Some(old_fp) = old_fp else { return Ok(()) };
+        let old_digest = old_fp.digest();
+
+        // Incremental re-fingerprint: the λ transform and the node hash
+        // are both node-local, so only the delta's endpoints re-hash —
+        // O(Σ degree(endpoint)), not O(graph).
+        let instance = self.shared_instance()?;
+        let mut new_fp = old_fp;
+        for v in delta.touched() {
+            new_fp.update_node(&instance, v);
+        }
+        let new_digest = new_fp.digest();
+        *self.fingerprint_cache.get_mut().expect("unpoisoned cache") = Some(new_fp);
+
+        // Memo sweep over the pre-delta generation. Entries under other
+        // digests (older configurations) are left alone: their keys can
+        // only match again if the configuration reverts *and* the graph
+        // fingerprints back to that exact state.
+        let touched: Vec<u32> = delta.touched().iter().map(|v| v.0).collect();
+        let mut memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
+        let keys: Vec<MemoKey> = memo
+            .entries
+            .keys()
+            .filter(|k| k.digest == old_digest)
+            .cloned()
+            .collect();
+        for key in keys {
+            let Some(entry) = memo.entries.remove(&key) else {
+                continue;
+            };
+            if touched.iter().any(|t| entry.touch.binary_search(t).is_ok()) {
+                memo.stats.invalidated += 1;
+                memo.warm.insert(
+                    (key.spec, key.required, key.seed),
+                    entry.result.group.nodes().to_vec(),
+                );
+            } else {
+                memo.entries.insert(
+                    MemoKey {
+                        digest: new_digest,
+                        ..key
+                    },
+                    entry,
+                );
+            }
+        }
+        Ok(())
     }
 
     /// The session's pool, spawning a private one sized
@@ -587,6 +841,10 @@ struct JobTask {
     pool: Option<Arc<SharedPool>>,
     control: Arc<JobControl>,
     result_tx: Sender<Result<SolveResult, SessionError>>,
+    /// Memo insertion slot: when present, a cleanly-completed result is
+    /// cached under `key`, with its touch set computed over the solved
+    /// instance.
+    memo: Option<(Arc<Mutex<SolveMemo>>, MemoKey)>,
 }
 
 impl JobTask {
@@ -611,10 +869,28 @@ impl JobTask {
                 self.solver.name()
             );
         }
+        // Memoize clean completions only: a cancelled or deadline-cut
+        // result is whatever the job had when it was stopped, not a pure
+        // function of (instance, spec, seed) — serving it to a later
+        // uninterrupted solve would break the bit-identity contract.
+        if let (Some((memo, key)), Ok(result)) = (&self.memo, &outcome) {
+            if result.stats.termination == Termination::Completed {
+                let touch = touch_set(&self.instance, result.group.nodes());
+                let entry = MemoEntry {
+                    result: result.clone(),
+                    touch,
+                };
+                memo.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entries
+                    .insert(key.clone(), entry);
+            }
+        }
         // Release the job's resources — above all its pool Arc — BEFORE
         // publishing the result: a caller that has observed the outcome
         // must also observe the job's references gone (e.g. a session
         // dropped right after a batch asserts the pool was released).
+        self.memo = None;
         self.pool = None;
         drop(self.solver);
         self.control.finish();
@@ -691,6 +967,29 @@ impl SolveHandle {
         control.finish();
         let (result_tx, result_rx) = channel();
         let _ = result_tx.send(Err(error));
+        Self {
+            control,
+            incumbents,
+            result_rx,
+            result: None,
+        }
+    }
+
+    /// A handle whose job was answered from the session memo: the cached
+    /// result is pre-loaded (bit-identical to the solve that produced
+    /// it), the control reports the original solve's final progress, and
+    /// no thread is spawned — `wait`/`try_result` return in O(1).
+    fn cached(result: SolveResult) -> Self {
+        let control = Arc::new(JobControl::new());
+        let incumbents = control.take_incumbents();
+        control.publish_stage(
+            result.stats.stages,
+            result.stats.samples_drawn,
+            Some((result.group.willingness(), result.group.nodes())),
+        );
+        control.finish();
+        let (result_tx, result_rx) = channel();
+        let _ = result_tx.send(Ok(result));
         Self {
             control,
             incumbents,

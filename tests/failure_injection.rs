@@ -47,8 +47,16 @@ fn worker_panic_mid_stage_is_invisible_and_heals_the_pool() {
     assert_eq!(pool.respawned_workers(), 1, "the dead worker was respawned");
 
     // The *next* solve on the same session succeeds on the healed pool.
-    let next = session.solve(&spec()).unwrap();
-    assert_eq!(next.group, healthy.group);
+    // A repeat of the identical spec would be a memo hit (bit-identical,
+    // but no pool traffic), so nudge the budget to force a real run.
+    let next_spec = spec().budget(61);
+    let next = session.solve(&next_spec).unwrap();
+    let next_healthy = WasoSession::new(graph.clone())
+        .k(5)
+        .seed(7)
+        .solve(&next_spec)
+        .unwrap();
+    assert_eq!(next.group, next_healthy.group);
     assert_eq!(pool.respawned_workers(), 1, "healed once, healed for good");
 }
 
@@ -149,15 +157,23 @@ fn session_drop_mid_batch_after_job_errors_neither_hangs_nor_leaks() {
 #[test]
 fn repeated_injections_keep_healing() {
     let graph = synthetic::facebook_like_n(60, 3);
-    let healthy = baseline(&graph);
     let pool = Arc::new(SharedPool::new(3));
     let session = WasoSession::new(graph.clone())
         .k(5)
         .seed(7)
         .attach_pool(Arc::clone(&pool));
     for round in 1..=3u64 {
+        // Distinct budgets per round: a repeat of an identical spec is a
+        // memo hit that never reaches the pool, and this test is about
+        // the pool healing under repeated injections.
+        let round_spec = spec().budget(50 + 10 * round);
+        let healthy = WasoSession::new(graph.clone())
+            .k(5)
+            .seed(7)
+            .solve(&round_spec)
+            .unwrap();
         pool.inject_worker_panic((round as usize) % 3, round % 4);
-        let wounded = session.solve(&spec()).unwrap();
+        let wounded = session.solve(&round_spec).unwrap();
         assert_eq!(wounded.group, healthy.group, "round {round}");
         assert_eq!(pool.respawned_workers(), round, "round {round}");
     }
