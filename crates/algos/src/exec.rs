@@ -143,14 +143,21 @@ impl StageShared {
         self.vectors.write().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Out-of-range start indices read as "stalled": a worker holding a
+    /// stale index must not draw from it, and certainly must not panic
+    /// on the solve path.
     #[inline]
     fn is_stalled(&self, start_index: u32) -> bool {
-        self.stalled[start_index as usize].load(Ordering::Relaxed)
+        self.stalled
+            .get(start_index as usize)
+            .is_none_or(|s| s.load(Ordering::Relaxed))
     }
 
     #[inline]
     fn mark_stalled(&self, start_index: u32) {
-        self.stalled[start_index as usize].store(true, Ordering::Relaxed);
+        if let Some(s) = self.stalled.get(start_index as usize) {
+            s.store(true, Ordering::Relaxed);
+        }
     }
 }
 
@@ -254,11 +261,11 @@ fn draw_span(
     let vectors = shared.read_vectors();
     let mut j = span.offset;
     let mut left = span.limit;
-    while j < items.len() && left > 0 {
+    while left > 0 {
         if stop.is_some_and(|s| s.stop_requested()) {
             return false;
         }
-        let item = items[j];
+        let Some(&item) = items.get(j) else { break };
         if !shared.is_stalled(item.start_index) {
             let s = draw_item(sampler, instance, item, &vectors, stage, seed, partial);
             if s.is_none() {

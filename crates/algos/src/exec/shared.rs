@@ -161,6 +161,7 @@ impl FailPoint {
             *plan = None;
             self.armed.store(false, Ordering::SeqCst);
             drop(plan); // release before unwinding — don't poison the hook
+                        // audit:allow(P2): test-only fault-injection hook — panicking on cue is its entire purpose, and it only fires when a test arms it
             panic!("injected failure: shared-pool worker {slot} at stage {stage}");
         }
     }
@@ -283,6 +284,7 @@ fn spawn_worker(
     let handle = std::thread::Builder::new()
         .name(format!("waso-pool-{slot}"))
         .spawn(move || worker_loop(slot, rx, fail, gauge))
+        // audit:allow(P2): thread exhaustion at pool construction/heal — a pool that cannot run workers cannot make progress, so fail fast
         .expect("spawning a shared-pool worker thread");
     (tx, handle)
 }
@@ -383,9 +385,11 @@ impl SharedPool {
         let gauges: Vec<Arc<WorkerGauge>> = (0..threads)
             .map(|_| Arc::new(WorkerGauge::default()))
             .collect();
-        let slots = (0..threads)
-            .map(|s| {
-                let (tx, handle) = spawn_worker(s, Arc::clone(&fail), Arc::clone(&gauges[s]));
+        let slots = gauges
+            .iter()
+            .enumerate()
+            .map(|(s, gauge)| {
+                let (tx, handle) = spawn_worker(s, Arc::clone(&fail), Arc::clone(gauge));
                 Mutex::new(Slot {
                     generation: 0,
                     tx,
@@ -505,9 +509,12 @@ impl SharedPool {
     /// worker first when the caller observed generation `seen_dead` fail.
     /// Slot locks serialize respawns: whichever coordinator gets there
     /// first replaces the thread, everyone else sees the bumped
-    /// generation and just re-attaches.
-    fn live_slot(&self, slot: usize, seen_dead: Option<u64>) -> (Sender<WorkerMsg>, u64) {
-        let mut guard = self.slots[slot]
+    /// generation and just re-attaches. `None` for an out-of-range slot
+    /// — callers treat that like a dead worker they cannot heal.
+    fn live_slot(&self, slot: usize, seen_dead: Option<u64>) -> Option<(Sender<WorkerMsg>, u64)> {
+        let mut guard = self
+            .slots
+            .get(slot)?
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         if seen_dead == Some(guard.generation) {
@@ -516,14 +523,14 @@ impl SharedPool {
                 // its Err payload, which the respawn supersedes.
                 let _ = handle.join();
             }
-            let (tx, handle) =
-                spawn_worker(slot, Arc::clone(&self.fail), Arc::clone(&self.gauges[slot]));
+            let gauge = self.gauges.get(slot).map(Arc::clone).unwrap_or_default();
+            let (tx, handle) = spawn_worker(slot, Arc::clone(&self.fail), gauge);
             guard.tx = tx;
             guard.handle = Some(handle);
             guard.generation += 1;
             self.respawns.fetch_add(1, Ordering::SeqCst);
         }
-        (guard.tx.clone(), guard.generation)
+        Some((guard.tx.clone(), guard.generation))
     }
 }
 
@@ -575,7 +582,11 @@ impl PoolJob<'_> {
     fn relink(&mut self, slot: usize, seen_dead: Option<u64>) {
         let mut seen = seen_dead;
         for _ in 0..MAX_HEALS_PER_CHUNK {
-            let (tx, generation) = self.pool.live_slot(slot, seen);
+            // An out-of-range slot cannot be healed; fall through to the
+            // give-up abort below instead of indexing out of bounds.
+            let Some((tx, generation)) = self.pool.live_slot(slot, seen) else {
+                break;
+            };
             let (reply_tx, reply_rx) = channel();
             let attached = tx
                 .send(WorkerMsg::Attach {
@@ -590,8 +601,8 @@ impl PoolJob<'_> {
                     generation,
                     reply_rx,
                 };
-                if slot < self.links.len() {
-                    self.links[slot] = link;
+                if let Some(l) = self.links.get_mut(slot) {
+                    *l = link;
                 } else {
                     debug_assert_eq!(slot, self.links.len());
                     self.links.push(link);
@@ -602,6 +613,7 @@ impl PoolJob<'_> {
             // generation as dead too and try again.
             seen = Some(generation);
         }
+        // audit:allow(P2): designed abort — after MAX_HEALS_PER_CHUNK consecutive respawn failures the host is too sick to solve; the serve waiter thread shields jobs with catch_unwind
         panic!("shared-pool worker {slot} died {MAX_HEALS_PER_CHUNK} times in a row; giving up");
     }
 
@@ -625,7 +637,13 @@ impl PoolJob<'_> {
             recycled,
         };
         loop {
-            match self.links[slot].tx.send(msg) {
+            // deal_spans only produces slots in 0..links.len(), so a
+            // missing link is unreachable; drop the chunk over panicking.
+            let Some(link) = self.links.get(slot) else {
+                debug_assert!(false, "dispatch to unlinked slot {slot}");
+                return;
+            };
+            match link.tx.send(msg) {
                 Ok(()) => {
                     self.pool.track_depth(self.id, Some(1));
                     return;
@@ -634,7 +652,7 @@ impl PoolJob<'_> {
                     // Dead worker noticed at dispatch: heal, then re-send
                     // the identical chunk. relink panics if replacements
                     // keep dying, so this loop terminates.
-                    let seen = self.links[slot].generation;
+                    let seen = link.generation;
                     self.relink(slot, Some(seen));
                     msg = undelivered;
                 }
@@ -654,14 +672,21 @@ impl PoolJob<'_> {
         results: &mut [Option<Sample>],
     ) -> bool {
         for _ in 0..MAX_HEALS_PER_CHUNK {
-            match self.links[slot].reply_rx.recv() {
+            // Same invariant as dispatch: every dealt slot has a link.
+            let Some(link) = self.links.get(slot) else {
+                debug_assert!(false, "collect from unlinked slot {slot}");
+                return false;
+            };
+            match link.reply_rx.recv() {
                 Ok(ChunkReply {
                     mut buf,
                     empties,
                     complete,
                 }) => {
                     for (j, s) in buf.drain(..) {
-                        results[j] = s;
+                        if let Some(r) = results.get_mut(j) {
+                            *r = s;
+                        }
                     }
                     self.spares.bufs.push(buf);
                     self.spares.recycle_containers.push(empties);
@@ -674,20 +699,23 @@ impl PoolJob<'_> {
                     // reply before disconnecting), so re-issuing the span
                     // draws each exactly once. The dead worker's buffers
                     // are gone; the replacement starts with fresh ones.
-                    let seen = self.links[slot].generation;
+                    let seen = link.generation;
                     self.relink(slot, Some(seen));
-                    let _ = self.links[slot].tx.send(WorkerMsg::Chunk {
-                        job: self.id,
-                        stage,
-                        span,
-                        buf: Vec::new(),
-                        recycled: Vec::new(),
-                    });
+                    if let Some(link) = self.links.get(slot) {
+                        let _ = link.tx.send(WorkerMsg::Chunk {
+                            job: self.id,
+                            stage,
+                            span,
+                            buf: Vec::new(),
+                            recycled: Vec::new(),
+                        });
+                    }
                     // A failed re-send means the replacement died too; the
                     // next recv errors immediately and we heal again.
                 }
             }
         }
+        // audit:allow(P2): designed abort — after MAX_HEALS_PER_CHUNK consecutive worker deaths on one chunk the host is too sick to solve; the serve waiter thread shields jobs with catch_unwind
         panic!(
             "shared-pool worker {slot} died {MAX_HEALS_PER_CHUNK} times re-drawing one chunk; giving up"
         );

@@ -457,7 +457,10 @@ mod tests {
         assert!(!plan.contains(outsider));
         assert_eq!(planner.replans(), 2);
         let recomputed = Group::new(&planner.instance, plan.nodes().to_vec()).unwrap();
-        assert_eq!(plan.willingness().to_bits(), recomputed.willingness().to_bits());
+        assert_eq!(
+            plan.willingness().to_bits(),
+            recomputed.willingness().to_bits()
+        );
     }
 
     #[test]

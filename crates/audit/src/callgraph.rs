@@ -1,0 +1,373 @@
+//! A conservative workspace call graph over the item trees.
+//!
+//! Resolution is name-based and deliberately over-approximate — the
+//! worst-case reading the interprocedural rules need:
+//!
+//! * `.m(…)` (method call) resolves to **every** workspace method named
+//!   `m` — receiver types are not inferred, so an ambiguous name edges
+//!   to all candidates.
+//! * `Seg::f(…)` resolves to `Seg`'s method `f` when `Seg` names a known
+//!   workspace `impl`/`trait` self-type (`Self` maps to the caller's
+//!   own type); an unknown segment (std/vendor types, enum variants of
+//!   local enums) resolves to **all** workspace fns named `f` when the
+//!   segment is lowercase-module-like (`crate::mix_seed`), and to
+//!   nothing when it is a foreign type (`Vec::new`).
+//! * bare `f(…)` resolves to every workspace *free* fn named `f`.
+//!
+//! Callees with no workspace candidate at all (std, vendored crates) get
+//! no edge: their panic behaviour is governed by the token-level base
+//! facts (`unwrap`, indexing, …) at the call site, not the graph.
+//!
+//! `std::panic::catch_unwind(...)` is modelled as a **panic barrier**:
+//! call sites (and panic facts) lexically inside its argument list are
+//! marked `barriered` and the panic-reachability rule does not walk
+//! through them — the workspace uses `catch_unwind` precisely where a
+//! solver-subtree panic is converted into a typed error.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::{item_tree, ItemTree};
+use crate::lexer::Lexed;
+
+/// One analyzed file: the shared per-file artifacts every
+/// interprocedural pass consumes.
+pub struct FileIndex {
+    /// Workspace-relative label (diagnostics carry it).
+    pub rel: String,
+    pub lexed: Lexed,
+    /// Test mask, parallel to `lexed.tokens`.
+    pub skip: Vec<bool>,
+    pub tree: ItemTree,
+    /// Token → innermost owning fn (index into `tree.fns`).
+    pub owner: Vec<Option<usize>>,
+    /// Tokens lexically inside a `catch_unwind(...)` argument list.
+    pub barriered: Vec<bool>,
+}
+
+impl FileIndex {
+    pub fn build(rel: String, lexed: Lexed, skip: Vec<bool>) -> Self {
+        let tree = item_tree(&lexed, &skip);
+        let owner = tree.owner_map(lexed.tokens.len());
+        let barriered = barrier_mask(&lexed);
+        FileIndex {
+            rel,
+            lexed,
+            skip,
+            tree,
+            owner,
+            barriered,
+        }
+    }
+}
+
+/// Global fn id: (file index, fn index within that file's tree).
+pub type FnId = usize;
+
+/// One call edge out of a function.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub callee: FnId,
+    pub line: u32,
+    /// Inside a `catch_unwind` argument — a panic barrier for P2.
+    pub barriered: bool,
+    /// Token index of the callee name (ordering key for L2 held-lock
+    /// interleaving).
+    pub tok: usize,
+}
+
+/// A function node: where it lives plus its resolved out-edges.
+pub struct FnNode {
+    pub file: usize,
+    pub item: usize,
+    pub calls: Vec<CallSite>,
+}
+
+pub struct CallGraph {
+    pub fns: Vec<FnNode>,
+    /// (file, fn-in-file) → global id.
+    pub ids: BTreeMap<(usize, usize), FnId>,
+}
+
+impl CallGraph {
+    pub fn qualified(&self, files: &[FileIndex], id: FnId) -> String {
+        let n = &self.fns[id];
+        files[n.file].tree.fns[n.item].qualified.clone()
+    }
+
+    /// Builds the graph over `files`. Test fns get no node — the
+    /// contracts bind shipping code only.
+    pub fn build(files: &[FileIndex]) -> CallGraph {
+        let mut fns = Vec::new();
+        let mut ids = BTreeMap::new();
+        // Name indices for resolution.
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut by_type_method: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        let mut known_types: BTreeSet<&str> = BTreeSet::new();
+
+        for (fi, file) in files.iter().enumerate() {
+            for (ii, item) in file.tree.fns.iter().enumerate() {
+                if item.is_test {
+                    continue;
+                }
+                let id = fns.len();
+                ids.insert((fi, ii), id);
+                fns.push(FnNode {
+                    file: fi,
+                    item: ii,
+                    calls: Vec::new(),
+                });
+                by_name.entry(&item.name).or_default().push(id);
+                match &item.self_type {
+                    Some(t) => {
+                        by_type_method
+                            .entry((t.as_str(), item.name.as_str()))
+                            .or_default()
+                            .push(id);
+                        methods_by_name.entry(&item.name).or_default().push(id);
+                        known_types.insert(t);
+                    }
+                    None => free_by_name.entry(&item.name).or_default().push(id),
+                }
+            }
+        }
+
+        let mut graph = CallGraph { fns, ids };
+        for (fi, file) in files.iter().enumerate() {
+            for (caller, site) in call_sites(file, fi, &graph) {
+                let (idx, line, barriered, tok) = site;
+                let item = &file.tree.fns[graph.fns[caller].item];
+                let callees = resolve(
+                    file,
+                    idx,
+                    item.self_type.as_deref(),
+                    &by_name,
+                    &free_by_name,
+                    &methods_by_name,
+                    &by_type_method,
+                    &known_types,
+                );
+                for callee in callees {
+                    graph.fns[caller].calls.push(CallSite {
+                        callee,
+                        line,
+                        barriered,
+                        tok,
+                    });
+                }
+            }
+        }
+        graph
+    }
+}
+
+/// Keywords that look like `ident (` but are not calls.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "match"
+            | "for"
+            | "return"
+            | "loop"
+            | "fn"
+            | "move"
+            | "in"
+            | "as"
+            | "else"
+            | "let"
+            | "mut"
+            | "ref"
+            | "box"
+            | "await"
+            | "where"
+            | "impl"
+            | "dyn"
+    )
+}
+
+/// Every syntactic call site in `file`, as
+/// `(caller global id, (callee-name token idx, line, barriered, tok))`.
+fn call_sites(
+    file: &FileIndex,
+    fi: usize,
+    graph: &CallGraph,
+) -> Vec<(FnId, (usize, u32, bool, usize))> {
+    let mut out = Vec::new();
+    for (idx, tok) in file.lexed.tokens.iter().enumerate() {
+        if file.skip[idx] {
+            continue;
+        }
+        let Some(name) = file.lexed.ident(idx) else {
+            continue;
+        };
+        if file.lexed.punct(idx + 1) != Some(b'(') || is_keyword(name) {
+            continue;
+        }
+        if idx >= 1 && file.lexed.ident(idx - 1) == Some("fn") {
+            continue; // `fn name(…)` — a declaration, not a call
+        }
+        let Some(owner_item) = file.owner[idx] else {
+            continue; // outside any fn (const initializer, …)
+        };
+        let Some(&caller) = graph.ids.get(&(fi, owner_item)) else {
+            continue; // test fn
+        };
+        let barriered = file.barriered.get(idx).copied().unwrap_or(false);
+        out.push((caller, (idx, tok.line, barriered, idx)));
+    }
+    out
+}
+
+/// Resolves the callee-name token at `idx` per the module-level rules.
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    file: &FileIndex,
+    idx: usize,
+    caller_self: Option<&str>,
+    by_name: &BTreeMap<&str, Vec<FnId>>,
+    free_by_name: &BTreeMap<&str, Vec<FnId>>,
+    methods_by_name: &BTreeMap<&str, Vec<FnId>>,
+    by_type_method: &BTreeMap<(&str, &str), Vec<FnId>>,
+    known_types: &BTreeSet<&str>,
+) -> Vec<FnId> {
+    let lexed = &file.lexed;
+    let name = lexed.ident(idx).unwrap_or_default();
+    // `.m(…)`: any workspace *method* named m — a free fn cannot be a
+    // `.m()` target without UFCS, which this codebase does not use.
+    if idx >= 1 && lexed.punct(idx - 1) == Some(b'.') {
+        return methods_by_name.get(name).cloned().unwrap_or_default();
+    }
+    // `Seg::f(…)`.
+    if idx >= 3 && lexed.punct(idx - 1) == Some(b':') && lexed.punct(idx - 2) == Some(b':') {
+        if let Some(seg) = lexed.ident(idx - 3) {
+            let seg = if seg == "Self" {
+                caller_self.unwrap_or(seg)
+            } else {
+                seg
+            };
+            if known_types.contains(seg) {
+                return by_type_method
+                    .get(&(seg, name))
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            if seg.chars().next().is_some_and(char::is_uppercase) {
+                // Foreign type (Vec, StdRng, …): out of the workspace
+                // contract — base facts at the call site govern.
+                return Vec::new();
+            }
+            // Module-qualified (`crate::mix_seed`, `exec::take_share`):
+            // worst case, all workspace fns of that name.
+            return by_name.get(name).cloned().unwrap_or_default();
+        }
+        return by_name.get(name).cloned().unwrap_or_default();
+    }
+    // Bare `f(…)`: free fns of that name.
+    free_by_name.get(name).cloned().unwrap_or_default()
+}
+
+/// Marks every token inside the argument list of a
+/// `catch_unwind(...)` call.
+fn barrier_mask(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let mut mask = vec![false; toks.len()];
+    for i in 0..toks.len() {
+        if lexed.ident(i) != Some("catch_unwind") || lexed.punct(i + 1) != Some(b'(') {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match lexed.punct(j) {
+                Some(b'(') => depth += 1,
+                Some(b')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            mask[j] = true;
+            j += 1;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_skip_mask;
+
+    fn index(rel: &str, src: &str) -> FileIndex {
+        let lexed = lex(src);
+        let skip = test_skip_mask(&lexed);
+        FileIndex::build(rel.to_string(), lexed, skip)
+    }
+
+    fn edges(files: &[FileIndex]) -> Vec<(String, String, bool)> {
+        let g = CallGraph::build(files);
+        let mut out = Vec::new();
+        for (id, node) in g.fns.iter().enumerate() {
+            for c in &node.calls {
+                out.push((
+                    g.qualified(files, id),
+                    g.qualified(files, c.callee),
+                    c.barriered,
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn methods_resolve_worst_case_and_free_fns_bare() {
+        let files = vec![
+            index(
+                "a.rs",
+                "impl Server { fn dispatch(&self) { self.session.submit(); helper(); } }\n",
+            ),
+            index(
+                "b.rs",
+                "impl Session { fn submit(&self) {} }\n\
+                 impl Pool { fn submit(&self) {} }\n\
+                 fn helper() {}\n",
+            ),
+        ];
+        let e = edges(&files);
+        assert!(e.contains(&("Server::dispatch".into(), "Session::submit".into(), false)));
+        assert!(e.contains(&("Server::dispatch".into(), "Pool::submit".into(), false)));
+        assert!(e.contains(&("Server::dispatch".into(), "helper".into(), false)));
+    }
+
+    #[test]
+    fn qualified_calls_restrict_to_known_types_and_skip_foreign() {
+        let files = vec![index(
+            "a.rs",
+            "impl Pool { fn new() {} }\n\
+             impl Other { fn new() {} }\n\
+             fn build() { let p = Pool::new(); let v = Vec::new(); }\n",
+        )];
+        let e = edges(&files);
+        assert!(e.contains(&("build".into(), "Pool::new".into(), false)));
+        assert!(!e.iter().any(|(_, to, _)| to == "Other::new"));
+        assert_eq!(e.len(), 1, "Vec::new resolves to nothing: {e:?}");
+    }
+
+    #[test]
+    fn catch_unwind_marks_call_sites_barriered() {
+        let files = vec![index(
+            "a.rs",
+            "fn risky() {}\n\
+             fn waiter() { let r = std::panic::catch_unwind(|| risky()); }\n\
+             fn direct() { risky(); }\n",
+        )];
+        let e = edges(&files);
+        assert!(e.contains(&("waiter".into(), "risky".into(), true)));
+        assert!(e.contains(&("direct".into(), "risky".into(), false)));
+    }
+}

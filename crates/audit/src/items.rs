@@ -1,0 +1,289 @@
+//! Brace-matched item tree: the structural layer between the flat token
+//! stream and the interprocedural rules.
+//!
+//! [`item_tree`] walks a lexed file once and recovers every function —
+//! its bare name, its qualified display path (`module::Type::name`),
+//! the impl/trait self-type it belongs to, its body's token range, and
+//! whether it is test-gated. Nested functions are items of their own:
+//! [`ItemTree::owner_map`] assigns every token to its *innermost*
+//! enclosing function, so call sites and panic facts inside a nested
+//! helper are attributed to the helper, not the function that merely
+//! contains its definition. Closure bodies, by design, stay attributed
+//! to the enclosing `fn` — a closure runs (at worst) wherever its owner
+//! can reach, which is exactly the conservative reading the
+//! reachability rules want.
+
+use crate::lexer::Lexed;
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare name (`submit`).
+    pub name: String,
+    /// Qualified display path: module path + self type + name
+    /// (`exec::SharedPool::submit`).
+    pub qualified: String,
+    /// The `impl`/`trait` self-type when the fn is a method.
+    pub self_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token indices of the body's `{` and matching `}`. `None` for a
+    /// bodyless trait-method declaration.
+    pub body: Option<(usize, usize)>,
+    /// Inside a `#[test]`/`#[cfg(test)]`-gated region.
+    pub is_test: bool,
+}
+
+/// Every function of one file, in source order.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    pub fns: Vec<FnItem>,
+}
+
+impl ItemTree {
+    /// `owner[t]` = index into [`Self::fns`] of the innermost function
+    /// whose body contains token `t` (the signature tokens belong to the
+    /// function too).
+    pub fn owner_map(&self, token_count: usize) -> Vec<Option<usize>> {
+        let mut owner = vec![None; token_count];
+        // Source order means an inner fn appears after its enclosing fn
+        // and its range is contained in it, so later writes win =
+        // innermost.
+        for (idx, f) in self.fns.iter().enumerate() {
+            let end = f.body.map_or(f.fn_tok + 1, |(_, close)| close + 1);
+            for slot in owner.iter_mut().take(end.min(token_count)).skip(f.fn_tok) {
+                *slot = Some(idx);
+            }
+        }
+        owner
+    }
+}
+
+/// What a pending `mod`/`impl`/`trait` header will attach to its `{`.
+#[derive(Debug, Clone)]
+enum Scope {
+    Mod(String),
+    /// `impl Type`, `impl Trait for Type`, or `trait Name` — anything
+    /// whose direct `fn`s are methods of a named self-type.
+    Typed(String),
+}
+
+/// Builds the item tree for one lexed file. `skip` is the test mask from
+/// `rules::test_skip_mask` (same length as the token stream).
+pub fn item_tree(lexed: &Lexed, skip: &[bool]) -> ItemTree {
+    let toks = &lexed.tokens;
+    let mut tree = ItemTree::default();
+    // One entry per open `{`: the scope that brace introduced, if any.
+    let mut stack: Vec<Option<Scope>> = Vec::new();
+    let mut pending: Option<Scope> = None;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(p) = lexed.punct(i) {
+            match p {
+                b'{' => stack.push(pending.take()),
+                b'}' => {
+                    stack.pop();
+                }
+                b';' => pending = None,
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        let Some(word) = lexed.ident(i) else {
+            i += 1;
+            continue;
+        };
+        match word {
+            "mod" => {
+                if let Some(name) = lexed.ident(i + 1) {
+                    pending = Some(Scope::Mod(name.to_string()));
+                }
+                i += 1;
+            }
+            "impl" | "trait" => {
+                if let Some(ty) = self_type_name(lexed, i + 1) {
+                    pending = Some(Scope::Typed(ty));
+                }
+                i += 1;
+            }
+            "fn" => {
+                let Some(name) = lexed.ident(i + 1) else {
+                    // `fn(` — a function-pointer type, not an item.
+                    i += 1;
+                    continue;
+                };
+                let body = fn_body_range(lexed, i + 2);
+                let self_type = stack.iter().rev().find_map(|s| match s {
+                    Some(Scope::Typed(t)) => Some(t.clone()),
+                    _ => None,
+                });
+                let mods: Vec<&str> = stack
+                    .iter()
+                    .filter_map(|s| match s {
+                        Some(Scope::Mod(m)) => Some(m.as_str()),
+                        _ => None,
+                    })
+                    .collect();
+                let mut qualified = String::new();
+                for m in &mods {
+                    qualified.push_str(m);
+                    qualified.push_str("::");
+                }
+                if let Some(t) = &self_type {
+                    qualified.push_str(t);
+                    qualified.push_str("::");
+                }
+                qualified.push_str(name);
+                tree.fns.push(FnItem {
+                    name: name.to_string(),
+                    qualified,
+                    self_type,
+                    line: toks[i].line,
+                    fn_tok: i,
+                    body,
+                    is_test: skip.get(i).copied().unwrap_or(false),
+                });
+                // Continue *inside* the signature/body so nested fns are
+                // found too; the `{` will push a scope-less frame.
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    tree
+}
+
+/// The self-type name of an `impl`/`trait` header starting at `start`
+/// (just past the keyword): the last identifier at angle-depth 0 before
+/// the opening `{`, taken after `for` when present — so
+/// `impl<T> StageExec for PoolJob<'p>` yields `PoolJob` and
+/// `impl exec::SharedPool` yields `SharedPool`.
+fn self_type_name(lexed: &Lexed, start: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut last: Option<&str> = None;
+    let mut j = start;
+    while j < lexed.tokens.len() {
+        if let Some(p) = lexed.punct(j) {
+            match p {
+                b'<' => angle += 1,
+                b'>' => angle -= 1,
+                b'{' | b';' => break,
+                _ => {}
+            }
+        } else if angle <= 0 {
+            if let Some(id) = lexed.ident(j) {
+                if id == "for" {
+                    last = None; // the self type follows `for`
+                } else if id != "where" && id != "dyn" && id != "mut" && id != "const" {
+                    last = Some(id);
+                } else if id == "where" {
+                    break; // bounds only from here on
+                }
+            }
+        }
+        j += 1;
+    }
+    last.map(str::to_string)
+}
+
+/// The body range of a `fn` whose signature starts at `start`: the first
+/// `{` (then its brace-matched `}`), unless a `;` arrives first (a
+/// bodyless trait declaration).
+fn fn_body_range(lexed: &Lexed, start: usize) -> Option<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut j = start;
+    let open = loop {
+        match lexed.punct(j) {
+            Some(b'{') => break j,
+            Some(b';') => return None,
+            _ => {}
+        }
+        j += 1;
+        if j >= toks.len() {
+            return None;
+        }
+    };
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < toks.len() {
+        match lexed.punct(k) {
+            Some(b'{') => depth += 1,
+            Some(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, k));
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((open, toks.len().saturating_sub(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_skip_mask;
+
+    fn tree_of(src: &str) -> ItemTree {
+        let lexed = lex(src);
+        let skip = test_skip_mask(&lexed);
+        item_tree(&lexed, &skip)
+    }
+
+    #[test]
+    fn free_fns_methods_and_modules_qualify() {
+        let src = "fn top() {}\n\
+                   mod inner {\n\
+                     impl Server { fn submit(&self) {} }\n\
+                     pub fn helper() {}\n\
+                   }\n\
+                   impl<T> StageExec for PoolJob<'_> { fn run_stage(&mut self) {} }\n";
+        let t = tree_of(src);
+        let q: Vec<&str> = t.fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(
+            q,
+            vec![
+                "top",
+                "inner::Server::submit",
+                "inner::helper",
+                "PoolJob::run_stage"
+            ]
+        );
+        assert_eq!(t.fns[1].self_type.as_deref(), Some("Server"));
+        assert_eq!(t.fns[3].self_type.as_deref(), Some("PoolJob"));
+    }
+
+    #[test]
+    fn nested_fns_own_their_tokens() {
+        let src = "fn outer() {\n  fn inner() { x.unwrap(); }\n  inner();\n}\n";
+        let lexed = lex(src);
+        let skip = test_skip_mask(&lexed);
+        let t = item_tree(&lexed, &skip);
+        assert_eq!(t.fns.len(), 2);
+        let owner = t.owner_map(lexed.tokens.len());
+        let unwrap_tok = lexed
+            .tokens
+            .iter()
+            .position(|tk| matches!(&tk.tok, crate::lexer::Tok::Ident(s) if s == "unwrap"))
+            .unwrap();
+        assert_eq!(owner[unwrap_tok], Some(1), "unwrap belongs to `inner`");
+    }
+
+    #[test]
+    fn trait_declarations_and_test_fns_are_classified() {
+        let src = "trait Exec { fn go(&self); fn with_default(&self) {} }\n\
+                   #[cfg(test)]\nmod tests { fn helper() {} }\n";
+        let t = tree_of(src);
+        assert_eq!(t.fns[0].body, None);
+        assert_eq!(t.fns[0].self_type.as_deref(), Some("Exec"));
+        assert!(t.fns[1].body.is_some());
+        assert!(t.fns[2].is_test, "fns under #[cfg(test)] are test items");
+    }
+}

@@ -110,6 +110,23 @@ pub fn lex(src: &str) -> Lexed {
                     tok: Tok::Literal,
                 });
             }
+            // Raw identifier `r#name`: one Ident token carrying the
+            // `r#` prefix, so `r#fn` can never read as the `fn` keyword
+            // and no bogus Literal token desyncs the stream.
+            b'r' if b.get(i + 1) == Some(&b'#')
+                && b.get(i + 2)
+                    .is_some_and(|&c| c == b'_' || c.is_ascii_alphabetic()) =>
+            {
+                let start = i;
+                i += 2;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Ident(src[start..i].to_string()),
+                });
+            }
             b'\'' => {
                 let tline = line;
                 i = char_or_lifetime(b, i, &mut line, &mut out, tline);
@@ -179,15 +196,23 @@ enum LitStart {
 }
 
 /// Is position `i` (at an `r`/`b`) the start of a raw/byte literal?
+/// `r#` counts only when its hash run is followed by `"` — otherwise it
+/// is a raw identifier (`r#fn`), which the lexer handles separately.
 fn raw_or_byte_literal(b: &[u8], i: usize) -> Option<LitStart> {
     let rest = &b[i..];
     match rest {
-        [b'r', b'"', ..] | [b'r', b'#', ..] => Some(LitStart::Raw(1)),
-        [b'b', b'r', b'"', ..] | [b'b', b'r', b'#', ..] => Some(LitStart::Raw(2)),
+        [b'r', ..] if raw_quote_follows(&rest[1..]) => Some(LitStart::Raw(1)),
+        [b'b', b'r', ..] if raw_quote_follows(&rest[2..]) => Some(LitStart::Raw(2)),
         [b'b', b'"', ..] => Some(LitStart::ByteStr),
         [b'b', b'\'', ..] => Some(LitStart::ByteChar),
         _ => None,
     }
+}
+
+/// `#`*n*`"` — the delimiter run that opens a raw-string body.
+fn raw_quote_follows(rest: &[u8]) -> bool {
+    let hashes = rest.iter().take_while(|&&c| c == b'#').count();
+    rest.get(hashes) == Some(&b'"')
 }
 
 /// Skips a `"…"` string starting at the opening quote; returns the index
@@ -376,5 +401,51 @@ mod tests {
         let src = "let a = b\"bytes\"; let b = b'x'; let c = br#\"raw\"#;";
         let ids = idents(src);
         assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents_not_keywords() {
+        // `r#fn` used to lex as a bogus Literal plus the *keyword* `fn`,
+        // desyncing every downstream item scan. It must be one Ident
+        // carrying the `r#` prefix.
+        let src = "let r#fn = x; call(r#match, r#unwrap);";
+        let lexed = lex(src);
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "r#fn", "x", "call", "r#match", "r#unwrap"]);
+        assert!(
+            !lexed.tokens.iter().any(|t| t.tok == Tok::Literal),
+            "no spurious Literal tokens from raw identifiers"
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_break_raw_strings() {
+        // A raw ident and a raw string side by side: the classifier must
+        // route each to the right path.
+        let src = "let r#type = r#\"HashMap inside\"#; after();";
+        assert_eq!(idents(src), vec!["let", "r#type", "after"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_track_depth_and_lines() {
+        let src = "a();\n/* 1 /* 2 /* 3 */ still 2 */ still 1\n*/\nb();";
+        let lexed = lex(src);
+        let ids: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some((s.as_str(), t.line)),
+                _ => None,
+            })
+            .collect();
+        // Nothing inside the comment leaks, and `b` lands on line 4.
+        assert_eq!(ids, vec![("a", 1), ("b", 4)]);
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn unbalanced_block_comment_consumes_to_eof_without_panicking() {
+        let src = "x();\n/* /* never closed */";
+        assert_eq!(idents(src), vec!["x"]);
     }
 }

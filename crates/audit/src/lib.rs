@@ -5,14 +5,18 @@
 //! decomposition composite) and the serving no-panic contract ("never a
 //! hang, typed errors keep the connection") are enforced dynamically by
 //! the proptest suites — which sample a sliver of the code per run. This
-//! crate is the static half: a token-level pass over the workspace's own
-//! sources that rejects the *patterns* that break those contracts, with
-//! named rules, `file:line` diagnostics, and justified opt-outs.
+//! crate is the static half: token-level pattern rules plus a
+//! call-graph-aware interprocedural layer (panic reachability,
+//! lock-graph cycles, determinism taint) over the workspace's own
+//! sources, with named rules, `file:line` diagnostics, call-chain
+//! witnesses, and justified opt-outs.
 //!
 //! See [`rules`] for the rule table and suppression grammar. Scoping is
 //! by path ([`SCOPES`]): determinism rules bind the solver hot-path
-//! crates, the no-panic rule binds the serving crate, the lock-order
-//! rule binds the shared-pool executor.
+//! crates, the no-panic rules bind the serving crate, the lock rules
+//! bind the shared-pool executor. The interprocedural rules
+//! additionally read the *whole corpus* ([`CORPUS`]) so a panic three
+//! crates away from a serve dispatch path is still attributed to it.
 //!
 //! ```no_run
 //! let report = waso_audit::audit_workspace(std::path::Path::new(".")).unwrap();
@@ -22,25 +26,38 @@
 //! assert!(report.diagnostics.is_empty(), "invariant violations");
 //! ```
 
+pub mod callgraph;
+pub mod items;
+pub mod json;
 pub mod lexer;
 pub mod rules;
 
 use std::io;
 use std::path::{Path, PathBuf};
 
+use json::Json;
 pub use rules::{audit_source, Diagnostic, RuleId};
+
+/// Schema id stamped into `--format json` reports.
+pub const REPORT_SCHEMA: &str = "waso-audit-report/v1";
+/// Schema id of the committed ratchet baseline.
+pub const BASELINE_SCHEMA: &str = "waso-audit-baseline/v1";
 
 /// Where each rule applies, as workspace-relative path prefixes (a
 /// prefix naming a directory covers every `.rs` file under it).
 ///
-/// * `D1`/`D2` bind the solver hot-path crates: order-dependent
-///   accumulation or ambient entropy anywhere in `algos`/`core`/`graph`
-///   can silently break bit-identity.
+/// * `D1`/`D2`/`D3` bind the solver hot-path crates: order-dependent
+///   accumulation, ambient entropy, or an unseeded RNG stream anywhere
+///   in `algos`/`core`/`graph` can silently break bit-identity.
 /// * `P1` binds the serving crate — connection handling and dispatch
 ///   must answer typed errors, never panic — and the graph I/O module,
-///   whose read/write paths serve user-supplied files.
-/// * `L1` binds the shared-pool executor, where the slot/stage lock
-///   family lives.
+///   whose read/write paths serve user-supplied files. `P2` extends the
+///   same contract *interprocedurally*: its scope names the root set
+///   (every serve fn), and reachability walks the whole corpus from
+///   there.
+/// * `L1`/`L2` bind the shared-pool executor, where the slot/stage lock
+///   family lives; `L2` additionally follows lock summaries through
+///   calls and flags sends performed under a held guard.
 pub const SCOPES: &[(RuleId, &[&str])] = &[
     (
         RuleId::D1,
@@ -50,11 +67,38 @@ pub const SCOPES: &[(RuleId, &[&str])] = &[
         RuleId::D2,
         &["crates/algos/src", "crates/core/src", "crates/graph/src"],
     ),
+    (
+        RuleId::D3,
+        &["crates/algos/src", "crates/core/src", "crates/graph/src"],
+    ),
     (RuleId::P1, &["crates/serve/src", "crates/graph/src/io.rs"]),
+    (RuleId::P2, &["crates/serve/src"]),
     (
         RuleId::L1,
         &["crates/algos/src/exec.rs", "crates/algos/src/exec"],
     ),
+    (
+        RuleId::L2,
+        &["crates/algos/src/exec.rs", "crates/algos/src/exec"],
+    ),
+];
+
+/// The corpus the interprocedural rules read: every crate on a solve or
+/// serve path, plus the session facade. Bench/stats/dataset tooling and
+/// this crate itself stay out — they are not reachable from the
+/// contracts and would only add name-resolution ambiguity. So does the
+/// `waso-solve` CLI (`src/bin`): a terminal front-end whose free fns
+/// (`run`, `parse_args`) would otherwise alias serve's under worst-case
+/// name resolution, and whose abort-on-bad-input behaviour is its
+/// documented interface, not a serve-path defect.
+pub const CORPUS: &[&str] = &[
+    "crates/algos/src",
+    "crates/core/src",
+    "crates/exact/src",
+    "crates/graph/src",
+    "crates/serve/src",
+    "src/lib.rs",
+    "src/session.rs",
 ];
 
 /// The rules whose scope covers `rel_path` (workspace-relative, forward
@@ -77,52 +121,227 @@ pub fn rules_for(rel_path: &str) -> Vec<RuleId> {
 pub struct AuditReport {
     /// Violations, sorted by (file, line, rule). Empty means clean.
     pub diagnostics: Vec<Diagnostic>,
-    /// How many files were audited (scope union).
+    /// How many files had at least one active rule.
     pub files_audited: usize,
 }
 
 /// Audits every file in scope under `root` (the workspace root). Rules
-/// are assigned per file via [`SCOPES`]; `restrict` (if non-empty)
-/// intersects with that assignment, so `--rule D1` audits only D1 even
-/// where other rules would also apply.
+/// are assigned per file via [`SCOPES`].
 pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
     audit_workspace_rules(root, &[])
 }
 
-/// [`audit_workspace`] with a rule restriction (empty = all rules).
+/// [`audit_workspace`] with a rule restriction (empty = all rules):
+/// `--rule D1,P2` audits only those even where others would also apply.
+/// The whole [`CORPUS`] is loaded regardless, because interprocedural
+/// rules need out-of-scope files as call-graph context.
 pub fn audit_workspace_rules(root: &Path, restrict: &[RuleId]) -> io::Result<AuditReport> {
     let mut files: Vec<PathBuf> = Vec::new();
-    for &(_, prefixes) in SCOPES {
-        for prefix in prefixes {
-            let path = root.join(prefix);
-            if path.is_dir() {
-                collect_rs_files(&path, &mut files)?;
-            } else if path.is_file() {
-                files.push(path);
-            }
+    for prefix in CORPUS {
+        let path = root.join(prefix);
+        if path.is_dir() {
+            collect_rs_files(&path, &mut files)?;
+        } else if path.is_file() {
+            files.push(path);
         }
     }
     files.sort();
     files.dedup();
 
-    let mut report = AuditReport::default();
+    let mut corpus: Vec<(String, String)> = Vec::with_capacity(files.len());
+    let mut files_audited = 0usize;
     for file in &files {
         let rel = relative_label(root, file);
         let mut rules = rules_for(&rel);
         if !restrict.is_empty() {
             rules.retain(|r| restrict.contains(r));
         }
-        if rules.is_empty() {
-            continue;
+        if !rules.is_empty() {
+            files_audited += 1;
         }
-        let src = std::fs::read_to_string(file)?;
-        report.files_audited += 1;
-        report.diagnostics.extend(audit_source(&rel, &src, &rules));
+        corpus.push((rel, std::fs::read_to_string(file)?));
     }
-    report
+
+    let restrict = restrict.to_vec();
+    let diagnostics = rules::audit_corpus(&corpus, &move |rel| {
+        let mut rules = rules_for(rel);
+        if !restrict.is_empty() {
+            rules.retain(|r| restrict.contains(r));
+        }
+        rules
+    });
+    Ok(AuditReport {
+        diagnostics,
+        files_audited,
+    })
+}
+
+/// Renders a report as the `waso-audit-report/v1` JSON document.
+pub fn report_to_json(report: &AuditReport) -> Json {
+    let diags = report
         .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+        .iter()
+        .map(|d| {
+            let mut fields = vec![
+                ("file".to_string(), Json::str(&d.file)),
+                ("line".to_string(), Json::num(u64::from(d.line))),
+                ("rule".to_string(), Json::str(d.rule.as_str())),
+                ("message".to_string(), Json::str(&d.message)),
+            ];
+            if !d.chain.is_empty() {
+                fields.push((
+                    "chain".to_string(),
+                    Json::Arr(d.chain.iter().map(Json::str).collect()),
+                ));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".to_string(), Json::str(REPORT_SCHEMA)),
+        (
+            "files_audited".to_string(),
+            Json::num(report.files_audited as u64),
+        ),
+        (
+            "violations".to_string(),
+            Json::num(report.diagnostics.len() as u64),
+        ),
+        ("diagnostics".to_string(), Json::Arr(diags)),
+    ])
+}
+
+/// The ratchet baseline: per-(file, rule) violation counts. Count-based
+/// (not line-based) so unrelated edits that shift lines don't churn it.
+#[derive(Debug, Default, PartialEq)]
+pub struct Baseline {
+    /// (file, rule) → allowed count, sorted by key.
+    pub entries: Vec<(String, RuleId, usize)>,
+}
+
+/// One baseline-vs-report difference.
+#[derive(Debug)]
+pub enum Drift {
+    /// More findings than the baseline allows — fails the ratchet.
+    Regression {
+        file: String,
+        rule: RuleId,
+        baseline: usize,
+        found: usize,
+    },
+    /// Fewer findings than recorded — the baseline can be tightened.
+    Improvement {
+        file: String,
+        rule: RuleId,
+        baseline: usize,
+        found: usize,
+    },
+}
+
+impl Baseline {
+    /// Distills a report into its ratchet form.
+    pub fn from_report(report: &AuditReport) -> Baseline {
+        let mut counts: std::collections::BTreeMap<(String, RuleId), usize> =
+            std::collections::BTreeMap::new();
+        for d in &report.diagnostics {
+            *counts.entry((d.file.clone(), d.rule)).or_default() += 1;
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((file, rule), n)| (file, rule, n))
+                .collect(),
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(file, rule, n)| {
+                Json::Obj(vec![
+                    ("file".to_string(), Json::str(file)),
+                    ("rule".to_string(), Json::str(rule.as_str())),
+                    ("count".to_string(), Json::num(*n as u64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::str(BASELINE_SCHEMA)),
+            ("entries".to_string(), Json::Arr(entries)),
+        ])
+    }
+
+    pub fn from_json(doc: &Json) -> Result<Baseline, String> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(s) if s == BASELINE_SCHEMA => {}
+            other => return Err(format!("unsupported baseline schema {other:?}")),
+        }
+        let mut entries = Vec::new();
+        for e in doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("baseline has no `entries` array")?
+        {
+            let file = e
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or("entry missing `file`")?;
+            let rule = e
+                .get("rule")
+                .and_then(Json::as_str)
+                .and_then(RuleId::parse)
+                .ok_or("entry missing or bad `rule`")?;
+            let count = e
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or("entry missing `count`")? as usize;
+            entries.push((file.to_string(), rule, count));
+        }
+        entries.sort();
+        Ok(Baseline { entries })
+    }
+
+    /// Compares a fresh report against this baseline. Regressions (new
+    /// (file, rule) keys, or grown counts) fail the ratchet;
+    /// improvements invite a `--write-baseline` tighten.
+    pub fn compare(&self, report: &AuditReport) -> Vec<Drift> {
+        let current = Baseline::from_report(report);
+        let base: std::collections::BTreeMap<(&str, RuleId), usize> = self
+            .entries
+            .iter()
+            .map(|(f, r, n)| ((f.as_str(), *r), *n))
+            .collect();
+        let cur: std::collections::BTreeMap<(&str, RuleId), usize> = current
+            .entries
+            .iter()
+            .map(|(f, r, n)| ((f.as_str(), *r), *n))
+            .collect();
+        let mut out = Vec::new();
+        for (&(file, rule), &found) in &cur {
+            let allowed = base.get(&(file, rule)).copied().unwrap_or(0);
+            if found > allowed {
+                out.push(Drift::Regression {
+                    file: file.to_string(),
+                    rule,
+                    baseline: allowed,
+                    found,
+                });
+            }
+        }
+        for (&(file, rule), &allowed) in &base {
+            let found = cur.get(&(file, rule)).copied().unwrap_or(0);
+            if found < allowed {
+                out.push(Drift::Improvement {
+                    file: file.to_string(),
+                    rule,
+                    baseline: allowed,
+                    found,
+                });
+            }
+        }
+        out
+    }
 }
 
 /// Recursively collects `.rs` files, sorted so the audit (like
@@ -177,27 +396,85 @@ mod tests {
     fn scope_assignment_matches_prefixes() {
         assert_eq!(
             rules_for("crates/algos/src/engine.rs"),
-            vec![RuleId::D1, RuleId::D2]
+            vec![RuleId::D1, RuleId::D2, RuleId::D3]
         );
         assert_eq!(
             rules_for("crates/algos/src/exec/shared.rs"),
-            vec![RuleId::D1, RuleId::D2, RuleId::L1]
+            vec![RuleId::D1, RuleId::D2, RuleId::D3, RuleId::L1, RuleId::L2]
         );
         assert_eq!(
             rules_for("crates/algos/src/exec.rs"),
-            vec![RuleId::D1, RuleId::D2, RuleId::L1]
+            vec![RuleId::D1, RuleId::D2, RuleId::D3, RuleId::L1, RuleId::L2]
         );
-        assert_eq!(rules_for("crates/serve/src/server.rs"), vec![RuleId::P1]);
+        assert_eq!(
+            rules_for("crates/serve/src/server.rs"),
+            vec![RuleId::P1, RuleId::P2]
+        );
         // The graph I/O module is additionally under the no-panic rule.
         assert_eq!(
             rules_for("crates/graph/src/io.rs"),
-            vec![RuleId::D1, RuleId::D2, RuleId::P1]
+            vec![RuleId::D1, RuleId::D2, RuleId::D3, RuleId::P1]
         );
         assert_eq!(rules_for("crates/bench/src/lib.rs"), Vec::<RuleId>::new());
         // A sibling file must not match a directory prefix by accident.
         assert_eq!(
             rules_for("crates/algos/src/execution.rs"),
-            vec![RuleId::D1, RuleId::D2]
+            vec![RuleId::D1, RuleId::D2, RuleId::D3]
         );
+    }
+
+    #[test]
+    fn baseline_round_trips_and_ratchets() {
+        let report = AuditReport {
+            diagnostics: vec![
+                Diagnostic {
+                    file: "a.rs".into(),
+                    line: 3,
+                    rule: RuleId::P2,
+                    message: "m".into(),
+                    chain: vec!["f".into()],
+                },
+                Diagnostic {
+                    file: "a.rs".into(),
+                    line: 9,
+                    rule: RuleId::P2,
+                    message: "m".into(),
+                    chain: Vec::new(),
+                },
+            ],
+            files_audited: 1,
+        };
+        let base = Baseline::from_report(&report);
+        assert_eq!(base.entries, vec![("a.rs".to_string(), RuleId::P2, 2)]);
+        let back = Baseline::from_json(&Json::parse(&base.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, base);
+
+        // Same counts: no drift.
+        assert!(base.compare(&report).is_empty());
+        // One fixed: improvement, not regression.
+        let less = AuditReport {
+            diagnostics: report.diagnostics[..1].to_vec(),
+            files_audited: 1,
+        };
+        assert!(matches!(
+            base.compare(&less).as_slice(),
+            [Drift::Improvement { found: 1, .. }]
+        ));
+        // A new file: regression.
+        let mut more = AuditReport {
+            diagnostics: report.diagnostics.clone(),
+            files_audited: 1,
+        };
+        more.diagnostics.push(Diagnostic {
+            file: "b.rs".into(),
+            line: 1,
+            rule: RuleId::L2,
+            message: "m".into(),
+            chain: Vec::new(),
+        });
+        assert!(base
+            .compare(&more)
+            .iter()
+            .any(|d| matches!(d, Drift::Regression { file, .. } if file == "b.rs")));
     }
 }

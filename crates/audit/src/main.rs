@@ -1,8 +1,9 @@
 //! The `waso-audit` binary: the CI gate and local pre-commit check.
 //!
 //! ```text
-//! waso-audit --workspace [--root DIR] [--rule ID]...
-//! waso-audit [--rule ID]... FILE...
+//! waso-audit --workspace [--root DIR] [--rule IDS]... [--format FMT]
+//!            [--baseline FILE | --write-baseline FILE]
+//! waso-audit [--rule IDS]... [--format FMT] FILE...
 //! waso-audit --list-rules
 //! ```
 //!
@@ -11,26 +12,49 @@
 //! Explicit `FILE` arguments are audited under *all* rules (restricted
 //! by `--rule`), regardless of scope — handy for fixtures and editors.
 //!
-//! Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+//! Exit status: 0 clean (or within the baseline), 1 violations (or
+//! baseline regressions), 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use waso_audit::{audit_source, audit_workspace_rules, find_workspace_root, RuleId, SCOPES};
+use waso_audit::{
+    audit_source, audit_workspace_rules, find_workspace_root, json::Json, report_to_json,
+    AuditReport, Baseline, Drift, RuleId, SCOPES,
+};
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Args {
     workspace: bool,
     root: Option<PathBuf>,
     rules: Vec<RuleId>,
     list_rules: bool,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: waso-audit --workspace [--root DIR] [--rule ID]...\n\
-     \u{20}      waso-audit [--rule ID]... FILE...\n\
+    "usage: waso-audit --workspace [--root DIR] [--rule IDS]... [--format FMT]\n\
+     \u{20}                 [--baseline FILE | --write-baseline FILE]\n\
+     \u{20}      waso-audit [--rule IDS]... [--format FMT] FILE...\n\
      \u{20}      waso-audit --list-rules\n\
-     rules: D1 D2 P1 L1 (SUP always runs); see --list-rules"
+     \n\
+     \u{20} --rule IDS            comma-separated rule ids, repeatable: --rule P2,L2,D3\n\
+     \u{20} --format FMT          `text` (default) or `json` (a waso-audit-report/v1 document)\n\
+     \u{20} --baseline FILE       ratchet: findings beyond FILE's recorded counts fail;\n\
+     \u{20}                       fewer findings are reported as tightening opportunities\n\
+     \u{20} --write-baseline FILE distill this run's findings into FILE and exit\n\
+     \n\
+     exit codes: 0 clean (or within the baseline), 1 violations (or baseline\n\
+     regressions), 2 usage or I/O error\n\
+     rules: D1 D2 D3 P1 P2 L1 L2 (SUP always runs); see --list-rules"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +63,9 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         rules: Vec::new(),
         list_rules: false,
+        format: Format::Text,
+        baseline: None,
+        write_baseline: None,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -50,9 +77,30 @@ fn parse_args() -> Result<Args, String> {
                 args.root = Some(PathBuf::from(dir));
             }
             "--rule" => {
-                let id = it.next().ok_or("--rule needs a rule id argument")?;
-                let rule = RuleId::parse(&id).ok_or_else(|| format!("unknown rule `{id}`"))?;
-                args.rules.push(rule);
+                let ids = it.next().ok_or("--rule needs a rule id argument")?;
+                for id in ids.split(',') {
+                    let id = id.trim();
+                    let rule = RuleId::parse(id).ok_or_else(|| format!("unknown rule `{id}`"))?;
+                    if !args.rules.contains(&rule) {
+                        args.rules.push(rule);
+                    }
+                }
+            }
+            "--format" => {
+                let fmt = it.next().ok_or("--format needs `text` or `json`")?;
+                args.format = match fmt.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                };
+            }
+            "--baseline" => {
+                let file = it.next().ok_or("--baseline needs a file argument")?;
+                args.baseline = Some(PathBuf::from(file));
+            }
+            "--write-baseline" => {
+                let file = it.next().ok_or("--write-baseline needs a file argument")?;
+                args.write_baseline = Some(PathBuf::from(file));
             }
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => return Err(String::new()),
@@ -61,6 +109,9 @@ fn parse_args() -> Result<Args, String> {
             }
             file => args.files.push(PathBuf::from(file)),
         }
+    }
+    if args.baseline.is_some() && args.write_baseline.is_some() {
+        return Err("--baseline and --write-baseline are mutually exclusive".to_string());
     }
     if !args.list_rules && !args.workspace && args.files.is_empty() {
         return Err("nothing to audit: pass --workspace or files".to_string());
@@ -97,8 +148,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let mut diagnostics = Vec::new();
-    let mut files_audited = 0usize;
+    let mut report = AuditReport::default();
 
     if args.workspace {
         let root = match args.root.clone().or_else(|| {
@@ -113,9 +163,9 @@ fn main() -> ExitCode {
             }
         };
         match audit_workspace_rules(&root, &args.rules) {
-            Ok(report) => {
-                diagnostics.extend(report.diagnostics);
-                files_audited += report.files_audited;
+            Ok(r) => {
+                report.diagnostics.extend(r.diagnostics);
+                report.files_audited += r.files_audited;
             }
             Err(e) => {
                 eprintln!("waso-audit: {}: {e}", root.display());
@@ -137,19 +187,93 @@ fn main() -> ExitCode {
         } else {
             args.rules.clone()
         };
-        files_audited += 1;
-        diagnostics.extend(audit_source(&file.display().to_string(), &src, &rules));
+        report.files_audited += 1;
+        report
+            .diagnostics
+            .extend(audit_source(&file.display().to_string(), &src, &rules));
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    if let Some(path) = &args.write_baseline {
+        let doc = Baseline::from_report(&report).to_json().render();
+        if let Err(e) = std::fs::write(path, doc + "\n") {
+            eprintln!("waso-audit: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "waso-audit: wrote baseline ({} finding(s)) to {}",
+            report.diagnostics.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
     }
 
-    for d in &diagnostics {
-        println!("{d}");
+    match args.format {
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            println!(
+                "waso-audit: {} violation(s) across {} file(s) audited",
+                report.diagnostics.len(),
+                report.files_audited
+            );
+        }
+        Format::Json => println!("{}", report_to_json(&report).render()),
     }
-    println!(
-        "waso-audit: {} violation(s) across {} file(s) audited",
-        diagnostics.len(),
-        files_audited
-    );
-    if diagnostics.is_empty() {
+
+    // Under a baseline the ratchet decides: regressions fail even while
+    // violations remain grandfathered; improvements only invite a
+    // tighter baseline.
+    if let Some(path) = &args.baseline {
+        let base = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text))
+            .and_then(|doc| Baseline::from_json(&doc));
+        let base = match base {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("waso-audit: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let drift = base.compare(&report);
+        let mut regressed = false;
+        for d in &drift {
+            match d {
+                Drift::Regression {
+                    file,
+                    rule,
+                    baseline,
+                    found,
+                } => {
+                    regressed = true;
+                    eprintln!(
+                        "waso-audit: ratchet regression: {file} has {found} {rule} finding(s), \
+                         baseline allows {baseline}"
+                    );
+                }
+                Drift::Improvement {
+                    file,
+                    rule,
+                    baseline,
+                    found,
+                } => eprintln!(
+                    "waso-audit: ratchet improvement: {file} is down to {found} {rule} \
+                     finding(s) from {baseline} — consider --write-baseline"
+                ),
+            }
+        }
+        return if regressed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    if report.diagnostics.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -6,7 +6,8 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use waso_audit::{audit_source, audit_workspace, RuleId};
+use waso_audit::json::Json;
+use waso_audit::{audit_source, audit_workspace, report_to_json, rules, RuleId};
 
 fn fixture_path(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -107,6 +108,114 @@ fn l1_clean_fixture_passes_and_io_read_is_not_a_lock() {
 }
 
 #[test]
+fn p2_bad_fixture_flags_indexing_and_unwrap_on_dispatch_paths() {
+    assert_eq!(
+        audit_fixture("p2_bad.rs", &[RuleId::P2]),
+        vec![
+            (4, RuleId::P2),  // jobs[job]
+            (10, RuleId::P2), // digits.unwrap()
+        ]
+    );
+}
+
+#[test]
+fn p2_clean_fixture_passes_through_shield_and_test_mask() {
+    // Typed errors, an unwrap inside catch_unwind (barrier), and an
+    // unwrap inside `#[cfg(test)]` (skip mask) — all clean.
+    assert_eq!(audit_fixture("p2_clean.rs", &[RuleId::P2]), vec![]);
+}
+
+/// The acceptance shape: a panic two calls deep from a serve dispatch
+/// fn, across a file boundary, reported at the panic site with the full
+/// witness chain. Only `p2_root.rs` is P2-rooted; the helpers are pure
+/// call-graph context.
+#[test]
+fn p2_chain_crosses_files_and_names_the_full_chain() {
+    let corpus: Vec<(String, String)> = ["p2_root.rs", "p2_helpers.rs"]
+        .iter()
+        .map(|name| {
+            let src = std::fs::read_to_string(fixture_path(name)).unwrap();
+            (name.to_string(), src)
+        })
+        .collect();
+    let diags = rules::audit_corpus(&corpus, &|rel| {
+        if rel == "p2_root.rs" {
+            vec![RuleId::P2]
+        } else {
+            Vec::new()
+        }
+    });
+    assert_eq!(diags.len(), 1, "exactly the one reachable panic: {diags:?}");
+    let d = &diags[0];
+    assert_eq!(
+        (d.file.as_str(), d.line, d.rule),
+        ("p2_helpers.rs", 9, RuleId::P2)
+    );
+    assert_eq!(d.chain, vec!["dispatch", "prepare", "decode"]);
+    assert!(
+        d.message.contains("chain: dispatch → prepare → decode"),
+        "diagnostic renders the witness chain: {}",
+        d.message
+    );
+    assert!(
+        d.message.contains("reachable from serve fn `dispatch`"),
+        "diagnostic names the root: {}",
+        d.message
+    );
+}
+
+#[test]
+fn l2_bad_fixture_flags_the_cycle_and_the_send_under_lock() {
+    let path = fixture_path("l2_bad.rs");
+    let src = std::fs::read_to_string(&path).unwrap();
+    let diags = audit_source("l2_bad.rs", &src, &[RuleId::L2]);
+    let shape: Vec<(u32, RuleId)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(
+        shape,
+        vec![
+            (15, RuleId::L2), // cycle, reported at the a→b witness
+            (27, RuleId::L2), // send under Pair.a's guard
+        ]
+    );
+    let cycle = &diags[0];
+    assert_eq!(cycle.chain, vec!["Pair::forward", "Pair::backward"]);
+    assert!(
+        cycle.message.contains("`Pair.a` → `Pair.b`")
+            && cycle.message.contains("`Pair.b` → `Pair.a`"),
+        "cycle message shows both edges: {}",
+        cycle.message
+    );
+    assert!(
+        diags[1]
+            .message
+            .contains("lock `Pair.a` (acquired line 26)"),
+        "send diagnostic names the held lock: {}",
+        diags[1].message
+    );
+}
+
+#[test]
+fn l2_clean_fixture_passes_with_consistent_order_and_early_drop() {
+    assert_eq!(audit_fixture("l2_clean.rs", &[RuleId::L2]), vec![]);
+}
+
+#[test]
+fn d3_bad_fixture_flags_unseeded_stream_and_ambient_read() {
+    assert_eq!(
+        audit_fixture("d3_bad.rs", &[RuleId::D3]),
+        vec![
+            (4, RuleId::D3), // seed_from_u64 without a seed-rooted arg
+            (8, RuleId::D3), // env::var
+        ]
+    );
+}
+
+#[test]
+fn d3_clean_fixture_passes_through_the_seedy_fixpoint() {
+    assert_eq!(audit_fixture("d3_clean.rs", &[RuleId::D3]), vec![]);
+}
+
+#[test]
 fn justified_suppressions_silence_their_rules() {
     assert_eq!(
         audit_fixture("suppress.rs", &[RuleId::D1, RuleId::D2]),
@@ -150,16 +259,22 @@ fn binary_exits_zero_on_clean_fixture() {
     assert_eq!(out.status.code(), Some(0), "clean fixture must exit 0");
 }
 
-/// The auditor's reason to exist: the workspace it ships in holds its
-/// own invariants. Any reintroduced HashMap in a solver crate or
-/// unwrap in a serving path fails this test before it reaches CI.
-#[test]
-fn workspace_is_audit_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .map(Path::to_path_buf)
-        .unwrap_or_else(|| panic!("crates/audit has a workspace two levels up"));
+        .unwrap_or_else(|| panic!("crates/audit has a workspace two levels up"))
+}
+
+/// The auditor's reason to exist: the workspace it ships in holds its
+/// own invariants — under the *full* rule set, interprocedural rules
+/// included. Any reintroduced HashMap in a solver crate, unwrap on a
+/// serving path, or panic newly reachable from a dispatch fn fails this
+/// test before it reaches CI.
+#[test]
+fn workspace_is_audit_clean() {
+    let root = workspace_root();
     let report =
         audit_workspace(&root).unwrap_or_else(|e| panic!("auditing {}: {e}", root.display()));
     assert!(
@@ -173,4 +288,214 @@ fn workspace_is_audit_clean() {
         "workspace invariant violations:\n{}",
         rendered.join("\n")
     );
+}
+
+#[test]
+fn rule_flag_accepts_comma_separated_lists() {
+    // P1 restricted in: findings. P1 excluded (D2 only): clean exit.
+    let out = Command::new(env!("CARGO_BIN_EXE_waso-audit"))
+        .args(["--rule", "D2,P1"])
+        .arg(fixture_path("p1_bad.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("P1"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_waso-audit"))
+        .args(["--rule", "D2"])
+        .arg(fixture_path("p1_bad.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "P1 findings were not requested");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_waso-audit"))
+        .args(["--rule", "D2,bogus"])
+        .arg(fixture_path("p1_bad.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown rule id is a usage error"
+    );
+}
+
+/// `--format json` output — from an in-process report *and* from the
+/// binary run against the real workspace — validates against the
+/// committed `audit-report.schema.json`, and round-trips through the
+/// parser.
+#[test]
+fn json_report_validates_against_the_committed_schema() {
+    let schema_text = std::fs::read_to_string(workspace_root().join("audit-report.schema.json"))
+        .expect("committed schema");
+    let schema = Json::parse(&schema_text).expect("schema parses");
+
+    // A report with findings (chains included), via the library.
+    let src = std::fs::read_to_string(fixture_path("p2_bad.rs")).unwrap();
+    let report = waso_audit::AuditReport {
+        diagnostics: audit_source("p2_bad.rs", &src, &[RuleId::P2]),
+        files_audited: 1,
+    };
+    assert!(!report.diagnostics.is_empty());
+    let doc = report_to_json(&report);
+    validate(&schema, &doc).expect("fixture report matches the schema");
+    assert_eq!(Json::parse(&doc.render()).unwrap(), doc, "round-trips");
+
+    // The real workspace, via the binary.
+    let out = Command::new(env!("CARGO_BIN_EXE_waso-audit"))
+        .args(["--workspace", "--format", "json", "--root"])
+        .arg(workspace_root())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("binary emits JSON");
+    validate(&schema, &doc).expect("workspace report matches the schema");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("waso-audit-report/v1")
+    );
+}
+
+/// The ratchet's exit-code contract: within baseline 0, regression 1,
+/// unreadable baseline 2.
+#[test]
+fn baseline_ratchet_exit_codes() {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("ratchet");
+    std::fs::create_dir_all(&tmp).unwrap();
+    let baseline = tmp.join("baseline.json");
+
+    // Distill the bad fixture's findings into a baseline.
+    let out = Command::new(env!("CARGO_BIN_EXE_waso-audit"))
+        .arg("--write-baseline")
+        .arg(&baseline)
+        .arg(fixture_path("d1_bad.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "--write-baseline exits 0");
+
+    // Same findings again: grandfathered, exit 0 despite violations.
+    let out = Command::new(env!("CARGO_BIN_EXE_waso-audit"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg(fixture_path("d1_bad.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "within the baseline");
+
+    // A file the baseline has never seen: regression, exit 1.
+    let out = Command::new(env!("CARGO_BIN_EXE_waso-audit"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg(fixture_path("d1_bad.rs"))
+        .arg(fixture_path("p1_bad.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "regressions fail the ratchet");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ratchet regression"));
+
+    // Fixing findings is an improvement, not a failure.
+    let out = Command::new(env!("CARGO_BIN_EXE_waso-audit"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg(fixture_path("d1_clean.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "improvements pass");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ratchet improvement"));
+
+    // A baseline that is not a baseline: exit 2.
+    let bad = tmp.join("bad.json");
+    std::fs::write(&bad, "{\"schema\":\"nope\"}").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_waso-audit"))
+        .arg("--baseline")
+        .arg(&bad)
+        .arg(fixture_path("d1_bad.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad baseline is an I/O error");
+}
+
+/// The committed `audit-baseline.json` is the empty ratchet: the
+/// workspace is clean, and must stay clean.
+#[test]
+fn committed_baseline_is_empty_and_loads() {
+    let text = std::fs::read_to_string(workspace_root().join("audit-baseline.json"))
+        .expect("committed baseline");
+    let base = waso_audit::Baseline::from_json(&Json::parse(&text).unwrap())
+        .expect("baseline schema holds");
+    assert!(
+        base.entries.is_empty(),
+        "the workspace ratchet is zero findings; tighten, never loosen: {:?}",
+        base.entries
+    );
+}
+
+/// A deliberately small JSON Schema checker covering exactly the
+/// features `audit-report.schema.json` uses: type, const, enum,
+/// required, properties, additionalProperties:false, items, minimum,
+/// minItems. Validating with anything richer would mean a dependency.
+fn validate(schema: &Json, value: &Json) -> Result<(), String> {
+    if let Some(c) = schema.get("const") {
+        if c != value {
+            return Err(format!("const mismatch: wanted {c:?}, got {value:?}"));
+        }
+    }
+    if let Some(options) = schema.get("enum").and_then(Json::as_arr) {
+        if !options.iter().any(|o| o == value) {
+            return Err(format!("{value:?} not in enum {options:?}"));
+        }
+    }
+    if let Some(t) = schema.get("type").and_then(Json::as_str) {
+        let ok = match t {
+            "object" => matches!(value, Json::Obj(_)),
+            "array" => matches!(value, Json::Arr(_)),
+            "string" => matches!(value, Json::Str(_)),
+            "integer" => value.as_u64().is_some(),
+            other => return Err(format!("unsupported schema type {other:?}")),
+        };
+        if !ok {
+            return Err(format!("{value:?} is not of type {t}"));
+        }
+    }
+    if let Some(min) = schema.get("minimum").and_then(Json::as_u64) {
+        if value.as_u64().is_some_and(|v| v < min) {
+            return Err(format!("{value:?} below minimum {min}"));
+        }
+    }
+    if let Json::Obj(fields) = value {
+        if let Some(required) = schema.get("required").and_then(Json::as_arr) {
+            for key in required {
+                let key = key.as_str().ok_or("required entries are strings")?;
+                if value.get(key).is_none() {
+                    return Err(format!("missing required field {key:?}"));
+                }
+            }
+        }
+        let props = schema.get("properties");
+        for (key, field_value) in fields {
+            match props.and_then(|p| p.get(key)) {
+                Some(sub) => {
+                    validate(sub, field_value).map_err(|e| format!("in field {key:?}: {e}"))?
+                }
+                None => {
+                    if schema.get("additionalProperties") == Some(&Json::Bool(false)) {
+                        return Err(format!("unexpected field {key:?}"));
+                    }
+                }
+            }
+        }
+    }
+    if let Json::Arr(items) = value {
+        if let Some(min) = schema.get("minItems").and_then(Json::as_u64) {
+            if (items.len() as u64) < min {
+                return Err(format!("array shorter than minItems {min}"));
+            }
+        }
+        if let Some(sub) = schema.get("items") {
+            for (i, item) in items.iter().enumerate() {
+                validate(sub, item).map_err(|e| format!("at index {i}: {e}"))?;
+            }
+        }
+    }
+    Ok(())
 }

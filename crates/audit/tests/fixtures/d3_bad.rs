@@ -1,0 +1,16 @@
+//! D3 known-bad: an unseeded stream and an ambient-state read.
+
+pub fn sampler_for(stage: u64) -> u64 {
+    seed_from_u64(stage ^ 0x9e3779b97f4a7c15)
+}
+
+pub fn threads() -> u64 {
+    match std::env::var("WASO_THREADS") {
+        Ok(v) => v.len() as u64,
+        Err(_) => 1,
+    }
+}
+
+fn seed_from_u64(x: u64) -> u64 {
+    x
+}

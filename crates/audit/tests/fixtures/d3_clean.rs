@@ -1,0 +1,20 @@
+//! D3 known-clean: every stream derives from the solve seed, directly
+//! or through the seed-deriving fixpoint.
+
+fn mix_seed(root: u64, stage: u64) -> u64 {
+    root.rotate_left(17) ^ stage
+}
+
+fn stage_entropy(root: u64, stage: u64) -> u64 {
+    mix_seed(root, stage)
+}
+
+pub fn sampler_for(root: u64, stage: u64) -> u64 {
+    let a = seed_from_u64(mix_seed(root, stage));
+    let b = seed_from_u64(stage_entropy(root, stage));
+    a ^ b
+}
+
+fn seed_from_u64(x: u64) -> u64 {
+    x
+}

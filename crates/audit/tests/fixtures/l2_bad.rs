@@ -1,0 +1,29 @@
+//! L2 known-bad: opposite lock orders plus a send under a live guard.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    tx: Sender<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga - *gb
+    }
+
+    pub fn publish(&self) {
+        let ga = self.a.lock().unwrap();
+        let _ = self.tx.send(*ga);
+    }
+}

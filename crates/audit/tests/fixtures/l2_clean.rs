@@ -1,0 +1,32 @@
+//! L2 known-clean: one global acquisition order, and the guard is
+//! dropped before the send.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    tx: Sender<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn also_forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga * *gb
+    }
+
+    pub fn publish(&self) {
+        let ga = self.a.lock().unwrap();
+        let value = *ga;
+        drop(ga);
+        let _ = self.tx.send(value);
+    }
+}

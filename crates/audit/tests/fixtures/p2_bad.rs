@@ -1,0 +1,11 @@
+//! P2 known-bad: panic-capable sites on the dispatch path.
+
+pub fn dispatch(jobs: &[u64], job: usize) -> u64 {
+    let id = jobs[job];
+    decode(id)
+}
+
+fn decode(id: u64) -> u64 {
+    let digits: Option<u64> = Some(id);
+    digits.unwrap()
+}

@@ -1,0 +1,26 @@
+//! P2 known-clean: typed errors, a catch_unwind shield, test-only
+//! unwraps under the skip mask.
+
+pub fn dispatch(jobs: &[u64], job: usize) -> Result<u64, String> {
+    match jobs.get(job) {
+        Some(&id) => decode(id),
+        None => Err("no such job".to_string()),
+    }
+}
+
+fn decode(id: u64) -> Result<u64, String> {
+    Ok(id.wrapping_mul(3))
+}
+
+pub fn shielded(job: u64) -> u64 {
+    let out = std::panic::catch_unwind(|| decode(job).unwrap());
+    out.map_or(0, |r| r.unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn decodes() {
+        assert_eq!(super::decode(3).unwrap(), 9);
+    }
+}

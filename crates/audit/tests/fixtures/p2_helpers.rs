@@ -1,0 +1,10 @@
+//! P2 chain fixture, helper half: two hops below the dispatch root.
+
+pub fn prepare(job: u64) -> u64 {
+    decode(job)
+}
+
+pub fn decode(job: u64) -> u64 {
+    let v: Option<u64> = Some(job);
+    v.unwrap()
+}

@@ -1,0 +1,7 @@
+//! P2 chain fixture, root half: the serve dispatch fn. The panic sits
+//! two calls away in `p2_helpers.rs`, which is *not* P2-rooted — only
+//! reachability from here makes it a finding.
+
+pub fn dispatch(job: u64) -> u64 {
+    prepare(job)
+}

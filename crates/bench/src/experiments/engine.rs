@@ -260,7 +260,9 @@ pub fn memo_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
         v: first.group.nodes()[0],
         interest: 0.0,
     };
-    session.apply(&delta).expect("delta endpoint is a solved node");
+    session
+        .apply(&delta)
+        .expect("delta endpoint is a solved node");
 
     let t0 = Instant::now();
     let warm = session.solve(&spec).expect("delta'd workload is feasible");
@@ -304,7 +306,12 @@ pub fn memo_records(ctx: &ExperimentContext) -> Vec<BenchRecord> {
 pub fn memo_table(records: &[BenchRecord]) -> Table {
     let title = records
         .first()
-        .map(|r| format!("post-delta re-solve: cold vs warm vs memo hit ({})", r.workload))
+        .map(|r| {
+            format!(
+                "post-delta re-solve: cold vs warm vs memo hit ({})",
+                r.workload
+            )
+        })
         .unwrap_or_else(|| "post-delta re-solve: cold vs warm vs memo hit".to_string());
     let mut t = Table::new(
         "engine-memo",

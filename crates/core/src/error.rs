@@ -1,6 +1,7 @@
 //! Error type for problem construction and solution validation.
 
 use std::fmt;
+use waso_graph::GraphError;
 
 /// Errors raised when constructing instances or validating groups.
 #[derive(Debug, Clone)]
@@ -40,6 +41,14 @@ pub enum CoreError {
         /// Offending value.
         value: f64,
     },
+    /// Rebuilding a derived graph failed structurally.
+    Graph(GraphError),
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
 }
 
 /// Hand-written so the one float payload (`LambdaOutOfRange::value`)
@@ -61,6 +70,7 @@ impl PartialEq for CoreError {
             (LambdaOutOfRange { node: a, value: x }, LambdaOutOfRange { node: b, value: y }) => {
                 a == b && x.to_bits() == y.to_bits()
             }
+            (Graph(a), Graph(b)) => a == b,
             _ => false,
         }
     }
@@ -91,6 +101,7 @@ impl fmt::Display for CoreError {
             CoreError::LambdaOutOfRange { node, value } => {
                 write!(f, "lambda weight {value} of node v{node} outside [0, 1]")
             }
+            CoreError::Graph(e) => write!(f, "graph construction failed: {e}"),
         }
     }
 }

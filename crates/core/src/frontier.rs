@@ -83,7 +83,11 @@ impl Frontier {
         if slot == ABSENT {
             return false;
         }
-        let last = *self.items.last().expect("non-empty when slot present");
+        let Some(&last) = self.items.last() else {
+            // Unreachable when `pos` and `items` agree; treat a desynced
+            // frontier as "not present" rather than aborting the solve.
+            return false;
+        };
         self.items.swap_remove(slot as usize);
         if last != v.0 {
             self.pos[last as usize] = slot;

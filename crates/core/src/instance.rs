@@ -111,10 +111,9 @@ pub fn apply_lambda(g: &SocialGraph, lambda: &[f64]) -> Result<SocialGraph, Core
             v,
             (1.0 - lambda[u.index()]) * tau_uv,
             (1.0 - lambda[v.index()]) * tau_vu,
-        )
-        .expect("edges come from a valid graph");
+        )?;
     }
-    Ok(b.build())
+    Ok(b.try_build()?)
 }
 
 /// Convenience: a uniform λ for every node.

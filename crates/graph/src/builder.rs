@@ -187,10 +187,13 @@ impl GraphBuilder {
             for s in lo..hi {
                 let j = neighbors[s] as usize;
                 let (jlo, jhi) = (offsets[j] as usize, offsets[j + 1] as usize);
-                let back = jlo
-                    + neighbors[jlo..jhi]
-                        .binary_search(&(i as u32))
-                        .expect("reverse slot must exist: builder inserts both directions");
+                // The builder inserts both directions, so the reverse slot
+                // exists unless the adjacency is inconsistent — surface that
+                // as a structural error instead of aborting mid-build.
+                let back = match neighbors[jlo..jhi].binary_search(&(i as u32)) {
+                    Ok(off) => jlo + off,
+                    Err(_) => return Err(GraphError::UnknownNode(i as u32)),
+                };
                 pair_weight[s] = tightness[s] + tightness[back];
             }
         }
@@ -210,6 +213,7 @@ impl GraphBuilder {
     /// Panics on duplicate edges; use [`GraphBuilder::try_build`] to handle
     /// that case gracefully.
     pub fn build(self) -> SocialGraph {
+        // audit:allow(P2): documented `# Panics` contract — callers that need the fallible path use `try_build`
         self.try_build().expect("graph construction failed")
     }
 }

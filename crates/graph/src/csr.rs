@@ -182,9 +182,12 @@ impl SocialGraph {
         self.node_ids().flat_map(move |u| {
             self.neighbor_entries(u)
                 .filter(move |&(v, _, _)| u.0 < v.0)
-                .map(move |(v, tau_uv, _)| {
-                    let tau_vu = self.tightness(v, u).expect("reverse slot exists");
-                    (u, v, tau_uv, tau_vu)
+                .filter_map(move |(v, tau_uv, _)| {
+                    // The builder inserts both directions, so the reverse
+                    // slot exists for any well-formed graph; a missing slot
+                    // drops the edge rather than aborting the iteration.
+                    let tau_vu = self.tightness(v, u)?;
+                    Some((u, v, tau_uv, tau_vu))
                 })
         })
     }

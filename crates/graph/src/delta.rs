@@ -163,7 +163,11 @@ impl GraphDelta {
                 } if same_edge(u, v, a, c) => {
                     // `undirected_edges` yields a < c; orient the new
                     // directed values to match.
-                    let (fwd, back) = if u == a { (tau_uv, tau_vu) } else { (tau_vu, tau_uv) };
+                    let (fwd, back) = if u == a {
+                        (tau_uv, tau_vu)
+                    } else {
+                        (tau_vu, tau_uv)
+                    };
                     push_edge(&mut b, a, c, fwd, back);
                 }
                 _ => push_edge(&mut b, a, c, tau_ac, tau_ca),

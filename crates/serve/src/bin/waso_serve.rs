@@ -62,8 +62,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut shed_pool_depth = None;
 
     let mut i = 0;
-    while i < argv.len() {
-        let arg = argv[i].clone();
+    while let Some(arg) = argv.get(i).cloned() {
         let mut value = |name: &str| -> Result<String, String> {
             i += 1;
             argv.get(i)
@@ -98,7 +97,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         return Err(format!("at least one --tenant is required\n{USAGE}"));
     }
     for (i, tenant) in tenants.iter().enumerate() {
-        if tenants[..i].iter().any(|t| t.name == tenant.name) {
+        if tenants.iter().take(i).any(|t| t.name == tenant.name) {
             return Err(format!(
                 "duplicate --tenant {:?}: each tenant may be configured once",
                 tenant.name

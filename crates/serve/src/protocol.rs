@@ -358,42 +358,41 @@ impl Response {
         } else {
             rest.split(' ').collect()
         };
-        let arity = |want: usize| -> Result<(), String> {
-            if fields.len() == want {
-                Ok(())
-            } else {
-                Err(format!("{verb} takes {want} fields, got {}", fields.len()))
-            }
-        };
+        // Slice patterns (not indexing) so a short field list is a parse
+        // error, never a panic — this runs on the serve reply path.
         match verb {
-            "JOB" => {
-                arity(1)?;
-                let id = fields[0]
-                    .parse()
-                    .map_err(|_| format!("bad job id {:?}", fields[0]))?;
-                Ok(Response::Job(id))
-            }
-            "QUEUED" => {
-                arity(0)?;
-                Ok(Response::Queued)
-            }
+            "JOB" => match fields[..] {
+                [id] => Ok(Response::Job(
+                    id.parse().map_err(|_| format!("bad job id {id:?}"))?,
+                )),
+                _ => Err(format!("JOB takes 1 field, got {}", fields.len())),
+            },
+            "QUEUED" => match fields[..] {
+                [] => Ok(Response::Queued),
+                _ => Err(format!("QUEUED takes 0 fields, got {}", fields.len())),
+            },
             "RUNNING" => {
-                if fields.len() != 2 && fields.len() != 4 {
-                    return Err(format!("RUNNING takes 2 or 4 fields, got {}", fields.len()));
-                }
-                let stages = fields[0]
+                let (head, incumbent_fields) = match fields[..] {
+                    [s, n] => ((s, n), None),
+                    [s, n, w, nodes] => ((s, n), Some((w, nodes))),
+                    _ => {
+                        return Err(format!("RUNNING takes 2 or 4 fields, got {}", fields.len()));
+                    }
+                };
+                let stages = head
+                    .0
                     .parse()
-                    .map_err(|_| format!("bad stage count {:?}", fields[0]))?;
-                let samples = fields[1]
+                    .map_err(|_| format!("bad stage count {:?}", head.0))?;
+                let samples = head
+                    .1
                     .parse()
-                    .map_err(|_| format!("bad sample count {:?}", fields[1]))?;
-                let incumbent = if fields.len() == 4 {
-                    let w = fields[2]
-                        .parse()
-                        .map_err(|_| format!("bad willingness {:?}", fields[2]))?;
-                    Some((w, parse_nodes(fields[3])?))
-                } else {
-                    None
+                    .map_err(|_| format!("bad sample count {:?}", head.1))?;
+                let incumbent = match incumbent_fields {
+                    Some((w, nodes)) => {
+                        let w = w.parse().map_err(|_| format!("bad willingness {w:?}"))?;
+                        Some((w, parse_nodes(nodes)?))
+                    }
+                    None => None,
                 };
                 Ok(Response::Running {
                     stages,
@@ -401,23 +400,23 @@ impl Response {
                     incumbent,
                 })
             }
-            "DONE" => {
-                arity(4)?;
-                Ok(Response::Done {
-                    termination: parse_termination(fields[0])?,
-                    willingness: fields[1]
+            "DONE" => match fields[..] {
+                [termination, willingness, nodes, samples] => Ok(Response::Done {
+                    termination: parse_termination(termination)?,
+                    willingness: willingness
                         .parse()
-                        .map_err(|_| format!("bad willingness {:?}", fields[1]))?,
-                    nodes: parse_nodes(fields[2])?,
-                    samples: fields[3]
+                        .map_err(|_| format!("bad willingness {willingness:?}"))?,
+                    nodes: parse_nodes(nodes)?,
+                    samples: samples
                         .parse()
-                        .map_err(|_| format!("bad sample count {:?}", fields[3]))?,
-                })
-            }
-            "CANCELLED" => {
-                arity(0)?;
-                Ok(Response::Cancelled)
-            }
+                        .map_err(|_| format!("bad sample count {samples:?}"))?,
+                }),
+                _ => Err(format!("DONE takes 4 fields, got {}", fields.len())),
+            },
+            "CANCELLED" => match fields[..] {
+                [] => Ok(Response::Cancelled),
+                _ => Err(format!("CANCELLED takes 0 fields, got {}", fields.len())),
+            },
             "STATS" => {
                 let mut stats = StatsReply::default();
                 for field in &fields {

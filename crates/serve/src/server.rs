@@ -75,7 +75,7 @@ impl ServeConfig {
     pub fn new(tenants: Vec<TenantConfig>) -> Self {
         for (i, tenant) in tenants.iter().enumerate() {
             assert!(
-                !tenants[..i].iter().any(|t| t.name == tenant.name),
+                !tenants.iter().take(i).any(|t| t.name == tenant.name),
                 "duplicate tenant {:?}: tenants are resolved by name, so each may be configured once",
                 tenant.name
             );
@@ -237,7 +237,7 @@ impl Server {
             std::thread::Builder::new()
                 .name("waso-serve-dispatch".into())
                 .spawn(move || inner.dispatch_loop())
-                // audit:allow(P1): startup-time, before any connection exists — a server without its dispatcher can serve nothing, so fail fast
+                // audit:allow(P1, P2): startup-time, before any connection exists — a server without its dispatcher can serve nothing, so fail fast
                 .expect("spawning the dispatcher thread")
         };
         Self {
@@ -380,8 +380,10 @@ impl Inner {
                 );
             }
         }
-        let quota = self.config.tenants[tidx].max_inflight;
-        if st.inflight[tidx] >= quota {
+        // `tidx` comes from the name lookup above, so these lookups cannot
+        // miss; `get` keeps the connection path panic-free regardless.
+        let quota = self.config.tenants.get(tidx).map_or(0, |t| t.max_inflight);
+        if st.inflight.get(tidx).is_none_or(|&n| n >= quota) {
             return err(
                 ErrCode::Quota,
                 format!("tenant {tenant:?} is at its quota of {quota} inflight jobs"),
@@ -400,7 +402,9 @@ impl Inner {
             },
         );
         st.queue.push(tidx, job);
-        st.inflight[tidx] += 1;
+        if let Some(n) = st.inflight.get_mut(tidx) {
+            *n += 1;
+        }
         drop(st);
         self.wake.notify_all();
         Response::Job(job)
@@ -465,7 +469,9 @@ impl Inner {
                 if st.queue.remove(job) {
                     let retain = self.config.retain_finished;
                     st.park_finished(job, Response::Cancelled, retain);
-                    st.inflight[tenant] -= 1;
+                    if let Some(n) = st.inflight.get_mut(tenant) {
+                        *n -= 1;
+                    }
                     drop(st);
                     // A WAITer of this job is parked on the condvar.
                     self.wake.notify_all();
@@ -582,7 +588,9 @@ impl Inner {
             if let Some(entry) = st.jobs.get(&job) {
                 let tenant = entry.tenant;
                 st.park_finished(job, response, self.config.retain_finished);
-                st.inflight[tenant] -= 1;
+                if let Some(n) = st.inflight.get_mut(tenant) {
+                    *n -= 1;
+                }
             }
             // The slot frees even if the entry is gone — a leaked slot
             // would quietly shrink dispatch width forever.

@@ -72,8 +72,12 @@ impl FairQueue {
     }
 
     pub fn push(&mut self, tenant: usize, job: u64) {
-        self.queues[tenant].push_back(job);
-        self.len += 1;
+        // An out-of-range tenant index drops the push rather than panic:
+        // callers validate the tenant by name before queueing.
+        if let Some(queue) = self.queues.get_mut(tenant) {
+            queue.push_back(job);
+            self.len += 1;
+        }
     }
 
     /// The next job in round-robin order, advancing the cursor **past**
@@ -82,7 +86,7 @@ impl FairQueue {
         let t = self.queues.len();
         for i in 0..t {
             let idx = (self.cursor + i) % t;
-            if let Some(job) = self.queues[idx].pop_front() {
+            if let Some(job) = self.queues.get_mut(idx).and_then(VecDeque::pop_front) {
                 self.cursor = (idx + 1) % t;
                 self.len -= 1;
                 return Some(job);

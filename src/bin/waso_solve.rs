@@ -354,8 +354,18 @@ mod tests {
         let registry = waso::registry();
         let args = parse_args(
             &argv(&[
-                "--graph", "g.waso", "--k", "5", "--stages", "7", "--threads", "3", "--require",
-                "9", "--seed", "11",
+                "--graph",
+                "g.waso",
+                "--k",
+                "5",
+                "--stages",
+                "7",
+                "--threads",
+                "3",
+                "--require",
+                "9",
+                "--seed",
+                "11",
             ]),
             &registry,
         )
@@ -400,7 +410,14 @@ mod tests {
         assert_eq!(err, "bad stages '4294967296'");
         // Larger than u64::MAX: rejected for u64-typed flags too.
         let err = parse_args(
-            &argv(&["--graph", "g.waso", "--k", "3", "--budget", "99999999999999999999"]),
+            &argv(&[
+                "--graph",
+                "g.waso",
+                "--k",
+                "3",
+                "--budget",
+                "99999999999999999999",
+            ]),
             &registry,
         )
         .unwrap_err();

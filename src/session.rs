@@ -300,8 +300,16 @@ impl WasoSession {
     /// by fingerprint, so a changed configuration simply stops matching
     /// them — and matches them again if it is changed back.
     fn invalidate_instance(&mut self) {
-        *self.instance_cache.get_mut().expect("unpoisoned cache") = None;
-        *self.fingerprint_cache.get_mut().expect("unpoisoned cache") = None;
+        // Poison-tolerant: a cache is plain data, valid even if a panic
+        // elsewhere poisoned the mutex.
+        *self
+            .instance_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+        *self
+            .fingerprint_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     /// Sets the group size `k` (mandatory).
@@ -420,7 +428,10 @@ impl WasoSession {
     /// The session's validated instance, built and cloned **once** and
     /// shared by every solve (the batch API's "validate once" half).
     fn shared_instance(&self) -> Result<Arc<WasoInstance>, SessionError> {
-        let mut cache = self.instance_cache.lock().expect("unpoisoned cache");
+        let mut cache = self
+            .instance_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(instance) = cache.as_ref() {
             return Ok(Arc::clone(instance));
         }
@@ -705,7 +716,10 @@ impl WasoSession {
     /// A snapshot of the session's memo counters (hits, misses,
     /// delta invalidations).
     pub fn memo_stats(&self) -> MemoStats {
-        self.memo.lock().unwrap_or_else(PoisonError::into_inner).stats
+        self.memo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats
     }
 
     /// Applies a [`GraphDelta`] to the session's graph **in place**:
@@ -729,7 +743,7 @@ impl WasoSession {
         let old_fp = match self
             .fingerprint_cache
             .get_mut()
-            .expect("unpoisoned cache")
+            .unwrap_or_else(PoisonError::into_inner)
             .take()
         {
             Some(fp) => Some(fp),
@@ -751,7 +765,10 @@ impl WasoSession {
             new_fp.update_node(&instance, v);
         }
         let new_digest = new_fp.digest();
-        *self.fingerprint_cache.get_mut().expect("unpoisoned cache") = Some(new_fp);
+        *self
+            .fingerprint_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = Some(new_fp);
 
         // Memo sweep over the pre-delta generation. Entries under other
         // digests (older configurations) are left alone: their keys can
@@ -910,34 +927,44 @@ fn spawn_coordinators(name: &str, queue: VecDeque<JobTask>, width: usize) {
     }
     let queue = Arc::new(Mutex::new(queue));
     for c in 0..width.max(1) {
-        let queue = Arc::clone(&queue);
-        std::thread::Builder::new()
+        let worker = Arc::clone(&queue);
+        let spawned = std::thread::Builder::new()
             .name(format!("{name}-{c}"))
-            .spawn(move || loop {
-                let task = queue
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .pop_front();
-                match task {
-                    Some(task) => {
-                        // Contain a panicking solve to its own job: the
-                        // unwind payload dies here, the job's waiter sees
-                        // a dropped sender, and this coordinator keeps
-                        // draining the queue. The control must still be
-                        // finished on the unwind path, or incumbents()
-                        // iterators would block forever and progress()
-                        // would report the dead job as running.
-                        let control = Arc::clone(&task.control);
-                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run()))
-                            .is_err()
-                        {
-                            control.finish();
-                        }
-                    }
-                    None => return,
+            .spawn(move || drain_jobs(&worker));
+        if spawned.is_err() {
+            // Thread exhaustion. The queued jobs still have waiters, so
+            // they must run: whatever coordinators did spawn keep
+            // draining, and this thread works the remainder inline
+            // instead of aborting the process.
+            drain_jobs(&queue);
+            return;
+        }
+    }
+}
+
+/// One coordinator's work loop: pop and run jobs until the queue drains.
+fn drain_jobs(queue: &Mutex<VecDeque<JobTask>>) {
+    loop {
+        let task = queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front();
+        match task {
+            Some(task) => {
+                // Contain a panicking solve to its own job: the
+                // unwind payload dies here, the job's waiter sees
+                // a dropped sender, and this coordinator keeps
+                // draining the queue. The control must still be
+                // finished on the unwind path, or incumbents()
+                // iterators would block forever and progress()
+                // would report the dead job as running.
+                let control = Arc::clone(&task.control);
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run())).is_err() {
+                    control.finish();
                 }
-            })
-            .expect("spawning a solve coordinator thread");
+            }
+            None => return,
+        }
     }
 }
 
@@ -1010,9 +1037,11 @@ impl SolveHandle {
         if self.result.is_none() {
             match self.result_rx.recv() {
                 Ok(outcome) => self.result = Some(outcome),
+                // audit:allow(P2): documented `# Panics` contract — re-raises a solver panic; the serve waiter thread shields with catch_unwind
                 Err(_) => panic!("solve job died without reporting a result"),
             }
         }
+        // audit:allow(P2): `result` was populated on both branches above
         self.result.take().expect("result cached above")
     }
 

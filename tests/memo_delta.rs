@@ -239,11 +239,8 @@ fn deltas_invalidate_only_touched_entries() {
     // computed on the *delta'd* graph — never the stale cached value.
     let again_a = session.solve_str(in_a).unwrap();
     assert_eq!(session.memo_stats().hits, 1);
-    let recomputed = Group::new(
-        &session.instance().unwrap(),
-        again_a.group.nodes().to_vec(),
-    )
-    .unwrap();
+    let recomputed =
+        Group::new(&session.instance().unwrap(), again_a.group.nodes().to_vec()).unwrap();
     assert_eq!(
         again_a.group.willingness().to_bits(),
         recomputed.willingness().to_bits()
@@ -271,9 +268,12 @@ fn replan_after_delta_never_serves_a_stale_group() {
         .unwrap();
 
     // The handle path and the blocking path agree, and both re-solve.
-    let after = session.submit(&session.registry().parse(spec).unwrap()).unwrap();
+    let after = session
+        .submit(&session.registry().parse(spec).unwrap())
+        .unwrap();
     let after = after.wait().unwrap();
-    let recomputed = Group::new(&session.instance().unwrap(), after.group.nodes().to_vec()).unwrap();
+    let recomputed =
+        Group::new(&session.instance().unwrap(), after.group.nodes().to_vec()).unwrap();
     assert_eq!(
         after.group.willingness().to_bits(),
         recomputed.willingness().to_bits()
@@ -297,10 +297,7 @@ fn rejected_deltas_change_nothing() {
         tau_uv: 1.0,
         tau_vu: 1.0,
     };
-    assert!(matches!(
-        session.apply(&bad),
-        Err(SessionError::Delta(_))
-    ));
+    assert!(matches!(session.apply(&bad), Err(SessionError::Delta(_))));
     // Graph untouched, memo untouched: the repeat solve is a pure hit.
     let again = session.solve_str(spec).unwrap();
     assert_eq!(again.group.nodes(), before.group.nodes());
